@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the simulation engine's hot paths.
+
+use congestion::CcKind;
+use cpu_model::{CpuConfig, DeviceProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::event::EventQueue;
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
+use sim_core::units::Bandwidth;
+use std::time::Duration;
+use tcp_sim::{PacingConfig, Pacer, SimConfig, StackSim};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(7);
+            for _ in 0..10_000 {
+                q.schedule_at(SimTime::from_nanos(rng.below(1_000_000_000)), 1u32);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum += e.event as u64;
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn pacing_math(c: &mut Criterion) {
+    c.bench_function("pacer/on_send_1k", |b| {
+        let rate = Bandwidth::from_mbps(140);
+        b.iter(|| {
+            let mut p = Pacer::new(PacingConfig::with_stride(5), 1448);
+            let mut t = SimTime::ZERO;
+            for _ in 0..1_000 {
+                p.on_send(t, 14_480, rate);
+                t = p.next_release();
+            }
+            std::hint::black_box(p.next_release())
+        })
+    });
+}
+
+fn one_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_second");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8));
+    for (name, cc, cpu) in [
+        ("cubic_lowend_20c", CcKind::Cubic, CpuConfig::LowEnd),
+        ("bbr_lowend_20c", CcKind::Bbr, CpuConfig::LowEnd),
+        ("bbr_highend_1c", CcKind::Bbr, CpuConfig::HighEnd),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let conns = if cpu == CpuConfig::HighEnd { 1 } else { 20 };
+                let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
+                cfg.duration = SimDuration::from_secs(1);
+                cfg.warmup = SimDuration::from_millis(300);
+                std::hint::black_box(StackSim::new(cfg).run().goodput_mbps())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, event_queue, pacing_math, one_simulated_second);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches: one per paper figure/table.
+//!
+//! Each bench times the figure's *runner* at reduced parameters and, once
+//! per process, prints the reduced measurement table — so `cargo bench`
+//! both regression-guards simulation cost and regenerates every artifact's
+//! rows. (The full-fidelity tables come from the `repro` binary; see
+//! EXPERIMENTS.md.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{ExperimentId, Params};
+use std::sync::Once;
+use std::time::Duration;
+
+static PRINT_ONCE: [Once; 17] = [const { Once::new() }; 17];
+
+fn bench_experiment(c: &mut Criterion, idx: usize, id: ExperimentId) {
+    let params = Params::smoke();
+    // Print the regenerated (reduced) table once so `cargo bench` output
+    // contains every figure's rows.
+    PRINT_ONCE[idx].call_once(|| {
+        let exp = id.run(&params);
+        println!("\n{}", exp.render_text());
+    });
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function(id.cli_name(), |b| {
+        b.iter(|| {
+            let exp = id.run(&params);
+            std::hint::black_box(exp.table.rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn figures(c: &mut Criterion) {
+    for (idx, id) in ExperimentId::ALL.into_iter().enumerate() {
+        bench_experiment(c, idx, id);
+    }
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

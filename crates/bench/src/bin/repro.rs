@@ -1,0 +1,144 @@
+//! Regenerate the paper's figures and tables.
+//!
+//! ```bash
+//! repro --exp all                 # every experiment, full parameters
+//! repro --exp fig2 --quick       # one experiment, fast parameters
+//! repro --exp all --markdown out.md --json out.json
+//! ```
+
+use experiments::{Experiment, ExperimentId, Params};
+
+struct Args {
+    exps: Vec<ExperimentId>,
+    params: Params,
+    markdown: Option<String>,
+    json: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut exps = Vec::new();
+    let mut params = Params::full();
+    let mut markdown = None;
+    let mut json = None;
+    let mut csv = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                let name = argv.get(i + 1).ok_or("--exp needs a value")?;
+                if name == "all" {
+                    exps.extend(ExperimentId::ALL);
+                } else {
+                    exps.push(
+                        ExperimentId::from_cli_name(name)
+                            .ok_or_else(|| format!("unknown experiment '{name}'; known: {}",
+                                ExperimentId::ALL.map(|e| e.cli_name()).join(", ")))?,
+                    );
+                }
+                i += 2;
+            }
+            "--quick" => {
+                params = Params::quick();
+                i += 1;
+            }
+            "--smoke" => {
+                params = Params::smoke();
+                i += 1;
+            }
+            "--seeds" => {
+                params.seeds = argv
+                    .get(i + 1)
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+                i += 2;
+            }
+            "--markdown" => {
+                markdown = Some(argv.get(i + 1).ok_or("--markdown needs a path")?.clone());
+                i += 2;
+            }
+            "--json" => {
+                json = Some(argv.get(i + 1).ok_or("--json needs a path")?.clone());
+                i += 2;
+            }
+            "--csv" => {
+                csv = Some(argv.get(i + 1).ok_or("--csv needs a path")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if exps.is_empty() {
+        exps.extend(ExperimentId::ALL);
+    }
+    Ok(Args { exps, params, markdown, json, csv })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--markdown PATH] [--json PATH] [--csv PATH]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut done: Vec<Experiment> = Vec::new();
+    let t0 = std::time::Instant::now();
+    for id in &args.exps {
+        let start = std::time::Instant::now();
+        let exp = id.run(&args.params);
+        println!("{}", exp.render_text());
+        println!("  ({} in {:.1?})\n", id.cli_name(), start.elapsed());
+        done.push(exp);
+    }
+
+    let card = experiments::Scorecard::tally(&done);
+    println!("{} ({:.1?} total)", card.banner(), t0.elapsed());
+
+    if let Some(path) = args.markdown {
+        let md = experiments::summary::render_markdown(&done);
+        std::fs::write(&path, &md).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.csv {
+        // Flatten every experiment's table into one tidy CSV: one row per
+        // table row, prefixed by the experiment id and its column name.
+        let mut out = String::from("experiment,row,column,value\n");
+        for exp in &done {
+            for ri in 0..exp.table.rows.len() {
+                for (ci, header) in exp.table.headers.iter().enumerate() {
+                    if let Some(v) = exp.table.num_at(ri, ci) {
+                        out.push_str(&format!(
+                            "{},{},{},{v}\n",
+                            exp.id,
+                            ri,
+                            header.replace(',', ";")
+                        ));
+                    }
+                }
+            }
+        }
+        std::fs::write(&path, out).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.json {
+        std::fs::write(&path, mobile_bbr_bench::to_json(&done)).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if !card.all_pass() {
+        std::process::exit(1);
+    }
+}

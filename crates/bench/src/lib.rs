@@ -1,0 +1,46 @@
+//! # mobile-bbr-bench
+//!
+//! The benchmark harness of the reproduction. Two binaries and two
+//! Criterion suites:
+//!
+//! * **`repro`** — regenerates every figure and table of the paper:
+//!   `cargo run --release -p mobile-bbr-bench --bin repro -- --exp all`.
+//!   Prints each experiment's measurement table and its shape-check
+//!   scorecard, and can emit Markdown/JSON for EXPERIMENTS.md.
+//! * **`ablations`** — the design-choice studies DESIGN.md calls out:
+//!   timer-cost sweep (how cheap must hrtimers get before the stride stops
+//!   mattering — the §7.1.4 hardware-pacing question), socket-buffer-cap
+//!   sweep (Table 2's plateau position), and governor comparison.
+//! * **`benches/figures`** — Criterion timings of each figure's runner at
+//!   reduced parameters (regression guard on simulation cost).
+//! * **`benches/engine`** — micro-benchmarks of the hot simulation paths
+//!   (event queue, pacing arithmetic, one simulated second per algorithm).
+
+use experiments::{Experiment, ExperimentId, Params};
+
+/// Run one experiment and return (text, markdown, json) renderings.
+pub fn run_and_render(id: ExperimentId, params: &Params) -> (Experiment, String, String) {
+    let exp = id.run(params);
+    let text = exp.render_text();
+    let md = exp.render_markdown();
+    (exp, text, md)
+}
+
+/// Serialize experiments to a JSON document (for machine consumption).
+pub fn to_json(experiments: &[Experiment]) -> String {
+    serde_json::to_string_pretty(experiments).expect("experiments serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_pipeline_works() {
+        let (exp, text, md) = run_and_render(ExperimentId::Fig9, &Params::smoke());
+        assert!(text.contains("FIG9"));
+        assert!(md.contains("### FIG9"));
+        let json = to_json(&[exp]);
+        assert!(json.contains("\"id\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! §7.1.3 probe (the paper's future work): does the pacing stride hurt TCP
+//! fairness?
+//!
+//! "Since previous studies have shown that packet pacing improves fairness,
+//! pacing strides may increase the unfairness of BBR. … We need further
+//! studies to explore both fairness and congestion when using pacing
+//! strides." This experiment is that further study, in simulation: Jain's
+//! index across 20 concurrent BBR flows under stride 1/5/10, with pacing
+//! disabled as the anti-baseline, on the High-End configuration (so the
+//! CPU doesn't confound the sharing behaviour).
+
+use crate::checks::ShapeCheck;
+use crate::params::Params;
+use crate::table::{Cell, ResultTable};
+use crate::{run_specs_parallel, Experiment};
+use congestion::master::MasterConfig;
+use congestion::CcKind;
+use cpu_model::CpuConfig;
+use iperf::RunSpec;
+
+/// Strides probed.
+pub const STRIDES: [u64; 3] = [1, 5, 10];
+/// Concurrent flows.
+pub const CONNS: usize = 20;
+
+/// Run the fairness probe.
+pub fn run(params: &Params) -> Experiment {
+    let mut specs: Vec<RunSpec> = STRIDES
+        .iter()
+        .map(|&s| {
+            RunSpec::new(
+                format!("BBR stride {s}x"),
+                params.pixel4_stride(CpuConfig::HighEnd, CcKind::Bbr, CONNS, s),
+                params.seeds,
+            )
+        })
+        .collect();
+    specs.push(RunSpec::new(
+        "BBR unpaced",
+        params.pixel4_with(CpuConfig::HighEnd, CcKind::Bbr, CONNS, MasterConfig::pacing_off()),
+        params.seeds,
+    ));
+    // The literature's claim (Aggarwal'00/Wei'06, cited in §5.2.3) is about
+    // pacing vs not pacing the *same loss-based* algorithm: Cubic rows.
+    specs.push(RunSpec::new(
+        "Cubic unpaced (default)",
+        params.pixel4(CpuConfig::HighEnd, CcKind::Cubic, CONNS),
+        params.seeds,
+    ));
+    specs.push(RunSpec::new(
+        "Cubic paced (internal rate)",
+        params.pixel4_with(CpuConfig::HighEnd, CcKind::Cubic, CONNS, MasterConfig::pacing_on()),
+        params.seeds,
+    ));
+    let reports = run_specs_parallel(specs, params.threads);
+
+    let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "Jain index", "Mean RTT (ms)"]);
+    for rep in &reports {
+        table.push_row(vec![
+            rep.label.clone().into(),
+            rep.goodput_mbps.into(),
+            Cell::Prec(rep.fairness, 3),
+            Cell::Prec(rep.mean_rtt_ms, 2),
+        ]);
+    }
+
+    let stride1 = reports[0].fairness;
+    let stride10 = reports[2].fairness;
+    let cubic_unpaced = reports[reports.len() - 2].fairness;
+    let cubic_paced = reports[reports.len() - 1].fairness;
+    let checks = vec![
+        ShapeCheck::predicate(
+            "pacing Cubic improves its fairness",
+            "packet pacing improves fairness (Aggarwal'00, Wei'06)",
+            format!("Cubic paced {cubic_paced:.2} vs unpaced {cubic_unpaced:.2}"),
+            cubic_paced > cubic_unpaced,
+        ),
+        ShapeCheck::predicate(
+            "striding costs at most modest BBR fairness",
+            "pacing strides may increase the unfairness of BBR (open question)",
+            format!("stride10 {stride10:.2} vs stride1 {stride1:.2}"),
+            stride10 > 0.5 * stride1,
+        ),
+    ];
+
+    Experiment {
+        id: "FAIRNESS".into(),
+        title: "Pacing-stride fairness probe (§7.1.3 future work, 20 flows, High-End)".into(),
+        table,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs() {
+        let exp = run(&Params::smoke());
+        assert_eq!(exp.table.rows.len(), STRIDES.len() + 3);
+        assert_eq!(exp.checks.len(), 2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 7: the benefit of pacing — RTT with and without packet pacing
+//! (Low-End, Mid-End, Default; 20 connections).
+//!
+//! "RTT increases sharply for Low-End, Mid-End, and Default configurations
+//! when disabling BBR's packet pacing behavior. For all configurations,
+//! RTT more than doubles when packets are not paced, hinting at network
+//! congestion."
+
+use crate::checks::ShapeCheck;
+use crate::params::Params;
+use crate::table::{Cell, ResultTable};
+use crate::{run_specs_parallel, Experiment};
+use congestion::master::MasterConfig;
+use congestion::CcKind;
+use cpu_model::CpuConfig;
+use iperf::RunSpec;
+
+/// Configurations in the figure.
+pub const CONFIGS: [CpuConfig; 3] = [CpuConfig::LowEnd, CpuConfig::MidEnd, CpuConfig::Default];
+/// Connections in the figure.
+pub const CONNS: usize = 20;
+
+/// Run the Figure 7 comparison.
+pub fn run(params: &Params) -> Experiment {
+    let mut specs = Vec::new();
+    for config in CONFIGS {
+        specs.push(RunSpec::new(
+            format!("BBR paced, {config}"),
+            params.pixel4(config, CcKind::Bbr, CONNS),
+            params.seeds,
+        ));
+        specs.push(RunSpec::new(
+            format!("BBR unpaced, {config}"),
+            params.pixel4_with(config, CcKind::Bbr, CONNS, MasterConfig::pacing_off()),
+            params.seeds,
+        ));
+    }
+    let reports = run_specs_parallel(specs, params.threads);
+
+    let mut table = ResultTable::new(vec![
+        "Config",
+        "Paced RTT (ms)",
+        "Unpaced RTT (ms)",
+        "Unpaced/Paced",
+        "Paced p95 (ms)",
+        "Unpaced p95 (ms)",
+    ]);
+    let mut checks = Vec::new();
+    for (i, config) in CONFIGS.iter().enumerate() {
+        let paced = &reports[i * 2];
+        let unpaced = &reports[i * 2 + 1];
+        let ratio = unpaced.mean_rtt_ms / paced.mean_rtt_ms;
+        table.push_row(vec![
+            config.to_string().into(),
+            Cell::Prec(paced.mean_rtt_ms, 2),
+            Cell::Prec(unpaced.mean_rtt_ms, 2),
+            Cell::Prec(ratio, 2),
+            Cell::Prec(paced.p95_rtt_ms, 2),
+            Cell::Prec(unpaced.p95_rtt_ms, 2),
+        ]);
+        checks.push(ShapeCheck::ratio_in(
+            format!("{config}: RTT rises sharply without pacing"),
+            "RTT more than doubles when packets are not paced",
+            ratio,
+            1.6,
+            200.0,
+        ));
+    }
+
+    Experiment {
+        id: "FIG7".into(),
+        title: "RTT of BBR with and without pacing (20 conns)".into(),
+        table,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs() {
+        let exp = run(&Params::smoke());
+        assert_eq!(exp.table.rows.len(), CONFIGS.len());
+        assert_eq!(exp.checks.len(), CONFIGS.len());
+    }
+}

@@ -1,0 +1,272 @@
+//! # experiments
+//!
+//! The public face of the *"Are Mobiles Ready for BBR?"* reproduction: one
+//! module per figure/table in the paper's evaluation, each of which builds
+//! the right [`tcp_sim::SimConfig`]s, runs them over seeds, and returns an
+//! [`Experiment`] — a labelled [`table::ResultTable`] plus automatic
+//! [`checks::ShapeCheck`]s that compare the measured *shape* (who wins, by
+//! roughly what factor, where optima fall) against the paper's claims.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — BBR vs Cubic goodput × {Low, Mid, High, Default} × {1,5,10,20} conns, Pixel 4, Ethernet |
+//! | [`fig3`] | Fig. 3 — Pixel 6, Low-End |
+//! | [`bbr2_wifi`] | §4.2 — Cubic vs BBR vs BBR2 on WiFi, Pixel 6 Low-End, 20 conns |
+//! | [`sec51`] | §5.1 — master module: fixed cwnd (model off) + fixed pacing-rate sweep |
+//! | [`fig4`] | Fig. 4 — pacing on/off × config, 20 conns |
+//! | [`fig5`] | Fig. 5 — pacing on/off × connections, Low-End |
+//! | [`fig6`] | Fig. 6 — Cubic pacing off/on/20 Mbps/140 Mbps |
+//! | [`fig7`] | Fig. 7 — RTT with/without pacing |
+//! | [`shallow`] | §5.2.3 — 10-packet shallow buffer retransmissions |
+//! | [`fig8`] | Fig. 8 — goodput vs pacing stride {1,2,5,10,20,50} |
+//! | [`table2`] | Table 2 — per-stride skb length / idle / expected vs actual / RTT |
+//! | [`fig9`] | Fig. 9 / A.1 — LTE: BBR ≈ Cubic |
+//! | [`fairness`] | §7.1.3 — Jain fairness under stride (future-work probe) |
+//!
+//! ```no_run
+//! use experiments::{params::Params, ExperimentId};
+//!
+//! let params = Params::quick();
+//! let exp = ExperimentId::Fig2.run(&params);
+//! println!("{}", exp.render_text());
+//! ```
+
+pub mod autostride;
+pub mod bbr2_wifi;
+pub mod checks;
+pub mod devices;
+pub mod fairness;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fiveg;
+pub mod memory;
+pub mod params;
+pub mod sec51;
+pub mod shallow;
+pub mod summary;
+pub mod table;
+pub mod table2;
+
+use serde::Serialize;
+
+pub use checks::ShapeCheck;
+pub use params::Params;
+pub use summary::Scorecard;
+pub use table::ResultTable;
+
+/// A completed experiment: a table of measurements plus shape checks.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment {
+    /// Which paper artifact this reproduces.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The measurements.
+    pub table: ResultTable,
+    /// Automatic comparisons with the paper's claims.
+    pub checks: Vec<ShapeCheck>,
+}
+
+impl Experiment {
+    /// Render the experiment as display text (table + check list).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n\n", self.id, self.title));
+        out.push_str(&self.table.render_text());
+        out.push('\n');
+        for c in &self.checks {
+            out.push_str(&format!("{}\n", c.render()));
+        }
+        out
+    }
+
+    /// Render as Markdown (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&self.table.render_markdown());
+        out.push('\n');
+        for c in &self.checks {
+            out.push_str(&format!("- {}\n", c.render()));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// True if every shape check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Every experiment in the reproduction, runnable by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ExperimentId {
+    /// Fig. 2 (a–d).
+    Fig2,
+    /// Fig. 3.
+    Fig3,
+    /// §4.2 BBR2 on WiFi.
+    Bbr2Wifi,
+    /// §5.1.1 + §5.1.2.
+    Sec51,
+    /// Fig. 4.
+    Fig4,
+    /// Fig. 5.
+    Fig5,
+    /// Fig. 6.
+    Fig6,
+    /// Fig. 7.
+    Fig7,
+    /// §5.2.3 shallow buffer.
+    Shallow,
+    /// Fig. 8.
+    Fig8,
+    /// Table 2.
+    Table2,
+    /// Fig. 9 (Appendix A.1).
+    Fig9,
+    /// §7.1.3 fairness probe (extension).
+    Fairness,
+    /// Forward-looking 5G prediction (extension of §4/A.1).
+    FiveG,
+    /// §7.1.1 memory-usage probe.
+    Memory,
+    /// §7.1.2 online stride adaptation (future work, implemented).
+    AutoStride,
+    /// §7.2 budget-device survey.
+    Devices,
+}
+
+impl ExperimentId {
+    /// All experiments in paper order (paper artifacts first, then the
+    /// future-work extensions).
+    pub const ALL: [ExperimentId; 17] = [
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Bbr2Wifi,
+        ExperimentId::Sec51,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Shallow,
+        ExperimentId::Fig8,
+        ExperimentId::Table2,
+        ExperimentId::Fig9,
+        ExperimentId::Fairness,
+        ExperimentId::FiveG,
+        ExperimentId::Memory,
+        ExperimentId::AutoStride,
+        ExperimentId::Devices,
+    ];
+
+    /// The CLI name used by the `repro` binary (`--exp <name>`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Fig3 => "fig3",
+            ExperimentId::Bbr2Wifi => "bbr2",
+            ExperimentId::Sec51 => "sec51",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Shallow => "shallow",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Fairness => "fairness",
+            ExperimentId::FiveG => "5g",
+            ExperimentId::Memory => "memory",
+            ExperimentId::AutoStride => "autostride",
+            ExperimentId::Devices => "devices",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|id| id.cli_name() == name)
+    }
+
+    /// Run this experiment.
+    pub fn run(self, params: &Params) -> Experiment {
+        match self {
+            ExperimentId::Fig2 => fig2::run(params),
+            ExperimentId::Fig3 => fig3::run(params),
+            ExperimentId::Bbr2Wifi => bbr2_wifi::run(params),
+            ExperimentId::Sec51 => sec51::run(params),
+            ExperimentId::Fig4 => fig4::run(params),
+            ExperimentId::Fig5 => fig5::run(params),
+            ExperimentId::Fig6 => fig6::run(params),
+            ExperimentId::Fig7 => fig7::run(params),
+            ExperimentId::Shallow => shallow::run(params),
+            ExperimentId::Fig8 => fig8::run(params),
+            ExperimentId::Table2 => table2::run(params),
+            ExperimentId::Fig9 => fig9::run(params),
+            ExperimentId::Fairness => fairness::run(params),
+            ExperimentId::FiveG => fiveg::run(params),
+            ExperimentId::Memory => memory::run(params),
+            ExperimentId::AutoStride => autostride::run(params),
+            ExperimentId::Devices => devices::run(params),
+        }
+    }
+}
+
+/// Run labelled specs in parallel (one thread per spec, bounded by
+/// `params.threads`), preserving input order.
+pub(crate) fn run_specs_parallel(
+    specs: Vec<iperf::RunSpec>,
+    threads: usize,
+) -> Vec<iperf::RunReport> {
+    let threads = threads.max(1);
+    let n = specs.len();
+    let mut out: Vec<Option<iperf::RunReport>> = Vec::new();
+    out.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<iperf::RunReport>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let rep = iperf::run_averaged(&specs[i]);
+                *slots[i].lock().expect("slot poisoned") = Some(rep);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("spec not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_names_round_trip() {
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::from_cli_name(id.cli_name()), Some(id));
+        }
+        assert_eq!(ExperimentId::from_cli_name("nope"), None);
+    }
+
+    #[test]
+    fn all_covers_every_paper_artifact() {
+        // Figures 2–9 and Table 2, plus §4.2, §5.1, §5.2.3, and the four
+        // §7 future-work extensions (fairness, 5G, memory, auto-stride,
+        // devices): 17 experiments.
+        assert_eq!(ExperimentId::ALL.len(), 17);
+    }
+}

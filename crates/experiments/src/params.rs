@@ -1,0 +1,162 @@
+//! Shared experiment parameters and the standard configuration builders.
+
+use congestion::master::MasterConfig;
+use congestion::CcKind;
+use cpu_model::{CpuConfig, DeviceProfile};
+use netsim::media::MediaProfile;
+use serde::Serialize;
+use sim_core::time::SimDuration;
+use tcp_sim::{PacingConfig, SimConfig};
+
+/// The connection counts the paper sweeps.
+pub const CONN_SWEEP: [usize; 4] = [1, 5, 10, 20];
+
+/// The pacing strides the paper sweeps (§6.2).
+pub const STRIDE_SWEEP: [u64; 6] = [1, 2, 5, 10, 20, 50];
+
+/// Global knobs for an experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Params {
+    /// Seeded repetitions per data point ("averaged over at least 10
+    /// experiment runs", §3.2 — scaled down because variance across seeds
+    /// is far lower than across physical WiFi runs).
+    pub seeds: u64,
+    /// Simulated duration per run (the paper's 5 minutes of iPerf3 scaled
+    /// to a steady-state window).
+    pub duration: SimDuration,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// Worker threads for sweep parallelism.
+    pub threads: usize,
+}
+
+impl Params {
+    /// Minimal preset for unit tests (1 seed, ~1 simulated second): checks
+    /// that experiments run end-to-end, not that every shape lands.
+    pub fn smoke() -> Self {
+        Params {
+            seeds: 1,
+            duration: SimDuration::from_millis(1_300),
+            warmup: SimDuration::from_millis(400),
+            threads: available_threads(),
+        }
+    }
+
+    /// Fast preset for tests and Criterion benches.
+    pub fn quick() -> Self {
+        Params {
+            seeds: 2,
+            duration: SimDuration::from_millis(2_500),
+            warmup: SimDuration::from_millis(700),
+            threads: available_threads(),
+        }
+    }
+
+    /// The preset behind EXPERIMENTS.md and the `repro` binary.
+    pub fn full() -> Self {
+        Params {
+            seeds: 5,
+            duration: SimDuration::from_secs(8),
+            warmup: SimDuration::from_secs(1),
+            threads: available_threads(),
+        }
+    }
+
+    /// Build the standard simulation config for a data point.
+    pub fn config(
+        &self,
+        device: DeviceProfile,
+        cpu: CpuConfig,
+        cc: CcKind,
+        conns: usize,
+    ) -> SimConfig {
+        let mut cfg = SimConfig::new(device, cpu, cc, conns);
+        cfg.duration = self.duration;
+        cfg.warmup = self.warmup;
+        cfg
+    }
+
+    /// Standard Pixel 4 / Ethernet config (most of the paper).
+    pub fn pixel4(&self, cpu: CpuConfig, cc: CcKind, conns: usize) -> SimConfig {
+        self.config(DeviceProfile::pixel4(), cpu, cc, conns)
+    }
+
+    /// Pixel 4 with master-module knobs applied.
+    pub fn pixel4_with(
+        &self,
+        cpu: CpuConfig,
+        cc: CcKind,
+        conns: usize,
+        master: MasterConfig,
+    ) -> SimConfig {
+        let mut cfg = self.pixel4(cpu, cc, conns);
+        cfg.master = master;
+        cfg
+    }
+
+    /// Pixel 4 with a pacing stride.
+    pub fn pixel4_stride(
+        &self,
+        cpu: CpuConfig,
+        cc: CcKind,
+        conns: usize,
+        stride: u64,
+    ) -> SimConfig {
+        let mut cfg = self.pixel4(cpu, cc, conns);
+        cfg.pacing = PacingConfig::with_stride(stride);
+        cfg
+    }
+
+    /// Pixel 6 config on a given medium.
+    pub fn pixel6(&self, cpu: CpuConfig, cc: CcKind, conns: usize, media: MediaProfile) -> SimConfig {
+        let mut cfg = self.config(DeviceProfile::pixel6(), cpu, cc, conns);
+        cfg.path = media.path_config();
+        cfg
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let q = Params::quick();
+        let f = Params::full();
+        assert!(q.duration < f.duration);
+        assert!(q.seeds <= f.seeds);
+        assert!(q.warmup < q.duration);
+        assert!(f.warmup < f.duration);
+        assert!(q.threads >= 1);
+    }
+
+    #[test]
+    fn config_builders_apply_knobs() {
+        let p = Params::quick();
+        let cfg = p.pixel4_stride(CpuConfig::LowEnd, CcKind::Bbr, 20, 10);
+        assert_eq!(cfg.pacing.stride, 10);
+        assert_eq!(cfg.connections, 20);
+        assert_eq!(cfg.duration, p.duration);
+
+        let cfg = p.pixel4_with(
+            CpuConfig::LowEnd,
+            CcKind::Bbr,
+            20,
+            MasterConfig::pacing_off(),
+        );
+        assert_eq!(cfg.master, MasterConfig::pacing_off());
+
+        let cfg = p.pixel6(CpuConfig::LowEnd, CcKind::Bbr2, 20, MediaProfile::Wifi);
+        assert!(cfg.path.forward_var.is_some(), "WiFi path applied");
+    }
+
+    #[test]
+    fn sweeps_match_paper() {
+        assert_eq!(CONN_SWEEP, [1, 5, 10, 20]);
+        assert_eq!(STRIDE_SWEEP, [1, 2, 5, 10, 20, 50]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-experiment scorecard assembly: the piece that turns a batch of
+//! [`Experiment`]s into EXPERIMENTS.md content and an overall verdict.
+
+use crate::Experiment;
+use serde::Serialize;
+
+/// Aggregate verdict over a batch of experiments.
+#[derive(Debug, Clone, Serialize)]
+pub struct Scorecard {
+    /// Total shape checks across all experiments.
+    pub total: usize,
+    /// Checks that passed.
+    pub passed: usize,
+    /// `(experiment id, check name)` of every miss.
+    pub misses: Vec<(String, String)>,
+}
+
+impl Scorecard {
+    /// Tally a batch.
+    pub fn tally(experiments: &[Experiment]) -> Self {
+        let mut total = 0;
+        let mut passed = 0;
+        let mut misses = Vec::new();
+        for exp in experiments {
+            for check in &exp.checks {
+                total += 1;
+                if check.pass {
+                    passed += 1;
+                } else {
+                    misses.push((exp.id.clone(), check.name.clone()));
+                }
+            }
+        }
+        Scorecard { total, passed, misses }
+    }
+
+    /// True if every check passed.
+    pub fn all_pass(&self) -> bool {
+        self.passed == self.total
+    }
+
+    /// The one-line banner the `repro` binary prints.
+    pub fn banner(&self) -> String {
+        format!("==== scorecard: {}/{} shape checks pass ====", self.passed, self.total)
+    }
+}
+
+/// Assemble the full Markdown document: a scorecard header followed by
+/// every experiment's table and checks.
+pub fn render_markdown(experiments: &[Experiment]) -> String {
+    let card = Scorecard::tally(experiments);
+    let mut out = String::new();
+    out.push_str("## Reproduction results\n\n");
+    out.push_str(&format!(
+        "**{}/{} shape checks pass** across {} experiments.\n\n",
+        card.passed,
+        card.total,
+        experiments.len()
+    ));
+    if !card.misses.is_empty() {
+        out.push_str("Missing checks:\n\n");
+        for (id, name) in &card.misses {
+            out.push_str(&format!("- {id}: {name}\n"));
+        }
+        out.push('\n');
+    }
+    for exp in experiments {
+        out.push_str(&exp.render_markdown());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::ShapeCheck;
+    use crate::table::ResultTable;
+
+    fn exp(id: &str, passes: &[bool]) -> Experiment {
+        Experiment {
+            id: id.into(),
+            title: format!("{id} title"),
+            table: ResultTable::new(vec!["col"]),
+            checks: passes
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| ShapeCheck::predicate(format!("check {i}"), "e", "o", p))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tally_counts_and_locates_misses() {
+        let batch = vec![exp("A", &[true, true]), exp("B", &[true, false, true])];
+        let card = Scorecard::tally(&batch);
+        assert_eq!(card.total, 5);
+        assert_eq!(card.passed, 4);
+        assert_eq!(card.misses, vec![("B".to_string(), "check 1".to_string())]);
+        assert!(!card.all_pass());
+        assert!(card.banner().contains("4/5"));
+    }
+
+    #[test]
+    fn all_pass_banner() {
+        let batch = vec![exp("A", &[true])];
+        let card = Scorecard::tally(&batch);
+        assert!(card.all_pass());
+        assert_eq!(card.banner(), "==== scorecard: 1/1 shape checks pass ====");
+    }
+
+    #[test]
+    fn markdown_lists_misses_and_sections() {
+        let batch = vec![exp("A", &[true]), exp("B", &[false])];
+        let md = render_markdown(&batch);
+        assert!(md.contains("**1/2 shape checks pass** across 2 experiments."));
+        assert!(md.contains("- B: check 0"));
+        assert!(md.contains("### A — A title"));
+        assert!(md.contains("### B — B title"));
+    }
+}

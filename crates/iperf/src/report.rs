@@ -1,0 +1,238 @@
+//! Aggregated measurement reports.
+
+use serde::Serialize;
+use sim_core::metrics::Summary;
+use tcp_sim::SimResult;
+
+/// One seeded repetition's headline numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeedResult {
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Aggregate goodput, Mbps.
+    pub goodput_mbps: f64,
+    /// Mean TCP RTT, ms.
+    pub mean_rtt_ms: f64,
+    /// 95th-percentile RTT, ms.
+    pub p95_rtt_ms: f64,
+    /// Total retransmitted packets.
+    pub retx: u64,
+    /// Jain fairness across connections.
+    pub fairness: f64,
+    /// Mean socket-buffer (pacing-period) length, bytes.
+    pub mean_skb_bytes: f64,
+    /// Mean pacing idle per period, ms.
+    pub mean_idle_ms: f64,
+    /// Time-average CPU frequency, Hz.
+    pub mean_freq_hz: f64,
+    /// Pacing-timer fires over the run.
+    pub timer_fires: u64,
+}
+
+impl SeedResult {
+    /// Extract the headline numbers from a raw simulation result.
+    pub fn from_sim(seed: u64, res: &SimResult) -> Self {
+        SeedResult {
+            seed,
+            goodput_mbps: res.goodput_mbps(),
+            mean_rtt_ms: res.mean_rtt_ms,
+            p95_rtt_ms: res.p95_rtt_ms,
+            retx: res.total_retx,
+            fairness: res.fairness,
+            mean_skb_bytes: res.mean_skb_bytes,
+            mean_idle_ms: res.mean_idle_ms,
+            mean_freq_hz: res.cpu.mean_freq_hz,
+            timer_fires: res.counters.get("timer_fires"),
+        }
+    }
+}
+
+/// A multi-seed aggregate — the unit every figure's data point is made of.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Human-readable label ("BBR, Low-End, 20 conns").
+    pub label: String,
+    /// Per-seed results.
+    pub seeds: Vec<SeedResult>,
+    /// Mean goodput across seeds, Mbps.
+    pub goodput_mbps: f64,
+    /// Standard deviation of goodput across seeds.
+    pub goodput_std: f64,
+    /// Mean RTT across seeds, ms.
+    pub mean_rtt_ms: f64,
+    /// Mean p95 RTT across seeds, ms.
+    pub p95_rtt_ms: f64,
+    /// Mean retransmissions across seeds.
+    pub mean_retx: f64,
+    /// Mean Jain fairness.
+    pub fairness: f64,
+    /// Mean socket-buffer length, bytes.
+    pub mean_skb_bytes: f64,
+    /// Mean pacing idle, ms.
+    pub mean_idle_ms: f64,
+}
+
+impl RunReport {
+    /// Aggregate seed results under a label.
+    pub fn aggregate(label: impl Into<String>, seeds: Vec<SeedResult>) -> Self {
+        assert!(!seeds.is_empty(), "a report needs at least one run");
+        let mut goodput = Summary::new();
+        let mut rtt = Summary::new();
+        let mut p95 = Summary::new();
+        let mut retx = Summary::new();
+        let mut fair = Summary::new();
+        let mut skb = Summary::new();
+        let mut idle = Summary::new();
+        for s in &seeds {
+            goodput.record(s.goodput_mbps);
+            rtt.record(s.mean_rtt_ms);
+            p95.record(s.p95_rtt_ms);
+            retx.record(s.retx as f64);
+            fair.record(s.fairness);
+            skb.record(s.mean_skb_bytes);
+            idle.record(s.mean_idle_ms);
+        }
+        RunReport {
+            label: label.into(),
+            goodput_mbps: goodput.mean(),
+            goodput_std: goodput.std_dev(),
+            mean_rtt_ms: rtt.mean(),
+            p95_rtt_ms: p95.mean(),
+            mean_retx: retx.mean(),
+            fairness: fair.mean(),
+            mean_skb_bytes: skb.mean(),
+            mean_idle_ms: idle.mean(),
+            seeds,
+        }
+    }
+
+    /// An iPerf3-style one-line summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "[SUM] {:<36} {:>8.1} Mbps (±{:>5.1})  rtt {:>6.2} ms  retx {:>8.0}",
+            self.label, self.goodput_mbps, self.goodput_std, self.mean_rtt_ms, self.mean_retx
+        )
+    }
+
+    /// CSV header matching [`RunReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "label,goodput_mbps,goodput_std,mean_rtt_ms,p95_rtt_ms,mean_retx,fairness,mean_skb_bytes,mean_idle_ms,seeds"
+    }
+
+    /// One CSV row for plotting pipelines.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.3},{:.3},{:.4},{:.4},{:.1},{:.4},{:.1},{:.4},{}",
+            self.label.replace(',', ";"),
+            self.goodput_mbps,
+            self.goodput_std,
+            self.mean_rtt_ms,
+            self.p95_rtt_ms,
+            self.mean_retx,
+            self.fairness,
+            self.mean_skb_bytes,
+            self.mean_idle_ms,
+            self.seeds.len(),
+        )
+    }
+}
+
+/// Render a goodput timeline ([`tcp_sim::SimResult::timeline`]) as
+/// iPerf3-style per-interval lines.
+pub fn render_timeline(timeline: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let mut prev = 0.0;
+    for &(t, mbps) in timeline {
+        let bytes = mbps * 1e6 / 8.0 * (t - prev);
+        out.push_str(&format!(
+            "[SUM] {:>6.2}-{:<6.2} sec  {:>8.2} MBytes  {:>8.1} Mbits/sec
+",
+            prev,
+            t,
+            bytes / 1e6,
+            mbps
+        ));
+        prev = t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed_result(seed: u64, goodput: f64, rtt: f64, retx: u64) -> SeedResult {
+        SeedResult {
+            seed,
+            goodput_mbps: goodput,
+            mean_rtt_ms: rtt,
+            p95_rtt_ms: rtt * 1.5,
+            retx,
+            fairness: 0.9,
+            mean_skb_bytes: 4000.0,
+            mean_idle_ms: 0.9,
+            mean_freq_hz: 576e6,
+            timer_fires: 1000,
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_std() {
+        let r = RunReport::aggregate(
+            "test",
+            vec![
+                seed_result(1, 300.0, 2.0, 10),
+                seed_result(2, 320.0, 3.0, 20),
+                seed_result(3, 340.0, 4.0, 30),
+            ],
+        );
+        assert!((r.goodput_mbps - 320.0).abs() < 1e-9);
+        assert!((r.mean_rtt_ms - 3.0).abs() < 1e-9);
+        assert!((r.mean_retx - 20.0).abs() < 1e-9);
+        assert!(r.goodput_std > 0.0);
+        assert_eq!(r.seeds.len(), 3);
+    }
+
+    #[test]
+    fn single_seed_has_zero_std() {
+        let r = RunReport::aggregate("one", vec![seed_result(1, 100.0, 1.0, 0)]);
+        assert_eq!(r.goodput_std, 0.0);
+        assert_eq!(r.goodput_mbps, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_report_rejected() {
+        RunReport::aggregate("none", vec![]);
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let r = RunReport::aggregate("a,b", vec![seed_result(1, 100.0, 1.0, 0)]);
+        let header_cols = RunReport::csv_header().split(',').count();
+        let row = r.csv_row();
+        assert_eq!(row.split(',').count(), header_cols, "row width matches header");
+        assert!(row.starts_with("a;b,"), "embedded commas escaped");
+        assert!(row.ends_with(",1"), "seed count last");
+    }
+
+    #[test]
+    fn timeline_renders_iperf_style() {
+        let lines = render_timeline(&[(1.0, 100.0), (2.0, 200.0)]);
+        let rows: Vec<&str> = lines.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("0.00-1.00"));
+        assert!(rows[0].contains("100.0 Mbits/sec"));
+        assert!(rows[1].contains("1.00-2.00"));
+        // 200 Mbps over 1 s = 25 MBytes.
+        assert!(rows[1].contains("25.00 MBytes"), "{}", rows[1]);
+    }
+
+    #[test]
+    fn summary_line_contains_label_and_rate() {
+        let r = RunReport::aggregate("BBR Low-End 20c", vec![seed_result(1, 138.0, 3.7, 42)]);
+        let line = r.summary_line();
+        assert!(line.contains("BBR Low-End 20c"));
+        assert!(line.contains("138.0"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded repetition runner.
+
+use crate::report::{RunReport, SeedResult};
+use tcp_sim::{SimConfig, StackSim};
+
+/// A labelled experiment: one simulation configuration repeated over seeds.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// Display label (appears in reports and tables).
+    pub label: String,
+    /// Base simulation configuration; the seed field is overridden per run.
+    pub config: SimConfig,
+    /// Seeds to repeat over (paper: "averaged over at least 10 runs").
+    pub seeds: Vec<u64>,
+}
+
+impl RunSpec {
+    /// A spec over seeds `1..=n`.
+    pub fn new(label: impl Into<String>, config: SimConfig, n_seeds: u64) -> Self {
+        assert!(n_seeds >= 1, "need at least one seed");
+        RunSpec { label: label.into(), config, seeds: (1..=n_seeds).collect() }
+    }
+
+    fn run_seed(&self, seed: u64) -> SeedResult {
+        let mut cfg = self.config.clone();
+        cfg.seed = seed;
+        let res = StackSim::new(cfg).run();
+        SeedResult::from_sim(seed, &res)
+    }
+}
+
+/// Run a spec sequentially and aggregate.
+pub fn run_averaged(spec: &RunSpec) -> RunReport {
+    let seeds = spec.seeds.iter().map(|&s| spec.run_seed(s)).collect();
+    RunReport::aggregate(spec.label.clone(), seeds)
+}
+
+/// Run a spec with one OS thread per seed (simulations are independent and
+/// CPU-bound; the experiment sweeps in the bench harness lean on this).
+pub fn run_averaged_parallel(spec: &RunSpec) -> RunReport {
+    let results: Vec<SeedResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spec
+            .seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || spec.run_seed(seed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
+    });
+    RunReport::aggregate(spec.label.clone(), results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congestion::CcKind;
+    use cpu_model::{CpuConfig, DeviceProfile};
+    use sim_core::time::SimDuration;
+
+    fn tiny_config() -> SimConfig {
+        let mut cfg =
+            SimConfig::new(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Cubic, 2);
+        cfg.duration = SimDuration::from_millis(800);
+        cfg.warmup = SimDuration::from_millis(300);
+        cfg
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let spec = RunSpec::new("agree", tiny_config(), 3);
+        let seq = run_averaged(&spec);
+        let par = run_averaged_parallel(&spec);
+        assert_eq!(seq.goodput_mbps, par.goodput_mbps, "determinism across threading");
+        assert_eq!(seq.mean_retx, par.mean_retx);
+    }
+
+    #[test]
+    fn seeds_are_reflected_in_results() {
+        let spec = RunSpec::new("seeds", tiny_config(), 3);
+        let rep = run_averaged(&spec);
+        let seeds: Vec<u64> = rep.seeds.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repeated_runs_are_reproducible() {
+        let spec = RunSpec::new("repro", tiny_config(), 2);
+        let a = run_averaged(&spec);
+        let b = run_averaged(&spec);
+        assert_eq!(a.goodput_mbps, b.goodput_mbps);
+        assert_eq!(a.mean_rtt_ms, b.mean_rtt_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        RunSpec::new("none", tiny_config(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The discrete-event queue.
+//!
+//! [`EventQueue<E>`] is a priority queue of `(SimTime, E)` pairs with three
+//! properties the reproduction depends on:
+//!
+//! 1. **Determinism.** Events at equal timestamps pop in the order they were
+//!    scheduled (FIFO tie-break via a monotonically increasing sequence
+//!    number). `BinaryHeap` alone does not guarantee this.
+//! 2. **Cancellation.** TCP re-arms its RTO on every ACK and its pacing timer
+//!    on every send; both need `O(log n)` lazy cancellation. Scheduling
+//!    returns a [`TimerToken`]; cancelled tokens are skipped at pop time.
+//! 3. **Monotonic clock.** The queue tracks `now` and rejects scheduling in
+//!    the past, which turns subtle causality bugs into loud panics.
+//!
+//! The event payload `E` is chosen by the layer that owns the simulation
+//! (the TCP stack simulator defines an event enum covering timer fires,
+//! packet arrivals, and CPU completions).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, used for cancellation.
+///
+/// Tokens are unique per queue for the lifetime of the queue (a `u64`
+/// sequence number: schedule one event per nanosecond and it still takes
+/// ~584 years of wall time to wrap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerToken(u64);
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The instant the event fires; the queue's clock has advanced to this.
+    pub at: SimTime,
+    /// Token under which the event was scheduled.
+    pub token: TimerToken,
+    /// Caller-defined payload.
+    pub event: E,
+}
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest time first; FIFO within a timestamp.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event priority queue.
+///
+/// ```
+/// use sim_core::event::EventQueue;
+/// use sim_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_millis(2), "later");
+/// let tok = q.schedule_at(SimTime::from_millis(1), "sooner");
+/// q.cancel(tok);
+/// let ev = q.pop().unwrap();
+/// assert_eq!(ev.event, "later");
+/// assert_eq!(q.now(), SimTime::from_millis(2));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    now: SimTime,
+    next_seq: u64,
+    /// Lazily cancelled sequence numbers: entries stay in the heap and are
+    /// skipped at pop time, keeping cancellation O(1).
+    cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers currently in the heap and not cancelled. Gives
+    /// precise "was this token still pending?" answers for `cancel`.
+    live: std::collections::HashSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: std::collections::HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (t = 0 before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever popped (for engine statistics).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock: an event scheduled in the
+    /// past is a causality bug in the caller, never a recoverable condition.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> TimerToken {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: at={at:?} < now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, event }));
+        self.live.insert(seq);
+        TimerToken(seq)
+    }
+
+    /// Schedule `event` to fire `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> TimerToken {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. this call actually cancelled something).
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped when
+    /// it reaches the top.
+    pub fn cancel(&mut self, token: TimerToken) -> bool {
+        if self.live.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // Lazily discard cancelled events.
+            }
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some(ScheduledEvent {
+                at: entry.at,
+                token: TimerToken(entry.seq),
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// Peek at the firing time of the next pending event without popping.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so the peeked time is live.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(3), "c");
+        q.schedule_at(SimTime::from_millis(1), "a");
+        q.schedule_at(SimTime::from_millis(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_popped_event() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), "a");
+        q.schedule_at(SimTime::from_millis(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_reports_liveness() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel must report already-cancelled");
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(a), "cancel after pop must report not-pending");
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        assert_eq!(q.pop().unwrap().token, a);
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_millis(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_millis(9), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), "first");
+        q.pop();
+        q.schedule_after(SimDuration::from_millis(5), "second");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn popped_counter_counts_only_delivered() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_millis(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 1);
+    }
+
+    proptest! {
+        /// Popping any schedule yields a non-decreasing time sequence.
+        #[test]
+        fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule_at(SimTime::from_nanos(t), t);
+            }
+            let mut last = 0u64;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.at.as_nanos() >= last);
+                last = e.at.as_nanos();
+            }
+        }
+
+        /// Cancelling a random subset delivers exactly the complement.
+        #[test]
+        fn prop_cancellation_delivers_complement(
+            times in proptest::collection::vec(0u64..1_000_000, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+        ) {
+            let mut q = EventQueue::new();
+            let tokens: Vec<_> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (i, q.schedule_at(SimTime::from_nanos(t), i)))
+                .collect();
+            let mut expected: Vec<usize> = Vec::new();
+            for (i, tok) in &tokens {
+                if cancel_mask[*i % cancel_mask.len()] {
+                    q.cancel(*tok);
+                } else {
+                    expected.push(*i);
+                }
+            }
+            let mut got: Vec<usize> = Vec::new();
+            while let Some(e) = q.pop() {
+                got.push(e.event);
+            }
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

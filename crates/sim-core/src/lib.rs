@@ -1,0 +1,33 @@
+//! # sim-core
+//!
+//! The deterministic discrete-event simulation (DES) engine underneath the
+//! `mobile-bbr` reproduction of *"Are Mobiles Ready for BBR?"* (IMC 2022).
+//!
+//! Everything in the reproduction — the mobile CPU model, the network links,
+//! the TCP stack, the pacing timers — advances on a single logical clock
+//! ([`SimTime`], nanosecond resolution) driven by an [`event::EventQueue`].
+//! Determinism is a hard requirement: the paper's findings are statements
+//! about *relative* performance across configurations, so every experiment
+//! must be exactly reproducible from its seed. To that end:
+//!
+//! * time is integer nanoseconds (no floating-point clock drift);
+//! * the event queue breaks ties by insertion sequence number, so two events
+//!   scheduled for the same instant always pop in schedule order;
+//! * randomness comes from [`rng::SimRng`], a splittable xoshiro256** PRNG
+//!   with a documented, platform-independent bit stream.
+//!
+//! The companion modules provide the shared vocabulary of the workspace:
+//! [`units`] (bandwidth, byte counts, and the byte↔time conversions every
+//! pacing computation needs) and [`metrics`] (counters, time series, and
+//! streaming summary statistics used by the iperf-style reports).
+
+pub mod event;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use event::{EventQueue, ScheduledEvent, TimerToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use units::{Bandwidth, ByteCount, ByteSize};

@@ -1,0 +1,473 @@
+//! Measurement plumbing: counters, streaming summaries, time series, and
+//! utilization windows.
+//!
+//! Every number the paper reports is a statistic over a run — average
+//! goodput, mean RTT, retransmission counts, p95s over repeats — so the
+//! simulator records into these structures rather than ad-hoc fields.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary statistics (Welford's algorithm for mean/variance plus
+/// exact min/max). Holds no samples, so it is safe for per-packet series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population standard deviation (0 if fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 { 0.0 } else { (self.m2 / self.count as f64).sqrt() }
+    }
+
+    /// Minimum (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another summary into this one (parallel Welford combine).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A reservoir of samples for percentile queries. Keeps all samples up to a
+/// cap, then switches to uniform reservoir sampling (Vitter's algorithm R)
+/// so long runs stay bounded in memory. RTT percentiles (Fig. 7) use this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    /// xorshift state for reservoir replacement decisions; kept private to
+    /// the reservoir so sampling does not perturb experiment RNG streams.
+    rng_state: u64,
+}
+
+impl Reservoir {
+    /// A reservoir keeping at most `cap` samples.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        Reservoir { cap, seen: 0, samples: Vec::new(), rng_state: 0x243F_6A88_85A3_08D3 }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            let j = self.next_rand() % self.seen;
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Total samples ever offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on retained samples.
+    /// Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in reservoir"));
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Median convenience.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean of retained samples (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+/// A `(time, value)` series with bounded resolution: samples closer together
+/// than `min_gap` are coalesced (last-writer-wins) to bound memory on long
+/// runs. Used for goodput-over-time and cwnd traces in examples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    min_gap: SimDuration,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// A series that keeps at most one point per `min_gap`.
+    pub fn new(min_gap: SimDuration) -> Self {
+        TimeSeries { min_gap, points: Vec::new() }
+    }
+
+    /// Record a point.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&mut (last_t, ref mut last_v)) = self.points.last_mut() {
+            if at.saturating_since(last_t) < self.min_gap {
+                *last_v = value;
+                return;
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// Sliding-window utilization tracker: how busy was a resource over the
+/// trailing window? The dynamic CPU governor consumes this.
+#[derive(Debug, Clone)]
+pub struct UtilWindow {
+    window: SimDuration,
+    /// Busy intervals (start, end), pruned as they age out.
+    intervals: std::collections::VecDeque<(SimTime, SimTime)>,
+}
+
+impl UtilWindow {
+    /// A tracker over a trailing `window`.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "utilization window must be non-zero");
+        UtilWindow { window, intervals: std::collections::VecDeque::new() }
+    }
+
+    /// Record that the resource was busy on `[start, end)`.
+    pub fn record_busy(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        // Merge with the previous interval if contiguous (common case:
+        // back-to-back CPU operations).
+        if let Some(&mut (_, ref mut last_end)) = self.intervals.back_mut() {
+            if start <= *last_end {
+                if end > *last_end {
+                    *last_end = end;
+                }
+                return;
+            }
+        }
+        self.intervals.push_back((start, end));
+    }
+
+    /// Fraction of the trailing window that was busy, evaluated at `now`.
+    pub fn utilization(&mut self, now: SimTime) -> f64 {
+        let window_start = now - self.window;
+        while let Some(&(_, end)) = self.intervals.front() {
+            if end <= window_start {
+                self.intervals.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut busy = SimDuration::ZERO;
+        for &(start, end) in &self.intervals {
+            let s = start.max(window_start);
+            let e = end.min(now);
+            if e > s {
+                busy += e - s;
+            }
+        }
+        let span = now.saturating_since(window_start);
+        if span.is_zero() { 0.0 } else { (busy / span).min(1.0) }
+    }
+}
+
+/// A labelled monotonic counter set, used for per-run event tallies
+/// (retransmissions, timer fires, skbs sent, …).
+///
+/// Keys are `&'static str` (counter names are compile-time constants), which
+/// keeps the hot-path `inc` allocation-free; serialization emits owned keys.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Counters {
+    map: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over all counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for &x in &xs[..37] {
+            left.record(x);
+        }
+        for &x in &xs[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty_is_identity() {
+        let mut s = Summary::new();
+        s.record(3.0);
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), before.count());
+        assert_eq!(s.mean(), before.mean());
+    }
+
+    #[test]
+    fn reservoir_small_stream_keeps_everything() {
+        let mut r = Reservoir::new(100);
+        for i in 0..50 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.seen(), 50);
+        assert_eq!(r.quantile(0.0), Some(0.0));
+        assert_eq!(r.quantile(1.0), Some(49.0));
+        assert_eq!(r.median(), Some(25.0));
+    }
+
+    #[test]
+    fn reservoir_long_stream_stays_bounded_and_representative() {
+        let mut r = Reservoir::new(512);
+        for i in 0..100_000 {
+            r.record(i as f64);
+        }
+        assert_eq!(r.seen(), 100_000);
+        let med = r.median().unwrap();
+        // Median of 0..100k should be near 50k even after subsampling.
+        assert!((med - 50_000.0).abs() < 10_000.0, "median {med}");
+    }
+
+    #[test]
+    fn reservoir_empty_quantile_is_none() {
+        let r = Reservoir::new(8);
+        assert_eq!(r.quantile(0.5), None);
+        assert_eq!(r.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_zero_cap_panics() {
+        Reservoir::new(0);
+    }
+
+    #[test]
+    fn timeseries_coalesces_close_points() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10));
+        ts.record(SimTime::from_millis(0), 1.0);
+        ts.record(SimTime::from_millis(5), 2.0); // coalesced into previous
+        ts.record(SimTime::from_millis(12), 3.0);
+        assert_eq!(ts.points().len(), 2);
+        assert_eq!(ts.points()[0].1, 2.0);
+        assert_eq!(ts.last(), Some(3.0));
+    }
+
+    #[test]
+    fn utilwindow_full_busy_is_one() {
+        let mut u = UtilWindow::new(SimDuration::from_millis(100));
+        u.record_busy(SimTime::from_millis(0), SimTime::from_millis(200));
+        let util = u.utilization(SimTime::from_millis(200));
+        assert!((util - 1.0).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn utilwindow_half_busy_is_half() {
+        let mut u = UtilWindow::new(SimDuration::from_millis(100));
+        // Busy 150..200 within window 100..200.
+        u.record_busy(SimTime::from_millis(150), SimTime::from_millis(200));
+        let util = u.utilization(SimTime::from_millis(200));
+        assert!((util - 0.5).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn utilwindow_prunes_old_intervals() {
+        let mut u = UtilWindow::new(SimDuration::from_millis(10));
+        u.record_busy(SimTime::from_millis(0), SimTime::from_millis(5));
+        let util = u.utilization(SimTime::from_millis(100));
+        assert_eq!(util, 0.0);
+    }
+
+    #[test]
+    fn utilwindow_merges_contiguous_busy() {
+        let mut u = UtilWindow::new(SimDuration::from_millis(100));
+        u.record_busy(SimTime::from_millis(10), SimTime::from_millis(20));
+        u.record_busy(SimTime::from_millis(20), SimTime::from_millis(30));
+        let util = u.utilization(SimTime::from_millis(100));
+        assert!((util - 0.2).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.inc("retx");
+        c.add("retx", 4);
+        c.inc("timer_fires");
+        assert_eq!(c.get("retx"), 5);
+        assert_eq!(c.get("timer_fires"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![("retx", 5), ("timer_fires", 1)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_summary_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = Summary::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+            prop_assert_eq!(s.min().unwrap(), lo);
+            prop_assert_eq!(s.max().unwrap(), hi);
+        }
+
+        #[test]
+        fn prop_utilization_in_unit_interval(
+            intervals in proptest::collection::vec((0u64..1000, 0u64..100), 0..50),
+        ) {
+            let mut u = UtilWindow::new(SimDuration::from_millis(500));
+            let mut cursor = 0u64;
+            for (gap, len) in intervals {
+                let start = cursor + gap;
+                let end = start + len;
+                u.record_busy(SimTime::from_millis(start), SimTime::from_millis(end));
+                cursor = end;
+            }
+            let util = u.utilization(SimTime::from_millis(cursor + 1));
+            prop_assert!((0.0..=1.0).contains(&util));
+        }
+    }
+}

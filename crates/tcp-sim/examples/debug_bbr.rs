@@ -1,0 +1,48 @@
+//! Throwaway diagnostic: print BBR's trajectory for a chosen scenario.
+use congestion::CcKind;
+use cpu_model::{CpuConfig, DeviceProfile};
+use sim_core::time::SimDuration;
+use tcp_sim::pacing::PacingConfig;
+use tcp_sim::sim::{SimConfig, StackSim};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let stride: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let conns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let cpu = match args.get(3).map(|s| s.as_str()) {
+        Some("high") => CpuConfig::HighEnd,
+        Some("mid") => CpuConfig::MidEnd,
+        Some("default") => CpuConfig::Default,
+        _ => CpuConfig::LowEnd,
+    };
+    let cc = match args.get(4).map(|s| s.as_str()) {
+        Some("cubic") => CcKind::Cubic,
+        _ => CcKind::Bbr,
+    };
+    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
+    if let Some(media) = args.get(5) {
+        cfg.path = match media.as_str() {
+            "lte" => netsim::media::MediaProfile::Lte.path_config(),
+            "wifi" => netsim::media::MediaProfile::Wifi.path_config(),
+            _ => cfg.path,
+        };
+    }
+    cfg.duration = SimDuration::from_millis(12000);
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg.pacing = if stride == 0 { PacingConfig::auto() } else { PacingConfig::with_stride(stride) };
+    let res = StackSim::new(cfg).run();
+    println!("goodput = {:.1} Mbps  (fairness {:.3})", res.goodput_mbps(), res.fairness);
+    println!("mean_rtt = {:.3} ms, p95 = {:.3}", res.mean_rtt_ms, res.p95_rtt_ms);
+    println!("retx = {}", res.total_retx);
+    println!("mean skb = {:.0} B, mean idle = {:.3} ms", res.mean_skb_bytes, res.mean_idle_ms);
+    for (k, v) in res.counters.iter() {
+        println!("  {k} = {v}");
+    }
+    let mut per: Vec<f64> = res.per_conn.iter().map(|c| c.goodput.as_mbps_f64()).collect();
+    per.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("per-conn goodput: {:?}", per.iter().map(|x| *x as u64).collect::<Vec<_>>());
+    println!("cpu: cycles={} busy={:?} mean_freq={:.0}MHz", res.cpu.total_cycles, res.cpu.busy_time, res.cpu.mean_freq_hz / 1e6);
+    for (cat, cycles) in &res.cpu.cycles_by_category {
+        println!("  cycles[{cat}] = {cycles} ({:.1}%)", *cycles as f64 * 100.0 / res.cpu.total_cycles.max(1) as f64);
+    }
+}

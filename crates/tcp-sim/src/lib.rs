@@ -1,0 +1,40 @@
+//! # tcp-sim
+//!
+//! A userspace, segment-granularity TCP stack plus the discrete-event
+//! simulation that runs it on a modelled mobile phone — the core substrate
+//! of the *"Are Mobiles Ready for BBR?"* (IMC 2022) reproduction.
+//!
+//! The stack mirrors the structure of the Linux sender the paper measures:
+//!
+//! * [`seq`] — sequence-number types (monotonic bookkeeping + 32-bit wire
+//!   arithmetic);
+//! * [`rtt`] — RFC 6298 SRTT/RTO estimation with Linux clamps;
+//! * [`rate`] — delivery-rate sampling after `tcp_rate.c` (BBR's input);
+//! * [`pacing`] — TCP-internal pacing: Eq. (1) `idle = len/rate`, the
+//!   paper's Eq. (2) stride, and `tcp_tso_autosize` buffer sizing;
+//! * [`sender`] — the scoreboard: SACK processing, RACK + dup-threshold
+//!   loss detection, retransmission planning, Karn-compliant RTT samples;
+//! * [`receiver`] — the server side: reorder tracking, cumulative + SACK
+//!   acknowledgement generation, GRO-style coalescing urgency;
+//! * [`wire`] — Ethernet/IPv4/TCP wire codecs (checksums, SACK options)
+//!   backing the pcap export;
+//! * [`sim`] — the event loop that binds the stack to the
+//!   [`cpu_model::Cpu`] (every operation costs cycles and serialises) and
+//!   to [`netsim`]'s bottleneck path, and reports goodput/RTT/retransmit
+//!   statistics per run.
+//!
+//! Granularity: one simulated packet = one MSS (1448 bytes of payload).
+//! Socket buffers (skbs) are runs of whole packets, so Table 2's buffer
+//! lengths are quantised to MSS multiples — documented in DESIGN.md.
+
+pub mod pacing;
+pub mod rate;
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+pub mod seq;
+pub mod sim;
+pub mod wire;
+
+pub use pacing::{Pacer, PacingConfig};
+pub use sim::{ConnStats, SimConfig, SimResult, StackSim};

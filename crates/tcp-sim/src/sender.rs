@@ -1,0 +1,725 @@
+//! The sender-side scoreboard: outstanding segments, SACK processing,
+//! RACK/dup-threshold loss detection, retransmission queueing, and the
+//! per-ACK bookkeeping that feeds the congestion controller.
+//!
+//! Structure follows the Linux retransmission machinery at packet
+//! granularity: a segment is *outstanding* from first transmission until
+//! cumulatively or selectively acknowledged; it may additionally be marked
+//! `lost` (scheduling a retransmission) and `retransmitted`. The standard
+//! accounting identity
+//!
+//! ```text
+//! inflight = packets_out − sacked_out − lost_out + retrans_out
+//! ```
+//!
+//! is maintained as an invariant and checked by property tests.
+//!
+//! Loss detection combines the classic dup-SACK threshold (3 packets SACKed
+//! above a hole) with a RACK-style time threshold (a hole is lost if a
+//! packet sent `reo_wnd` later has already been delivered).
+
+use crate::rate::{RateSampler, TxStamp};
+use crate::receiver::AckInfo;
+use crate::rtt::RttEstimator;
+use crate::seq::PktSeq;
+use sim_core::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Classic fast-retransmit duplicate threshold.
+pub const DUP_THRESH: u64 = 3;
+
+/// One outstanding segment.
+#[derive(Debug, Clone)]
+struct SegState {
+    seq: PktSeq,
+    sent_at: SimTime,
+    stamp: TxStamp,
+    sacked: bool,
+    lost: bool,
+    retx_count: u32,
+    /// Time of the most recent (re)transmission.
+    last_tx: SimTime,
+}
+
+/// What one ACK did to the connection — the input for the CC callbacks.
+#[derive(Debug, Clone, Default)]
+pub struct AckOutcome {
+    /// Newly delivered packets (cumulative + newly SACKed).
+    pub newly_delivered: u64,
+    /// Packets newly marked lost during this ACK's processing.
+    pub newly_lost: u64,
+    /// RTT sample from the newest never-retransmitted delivered segment.
+    pub rtt_sample: Option<SimDuration>,
+    /// Delivery-rate sample.
+    pub rate_sample: Option<crate::rate::RateSample>,
+    /// The connection's `delivered` count when the newest acked segment was
+    /// sent (BBR's round-trip accounting input).
+    pub prior_delivered: u64,
+    /// Whether the newest acked segment was sent while app-limited.
+    pub app_limited: bool,
+    /// Whether the newest acked segment was sent right after a
+    /// pacer-created idle (strided pacing) — treated like app-limited by
+    /// the bandwidth model.
+    pub pacing_limited: bool,
+    /// This ACK caused entry into fast recovery.
+    pub recovery_entered: bool,
+    /// This ACK completed fast recovery.
+    pub recovery_exited: bool,
+    /// Duplicate ACK (no forward progress at all).
+    pub is_duplicate: bool,
+}
+
+/// A transmission plan: which packets to put in the next socket buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendPlan {
+    /// Packet runs `[lo, hi)` to transmit (retransmissions may be
+    /// discontiguous; new data is one run).
+    pub runs: Vec<(PktSeq, PktSeq)>,
+    /// True if this plan retransmits previously lost data.
+    pub is_retx: bool,
+}
+
+impl SendPlan {
+    /// Total packets in the plan.
+    pub fn packets(&self) -> u64 {
+        self.runs.iter().map(|(lo, hi)| hi.since(*lo)).sum()
+    }
+}
+
+/// The sender scoreboard.
+pub struct Sender {
+    mss: u64,
+    snd_una: PktSeq,
+    snd_nxt: PktSeq,
+    segs: VecDeque<SegState>,
+    sacked_out: u64,
+    lost_out: u64,
+    retrans_out: u64,
+    /// Fast-recovery high-water mark: recovery ends when snd_una passes it.
+    recovery_point: Option<PktSeq>,
+    /// RTT estimator (Karn-compliant: only clean segments sampled).
+    pub rtt: RttEstimator,
+    /// Delivery-rate sampler.
+    pub rate: RateSampler,
+    /// Total retransmitted packets over the connection (paper's §5.2.3
+    /// shallow-buffer metric).
+    total_retx: u64,
+    /// Highest delivered (acked/sacked) send time, for RACK.
+    rack_delivered_tx: SimTime,
+}
+
+impl Sender {
+    /// A fresh sender for `mss`-byte packets.
+    pub fn new(mss: u64) -> Self {
+        Sender {
+            mss,
+            snd_una: PktSeq::ZERO,
+            snd_nxt: PktSeq::ZERO,
+            segs: VecDeque::new(),
+            sacked_out: 0,
+            lost_out: 0,
+            retrans_out: 0,
+            recovery_point: None,
+            rtt: RttEstimator::new(),
+            rate: RateSampler::new(mss),
+            total_retx: 0,
+            rack_delivered_tx: SimTime::ZERO,
+        }
+    }
+
+    /// Segment size in bytes.
+    pub fn mss(&self) -> u64 {
+        self.mss
+    }
+
+    /// Oldest unacknowledged sequence.
+    pub fn snd_una(&self) -> PktSeq {
+        self.snd_una
+    }
+
+    /// Next fresh sequence.
+    pub fn snd_nxt(&self) -> PktSeq {
+        self.snd_nxt
+    }
+
+    /// Packets currently outstanding (sent, not cumulatively acked).
+    pub fn packets_out(&self) -> u64 {
+        self.snd_nxt.since(self.snd_una)
+    }
+
+    /// The standard inflight estimate.
+    pub fn packets_in_flight(&self) -> u64 {
+        (self.packets_out() + self.retrans_out)
+            .saturating_sub(self.sacked_out + self.lost_out)
+    }
+
+    /// Whether any data is outstanding (drives the RTO timer).
+    pub fn has_outstanding(&self) -> bool {
+        !self.segs.is_empty()
+    }
+
+    /// Whether fast recovery is in progress.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_point.is_some()
+    }
+
+    /// Lifetime retransmission count.
+    pub fn total_retx(&self) -> u64 {
+        self.total_retx
+    }
+
+    /// Cumulative delivered packets (goodput numerator).
+    pub fn delivered_pkts(&self) -> u64 {
+        self.rate.delivered()
+    }
+
+    /// Plan the next transmission: retransmissions first, then new data,
+    /// respecting `cwnd` and at most `max_pkts` in this buffer.
+    /// Returns `None` if nothing can be sent.
+    pub fn plan_send(&self, cwnd: u64, max_pkts: u64) -> Option<SendPlan> {
+        if max_pkts == 0 {
+            return None;
+        }
+        let inflight = self.packets_in_flight();
+        if inflight >= cwnd {
+            return None;
+        }
+        let budget = (cwnd - inflight).min(max_pkts);
+
+        // Retransmissions: lost segments not yet retransmitted, in order.
+        let mut runs: Vec<(PktSeq, PktSeq)> = Vec::new();
+        let mut count = 0u64;
+        for seg in &self.segs {
+            if count == budget {
+                break;
+            }
+            if seg.lost && seg.last_tx == seg.sent_at {
+                // Lost and never retransmitted since being marked.
+                match runs.last_mut() {
+                    Some((_, hi)) if *hi == seg.seq => *hi = seg.seq.next(),
+                    _ => runs.push((seg.seq, seg.seq.next())),
+                }
+                count += 1;
+            }
+        }
+        if count > 0 {
+            return Some(SendPlan { runs, is_retx: true });
+        }
+
+        // New data: a contiguous run from snd_nxt (infinite bulk source).
+        Some(SendPlan {
+            runs: vec![(self.snd_nxt, self.snd_nxt.advance(budget))],
+            is_retx: false,
+        })
+    }
+
+    /// Record that a plan was transmitted at `now`. `pacing_limited` marks
+    /// sends released after a pacer-created idle drained the flight.
+    pub fn on_sent(&mut self, plan: &SendPlan, now: SimTime, pacing_limited: bool) {
+        if plan.is_retx {
+            for &(lo, hi) in &plan.runs {
+                for seq in lo.0..hi.0 {
+                    // Re-stamp, as the kernel does on retransmission: a rate
+                    // sample taken against the original stamp would span the
+                    // whole loss episode and poison the bandwidth filter.
+                    let stamp = self.rate.on_send(now, false, pacing_limited);
+                    let idx = self.index_of(PktSeq(seq)).expect("retransmitting unknown segment");
+                    let seg = &mut self.segs[idx];
+                    assert!(seg.lost, "retransmitting a segment not marked lost");
+                    seg.last_tx = now;
+                    seg.stamp = stamp;
+                    seg.retx_count += 1;
+                    self.retrans_out += 1;
+                    self.total_retx += 1;
+                }
+            }
+            return;
+        }
+        let flight_start = self.segs.is_empty();
+        for &(lo, hi) in &plan.runs {
+            assert_eq!(lo, self.snd_nxt, "new data must start at snd_nxt");
+            for seq in lo.0..hi.0 {
+                let stamp =
+                    self.rate.on_send(now, flight_start && seq == lo.0, pacing_limited);
+                self.segs.push_back(SegState {
+                    seq: PktSeq(seq),
+                    sent_at: now,
+                    stamp,
+                    sacked: false,
+                    lost: false,
+                    retx_count: 0,
+                    last_tx: now,
+                });
+            }
+            self.snd_nxt = hi;
+        }
+    }
+
+    fn index_of(&self, seq: PktSeq) -> Option<usize> {
+        // Segments are ordered by seq: index = seq - snd_una when present.
+        let offset = seq.0.checked_sub(self.snd_una.0)?;
+        let idx = offset as usize;
+        (idx < self.segs.len()).then_some(idx)
+    }
+
+    /// RACK reorder window: a quarter of the smoothed RTT (floor 1 ms).
+    fn reo_wnd(&self) -> SimDuration {
+        self.rtt
+            .srtt()
+            .map(|s| s / 4)
+            .unwrap_or(SimDuration::from_millis(1))
+            .max(SimDuration::from_millis(1))
+    }
+
+    /// Process an acknowledgement at `now`.
+    pub fn on_ack(&mut self, ack: &AckInfo, now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        let mut newest_delivered: Option<(SimTime, TxStamp, u32)> = None;
+
+        // --- Cumulative part: drop segments below ack.cum. ---
+        let cum = ack.cum.min(self.snd_nxt); // ignore acks beyond sent data
+        while self.snd_una < cum {
+            let seg = self.segs.pop_front().expect("scoreboard shorter than window");
+            debug_assert_eq!(seg.seq, self.snd_una);
+            if seg.sacked {
+                self.sacked_out -= 1;
+            } else {
+                out.newly_delivered += 1;
+            }
+            if seg.lost {
+                self.lost_out -= 1;
+            }
+            if seg.retx_count > 0 && seg.lost {
+                self.retrans_out = self.retrans_out.saturating_sub(1);
+            }
+            Self::track_newest(&mut newest_delivered, &seg, !seg.sacked);
+            self.snd_una = self.snd_una.next();
+        }
+
+        // --- Selective part. ---
+        for &(lo, hi) in &ack.sacks {
+            let lo = lo.max(self.snd_una);
+            for seq in lo.0..hi.0.min(self.snd_nxt.0) {
+                if let Some(idx) = self.index_of(PktSeq(seq)) {
+                    let seg = &mut self.segs[idx];
+                    if !seg.sacked {
+                        seg.sacked = true;
+                        self.sacked_out += 1;
+                        out.newly_delivered += 1;
+                        if seg.lost {
+                            // A "lost" segment arrived after all (or its
+                            // retransmission did).
+                            seg.lost = false;
+                            self.lost_out -= 1;
+                            if seg.retx_count > 0 {
+                                self.retrans_out = self.retrans_out.saturating_sub(1);
+                            }
+                        }
+                        let seg = self.segs[idx].clone();
+                        Self::track_newest(&mut newest_delivered, &seg, true);
+                    }
+                }
+            }
+        }
+
+        out.is_duplicate = out.newly_delivered == 0;
+
+        // --- RTT + rate samples from the newest delivered segment. ---
+        if let Some((sent_at, stamp, retx)) = newest_delivered {
+            if retx == 0 {
+                // Karn's rule: never sample retransmitted segments.
+                let rtt = now.saturating_since(sent_at);
+                self.rtt.sample(rtt);
+                out.rtt_sample = Some(rtt);
+            }
+            self.rack_delivered_tx = self.rack_delivered_tx.max(sent_at);
+            out.prior_delivered = stamp.delivered;
+            out.app_limited = stamp.app_limited;
+            out.pacing_limited = stamp.pacing_limited;
+            out.rate_sample = self.rate.on_ack(now, out.newly_delivered, &stamp);
+        }
+
+        // --- Loss detection (dup threshold + RACK time threshold). ---
+        out.newly_lost = self.detect_losses(now);
+
+        // --- Recovery state. ---
+        match self.recovery_point {
+            None => {
+                if out.newly_lost > 0 {
+                    self.recovery_point = Some(self.snd_nxt);
+                    out.recovery_entered = true;
+                }
+            }
+            Some(point) => {
+                if self.snd_una >= point && self.lost_out == 0 {
+                    self.recovery_point = None;
+                    out.recovery_exited = true;
+                } else if out.newly_lost > 0 {
+                    // Fresh losses within recovery extend it implicitly.
+                }
+            }
+        }
+
+        self.assert_invariants();
+        out
+    }
+
+    fn track_newest(
+        newest: &mut Option<(SimTime, TxStamp, u32)>,
+        seg: &SegState,
+        _delivered: bool,
+    ) {
+        let candidate = (seg.last_tx, seg.stamp, seg.retx_count);
+        match newest {
+            Some((t, _, _)) if *t >= seg.last_tx => {}
+            _ => *newest = Some(candidate),
+        }
+    }
+
+    /// Scan for holes that the evidence now declares lost.
+    fn detect_losses(&mut self, _now: SimTime) -> u64 {
+        // Highest sacked seq and count of sacked segments above each hole.
+        if self.sacked_out == 0 {
+            return 0;
+        }
+        let reo = self.reo_wnd();
+        let rack_tx = self.rack_delivered_tx;
+        // Count sacked segments from the tail so each unsacked segment
+        // knows how many deliveries happened above it.
+        let mut sacked_above = 0u64;
+        let mut newly_lost = 0u64;
+        for i in (0..self.segs.len()).rev() {
+            let seg = &mut self.segs[i];
+            if seg.sacked {
+                sacked_above += 1;
+                continue;
+            }
+            if seg.lost {
+                continue;
+            }
+            let dup_rule = sacked_above >= DUP_THRESH;
+            let rack_rule = sacked_above > 0 && rack_tx > seg.last_tx + reo;
+            if dup_rule || rack_rule {
+                seg.lost = true;
+                self.lost_out += 1;
+                newly_lost += 1;
+            }
+        }
+        newly_lost
+    }
+
+    /// RTO expiry: everything outstanding and unsacked is presumed lost
+    /// (`tcp_enter_loss`); retransmission state resets.
+    pub fn on_rto(&mut self) -> u64 {
+        let mut marked = 0;
+        for seg in &mut self.segs {
+            if seg.retx_count > 0 && seg.lost {
+                self.retrans_out = self.retrans_out.saturating_sub(1);
+            }
+            if !seg.sacked && !seg.lost {
+                seg.lost = true;
+                self.lost_out += 1;
+                marked += 1;
+            }
+            // Allow the retransmission to be re-sent.
+            seg.last_tx = seg.sent_at;
+        }
+        self.recovery_point = None;
+        self.assert_invariants();
+        marked
+    }
+
+    #[inline]
+    fn assert_invariants(&self) {
+        debug_assert_eq!(self.packets_out() as usize, self.segs.len());
+        debug_assert!(self.sacked_out + self.lost_out <= self.packets_out() + self.retrans_out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Receiver;
+
+    fn send_n(s: &mut Sender, n: u64, at: SimTime) -> SendPlan {
+        let plan = s.plan_send(u64::MAX, n).expect("plan");
+        assert!(!plan.is_retx);
+        s.on_sent(&plan, at, false);
+        plan
+    }
+
+    fn cum_ack(cum: u64) -> AckInfo {
+        AckInfo { cum: PktSeq(cum), sacks: vec![] }
+    }
+
+    fn sack(cum: u64, ranges: &[(u64, u64)]) -> AckInfo {
+        AckInfo {
+            cum: PktSeq(cum),
+            sacks: ranges.iter().map(|&(a, b)| (PktSeq(a), PktSeq(b))).collect(),
+        }
+    }
+
+    #[test]
+    fn clean_ack_advances_and_samples_rtt() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::from_millis(0));
+        assert_eq!(s.packets_in_flight(), 10);
+        let out = s.on_ack(&cum_ack(10), SimTime::from_millis(20));
+        assert_eq!(out.newly_delivered, 10);
+        assert_eq!(s.packets_in_flight(), 0);
+        assert_eq!(out.rtt_sample, Some(SimDuration::from_millis(20)));
+        assert!(out.rate_sample.is_some());
+        assert!(!out.is_duplicate);
+        assert_eq!(s.snd_una(), PktSeq(10));
+    }
+
+    #[test]
+    fn plan_respects_cwnd_and_buffer_limit() {
+        let mut s = Sender::new(1448);
+        let plan = s.plan_send(10, 4).unwrap();
+        assert_eq!(plan.packets(), 4, "buffer limit binds");
+        s.on_sent(&plan, SimTime::ZERO, false);
+        let plan2 = s.plan_send(10, 100).unwrap();
+        assert_eq!(plan2.packets(), 6, "cwnd limit binds");
+        s.on_sent(&plan2, SimTime::ZERO, false);
+        assert!(s.plan_send(10, 100).is_none(), "window full");
+    }
+
+    #[test]
+    fn dup_threshold_marks_hole_lost() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::from_millis(0));
+        // Packet 0 lost; 1..4 sacked (3 above the hole).
+        let out = s.on_ack(&sack(0, &[(1, 4)]), SimTime::from_millis(20));
+        assert_eq!(out.newly_delivered, 3);
+        assert_eq!(out.newly_lost, 1, "3 SACKed above ⇒ hole lost");
+        assert!(out.recovery_entered);
+        assert!(s.in_recovery());
+    }
+
+    #[test]
+    fn below_threshold_waits() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::from_millis(0));
+        let out = s.on_ack(&sack(0, &[(1, 3)]), SimTime::from_millis(1));
+        assert_eq!(out.newly_lost, 0, "only 2 SACKed above: not yet");
+        assert!(!s.in_recovery());
+    }
+
+    #[test]
+    fn rack_time_rule_catches_tail_loss() {
+        let mut s = Sender::new(1448);
+        // Establish srtt = 20 ms.
+        send_n(&mut s, 1, SimTime::from_millis(0));
+        s.on_ack(&cum_ack(1), SimTime::from_millis(20));
+        // Send pkt 1 at t=30, pkt 2 at t=60 (well beyond reo_wnd = 5 ms).
+        let p = s.plan_send(u64::MAX, 1).unwrap();
+        s.on_sent(&p, SimTime::from_millis(30), false);
+        let p = s.plan_send(u64::MAX, 1).unwrap();
+        s.on_sent(&p, SimTime::from_millis(60), false);
+        // Pkt 2 is sacked; pkt 1 (sent 30 ms earlier) must be RACK-lost
+        // even though only one packet is above the hole.
+        let out = s.on_ack(&sack(1, &[(2, 3)]), SimTime::from_millis(80));
+        assert_eq!(out.newly_lost, 1, "RACK time rule");
+    }
+
+    #[test]
+    fn retransmission_flow() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::from_millis(0));
+        s.on_ack(&sack(0, &[(1, 5)]), SimTime::from_millis(20));
+        assert_eq!(s.total_retx(), 0);
+        // The retransmission plan covers exactly the lost head.
+        let plan = s.plan_send(100, 10).unwrap();
+        assert!(plan.is_retx);
+        assert_eq!(plan.runs, vec![(PktSeq(0), PktSeq(1))]);
+        s.on_sent(&plan, SimTime::from_millis(21), false);
+        assert_eq!(s.total_retx(), 1);
+        // Don't retransmit the same hole twice.
+        let plan2 = s.plan_send(100, 10).unwrap();
+        assert!(!plan2.is_retx, "hole already retransmitted; next is new data");
+        // The retransmission is delivered; recovery persists until snd_una
+        // passes the recovery point (snd_nxt at entry = 10)…
+        let out = s.on_ack(&cum_ack(5), SimTime::from_millis(40));
+        assert!(!out.recovery_exited, "recovery holds until the high-water mark");
+        assert!(s.in_recovery());
+        // …and completes when the whole pre-loss window is acked.
+        let out = s.on_ack(&cum_ack(10), SimTime::from_millis(50));
+        assert!(out.recovery_exited);
+        assert!(!s.in_recovery());
+    }
+
+    #[test]
+    fn karn_rule_skips_retransmitted_rtt() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 5, SimTime::from_millis(0));
+        s.on_ack(&sack(0, &[(1, 5)]), SimTime::from_millis(10));
+        let plan = s.plan_send(100, 10).unwrap();
+        s.on_sent(&plan, SimTime::from_millis(12), false);
+        // Cum-ack of the retransmitted head: newest delivered is the
+        // retransmitted packet 0 ⇒ no RTT sample.
+        let out = s.on_ack(&cum_ack(5), SimTime::from_millis(30));
+        assert!(out.rtt_sample.is_none(), "Karn: retransmitted segment not sampled");
+        assert_eq!(out.newly_delivered, 1);
+    }
+
+    #[test]
+    fn duplicate_ack_flagged() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 5, SimTime::ZERO);
+        s.on_ack(&cum_ack(2), SimTime::from_millis(10));
+        let out = s.on_ack(&cum_ack(2), SimTime::from_millis(11));
+        assert!(out.is_duplicate);
+        assert_eq!(out.newly_delivered, 0);
+    }
+
+    #[test]
+    fn rto_marks_all_unsacked_lost() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::ZERO);
+        s.on_ack(&sack(0, &[(4, 6)]), SimTime::from_millis(10));
+        let marked = s.on_rto();
+        assert_eq!(marked, 8, "10 outstanding − 2 sacked");
+        assert_eq!(s.packets_in_flight(), 0, "everything unsacked is lost");
+        // All lost packets become retransmittable.
+        let plan = s.plan_send(100, 100).unwrap();
+        assert!(plan.is_retx);
+        assert_eq!(plan.packets(), 8);
+    }
+
+    #[test]
+    fn inflight_identity_holds_through_scenario() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 20, SimTime::ZERO);
+        let check = |s: &Sender| {
+            assert_eq!(
+                s.packets_in_flight(),
+                (s.packets_out() + s.retrans_out) - s.sacked_out - s.lost_out
+            );
+        };
+        check(&s);
+        s.on_ack(&sack(3, &[(6, 12)]), SimTime::from_millis(15));
+        check(&s);
+        let plan = s.plan_send(100, 100).unwrap();
+        s.on_sent(&plan, SimTime::from_millis(16), false);
+        check(&s);
+        s.on_ack(&cum_ack(12), SimTime::from_millis(30));
+        check(&s);
+    }
+
+    #[test]
+    fn ack_beyond_sent_data_is_clamped() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 5, SimTime::ZERO);
+        // A (corrupt/stale) cumulative ack beyond snd_nxt must clamp, not
+        // panic or corrupt the scoreboard.
+        let out = s.on_ack(&cum_ack(1_000), SimTime::from_millis(10));
+        assert_eq!(out.newly_delivered, 5);
+        assert_eq!(s.snd_una(), PktSeq(5));
+        assert_eq!(s.packets_out(), 0);
+    }
+
+    #[test]
+    fn sack_below_snd_una_is_ignored() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::ZERO);
+        s.on_ack(&cum_ack(6), SimTime::from_millis(10));
+        // Stale SACK entirely below the cumulative point.
+        let out = s.on_ack(&sack(6, &[(2, 5)]), SimTime::from_millis(11));
+        assert_eq!(out.newly_delivered, 0);
+        assert!(out.is_duplicate);
+        assert_eq!(s.packets_in_flight(), 4);
+    }
+
+    #[test]
+    fn duplicate_sack_of_same_range_counts_once() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 10, SimTime::ZERO);
+        let first = s.on_ack(&sack(0, &[(4, 6)]), SimTime::from_millis(10));
+        assert_eq!(first.newly_delivered, 2);
+        let second = s.on_ack(&sack(0, &[(4, 6)]), SimTime::from_millis(11));
+        assert_eq!(second.newly_delivered, 0, "re-announced SACK adds nothing");
+    }
+
+    #[test]
+    fn plan_send_zero_budget_is_none() {
+        let s = Sender::new(1448);
+        assert!(s.plan_send(10, 0).is_none());
+        assert!(s.plan_send(0, 10).is_none());
+    }
+
+    #[test]
+    fn rto_with_everything_sacked_marks_nothing() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 4, SimTime::ZERO);
+        s.on_ack(&sack(0, &[(0, 4)]), SimTime::from_millis(5));
+        // Hole at nothing: everything above una is sacked (pure reorder);
+        // RTO marks only unsacked segments.
+        assert_eq!(s.on_rto(), 0);
+    }
+
+    #[test]
+    fn recovery_spans_multiple_loss_waves() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 20, SimTime::ZERO);
+        // Wave 1: 0..2 lost.
+        let out = s.on_ack(&sack(0, &[(2, 6)]), SimTime::from_millis(10));
+        assert!(out.recovery_entered);
+        // Wave 2 within the same recovery: more losses detected.
+        let out = s.on_ack(&sack(0, &[(2, 6), (9, 13)]), SimTime::from_millis(12));
+        assert!(!out.recovery_entered, "still the same episode");
+        assert!(out.newly_lost > 0, "new holes marked");
+        assert!(s.in_recovery());
+    }
+
+    #[test]
+    fn retransmit_of_discontiguous_holes_in_one_plan() {
+        let mut s = Sender::new(1448);
+        send_n(&mut s, 12, SimTime::ZERO);
+        s.on_ack(&sack(0, &[(1, 4), (5, 9), (10, 12)]), SimTime::from_millis(10));
+        let plan = s.plan_send(100, 10).expect("retransmissions pending");
+        assert!(plan.is_retx);
+        // Holes 0 and 4 have ≥3 SACKed packets above them; hole 9 has only
+        // two (10, 11), so the dup-threshold correctly leaves it pending —
+        // TCP stays conservative until more evidence arrives.
+        assert_eq!(plan.runs, vec![(PktSeq(0), PktSeq(1)), (PktSeq(4), PktSeq(5))]);
+        // More SACKs above hole 9 tip it over the threshold.
+        let mut s2 = Sender::new(1448);
+        send_n(&mut s2, 14, SimTime::ZERO);
+        s2.on_ack(&sack(0, &[(1, 4), (5, 9), (10, 14)]), SimTime::from_millis(10));
+        let plan2 = s2.plan_send(100, 10).expect("retransmissions pending");
+        assert_eq!(
+            plan2.runs,
+            vec![(PktSeq(0), PktSeq(1)), (PktSeq(4), PktSeq(5)), (PktSeq(9), PktSeq(10))]
+        );
+    }
+
+    #[test]
+    fn sender_receiver_integration_with_loss() {
+        // End-to-end: 20 packets, 5..8 dropped, retransmitted, converges.
+        let mut s = Sender::new(1448);
+        let mut r = Receiver::new();
+        let plan = send_n(&mut s, 20, SimTime::ZERO);
+        let (lo, hi) = plan.runs[0];
+        // Deliver all but 5..8.
+        r.on_data(lo, PktSeq(5));
+        r.on_data(PktSeq(8), hi);
+        let out = s.on_ack(&r.build_ack(), SimTime::from_millis(20));
+        assert_eq!(out.newly_delivered, 17);
+        assert_eq!(out.newly_lost, 3);
+        // Retransmit the hole.
+        let retx = s.plan_send(1000, 100).unwrap();
+        assert!(retx.is_retx);
+        assert_eq!(retx.runs, vec![(PktSeq(5), PktSeq(8))]);
+        s.on_sent(&retx, SimTime::from_millis(21), false);
+        for &(a, b) in &retx.runs {
+            r.on_data(a, b);
+        }
+        let out = s.on_ack(&r.build_ack(), SimTime::from_millis(40));
+        assert_eq!(out.newly_delivered, 3);
+        assert!(out.recovery_exited);
+        assert_eq!(s.packets_out(), 0);
+        assert_eq!(s.delivered_pkts(), 20);
+        assert_eq!(r.total_received(), 20);
+    }
+}

@@ -1,0 +1,34 @@
+//! Appendix A.1's cellular experiment: on a bandwidth-limited LTE uplink
+//! the pacing bottleneck never appears, so BBR ≈ Cubic — the exception
+//! that proves the paper's rule.
+//!
+//! ```bash
+//! cargo run --release --example cellular
+//! ```
+
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::{SimConfig, StackSim};
+
+fn main() {
+    println!("LTE uplink (≤20 Mbps, ~50 ms RTT), Pixel 6 Low-End, 4 connections:\n");
+    for cc in [CcKind::Cubic, CcKind::Bbr] {
+        let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4);
+        cfg.path = MediaProfile::Lte.path_config();
+        cfg.duration = SimDuration::from_secs(30);
+        cfg.warmup = SimDuration::from_secs(5);
+        let res = StackSim::new(cfg).run();
+        println!(
+            "  {cc:<6} goodput {:>5.1} Mbps   mean RTT {:>6.1} ms   retransmits {:>5}",
+            res.goodput_mbps(),
+            res.mean_rtt_ms,
+            res.total_retx,
+        );
+    }
+    println!();
+    println!("Both algorithms saturate the radio link, not the CPU: \"the cellular");
+    println!("uplink experiments are bandwidth-limited … and do not reach sufficient");
+    println!("levels to hit a pacing bottleneck on the mobile devices.\" (A.1)");
+}

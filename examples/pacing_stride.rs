@@ -1,0 +1,49 @@
+//! The paper's fix in action: sweep the pacing stride (§6.2) on the
+//! Low-End configuration and watch goodput rise to an interior optimum
+//! while RTT stays low — then fall as the socket buffer saturates.
+//!
+//! ```bash
+//! cargo run --release --example pacing_stride
+//! cargo run --release --example pacing_stride -- 20   # choose connections
+//! ```
+
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
+
+fn main() {
+    let conns: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    println!("Pacing-stride sweep — Pixel 4 Low-End, {conns} connections, Ethernet\n");
+    println!("{:>7}  {:>14}  {:>13}  {:>13}  {:>12}", "stride", "goodput (Mbps)", "mean RTT (ms)", "skb len (KB)", "timer fires");
+
+    let mut best = (0u64, 0.0f64);
+    for stride in [1u64, 2, 5, 10, 20, 50] {
+        let mut cfg =
+            SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, conns);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.pacing = PacingConfig::with_stride(stride);
+        let res = StackSim::new(cfg).run();
+        if res.goodput_mbps() > best.1 {
+            best = (stride, res.goodput_mbps());
+        }
+        println!(
+            "{:>6}x  {:>14.1}  {:>13.2}  {:>13.1}  {:>12}",
+            stride,
+            res.goodput_mbps(),
+            res.mean_rtt_ms,
+            res.mean_skb_bytes / 1000.0,
+            res.counters.get("timer_fires"),
+        );
+    }
+
+    println!();
+    println!(
+        "Best stride: {}x at {:.0} Mbps — pacing less often with more data per \
+         period amortises the timer overhead (paper §6.2); past the optimum the \
+         socket-buffer cap limits each period's data and goodput falls as 1/stride \
+         (Table 2).",
+        best.0, best.1
+    );
+}

@@ -1,0 +1,46 @@
+//! §5.2.3's shallow-buffer experiment as a runnable scenario: why pacing
+//! must not simply be disabled.
+//!
+//! A 10-packet droptail router buffer is "especially congestion-
+//! susceptible": unpaced BBR bursts whole windows at line rate into it and
+//! retransmissions explode; paced BBR trickles packets and loses almost
+//! nothing — at the cost of the CPU overhead the rest of the paper
+//! quantifies. The pacing stride keeps both properties.
+//!
+//! ```bash
+//! cargo run --release --example shallow_buffer
+//! ```
+
+use mobile_bbr::congestion::master::MasterConfig;
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
+
+fn run(label: &str, master: MasterConfig, stride: u64) {
+    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20);
+    cfg.duration = SimDuration::from_secs(6);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.master = master;
+    cfg.pacing = PacingConfig::with_stride(stride);
+    cfg.path = MediaProfile::Ethernet.path_config().with_queue_packets(10);
+    let res = StackSim::new(cfg).run();
+    println!(
+        "  {label:<22} goodput {:>6.1} Mbps   retransmits {:>7}   mean RTT {:>5.2} ms",
+        res.goodput_mbps(),
+        res.total_retx,
+        res.mean_rtt_ms,
+    );
+}
+
+fn main() {
+    println!("10-packet shallow buffer, Pixel 4 Low-End, 20 BBR connections:\n");
+    run("BBR paced (stock)", MasterConfig::passthrough(), 1);
+    run("BBR unpaced", MasterConfig::pacing_off(), 1);
+    run("BBR stride 10x", MasterConfig::passthrough(), 10);
+    println!();
+    println!("Unpacing buys goodput by bursting — and pays for it in mass");
+    println!("retransmissions (the paper measured 37 → 13,500). The stride gets");
+    println!("the goodput without the burst losses (§6.2).");
+}

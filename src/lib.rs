@@ -1,0 +1,41 @@
+//! # mobile-bbr
+//!
+//! Umbrella crate for the reproduction of *"Are Mobiles Ready for BBR?"*
+//! (Vargas, Gunapati, Gandhi, Balasubramanian — ACM IMC 2022).
+//!
+//! The paper measures TCP uplink goodput from Android phones under BBR,
+//! BBR2, and Cubic across CPU configurations, identifies TCP-internal packet
+//! pacing as the bottleneck on CPU-constrained devices, and proposes a
+//! *pacing stride* that paces less often with more data per period.
+//!
+//! This workspace reproduces the whole study in a deterministic
+//! discrete-event simulation:
+//!
+//! * [`sim_core`] — event queue, simulated time, deterministic RNG, metrics;
+//! * [`cpu_model`] — cycle-accounting mobile CPU with BIG.LITTLE clusters
+//!   and frequency governors (Table 1's device configurations);
+//! * [`netsim`] — links, droptail buffers, netem-style impairments, and the
+//!   Ethernet/WiFi/LTE media profiles of §3.2 and Appendix A.1;
+//! * [`congestion`] — the congestion-control framework with Cubic (+HyStart),
+//!   Reno, BBRv1, BBRv2, and the paper's "master module" knobs (§5);
+//! * [`tcp_sim`] — the TCP sender/receiver state machine, TCP-internal
+//!   pacing (Eq. 1), and the pacing stride (Eq. 2);
+//! * [`iperf`] — the iPerf3-like bulk-upload workload and reports;
+//! * [`experiments`] — one runner per paper figure/table.
+//!
+//! Start with `examples/quickstart.rs`, or run the full reproduction:
+//!
+//! ```bash
+//! cargo run --release -p mobile-bbr-bench --bin repro -- --exp all
+//! ```
+//!
+//! This umbrella crate simply re-exports the member crates so examples and
+//! integration tests can use a single dependency.
+
+pub use congestion;
+pub use cpu_model;
+pub use experiments;
+pub use iperf;
+pub use netsim;
+pub use sim_core;
+pub use tcp_sim;

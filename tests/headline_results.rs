@@ -1,0 +1,188 @@
+//! End-to-end integration tests: the paper's headline findings, asserted
+//! against the public API exactly as a downstream user would drive it.
+//!
+//! These use reduced (but not smoke-sized) parameters so they remain
+//! meaningful; run them with `--release` for comfortable wall-clock times.
+
+use mobile_bbr::congestion::master::MasterConfig;
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
+
+fn base(cc: CcKind, cpu: CpuConfig, conns: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
+    cfg.duration = SimDuration::from_millis(3_500);
+    cfg.warmup = SimDuration::from_millis(800);
+    cfg
+}
+
+fn goodput(cfg: SimConfig) -> f64 {
+    StackSim::new(cfg).run().goodput_mbps()
+}
+
+/// §1: "BBR underperforms Cubic by at least 11 % in terms of goodput with
+/// as little as 1 connection" (default/low configurations).
+#[test]
+fn headline_bbr_below_cubic_at_one_connection() {
+    let cubic = goodput(base(CcKind::Cubic, CpuConfig::LowEnd, 1));
+    let bbr = goodput(base(CcKind::Bbr, CpuConfig::LowEnd, 1));
+    assert!(
+        bbr < cubic * 0.95,
+        "Low-End 1 conn: BBR {bbr:.0} should be well below Cubic {cubic:.0}"
+    );
+}
+
+/// §1: "under a low-end device configuration with 20 parallel connections,
+/// BBR's goodput is 55 % that of Cubic" — we accept a generous band.
+#[test]
+fn headline_bbr_collapse_at_twenty_connections() {
+    let cubic = goodput(base(CcKind::Cubic, CpuConfig::LowEnd, 20));
+    let bbr = goodput(base(CcKind::Bbr, CpuConfig::LowEnd, 20));
+    let ratio = bbr / cubic;
+    assert!(
+        (0.25..0.70).contains(&ratio),
+        "Low-End 20 conns: BBR/Cubic = {ratio:.2} (paper: 0.45)"
+    );
+}
+
+/// §4.1: "Both BBR and Cubic under High-End device configurations are able
+/// to achieve at least 915 Mbps goodput."
+#[test]
+fn headline_high_end_reaches_line_rate() {
+    for cc in [CcKind::Cubic, CcKind::Bbr] {
+        let g = goodput(base(cc, CpuConfig::HighEnd, 1));
+        assert!(g > 850.0, "{cc} on High-End should near line rate, got {g:.0}");
+    }
+}
+
+/// §5.2.1 / Fig. 4: disabling pacing multiplies Low-End BBR goodput.
+#[test]
+fn headline_pacing_is_the_bottleneck() {
+    let paced = goodput(base(CcKind::Bbr, CpuConfig::LowEnd, 20));
+    let mut cfg = base(CcKind::Bbr, CpuConfig::LowEnd, 20);
+    cfg.master = MasterConfig::pacing_off();
+    let unpaced = goodput(cfg);
+    assert!(
+        unpaced > 1.5 * paced,
+        "unpacing should multiply goodput: {unpaced:.0} vs {paced:.0} (paper: 2.7x)"
+    );
+}
+
+/// §5.2.2 / Fig. 6: pacing hurts Cubic too — TCP pacing, not BBR, is the
+/// mobile-specific problem.
+#[test]
+fn headline_pacing_is_not_bbr_specific() {
+    let unpaced = goodput(base(CcKind::Cubic, CpuConfig::LowEnd, 20));
+    let mut cfg = base(CcKind::Cubic, CpuConfig::LowEnd, 20);
+    cfg.master = MasterConfig::pacing_on();
+    let paced = goodput(cfg);
+    assert!(
+        paced < unpaced * 0.9,
+        "paced Cubic {paced:.0} should fall below unpaced {unpaced:.0}"
+    );
+}
+
+/// §5.2.3 / Fig. 7: pacing's benefit — without it, RTT at least doubles
+/// under load.
+#[test]
+fn headline_pacing_keeps_rtt_low() {
+    let paced = StackSim::new(base(CcKind::Bbr, CpuConfig::LowEnd, 20)).run();
+    let mut cfg = base(CcKind::Bbr, CpuConfig::LowEnd, 20);
+    cfg.master = MasterConfig::pacing_off();
+    let unpaced = StackSim::new(cfg).run();
+    assert!(
+        unpaced.mean_rtt_ms > 1.6 * paced.mean_rtt_ms,
+        "unpaced RTT {:.2} ms should dwarf paced {:.2} ms",
+        unpaced.mean_rtt_ms,
+        paced.mean_rtt_ms
+    );
+}
+
+/// §5.2.3: the shallow-buffer retransmission explosion.
+#[test]
+fn headline_shallow_buffer_retransmissions() {
+    let shallow = MediaProfile::Ethernet.path_config().with_queue_packets(10);
+    let mut paced_cfg = base(CcKind::Bbr, CpuConfig::LowEnd, 20);
+    paced_cfg.path = shallow.clone();
+    let mut unpaced_cfg = base(CcKind::Bbr, CpuConfig::LowEnd, 20);
+    unpaced_cfg.path = shallow;
+    unpaced_cfg.master = MasterConfig::pacing_off();
+    let paced = StackSim::new(paced_cfg).run();
+    let unpaced = StackSim::new(unpaced_cfg).run();
+    assert!(
+        unpaced.total_retx > 10 * paced.total_retx.max(1),
+        "retransmissions should explode: {} vs {}",
+        unpaced.total_retx,
+        paced.total_retx
+    );
+}
+
+/// §6.2 / Fig. 8: the pacing stride recovers goodput, with an interior
+/// optimum, while keeping retransmissions negligible.
+#[test]
+fn headline_stride_recovers_goodput() {
+    let stock = StackSim::new(base(CcKind::Bbr, CpuConfig::LowEnd, 20)).run();
+    let mut best = (1u64, stock.goodput_mbps());
+    let mut at50 = 0.0;
+    for stride in [5u64, 10, 50] {
+        let mut cfg = base(CcKind::Bbr, CpuConfig::LowEnd, 20);
+        cfg.pacing = PacingConfig::with_stride(stride);
+        let res = StackSim::new(cfg).run();
+        if res.goodput_mbps() > best.1 {
+            best = (stride, res.goodput_mbps());
+        }
+        if stride == 50 {
+            at50 = res.goodput_mbps();
+        }
+        assert!(res.total_retx < 1_000, "striding must not cause loss storms");
+    }
+    assert!(
+        best.1 > 1.25 * stock.goodput_mbps(),
+        "best stride {}x should beat stock by ≥25%: {:.0} vs {:.0}",
+        best.0,
+        best.1,
+        stock.goodput_mbps()
+    );
+    assert!(best.0 != 50 && at50 < best.1, "the optimum is interior (Table 2)");
+}
+
+/// Appendix A.1 / Fig. 9: LTE is bandwidth-limited — BBR ≈ Cubic.
+#[test]
+fn headline_lte_parity() {
+    let mut results = Vec::new();
+    for cc in [CcKind::Cubic, CcKind::Bbr] {
+        let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4);
+        cfg.path = MediaProfile::Lte.path_config();
+        cfg.duration = SimDuration::from_secs(25);
+        cfg.warmup = SimDuration::from_secs(5);
+        results.push(goodput(cfg));
+    }
+    let ratio = results[1] / results[0];
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "LTE: BBR {:.1} vs Cubic {:.1} should be close",
+        results[1],
+        results[0]
+    );
+    assert!(results.iter().all(|&g| g < 22.0), "LTE stays under ~20 Mbps");
+}
+
+/// Determinism across the whole stack: identical configs give identical
+/// results, bit for bit.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let mut cfg = base(CcKind::Bbr, CpuConfig::MidEnd, 5);
+        cfg.seed = 42;
+        let r = StackSim::new(cfg).run();
+        (
+            r.total_goodput,
+            r.total_retx,
+            r.counters.get("skbs_sent"),
+            r.counters.get("timer_fires"),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,148 @@
+//! Whole-system property tests: invariants that must hold for *any*
+//! configuration of the simulator, checked over randomized configuration
+//! draws (short runs keep this tractable under `cargo test`).
+
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, SimResult, StackSim};
+use proptest::prelude::*;
+
+fn arb_cc() -> impl Strategy<Value = CcKind> {
+    prop_oneof![
+        Just(CcKind::Cubic),
+        Just(CcKind::Bbr),
+        Just(CcKind::Bbr2),
+        Just(CcKind::Reno),
+    ]
+}
+
+fn arb_cpu() -> impl Strategy<Value = CpuConfig> {
+    prop_oneof![
+        Just(CpuConfig::LowEnd),
+        Just(CpuConfig::MidEnd),
+        Just(CpuConfig::HighEnd),
+        Just(CpuConfig::Default),
+    ]
+}
+
+fn arb_media() -> impl Strategy<Value = MediaProfile> {
+    prop_oneof![
+        Just(MediaProfile::Ethernet),
+        Just(MediaProfile::Wifi),
+        Just(MediaProfile::Lte),
+        Just(MediaProfile::FiveG),
+    ]
+}
+
+fn run_one(
+    cc: CcKind,
+    cpu: CpuConfig,
+    media: MediaProfile,
+    conns: usize,
+    stride: u64,
+    seed: u64,
+) -> SimResult {
+    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
+    cfg.path = media.path_config();
+    cfg.duration = SimDuration::from_millis(700);
+    cfg.warmup = SimDuration::from_millis(250);
+    cfg.pacing = PacingConfig::with_stride(stride);
+    cfg.seed = seed;
+    StackSim::new(cfg).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Core conservation and sanity invariants.
+    #[test]
+    fn invariants_hold_for_any_configuration(
+        cc in arb_cc(),
+        cpu in arb_cpu(),
+        media in arb_media(),
+        conns in 1usize..8,
+        stride in prop_oneof![Just(1u64), Just(2), Just(10)],
+        seed in 1u64..1_000,
+    ) {
+        let res = run_one(cc, cpu, media, conns, stride, seed);
+
+        // Goodput can never exceed the physical line rate.
+        let line = media.path_config().bottleneck_rate().as_mbps_f64();
+        // (variable-rate media may briefly exceed the *nominal* rate)
+        prop_assert!(
+            res.goodput_mbps() <= line * 1.4 + 1.0,
+            "goodput {:.1} vs line {:.1} on {media}",
+            res.goodput_mbps(),
+            line
+        );
+
+        // Conservation: nothing delivered that was never sent.
+        let sent = res.counters.get("pkts_sent");
+        let delivered: u64 = res.per_conn.iter().map(|c| c.delivered_pkts).sum();
+        prop_assert!(delivered <= sent, "delivered {delivered} > sent {sent}");
+
+        // Retransmissions are bounded by transmissions.
+        prop_assert!(res.total_retx <= sent);
+
+        // Fairness is a valid Jain index.
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&res.fairness));
+
+        // RTT statistics are physical: at least the base path RTT.
+        if res.mean_rtt_ms > 0.0 {
+            let base_ms = media.path_config().base_rtt().as_millis_f64();
+            prop_assert!(
+                res.mean_rtt_ms >= base_ms * 0.9,
+                "mean RTT {:.3} below base {:.3}",
+                res.mean_rtt_ms,
+                base_ms
+            );
+        }
+
+        // The CPU can't have been busy much longer than the run (work
+        // charged near the horizon may nominally complete just past it —
+        // bounded by the TSQ-limited device backlog).
+        prop_assert!(
+            res.cpu.busy_time <= SimDuration::from_millis(700) + SimDuration::from_millis(100),
+            "busy {:?} vs 700 ms run",
+            res.cpu.busy_time
+        );
+
+        // Categories partition total cycles.
+        prop_assert_eq!(
+            res.cpu.cycles_by_category.values().sum::<u64>(),
+            res.cpu.total_cycles
+        );
+
+        // Determinism: same config, same result.
+        let again = run_one(cc, cpu, media, conns, stride, seed);
+        prop_assert_eq!(res.total_goodput, again.total_goodput);
+        prop_assert_eq!(res.total_retx, again.total_retx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Paced senders never burst beyond their configured window: the
+    /// pacing-timer count is consistent with the run length (no timer
+    /// storms), and unpaced runs arm no pacing timers at all.
+    #[test]
+    fn pacing_timer_accounting(
+        cpu in arb_cpu(),
+        conns in 1usize..6,
+        seed in 1u64..100,
+    ) {
+        let bbr = run_one(CcKind::Bbr, cpu, MediaProfile::Ethernet, conns, 1, seed);
+        let fires = bbr.counters.get("timer_fires");
+        let arms = bbr.counters.get("timer_arms");
+        prop_assert!(fires > 0, "paced BBR must fire timers");
+        // Every fire was armed; at most one arm can remain pending per conn.
+        prop_assert!(fires <= arms + conns as u64);
+
+        let cubic = run_one(CcKind::Cubic, cpu, MediaProfile::Ethernet, conns, 1, seed);
+        prop_assert_eq!(cubic.counters.get("timer_arms"), 0);
+        prop_assert_eq!(cubic.counters.get("timer_fires"), 0);
+    }
+}
