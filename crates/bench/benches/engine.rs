@@ -8,7 +8,7 @@ use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::units::Bandwidth;
 use std::time::Duration;
-use tcp_sim::{PacingConfig, Pacer, SimConfig, StackSim};
+use tcp_sim::{Pacer, PacingConfig, SimConfig, StackSim};
 
 fn event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/schedule_pop_10k", |b| {

@@ -14,13 +14,21 @@ use congestion::CcKind;
 use cpu_model::{CostModel, CpuConfig};
 use experiments::params::Params;
 use experiments::table::{Cell, ResultTable};
-use iperf::{run_averaged_parallel, RunSpec};
+use iperf::{RunReport, RunSpec};
 use tcp_sim::PacingConfig;
 
 fn params() -> Params {
     let mut p = Params::full();
     p.seeds = 3;
     p
+}
+
+/// Run one spec on the sweep engine with this binary's parameters
+/// (worker count, run cache, progress) — see `sim_core::sweep`.
+fn run(p: &Params, spec: RunSpec) -> RunReport {
+    iperf::run_specs_sweep(std::slice::from_ref(&spec), &p.sweep_options())
+        .pop()
+        .expect("one spec in, one report out")
 }
 
 fn timer_cost_sweep(p: &Params) {
@@ -37,8 +45,8 @@ fn timer_cost_sweep(p: &Params) {
         base.cost = CostModel::mobile_default().with_timer_cost_factor(factor);
         let mut strided = base.clone();
         strided.pacing = PacingConfig::with_stride(10);
-        let r1 = run_averaged_parallel(&RunSpec::new(format!("1x @{factor}"), base, p.seeds));
-        let r10 = run_averaged_parallel(&RunSpec::new(format!("10x @{factor}"), strided, p.seeds));
+        let r1 = run(p, RunSpec::new(format!("1x @{factor}"), base, p.seeds));
+        let r10 = run(p, RunSpec::new(format!("10x @{factor}"), strided, p.seeds));
         table.push_row(vec![
             format!("{factor:.1}x").into(),
             r1.goodput_mbps.into(),
@@ -68,11 +76,10 @@ fn buffer_cap_sweep(p: &Params) {
                 skb_cap_bytes: cap_kb * 1000,
                 ..PacingConfig::default()
             };
-            let rep = run_averaged_parallel(&RunSpec::new(
-                format!("cap {cap_kb}KB stride {stride}"),
-                cfg,
-                p.seeds,
-            ));
+            let rep = run(
+                p,
+                RunSpec::new(format!("cap {cap_kb}KB stride {stride}"), cfg, p.seeds),
+            );
             row.push(rep.goodput_mbps.into());
         }
         table.push_row(row);
@@ -91,16 +98,22 @@ fn governor_comparison(p: &Params) {
         "BBR mean freq (MHz)",
     ]);
     for cpu in CpuConfig::ALL {
-        let cubic = run_averaged_parallel(&RunSpec::new(
-            format!("cubic {cpu}"),
-            p.pixel4(cpu, CcKind::Cubic, 20),
+        let cubic = run(
+            p,
+            RunSpec::new(
+                format!("cubic {cpu}"),
+                p.pixel4(cpu, CcKind::Cubic, 20),
+                p.seeds,
+            ),
+        );
+        let bbr_spec = RunSpec::new(
+            format!("bbr {cpu}"),
+            p.pixel4(cpu, CcKind::Bbr, 20),
             p.seeds,
-        ));
-        let bbr_spec = RunSpec::new(format!("bbr {cpu}"), p.pixel4(cpu, CcKind::Bbr, 20), p.seeds);
-        let bbr = run_averaged_parallel(&bbr_spec);
-        let freq = bbr.seeds.iter().map(|s| s.mean_freq_hz).sum::<f64>()
-            / bbr.seeds.len() as f64
-            / 1e6;
+        );
+        let bbr = run(p, bbr_spec);
+        let freq =
+            bbr.seeds.iter().map(|s| s.mean_freq_hz).sum::<f64>() / bbr.seeds.len() as f64 / 1e6;
         table.push_row(vec![
             cpu.to_string().into(),
             cubic.goodput_mbps.into(),
@@ -142,7 +155,7 @@ fn aqm_comparison(p: &Params) {
             path.forward = path.forward.with_codel(CodelConfig::default());
             cfg.path = path;
         }
-        let rep = run_averaged_parallel(&RunSpec::new(label, cfg, p.seeds));
+        let rep = run(p, RunSpec::new(label, cfg, p.seeds));
         table.push_row(vec![
             label.into(),
             rep.goodput_mbps.into(),
@@ -176,11 +189,14 @@ fn competition(p: &Params) {
             if loaded {
                 cfg.cross_traffic = Some(CrossTrafficConfig::at(Bandwidth::from_mbps(400)));
             }
-            let rep = run_averaged_parallel(&RunSpec::new(
-                format!("{label}{}", if loaded { " + 400 Mbps cross" } else { "" }),
-                cfg,
-                p.seeds,
-            ));
+            let rep = run(
+                p,
+                RunSpec::new(
+                    format!("{label}{}", if loaded { " + 400 Mbps cross" } else { "" }),
+                    cfg,
+                    p.seeds,
+                ),
+            );
             table.push_row(vec![
                 rep.label.clone().into(),
                 rep.goodput_mbps.into(),
@@ -197,19 +213,17 @@ fn ack_frequency(p: &Params) {
     println!("== ABLATION 6: server ACK frequency (GRO vs classic per-2-MSS) ==");
     println!("   (the phone pays ~9k cycles per ACK; a non-coalescing server");
     println!("    multiplies that load and squeezes both algorithms)\n");
-    let mut table = ResultTable::new(vec![
-        "Setup",
-        "Cubic (Mbps)",
-        "BBR (Mbps)",
-        "BBR/Cubic",
-    ]);
-    for (label, per_segs) in [("GRO server (1 ACK/buffer)", None), ("classic server (1 ACK/2 MSS)", Some(2u64))] {
+    let mut table = ResultTable::new(vec!["Setup", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
+    for (label, per_segs) in [
+        ("GRO server (1 ACK/buffer)", None),
+        ("classic server (1 ACK/2 MSS)", Some(2u64)),
+    ] {
         let mut row: Vec<Cell> = vec![label.into()];
         let mut rates = Vec::new();
         for cc in [CcKind::Cubic, CcKind::Bbr] {
             let mut cfg = p.pixel4(CpuConfig::LowEnd, cc, 20);
             cfg.ack_per_segs = per_segs;
-            let rep = run_averaged_parallel(&RunSpec::new(format!("{label} {cc}"), cfg, p.seeds));
+            let rep = run(p, RunSpec::new(format!("{label} {cc}"), cfg, p.seeds));
             rates.push(rep.goodput_mbps);
             row.push(rep.goodput_mbps.into());
         }
@@ -220,8 +234,69 @@ fn ack_frequency(p: &Params) {
 }
 
 fn main() {
-    let p = params();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut p = params();
+    let mut which = "all".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--jobs" => {
+                p.threads = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--no-cache" => {
+                p.cache_dir = None;
+                i += 1;
+            }
+            "--cache-dir" => {
+                p.cache_dir = Some(
+                    argv.get(i + 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --cache-dir needs a path");
+                            std::process::exit(2);
+                        })
+                        .into(),
+                );
+                i += 2;
+            }
+            "--progress" => {
+                p.progress = true;
+                i += 1;
+            }
+            other if !other.starts_with("--") => {
+                const KNOWN: [&str; 7] = [
+                    "all",
+                    "timer",
+                    "cap",
+                    "governor",
+                    "aqm",
+                    "competition",
+                    "acks",
+                ];
+                if !KNOWN.contains(&other) {
+                    eprintln!(
+                        "error: unknown ablation '{other}'; known: {}",
+                        KNOWN.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                which = other.to_string();
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                eprintln!("usage: ablations [all|timer|cap|governor|aqm|competition|acks] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress]");
+                std::process::exit(2);
+            }
+        }
+    }
     let t0 = std::time::Instant::now();
     if which == "all" || which == "timer" {
         timer_cost_sweep(&p);

@@ -3,8 +3,17 @@
 //! ```bash
 //! repro --exp all                 # every experiment, full parameters
 //! repro --exp fig2 --quick       # one experiment, fast parameters
+//! repro --exp all --jobs 8       # sweep cells across 8 workers
+//! repro --exp all --no-cache     # force recomputation of every cell
 //! repro --exp all --markdown out.md --json out.json
 //! ```
+//!
+//! Experiments execute on the `sim_core::sweep` engine: `--jobs N` fans
+//! the (config, seed) cells of each experiment across N workers with
+//! bit-identical output to `--jobs 1`, and finished cells are cached
+//! content-addressed under `target/sweep-cache` (disable with
+//! `--no-cache`, relocate with `--cache-dir`). `--progress` prints a
+//! per-cell completion line with its wall time and cache status.
 
 use experiments::{Experiment, ExperimentId, Params};
 
@@ -22,6 +31,10 @@ fn parse_args() -> Result<Args, String> {
     let mut markdown = None;
     let mut json = None;
     let mut csv = None;
+    let mut jobs: Option<usize> = None;
+    let mut no_cache = false;
+    let mut cache_dir: Option<String> = None;
+    let mut progress = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -31,11 +44,12 @@ fn parse_args() -> Result<Args, String> {
                 if name == "all" {
                     exps.extend(ExperimentId::ALL);
                 } else {
-                    exps.push(
-                        ExperimentId::from_cli_name(name)
-                            .ok_or_else(|| format!("unknown experiment '{name}'; known: {}",
-                                ExperimentId::ALL.map(|e| e.cli_name()).join(", ")))?,
-                    );
+                    exps.push(ExperimentId::from_cli_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown experiment '{name}'; known: {}",
+                            ExperimentId::ALL.map(|e| e.cli_name()).join(", ")
+                        )
+                    })?);
                 }
                 i += 2;
             }
@@ -67,13 +81,54 @@ fn parse_args() -> Result<Args, String> {
                 csv = Some(argv.get(i + 1).ok_or("--csv needs a path")?.clone());
                 i += 2;
             }
+            "--jobs" => {
+                let n: usize = argv
+                    .get(i + 1)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
+                i += 2;
+            }
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            "--cache-dir" => {
+                cache_dir = Some(argv.get(i + 1).ok_or("--cache-dir needs a path")?.clone());
+                i += 2;
+            }
+            "--progress" => {
+                progress = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if exps.is_empty() {
         exps.extend(ExperimentId::ALL);
     }
-    Ok(Args { exps, params, markdown, json, csv })
+    // Sweep-engine knobs land after preset selection so they override it.
+    if let Some(n) = jobs {
+        params.threads = n;
+    }
+    if let Some(dir) = cache_dir {
+        params.cache_dir = Some(dir.into());
+    }
+    if no_cache {
+        params.cache_dir = None;
+    }
+    params.progress = progress;
+    Ok(Args {
+        exps,
+        params,
+        markdown,
+        json,
+        csv,
+    })
 }
 
 fn main() {
@@ -81,7 +136,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--markdown PATH] [--json PATH] [--csv PATH]");
+            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--markdown PATH] [--json PATH] [--csv PATH]");
             std::process::exit(2);
         }
     };

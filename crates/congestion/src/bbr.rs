@@ -188,7 +188,8 @@ impl Bbr {
         // App-limited samples only count if they beat the current max
         // (they prove at least that much capacity exists).
         if !sample.app_limited || sample.delivery_rate.as_bps() >= self.bw_filter.get() {
-            self.bw_filter.update(self.round_count, sample.delivery_rate.as_bps());
+            self.bw_filter
+                .update(self.round_count, sample.delivery_rate.as_bps());
         }
     }
 
@@ -306,7 +307,11 @@ impl Bbr {
         let rate = if self.bw().is_zero() {
             // Before the first bandwidth sample: pace from cwnd/RTT (kernel
             // `bbr_init_pacing_rate_from_rtt`).
-            let rtt = if sample.rtt.is_zero() { SimDuration::from_millis(1) } else { sample.rtt };
+            let rtt = if sample.rtt.is_zero() {
+                SimDuration::from_millis(1)
+            } else {
+                sample.rtt
+            };
             Bandwidth::from_bytes_over(self.cwnd * self.mss, rtt).mul_f64(gain)
         } else {
             self.bw().mul_f64(gain)
@@ -416,7 +421,13 @@ mod tests {
 
     /// Drive BBR against an ideal fixed-capacity pipe: `bw_mbps` capacity,
     /// `rtt_ms` propagation, acking one cwnd per RTT. Returns the instance.
-    fn drive_ideal_pipe(bbr: &mut Bbr, bw_mbps: u64, rtt_ms: u64, rounds: u64, start_ms: u64) -> u64 {
+    fn drive_ideal_pipe(
+        bbr: &mut Bbr,
+        bw_mbps: u64,
+        rtt_ms: u64,
+        rounds: u64,
+        start_ms: u64,
+    ) -> u64 {
         let mut delivered = 0u64;
         let mut now_ms = start_ms;
         for _ in 0..rounds {
@@ -470,8 +481,14 @@ mod tests {
     fn converges_to_pipe_bandwidth() {
         let mut bbr = Bbr::new(1448);
         drive_ideal_pipe(&mut bbr, 100, 20, 40, 0);
-        let est = bbr.bandwidth_estimate().expect("has estimate").as_mbps_f64();
-        assert!((80.0..130.0).contains(&est), "bw estimate {est} Mbps, want ~100");
+        let est = bbr
+            .bandwidth_estimate()
+            .expect("has estimate")
+            .as_mbps_f64();
+        assert!(
+            (80.0..130.0).contains(&est),
+            "bw estimate {est} Mbps, want ~100"
+        );
     }
 
     #[test]
@@ -504,7 +521,10 @@ mod tests {
         let bw = bbr.bandwidth_estimate().unwrap();
         let rate = bbr.pacing_rate().unwrap();
         let gain = rate.as_bps() as f64 / bw.as_bps() as f64;
-        assert!((0.7..=1.3).contains(&gain), "pacing gain {gain} outside cycle range");
+        assert!(
+            (0.7..=1.3).contains(&gain),
+            "pacing gain {gain} outside cycle range"
+        );
     }
 
     #[test]
@@ -550,7 +570,10 @@ mod tests {
             inflight: before / 2,
             lost: 3,
         });
-        assert!(bbr.cwnd() <= before / 2 + 1, "conservation cuts to inflight+1");
+        assert!(
+            bbr.cwnd() <= before / 2 + 1,
+            "conservation cuts to inflight+1"
+        );
         bbr.on_recovery_exit(SimTime::from_secs(4));
         assert_eq!(bbr.cwnd(), before, "prior cwnd restored after recovery");
     }
@@ -561,7 +584,11 @@ mod tests {
         let mut bbr = Bbr::new(1448);
         drive_ideal_pipe(&mut bbr, 100, 20, 60, 0);
         let bw_before = bbr.bandwidth_estimate().unwrap();
-        bbr.on_loss_event(&LossEvent { now: SimTime::from_secs(3), inflight: 100, lost: 50 });
+        bbr.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(3),
+            inflight: 100,
+            lost: 50,
+        });
         assert_eq!(bbr.bandwidth_estimate().unwrap(), bw_before);
     }
 
@@ -626,8 +653,14 @@ mod tests {
             });
             gains.insert((bbr.pacing_gain() * 100.0) as u64);
         }
-        assert!(gains.contains(&125), "must visit the 1.25 probe phase: {gains:?}");
-        assert!(gains.contains(&75), "must visit the 0.75 drain phase: {gains:?}");
+        assert!(
+            gains.contains(&125),
+            "must visit the 1.25 probe phase: {gains:?}"
+        );
+        assert!(
+            gains.contains(&75),
+            "must visit the 0.75 drain phase: {gains:?}"
+        );
         assert!(gains.contains(&100), "must cruise at 1.0: {gains:?}");
     }
 
@@ -660,6 +693,9 @@ mod tests {
             in_recovery: false,
         });
         let rate = bbr.pacing_rate().expect("rate set after first ack");
-        assert!(rate >= Bandwidth::from_mbps(5), "at least the measured bw, got {rate}");
+        assert!(
+            rate >= Bandwidth::from_mbps(5),
+            "at least the measured bw, got {rate}"
+        );
     }
 }

@@ -216,7 +216,8 @@ impl Bbr2 {
 
     fn update_bw(&mut self, sample: &AckSample) {
         if !sample.app_limited || sample.delivery_rate.as_bps() >= self.bw_filter.get() {
-            self.bw_filter.update(self.round_count, sample.delivery_rate.as_bps());
+            self.bw_filter
+                .update(self.round_count, sample.delivery_rate.as_bps());
         }
     }
 
@@ -292,8 +293,7 @@ impl Bbr2 {
                     } else if self.round_count >= self.probe_up_rounds + PROBE_UP_ROUNDS {
                         // Probe long enough without loss: raise the ceiling.
                         if self.inflight_hi != u64::MAX {
-                            self.inflight_hi =
-                                ((self.inflight_hi as f64) * 1.25).ceil() as u64;
+                            self.inflight_hi = ((self.inflight_hi as f64) * 1.25).ceil() as u64;
                         }
                         self.enter_phase(Mode::ProbeDown, now);
                     }
@@ -359,7 +359,11 @@ impl Bbr2 {
     fn set_pacing_rate(&mut self, sample: &AckSample) {
         let gain = self.pacing_gain();
         let rate = if self.bw().is_zero() {
-            let rtt = if sample.rtt.is_zero() { SimDuration::from_millis(1) } else { sample.rtt };
+            let rtt = if sample.rtt.is_zero() {
+                SimDuration::from_millis(1)
+            } else {
+                sample.rtt
+            };
             Bandwidth::from_bytes_over(self.cwnd * self.mss, rtt).mul_f64(gain)
         } else {
             self.bw().mul_f64(gain)
@@ -422,8 +426,7 @@ impl CongestionControl for Bbr2 {
         }
         // v2 reacts to loss structurally: cut the ceiling.
         if self.inflight_hi != u64::MAX {
-            self.inflight_hi =
-                (((self.inflight_hi as f64) * BETA) as u64).max(MIN_CWND);
+            self.inflight_hi = (((self.inflight_hi as f64) * BETA) as u64).max(MIN_CWND);
         } else if self.full_bw_reached {
             // First loss after startup seeds the ceiling at current inflight.
             self.inflight_hi = event.inflight.max(MIN_CWND);
@@ -434,9 +437,14 @@ impl CongestionControl for Bbr2 {
         if self.in_recovery {
             self.in_recovery = false;
             self.packet_conservation = false;
-            self.cwnd = self.cwnd.max(self.prior_cwnd).min(
-                if self.inflight_hi == u64::MAX { u64::MAX } else { self.inflight_hi },
-            );
+            self.cwnd = self
+                .cwnd
+                .max(self.prior_cwnd)
+                .min(if self.inflight_hi == u64::MAX {
+                    u64::MAX
+                } else {
+                    self.inflight_hi
+                });
         }
     }
 
@@ -472,6 +480,7 @@ mod tests {
     use super::*;
     use crate::AckSample;
 
+    #[allow(clippy::too_many_arguments)]
     fn pipe_sample(
         now_ms: u64,
         rtt_ms: u64,
@@ -505,7 +514,16 @@ mod tests {
             delivered += w;
             let offered = Bandwidth::from_bytes_over(w * 1448, SimDuration::from_millis(rtt_ms));
             let rate = offered.as_bps().min(Bandwidth::from_mbps(bw_mbps).as_bps()) / 1_000_000;
-            bbr2.on_ack(&pipe_sample(now, rtt_ms, rate.max(1), delivered, prior, w, 0, 0));
+            bbr2.on_ack(&pipe_sample(
+                now,
+                rtt_ms,
+                rate.max(1),
+                delivered,
+                prior,
+                w,
+                0,
+                0,
+            ));
             now += rtt_ms;
         }
         (delivered, now)
@@ -539,7 +557,16 @@ mod tests {
             let prior = delivered;
             delivered += w;
             let lost = (w / 20).max(1);
-            b.on_ack(&pipe_sample(i * 20, 20, 10 + i * 10, delivered, prior, w, lost, w));
+            b.on_ack(&pipe_sample(
+                i * 20,
+                20,
+                10 + i * 10,
+                delivered,
+                prior,
+                w,
+                lost,
+                w,
+            ));
             if b.full_bw_reached {
                 break;
             }
@@ -553,10 +580,18 @@ mod tests {
         let mut b = Bbr2::new(1448);
         drive(&mut b, 100, 20, 40, 0);
         assert_eq!(b.inflight_hi(), None);
-        b.on_loss_event(&LossEvent { now: SimTime::from_secs(2), inflight: 200, lost: 5 });
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 5,
+        });
         assert_eq!(b.inflight_hi(), Some(200));
         b.on_recovery_exit(SimTime::from_secs(2));
-        b.on_loss_event(&LossEvent { now: SimTime::from_secs(3), inflight: 180, lost: 5 });
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(3),
+            inflight: 180,
+            lost: 5,
+        });
         assert_eq!(b.inflight_hi(), Some(140), "second loss cuts by beta=0.7");
     }
 
@@ -564,7 +599,11 @@ mod tests {
     fn cruise_keeps_headroom_below_ceiling() {
         let mut b = Bbr2::new(1448);
         drive(&mut b, 100, 20, 40, 0);
-        b.on_loss_event(&LossEvent { now: SimTime::from_secs(2), inflight: 200, lost: 5 });
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 5,
+        });
         b.on_recovery_exit(SimTime::from_secs(2));
         assert_eq!(b.cruise_cap(), 170, "85% of 200");
         // Continue cruising: cwnd must respect the cap.
@@ -579,7 +618,11 @@ mod tests {
     fn probe_cycle_reaches_up_phase_and_raises_ceiling() {
         let mut b = Bbr2::new(1448);
         drive(&mut b, 100, 20, 40, 0);
-        b.on_loss_event(&LossEvent { now: SimTime::from_secs(2), inflight: 200, lost: 2 });
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 2,
+        });
         b.on_recovery_exit(SimTime::from_secs(2));
         let hi_before = b.inflight_hi().unwrap();
         // Run long enough (> probe_wait) with no loss for a full
@@ -590,7 +633,16 @@ mod tests {
             let w = b.cwnd();
             let prior = delivered;
             delivered += w;
-            b.on_ack(&pipe_sample(2_100 + i * 20, 20, 100, delivered, prior, w, 0, w / 2));
+            b.on_ack(&pipe_sample(
+                2_100 + i * 20,
+                20,
+                100,
+                delivered,
+                prior,
+                w,
+                0,
+                w / 2,
+            ));
             if b.mode() == Mode::ProbeUp {
                 saw_up = true;
             }
@@ -612,12 +664,24 @@ mod tests {
         for i in 0..400 {
             let prior = delivered;
             delivered += 10;
-            b.on_ack(&pipe_sample(1_000 + i * 25, 25, 100, delivered, prior, 10, 0, 2));
+            b.on_ack(&pipe_sample(
+                1_000 + i * 25,
+                25,
+                100,
+                delivered,
+                prior,
+                10,
+                0,
+                2,
+            ));
             if b.mode() == Mode::ProbeRtt {
                 saw = true;
             }
         }
-        assert!(saw, "min-RTT window is 5 s; a 10 s run must visit PROBE_RTT");
+        assert!(
+            saw,
+            "min-RTT window is 5 s; a 10 s run must visit PROBE_RTT"
+        );
     }
 
     #[test]
@@ -643,7 +707,10 @@ mod tests {
             });
             b.on_recovery_exit(SimTime::from_millis(3_001 + i));
         }
-        assert!(b.inflight_hi().unwrap() >= MIN_CWND, "beta cuts floor at MIN_CWND");
+        assert!(
+            b.inflight_hi().unwrap() >= MIN_CWND,
+            "beta cuts floor at MIN_CWND"
+        );
         assert!(b.cwnd() >= MIN_CWND);
     }
 

@@ -271,7 +271,11 @@ mod tests {
         let mut c = Cubic::new();
         drive_acks(&mut c, 0, 4, 10);
         let before = c.cwnd();
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(100), inflight: before, lost: 1 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(100),
+            inflight: before,
+            lost: 1,
+        });
         let after = c.cwnd();
         assert_eq!(after, ((before as f64 * BETA) as u64).max(MIN_CWND));
         assert!(after < before);
@@ -281,9 +285,17 @@ mod tests {
     fn one_reduction_per_recovery_episode() {
         let mut c = Cubic::new();
         drive_acks(&mut c, 0, 5, 10);
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(100), inflight: 100, lost: 1 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(100),
+            inflight: 100,
+            lost: 1,
+        });
         let w = c.cwnd();
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(101), inflight: 100, lost: 3 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(101),
+            inflight: 100,
+            lost: 3,
+        });
         assert_eq!(c.cwnd(), w);
     }
 
@@ -296,7 +308,11 @@ mod tests {
         let mut c = Cubic::new();
         drive_acks(&mut c, 0, 4, 10); // grow to 160
         let peak = c.cwnd();
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(100), inflight: peak, lost: 1 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(100),
+            inflight: peak,
+            lost: 1,
+        });
         c.on_recovery_exit(SimTime::from_millis(110));
 
         // Sample the window every RTT for a while.
@@ -312,12 +328,21 @@ mod tests {
             windows.push(c.cwnd());
         }
         // Recovers towards the old peak...
-        assert!(*windows.last().unwrap() > peak, "should eventually exceed W_max");
+        assert!(
+            *windows.last().unwrap() > peak,
+            "should eventually exceed W_max"
+        );
         // ...and the early growth rate shrinks before it grows again
         // (concave → convex inflection near W_max).
         let early_growth = windows[5].saturating_sub(windows[0]);
-        let late_growth = windows.last().unwrap().saturating_sub(windows[windows.len() - 6]);
-        assert!(late_growth > early_growth, "convex tail {late_growth} vs concave head {early_growth}");
+        let late_growth = windows
+            .last()
+            .unwrap()
+            .saturating_sub(windows[windows.len() - 6]);
+        assert!(
+            late_growth > early_growth,
+            "convex tail {late_growth} vs concave head {early_growth}"
+        );
     }
 
     #[test]
@@ -381,11 +406,19 @@ mod tests {
     fn fast_convergence_shrinks_wmax_on_consecutive_losses() {
         let mut c = Cubic::new();
         drive_acks(&mut c, 0, 6, 10);
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(100), inflight: 100, lost: 1 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(100),
+            inflight: 100,
+            lost: 1,
+        });
         c.on_recovery_exit(SimTime::from_millis(110));
         let w_max_1 = c.w_max;
         // Lose again before regaining the previous W_max.
-        c.on_loss_event(&LossEvent { now: SimTime::from_millis(120), inflight: 50, lost: 1 });
+        c.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(120),
+            inflight: 50,
+            lost: 1,
+        });
         assert!(c.w_max < w_max_1, "fast convergence must shrink W_max");
     }
 

@@ -44,22 +44,35 @@ impl MasterConfig {
 
     /// §5.1.1: fixed cwnd with the model disabled.
     pub fn fixed_cwnd_no_model(cwnd: u64) -> Self {
-        MasterConfig { fixed_cwnd: Some(cwnd), disable_model: true, ..Default::default() }
+        MasterConfig {
+            fixed_cwnd: Some(cwnd),
+            disable_model: true,
+            ..Default::default()
+        }
     }
 
     /// §5.1.2: fixed per-connection pacing rate.
     pub fn fixed_rate(rate: Bandwidth) -> Self {
-        MasterConfig { fixed_pacing_rate: Some(rate.as_bps()), ..Default::default() }
+        MasterConfig {
+            fixed_pacing_rate: Some(rate.as_bps()),
+            ..Default::default()
+        }
     }
 
     /// §5.2.1: pacing disabled (cwnd-only control).
     pub fn pacing_off() -> Self {
-        MasterConfig { force_pacing: Some(false), ..Default::default() }
+        MasterConfig {
+            force_pacing: Some(false),
+            ..Default::default()
+        }
     }
 
     /// §5.2.2: pacing force-enabled (for Cubic).
     pub fn pacing_on() -> Self {
-        MasterConfig { force_pacing: Some(true), ..Default::default() }
+        MasterConfig {
+            force_pacing: Some(true),
+            ..Default::default()
+        }
     }
 
     /// §5.2.2 variant with a fixed rate (Fig. 6's 20/140 Mbps bars).
@@ -186,7 +199,10 @@ mod tests {
     fn fixed_cwnd_pins_window() {
         // §5.1: "We fix a cwnd value of 70 packets, similar to Cubic's
         // average cwnd for similar iPerf experiments".
-        let mut m = Master::new(CcKind::Bbr.build(1448), MasterConfig::fixed_cwnd_no_model(70));
+        let mut m = Master::new(
+            CcKind::Bbr.build(1448),
+            MasterConfig::fixed_cwnd_no_model(70),
+        );
         assert_eq!(m.cwnd(), 70);
         for i in 0..50 {
             m.on_ack(&sample(i * 10, 10, 100, (i + 1) * 100, 100, 0));
@@ -196,7 +212,10 @@ mod tests {
 
     #[test]
     fn disable_model_zeroes_cost_and_freezes_inner() {
-        let mut m = Master::new(CcKind::Bbr.build(1448), MasterConfig::fixed_cwnd_no_model(70));
+        let mut m = Master::new(
+            CcKind::Bbr.build(1448),
+            MasterConfig::fixed_cwnd_no_model(70),
+        );
         assert_eq!(m.model_cost_cycles(), 0, "§5.1.1: no compute when disabled");
         for i in 0..50 {
             m.on_ack(&sample(i * 10, 10, 100, (i + 1) * 100, 100, 0));
@@ -246,7 +265,10 @@ mod tests {
             CcKind::Cubic.build(1448),
             MasterConfig::fixed_rate(Bandwidth::from_mbps(20)),
         );
-        assert!(m.wants_pacing(), "setting a rate without force_pacing still paces");
+        assert!(
+            m.wants_pacing(),
+            "setting a rate without force_pacing still paces"
+        );
     }
 
     #[test]
@@ -272,8 +294,15 @@ mod tests {
     fn disable_model_also_silences_loss_and_rto_paths() {
         use crate::LossEvent;
         use sim_core::time::SimTime;
-        let mut m = Master::new(CcKind::Cubic.build(1448), MasterConfig::fixed_cwnd_no_model(70));
-        m.on_loss_event(&LossEvent { now: SimTime::from_millis(1), inflight: 50, lost: 10 });
+        let mut m = Master::new(
+            CcKind::Cubic.build(1448),
+            MasterConfig::fixed_cwnd_no_model(70),
+        );
+        m.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(1),
+            inflight: 50,
+            lost: 10,
+        });
         m.on_rto(SimTime::from_millis(2), 50);
         m.on_recovery_exit(SimTime::from_millis(3));
         assert_eq!(m.cwnd(), 70, "no knob-bypassing state change");

@@ -29,7 +29,10 @@ impl MaxFilter {
     /// A filter over the trailing `window` (same unit as the `t` passed to
     /// [`MaxFilter::update`]).
     pub fn new(window: u64) -> Self {
-        MaxFilter { window, s: [Sample { t: 0, v: 0 }; 3] }
+        MaxFilter {
+            window,
+            s: [Sample { t: 0, v: 0 }; 3],
+        }
     }
 
     /// Best (largest) sample currently in window.
@@ -95,13 +98,19 @@ pub struct MinFilter {
 impl MinFilter {
     /// A filter over the trailing `window`.
     pub fn new(window: u64) -> Self {
-        MinFilter { inner: MaxFilter::new(window) }
+        MinFilter {
+            inner: MaxFilter::new(window),
+        }
     }
 
     /// Smallest sample in window (`u64::MAX` before any update).
     pub fn get(&self) -> u64 {
         let raw = self.inner.get();
-        if raw == 0 { u64::MAX } else { u64::MAX - raw }
+        if raw == 0 {
+            u64::MAX
+        } else {
+            u64::MAX - raw
+        }
     }
 
     /// Reset to a single sample.

@@ -20,7 +20,11 @@ pub struct Reno {
 impl Reno {
     /// A fresh Reno instance at the initial window.
     pub fn new() -> Self {
-        Reno { cwnd: INIT_CWND as f64, ssthresh: u64::MAX, in_recovery: false }
+        Reno {
+            cwnd: INIT_CWND as f64,
+            ssthresh: u64::MAX,
+            in_recovery: false,
+        }
     }
 }
 
@@ -110,7 +114,11 @@ mod tests {
     #[test]
     fn congestion_avoidance_adds_one_per_rtt() {
         let mut r = Reno::new();
-        r.on_loss_event(&LossEvent { now: SimTime::from_millis(1), inflight: 10, lost: 1 });
+        r.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(1),
+            inflight: 10,
+            lost: 1,
+        });
         r.on_recovery_exit(SimTime::from_millis(2));
         let w = r.cwnd();
         // Ack one full window's worth of packets: +1 packet total.
@@ -127,18 +135,30 @@ mod tests {
             r.on_ack(&sample(i, 10, 100, w, w, 0));
         }
         let before = r.cwnd();
-        r.on_loss_event(&LossEvent { now: SimTime::from_millis(50), inflight: before, lost: 1 });
+        r.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(50),
+            inflight: before,
+            lost: 1,
+        });
         assert_eq!(r.cwnd(), (before / 2).max(MIN_CWND));
         let after_first = r.cwnd();
         // A second loss within the same recovery must not halve again.
-        r.on_loss_event(&LossEvent { now: SimTime::from_millis(51), inflight: before, lost: 1 });
+        r.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(51),
+            inflight: before,
+            lost: 1,
+        });
         assert_eq!(r.cwnd(), after_first);
     }
 
     #[test]
     fn window_frozen_during_recovery() {
         let mut r = Reno::new();
-        r.on_loss_event(&LossEvent { now: SimTime::from_millis(1), inflight: 10, lost: 1 });
+        r.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(1),
+            inflight: 10,
+            lost: 1,
+        });
         let w = r.cwnd();
         r.on_ack(&sample(2, 10, 100, 20, 5, 5));
         assert_eq!(r.cwnd(), w);

@@ -92,11 +92,15 @@ impl DeviceProfile {
         let topology = CpuTopology {
             little: CoreCluster::new(
                 ClusterKind::Little,
-                mhz(&[576, 672, 768, 940, 1017, 1113, 1209, 1305, 1401, 1497, 1593, 1689, 1785]),
+                mhz(&[
+                    576, 672, 768, 940, 1017, 1113, 1209, 1305, 1401, 1497, 1593, 1689, 1785,
+                ]),
             ),
             big: CoreCluster::new(
                 ClusterKind::Big,
-                mhz(&[710, 940, 1171, 1401, 1632, 1862, 2092, 2323, 2553, 2649, 2745, 2800]),
+                mhz(&[
+                    710, 940, 1171, 1401, 1632, 1862, 2092, 2323, 2553, 2649, 2745, 2800,
+                ]),
             ),
         };
         DeviceProfile {
@@ -117,7 +121,10 @@ impl DeviceProfile {
             ),
             big: CoreCluster::new(
                 ClusterKind::Big,
-                mhz(&[500, 851, 984, 1106, 1277, 1426, 1582, 1745, 1826, 2048, 2188, 2252, 2401, 2507, 2630, 2800]),
+                mhz(&[
+                    500, 851, 984, 1106, 1277, 1426, 1582, 1745, 1826, 2048, 2188, 2252, 2401,
+                    2507, 2630, 2800,
+                ]),
             ),
         };
         DeviceProfile {
@@ -157,9 +164,18 @@ mod tests {
     #[test]
     fn table1_pixel4_pins() {
         let p4 = DeviceProfile::pixel4();
-        assert_eq!(p4.low_end_hz, 576_000_000, "Table 1: Pixel 4 Low-End 576 MHz");
-        assert_eq!(p4.mid_end_hz, 1_209_000_000, "Table 1: Pixel 4 Mid-End ~1.2 GHz");
-        assert_eq!(p4.high_end_hz, 2_800_000_000, "Table 1: Pixel 4 High-End 2.8 GHz");
+        assert_eq!(
+            p4.low_end_hz, 576_000_000,
+            "Table 1: Pixel 4 Low-End 576 MHz"
+        );
+        assert_eq!(
+            p4.mid_end_hz, 1_209_000_000,
+            "Table 1: Pixel 4 Mid-End ~1.2 GHz"
+        );
+        assert_eq!(
+            p4.high_end_hz, 2_800_000_000,
+            "Table 1: Pixel 4 High-End 2.8 GHz"
+        );
         // Low-End pins the *minimum* LITTLE frequency.
         assert_eq!(p4.low_end_hz, p4.topology.little.min_freq());
         // Mid-End pins the *median* LITTLE frequency.
@@ -171,9 +187,15 @@ mod tests {
     #[test]
     fn table1_pixel6_pins() {
         let p6 = DeviceProfile::pixel6();
-        assert_eq!(p6.low_end_hz, 300_000_000, "Table 1: Pixel 6 Low-End 300 MHz");
+        assert_eq!(
+            p6.low_end_hz, 300_000_000,
+            "Table 1: Pixel 6 Low-End 300 MHz"
+        );
         assert_eq!(p6.low_end_hz, p6.topology.little.min_freq());
-        assert!((1_100_000_000..=1_300_000_000).contains(&p6.mid_end_hz), "Table 1: ~1.2 GHz");
+        assert!(
+            (1_100_000_000..=1_300_000_000).contains(&p6.mid_end_hz),
+            "Table 1: ~1.2 GHz"
+        );
         assert_eq!(p6.high_end_hz, p6.topology.big.max_freq());
     }
 
@@ -191,7 +213,10 @@ mod tests {
             GovernorPolicy::Fixed { cluster, .. } => assert_eq!(cluster, ClusterKind::Big),
             other => panic!("High-End must be Fixed, got {other:?}"),
         }
-        assert!(matches!(p4.policy(CpuConfig::Default), GovernorPolicy::Schedutil(_)));
+        assert!(matches!(
+            p4.policy(CpuConfig::Default),
+            GovernorPolicy::Schedutil(_)
+        ));
     }
 
     #[test]

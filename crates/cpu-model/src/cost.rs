@@ -77,7 +77,10 @@ impl CostModel {
     /// Scale the timer costs by `factor` (ablation: how cheap must timers
     /// become before the pacing stride stops mattering?).
     pub fn with_timer_cost_factor(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and >= 0"
+        );
         self.timer_arm = (self.timer_arm as f64 * factor) as u64;
         self.timer_fire = (self.timer_fire as f64 * factor) as u64;
         self
@@ -139,7 +142,10 @@ mod tests {
         let cycles_per_chunk = c.skb_xmit(chunk) + c.ack_process + cubic_ack_cost;
         let chunks_per_sec = 576_000_000.0 / cycles_per_chunk as f64;
         let mbps = chunks_per_sec * chunk as f64 * 8.0 / 1e6;
-        assert!((330.0..420.0).contains(&mbps), "calibration drifted: {mbps:.0} Mbps");
+        assert!(
+            (330.0..420.0).contains(&mbps),
+            "calibration drifted: {mbps:.0} Mbps"
+        );
     }
 
     #[test]
@@ -152,7 +158,10 @@ mod tests {
         let per_skb = c.skb_xmit(skb) + c.timer_arm + c.timer_fire + c.ack_process + bbr_ack_cost;
         let skbs_per_sec = 2_800_000_000.0 / per_skb as f64;
         let mbps = skbs_per_sec * skb as f64 * 8.0 / 1e6;
-        assert!(mbps > 1_000.0, "high-end paced path can't reach line rate: {mbps:.0} Mbps");
+        assert!(
+            mbps > 1_000.0,
+            "high-end paced path can't reach line rate: {mbps:.0} Mbps"
+        );
     }
 
     #[test]
@@ -168,6 +177,9 @@ mod tests {
         let cpb_small = c.per_byte as f64 + fixed as f64 / small_skb as f64;
         let cpb_cap = c.per_byte as f64 + fixed as f64 / cap_skb as f64;
         let ratio = cpb_small / cpb_cap;
-        assert!(ratio > 1.5, "small-skb per-byte cost should be ≥1.5× cap-skb, got {ratio:.2}");
+        assert!(
+            ratio > 1.5,
+            "small-skb per-byte cost should be ≥1.5× cap-skb, got {ratio:.2}"
+        );
     }
 }

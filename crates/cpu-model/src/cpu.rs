@@ -13,9 +13,9 @@
 
 use crate::governor::{ClusterKind, CpuTopology, GovernorPolicy, SchedutilState};
 use serde::Serialize;
-use std::collections::BTreeMap;
 use sim_core::metrics::UtilWindow;
 use sim_core::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Aggregate statistics about a CPU over a run.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -132,8 +132,17 @@ impl Cpu {
     }
 
     /// [`Cpu::execute`] with a category tag for the cycle breakdown.
-    pub fn execute_tagged(&mut self, ready: SimTime, cycles: u64, category: &'static str) -> SimTime {
-        let start = if self.busy_until > ready { self.busy_until } else { ready };
+    pub fn execute_tagged(
+        &mut self,
+        ready: SimTime,
+        cycles: u64,
+        category: &'static str,
+    ) -> SimTime {
+        let start = if self.busy_until > ready {
+            self.busy_until
+        } else {
+            ready
+        };
         self.ops += 1;
         if start > ready {
             self.queued_ops += 1;
@@ -194,7 +203,8 @@ impl Cpu {
     /// Snapshot statistics at `end_time` (the run's end).
     pub fn stats(&self, end_time: SimTime) -> CpuStats {
         let freq_integral = self.freq_weighted_ns
-            + self.freq_hz as f64 * end_time.saturating_since(self.last_freq_change).as_nanos() as f64;
+            + self.freq_hz as f64
+                * end_time.saturating_since(self.last_freq_change).as_nanos() as f64;
         let mean_freq = if end_time.as_nanos() == 0 {
             self.freq_hz as f64
         } else {
@@ -223,14 +233,23 @@ mod tests {
 
     fn fixed_cpu(freq_hz: u64) -> Cpu {
         let p = DeviceProfile::pixel4();
-        Cpu::new(p.topology, GovernorPolicy::Fixed { freq_hz, cluster: ClusterKind::Little })
+        Cpu::new(
+            p.topology,
+            GovernorPolicy::Fixed {
+                freq_hz,
+                cluster: ClusterKind::Little,
+            },
+        )
     }
 
     #[test]
     fn execute_idle_runs_immediately() {
         let mut cpu = fixed_cpu(1_000_000_000); // 1 GHz: 1 cycle = 1 ns
         let done = cpu.execute(SimTime::from_micros(5), 1_000);
-        assert_eq!(done, SimTime::from_micros(5) + SimDuration::from_nanos(1_000));
+        assert_eq!(
+            done,
+            SimTime::from_micros(5) + SimDuration::from_nanos(1_000)
+        );
     }
 
     #[test]
@@ -252,7 +271,11 @@ mod tests {
         cpu.execute(SimTime::ZERO, 1_000);
         let t = cpu.execute(SimTime::ZERO, 0);
         assert_eq!(t, SimTime::from_micros(1));
-        assert_eq!(cpu.busy_until(), SimTime::from_micros(1), "zero work must not extend busy");
+        assert_eq!(
+            cpu.busy_until(),
+            SimTime::from_micros(1),
+            "zero work must not extend busy"
+        );
     }
 
     #[test]
@@ -294,7 +317,10 @@ mod tests {
     #[test]
     fn dynamic_policy_ramps_under_load() {
         let p = DeviceProfile::pixel4();
-        let mut cpu = Cpu::new(p.topology.clone(), GovernorPolicy::Schedutil(SchedutilParams::default()));
+        let mut cpu = Cpu::new(
+            p.topology.clone(),
+            GovernorPolicy::Schedutil(SchedutilParams::default()),
+        );
         assert!(cpu.is_dynamic());
         let start_freq = cpu.freq_hz();
         assert_eq!(start_freq, p.topology.little.min_freq());
@@ -304,7 +330,9 @@ mod tests {
             // Work sized to keep the core busy through the whole period.
             let cycles = cpu.freq_hz() / 50; // 20 ms of work
             cpu.execute(now, cycles);
-            now = cpu.governor_tick(now + SimDuration::from_millis(10)).unwrap();
+            now = cpu
+                .governor_tick(now + SimDuration::from_millis(10))
+                .unwrap();
         }
         assert!(cpu.freq_hz() > start_freq, "governor should have ramped up");
         let stats = cpu.stats(now);
@@ -316,18 +344,25 @@ mod tests {
     #[test]
     fn dynamic_policy_idles_down() {
         let p = DeviceProfile::pixel4();
-        let mut cpu = Cpu::new(p.topology.clone(), GovernorPolicy::Schedutil(SchedutilParams::default()));
+        let mut cpu = Cpu::new(
+            p.topology.clone(),
+            GovernorPolicy::Schedutil(SchedutilParams::default()),
+        );
         // Ramp up…
         let mut now = SimTime::ZERO;
         for _ in 0..40 {
             let cycles = cpu.freq_hz() / 50;
             cpu.execute(now, cycles);
-            now = cpu.governor_tick(now + SimDuration::from_millis(10)).unwrap();
+            now = cpu
+                .governor_tick(now + SimDuration::from_millis(10))
+                .unwrap();
         }
         let peak = cpu.freq_hz();
         // …then go idle.
         for _ in 0..40 {
-            now = cpu.governor_tick(now + SimDuration::from_millis(10)).unwrap();
+            now = cpu
+                .governor_tick(now + SimDuration::from_millis(10))
+                .unwrap();
         }
         assert!(cpu.freq_hz() < peak, "governor should have ramped down");
         assert_eq!(cpu.freq_hz(), p.topology.little.min_freq());

@@ -51,13 +51,19 @@ pub struct CoreCluster {
 impl CoreCluster {
     /// Build a cluster, validating the ladder.
     pub fn new(kind: ClusterKind, freq_ladder_hz: Vec<u64>) -> Self {
-        assert!(!freq_ladder_hz.is_empty(), "frequency ladder must be non-empty");
+        assert!(
+            !freq_ladder_hz.is_empty(),
+            "frequency ladder must be non-empty"
+        );
         assert!(
             freq_ladder_hz.windows(2).all(|w| w[0] < w[1]),
             "frequency ladder must be strictly ascending"
         );
         assert!(freq_ladder_hz[0] > 0, "frequencies must be positive");
-        CoreCluster { kind, freq_ladder_hz }
+        CoreCluster {
+            kind,
+            freq_ladder_hz,
+        }
     }
 
     /// Lowest step.
@@ -189,9 +195,19 @@ pub struct SchedutilState {
 impl SchedutilState {
     /// Start on the LITTLE cluster at its lowest step (idle phone).
     pub fn new(params: SchedutilParams, topo: &CpuTopology) -> Self {
-        let cluster = if params.prefer_little { ClusterKind::Little } else { ClusterKind::Big };
+        let cluster = if params.prefer_little {
+            ClusterKind::Little
+        } else {
+            ClusterKind::Big
+        };
         let freq_hz = topo.cluster(cluster).min_freq();
-        SchedutilState { params, cluster, freq_hz, up_count: 0, down_count: 0 }
+        SchedutilState {
+            params,
+            cluster,
+            freq_hz,
+            up_count: 0,
+            down_count: 0,
+        }
     }
 
     /// Current operating frequency.
@@ -367,7 +383,10 @@ mod tests {
     #[test]
     fn governor_migrates_to_big_only_when_little_saturated() {
         let topo = test_topo();
-        let params = SchedutilParams { allow_big: true, ..SchedutilParams::default() };
+        let params = SchedutilParams {
+            allow_big: true,
+            ..SchedutilParams::default()
+        };
         let mut g = SchedutilState::new(params, &topo);
         // Saturate: util 1.0 forever.
         let mut migrated_at = None;
@@ -388,7 +407,10 @@ mod tests {
     #[test]
     fn governor_migrates_back_down_when_idle() {
         let topo = test_topo();
-        let params = SchedutilParams { allow_big: true, ..SchedutilParams::default() };
+        let params = SchedutilParams {
+            allow_big: true,
+            ..SchedutilParams::default()
+        };
         let mut g = SchedutilState::new(params, &topo);
         for _ in 0..32 {
             g.update(1.0, &topo);
@@ -397,7 +419,11 @@ mod tests {
         for _ in 0..16 {
             g.update(0.05, &topo);
         }
-        assert_eq!(g.cluster(), ClusterKind::Little, "should return to LITTLE when idle");
+        assert_eq!(
+            g.cluster(),
+            ClusterKind::Little,
+            "should return to LITTLE when idle"
+        );
         assert_eq!(g.freq_hz(), topo.little.min_freq());
     }
 
@@ -412,8 +438,15 @@ mod tests {
         }
         assert_eq!(g.cluster(), ClusterKind::Little);
         let cap = (topo.little.max_freq() as f64 * 0.75) as u64;
-        assert!(g.freq_hz() <= cap, "energy cap respected: {} vs {cap}", g.freq_hz());
-        assert!(g.freq_hz() >= topo.little.median_freq(), "but well above idle");
+        assert!(
+            g.freq_hz() <= cap,
+            "energy cap respected: {} vs {cap}",
+            g.freq_hz()
+        );
+        assert!(
+            g.freq_hz() >= topo.little.median_freq(),
+            "but well above idle"
+        );
     }
 
     #[test]
@@ -422,11 +455,18 @@ mod tests {
         // the window (bursty pacing) climbs the ladder but never saturates
         // the up-migration criterion, so it stays on LITTLE.
         let topo = test_topo();
-        let params = SchedutilParams { allow_big: true, ..SchedutilParams::default() };
+        let params = SchedutilParams {
+            allow_big: true,
+            ..SchedutilParams::default()
+        };
         let mut g = SchedutilState::new(params, &topo);
         for _ in 0..100 {
             g.update(0.85, &topo);
         }
-        assert_eq!(g.cluster(), ClusterKind::Little, "0.85 util never saturates");
+        assert_eq!(
+            g.cluster(),
+            ClusterKind::Little,
+            "0.85 util never saturates"
+        );
     }
 }

@@ -15,7 +15,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, STRIDE_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -46,7 +46,7 @@ pub fn run(params: &Params) -> Experiment {
         cfg.warmup = cfg.duration / 2;
         specs.push(RunSpec::new(format!("auto, {config}"), cfg, params.seeds));
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let per_config = STRIDE_SWEEP.len() + 1;
     let mut table = ResultTable::new(vec![
@@ -95,7 +95,10 @@ pub fn run(params: &Params) -> Experiment {
         let (floor, claim): (f64, &str) = if *config == CpuConfig::LowEnd {
             (1.08, "captures a large share of Low-End's stride win")
         } else {
-            (0.88, "costs at most ~10% where 1x is near-optimal (adaptation churn)")
+            (
+                0.88,
+                "costs at most ~10% where 1x is near-optimal (adaptation churn)",
+            )
         };
         checks.push(ShapeCheck::predicate(
             format!("{config}: auto-stride vs stock pacing"),

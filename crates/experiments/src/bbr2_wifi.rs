@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -30,9 +30,14 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table = ResultTable::new(vec!["Algorithm", "Goodput (Mbps)", "vs Cubic", "Mean RTT (ms)"]);
+    let mut table = ResultTable::new(vec![
+        "Algorithm",
+        "Goodput (Mbps)",
+        "vs Cubic",
+        "Mean RTT (ms)",
+    ]);
     let cubic = reports[0].goodput_mbps;
     for (cc, rep) in algos.iter().zip(&reports) {
         table.push_row(vec![

@@ -62,7 +62,12 @@ impl ShapeCheck {
         observed: impl Into<String>,
         pass: bool,
     ) -> Self {
-        ShapeCheck { name: name.into(), expected: expected.into(), observed: observed.into(), pass }
+        ShapeCheck {
+            name: name.into(),
+            expected: expected.into(),
+            observed: observed.into(),
+            pass,
+        }
     }
 
     /// Render as a one-line scorecard entry.

@@ -15,7 +15,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::governor::{ClusterKind, GovernorPolicy};
 use cpu_model::DeviceProfile;
@@ -38,11 +38,36 @@ pub struct BudgetPhone {
 /// The surveyed class: chosen so the aggregates reproduce the paper's
 /// "4 cores, 1.31 GHz, Android 8" averages.
 pub const SURVEY: [BudgetPhone; 5] = [
-    BudgetPhone { name: "Itel A25", cores: 4, max_freq_mhz: 1_400, android: 9 },
-    BudgetPhone { name: "Lava Z21", cores: 4, max_freq_mhz: 1_300, android: 8 },
-    BudgetPhone { name: "Micromax Bharat 5", cores: 4, max_freq_mhz: 1_300, android: 7 },
-    BudgetPhone { name: "Samsung Galaxy M01 Core", cores: 4, max_freq_mhz: 1_500, android: 10 },
-    BudgetPhone { name: "Nokia C1", cores: 4, max_freq_mhz: 1_050, android: 6 },
+    BudgetPhone {
+        name: "Itel A25",
+        cores: 4,
+        max_freq_mhz: 1_400,
+        android: 9,
+    },
+    BudgetPhone {
+        name: "Lava Z21",
+        cores: 4,
+        max_freq_mhz: 1_300,
+        android: 8,
+    },
+    BudgetPhone {
+        name: "Micromax Bharat 5",
+        cores: 4,
+        max_freq_mhz: 1_300,
+        android: 7,
+    },
+    BudgetPhone {
+        name: "Samsung Galaxy M01 Core",
+        cores: 4,
+        max_freq_mhz: 1_500,
+        android: 10,
+    },
+    BudgetPhone {
+        name: "Nokia C1",
+        cores: 4,
+        max_freq_mhz: 1_050,
+        android: 6,
+    },
 ];
 
 /// Mean max frequency of the surveyed class, Hz.
@@ -62,11 +87,9 @@ pub fn run(params: &Params) -> Experiment {
             Cell::Int(p.android as u64),
         ]);
     }
-    let mean_cores =
-        SURVEY.iter().map(|p| p.cores as f64).sum::<f64>() / SURVEY.len() as f64;
+    let mean_cores = SURVEY.iter().map(|p| p.cores as f64).sum::<f64>() / SURVEY.len() as f64;
     let mean_freq = survey_mean_freq_hz() as f64 / 1e6;
-    let mean_android =
-        SURVEY.iter().map(|p| p.android as f64).sum::<f64>() / SURVEY.len() as f64;
+    let mean_android = SURVEY.iter().map(|p| p.android as f64).sum::<f64>() / SURVEY.len() as f64;
     table.push_row(vec![
         "— mean —".into(),
         Cell::Prec(mean_cores, 1),
@@ -83,12 +106,19 @@ pub fn run(params: &Params) -> Experiment {
         device.low_end_hz = survey_mean_freq_hz();
         debug_assert!(matches!(
             device.policy(cpu_model::CpuConfig::LowEnd),
-            GovernorPolicy::Fixed { cluster: ClusterKind::Little, .. }
+            GovernorPolicy::Fixed {
+                cluster: ClusterKind::Little,
+                ..
+            }
         ));
         let cfg = params.config(device, cpu_model::CpuConfig::LowEnd, cc, 20);
-        specs.push(RunSpec::new(format!("{cc} @ {mean_freq:.0} MHz"), cfg, params.seeds));
+        specs.push(RunSpec::new(
+            format!("{cc} @ {mean_freq:.0} MHz"),
+            cfg,
+            params.seeds,
+        ));
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
     let ratio = reports[1].goodput_mbps / reports[0].goodput_mbps;
     table.push_row(vec![
         format!("BBR/Cubic @20 conns at {mean_freq:.0} MHz").into(),

@@ -12,7 +12,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -37,7 +37,12 @@ pub fn run(params: &Params) -> Experiment {
         .collect();
     specs.push(RunSpec::new(
         "BBR unpaced",
-        params.pixel4_with(CpuConfig::HighEnd, CcKind::Bbr, CONNS, MasterConfig::pacing_off()),
+        params.pixel4_with(
+            CpuConfig::HighEnd,
+            CcKind::Bbr,
+            CONNS,
+            MasterConfig::pacing_off(),
+        ),
         params.seeds,
     ));
     // The literature's claim (Aggarwal'00/Wei'06, cited in §5.2.3) is about
@@ -49,12 +54,22 @@ pub fn run(params: &Params) -> Experiment {
     ));
     specs.push(RunSpec::new(
         "Cubic paced (internal rate)",
-        params.pixel4_with(CpuConfig::HighEnd, CcKind::Cubic, CONNS, MasterConfig::pacing_on()),
+        params.pixel4_with(
+            CpuConfig::HighEnd,
+            CcKind::Cubic,
+            CONNS,
+            MasterConfig::pacing_on(),
+        ),
         params.seeds,
     ));
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "Jain index", "Mean RTT (ms)"]);
+    let mut table = ResultTable::new(vec![
+        "Setup",
+        "Goodput (Mbps)",
+        "Jain index",
+        "Mean RTT (ms)",
+    ]);
     for rep in &reports {
         table.push_row(vec![
             rep.label.clone().into(),

@@ -12,7 +12,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, CONN_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -26,12 +26,16 @@ pub fn run(params: &Params) -> Experiment {
         for &conns in &CONN_SWEEP {
             for cc in [CcKind::Cubic, CcKind::Bbr] {
                 let label = format!("{cc}, {config}, {conns} conns");
-                specs.push(RunSpec::new(label, params.pixel4(config, cc, conns), params.seeds));
+                specs.push(RunSpec::new(
+                    label,
+                    params.pixel4(config, cc, conns),
+                    params.seeds,
+                ));
                 keys.push((config, conns, cc));
             }
         }
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
     let goodput: HashMap<(CpuConfig, usize, CcKind), f64> = keys
         .iter()
         .zip(&reports)
@@ -137,7 +141,10 @@ mod tests {
     #[test]
     fn smoke_runs_and_produces_full_table() {
         let exp = run(&Params::smoke());
-        assert_eq!(exp.table.rows.len(), CpuConfig::ALL.len() * CONN_SWEEP.len());
+        assert_eq!(
+            exp.table.rows.len(),
+            CpuConfig::ALL.len() * CONN_SWEEP.len()
+        );
         assert_eq!(exp.checks.len(), 7);
         // Every goodput cell is a positive number.
         for r in 0..exp.table.rows.len() {

@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, CONN_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -26,10 +26,9 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table =
-        ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
+    let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut ratios = Vec::new();
     for (i, &conns) in CONN_SWEEP.iter().enumerate() {
         let cubic = reports[i * 2].goodput_mbps;
@@ -54,7 +53,13 @@ pub fn run(params: &Params) -> Experiment {
         ShapeCheck::predicate(
             "Gap grows with connection count",
             "performance gap increases as connections increase",
-            format!("BBR/Cubic: {:?}", ratios.iter().map(|r| (r * 100.0) as i64).collect::<Vec<_>>()),
+            format!(
+                "BBR/Cubic: {:?}",
+                ratios
+                    .iter()
+                    .map(|r| (r * 100.0) as i64)
+                    .collect::<Vec<_>>()
+            ),
             ratios.last().unwrap() < ratios.first().unwrap(),
         ),
     ];

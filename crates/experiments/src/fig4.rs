@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -34,10 +34,14 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table =
-        ResultTable::new(vec!["Config", "Paced (Mbps)", "Unpaced (Mbps)", "Unpaced/Paced"]);
+    let mut table = ResultTable::new(vec![
+        "Config",
+        "Paced (Mbps)",
+        "Unpaced (Mbps)",
+        "Unpaced/Paced",
+    ]);
     let mut gains = Vec::new();
     for (i, config) in CONFIGS.iter().enumerate() {
         let paced = reports[i * 2].goodput_mbps;

@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, CONN_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -25,14 +25,23 @@ pub fn run(params: &Params) -> Experiment {
         ));
         specs.push(RunSpec::new(
             format!("BBR unpaced, {conns} conns"),
-            params.pixel4_with(CpuConfig::LowEnd, CcKind::Bbr, conns, MasterConfig::pacing_off()),
+            params.pixel4_with(
+                CpuConfig::LowEnd,
+                CcKind::Bbr,
+                conns,
+                MasterConfig::pacing_off(),
+            ),
             params.seeds,
         ));
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table =
-        ResultTable::new(vec!["Conns", "Paced (Mbps)", "Unpaced (Mbps)", "Unpaced/Paced"]);
+    let mut table = ResultTable::new(vec![
+        "Conns",
+        "Paced (Mbps)",
+        "Unpaced (Mbps)",
+        "Unpaced/Paced",
+    ]);
     let mut gains = Vec::new();
     for (i, &conns) in CONN_SWEEP.iter().enumerate() {
         let paced = reports[i * 2].goodput_mbps;
@@ -54,17 +63,17 @@ pub fn run(params: &Params) -> Experiment {
             1.00,
             1.8,
         ),
-        ShapeCheck::ratio_in(
-            "5 conns: unpacing helps",
-            "+19 %",
-            gains[1],
-            1.02,
-            2.2,
-        ),
+        ShapeCheck::ratio_in("5 conns: unpacing helps", "+19 %", gains[1], 1.02, 2.2),
         ShapeCheck::predicate(
             "pacing penalty grows with connections",
             "the performance gap gets worse as the number of connections increases",
-            format!("gains: {:?} %", gains.iter().map(|g| ((g - 1.0) * 100.0) as i64).collect::<Vec<_>>()),
+            format!(
+                "gains: {:?} %",
+                gains
+                    .iter()
+                    .map(|g| ((g - 1.0) * 100.0) as i64)
+                    .collect::<Vec<_>>()
+            ),
             gains.last().unwrap() > gains.first().unwrap(),
         ),
     ];

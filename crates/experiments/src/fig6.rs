@@ -13,7 +13,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -28,8 +28,14 @@ pub fn run(params: &Params) -> Experiment {
     let setups: Vec<(&str, MasterConfig)> = vec![
         ("Cubic, no pacing (default)", MasterConfig::passthrough()),
         ("Cubic, pacing on (mss·cwnd/rtt)", MasterConfig::pacing_on()),
-        ("Cubic, paced at 20 Mbps/conn", MasterConfig::pacing_on_at(Bandwidth::from_mbps(20))),
-        ("Cubic, paced at 140 Mbps/conn", MasterConfig::pacing_on_at(Bandwidth::from_mbps(140))),
+        (
+            "Cubic, paced at 20 Mbps/conn",
+            MasterConfig::pacing_on_at(Bandwidth::from_mbps(20)),
+        ),
+        (
+            "Cubic, paced at 140 Mbps/conn",
+            MasterConfig::pacing_on_at(Bandwidth::from_mbps(140)),
+        ),
     ];
     let specs = setups
         .iter()
@@ -41,7 +47,7 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let unpaced = reports[0].goodput_mbps;
     let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "vs unpaced"]);

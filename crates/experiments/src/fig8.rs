@@ -11,7 +11,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, STRIDE_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -33,7 +33,7 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let mut headers: Vec<String> = vec!["Config".into()];
     headers.extend(STRIDE_SWEEP.iter().map(|s| format!("{s}x (Mbps)")));
@@ -71,7 +71,11 @@ pub fn run(params: &Params) -> Experiment {
         checks.push(ShapeCheck::predicate(
             format!("{config}: goodput declines past the optimum"),
             "the socket buffer saturates, limiting throughput (Table 2)",
-            format!("{:.0} at best vs {:.0} at 50x", best, goodputs.last().unwrap()),
+            format!(
+                "{:.0} at best vs {:.0} at 50x",
+                best,
+                goodputs.last().unwrap()
+            ),
             *goodputs.last().unwrap() < best * 0.95,
         ));
     }

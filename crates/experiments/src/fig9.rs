@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, CONN_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -27,13 +27,16 @@ pub fn run(params: &Params) -> Experiment {
             let mut cfg = params.pixel6(CpuConfig::LowEnd, cc, conns, MediaProfile::Lte);
             cfg.duration = params.duration * 6;
             cfg.warmup = (params.warmup * 6).max(sim_core::time::SimDuration::from_secs(4));
-            specs.push(RunSpec::new(format!("{cc}, LTE, {conns} conns"), cfg, params.seeds));
+            specs.push(RunSpec::new(
+                format!("{cc}, LTE, {conns} conns"),
+                cfg,
+                params.seeds,
+            ));
         }
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
-    let mut table =
-        ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
+    let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut all_close = true;
     let mut all_capped = true;
     let mut summary = Vec::new();

@@ -14,7 +14,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -32,10 +32,14 @@ pub fn run(params: &Params) -> Experiment {
             // Cellular-scale RTTs converge slower than LAN; stretch as fig9.
             cfg.duration = params.duration * 3;
             cfg.warmup = (params.warmup * 3).max(sim_core::time::SimDuration::from_secs(2));
-            specs.push(RunSpec::new(format!("{cc}, 5G, {conns} conns"), cfg, params.seeds));
+            specs.push(RunSpec::new(
+                format!("{cc}, 5G, {conns} conns"),
+                cfg,
+                params.seeds,
+            ));
         }
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut ratios = Vec::new();
@@ -63,7 +67,10 @@ pub fn run(params: &Params) -> Experiment {
             "similar to the WiFi and Ethernet case",
             format!(
                 "ratios {:?}",
-                ratios.iter().map(|r| (r * 100.0) as i64).collect::<Vec<_>>()
+                ratios
+                    .iter()
+                    .map(|r| (r * 100.0) as i64)
+                    .collect::<Vec<_>>()
             ),
             ratios[2] < ratios[0],
         ),

@@ -219,35 +219,11 @@ impl ExperimentId {
     }
 }
 
-/// Run labelled specs in parallel (one thread per spec, bounded by
-/// `params.threads`), preserving input order.
-pub(crate) fn run_specs_parallel(
-    specs: Vec<iperf::RunSpec>,
-    threads: usize,
-) -> Vec<iperf::RunReport> {
-    let threads = threads.max(1);
-    let n = specs.len();
-    let mut out: Vec<Option<iperf::RunReport>> = Vec::new();
-    out.resize_with(n, || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<iperf::RunReport>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let rep = iperf::run_averaged(&specs[i]);
-                *slots[i].lock().expect("slot poisoned") = Some(rep);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("spec not run"))
-        .collect()
+/// Run labelled specs through the sweep engine (`sim_core::sweep`):
+/// seed-granular cells fanned over `params.threads` workers, served from
+/// the run cache when `params.cache_dir` is set, reports in input order.
+pub(crate) fn run_specs(params: &Params, specs: Vec<iperf::RunSpec>) -> Vec<iperf::RunReport> {
+    iperf::run_specs_sweep(&specs, &params.sweep_options())
 }
 
 #[cfg(test)]

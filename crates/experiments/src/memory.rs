@@ -26,8 +26,7 @@ pub const CONNS: usize = 20;
 /// Run the memory-usage probe. (Single-seed per stride: peak memory is a
 /// maximum, not a mean, and the workload is deterministic.)
 pub fn run(params: &Params) -> Experiment {
-    let mut table =
-        ResultTable::new(vec!["Pacing Stride", "Peak memory (KB)", "Goodput (Mbps)"]);
+    let mut table = ResultTable::new(vec!["Pacing Stride", "Peak memory (KB)", "Goodput (Mbps)"]);
     let mut peaks = Vec::new();
     for &stride in &STRIDE_SWEEP {
         let cfg = params.pixel4_stride(CpuConfig::LowEnd, CcKind::Bbr, CONNS, stride);
@@ -45,7 +44,10 @@ pub fn run(params: &Params) -> Experiment {
     let checks = vec![ShapeCheck::predicate(
         "memory is unaffected by pacing strides",
         "\"We find that memory is unaffected when using pacing strides.\"",
-        format!("peak {:.0} KB at 1x vs max {:.0} KB across strides", base, max),
+        format!(
+            "peak {:.0} KB at 1x vs max {:.0} KB across strides",
+            base, max
+        ),
         max <= base * 1.5 + 100.0,
     )];
 
@@ -65,6 +67,9 @@ mod tests {
     fn smoke_runs() {
         let exp = run(&Params::smoke());
         assert_eq!(exp.table.rows.len(), STRIDE_SWEEP.len());
-        assert!(exp.table.num_at(0, 1).unwrap() > 0.0, "memory proxy is populated");
+        assert!(
+            exp.table.num_at(0, 1).unwrap() > 0.0,
+            "memory proxy is populated"
+        );
     }
 }

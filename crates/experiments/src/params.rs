@@ -28,6 +28,11 @@ pub struct Params {
     pub warmup: SimDuration,
     /// Worker threads for sweep parallelism.
     pub threads: usize,
+    /// Run-cache directory for the sweep engine; `None` disables caching.
+    /// Keyed on cell content, so presets can safely share one directory.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Print per-cell progress/timing lines to stderr as sweeps run.
+    pub progress: bool,
 }
 
 impl Params {
@@ -39,6 +44,8 @@ impl Params {
             duration: SimDuration::from_millis(1_300),
             warmup: SimDuration::from_millis(400),
             threads: available_threads(),
+            cache_dir: None,
+            progress: false,
         }
     }
 
@@ -49,16 +56,31 @@ impl Params {
             duration: SimDuration::from_millis(2_500),
             warmup: SimDuration::from_millis(700),
             threads: available_threads(),
+            cache_dir: None,
+            progress: false,
         }
     }
 
-    /// The preset behind EXPERIMENTS.md and the `repro` binary.
+    /// The preset behind EXPERIMENTS.md and the `repro` binary. Caches
+    /// finished cells under `target/sweep-cache` so a rerun is warm.
     pub fn full() -> Self {
         Params {
             seeds: 5,
             duration: SimDuration::from_secs(8),
             warmup: SimDuration::from_secs(1),
             threads: available_threads(),
+            cache_dir: Some(sim_core::sweep::SweepOptions::default_cache_dir()),
+            progress: false,
+        }
+    }
+
+    /// Sweep-engine options equivalent to these parameters.
+    pub fn sweep_options(&self) -> sim_core::sweep::SweepOptions {
+        sim_core::sweep::SweepOptions {
+            jobs: self.threads.max(1),
+            cache_dir: self.cache_dir.clone(),
+            root_seed: 1,
+            progress: self.progress,
         }
     }
 
@@ -108,7 +130,13 @@ impl Params {
     }
 
     /// Pixel 6 config on a given medium.
-    pub fn pixel6(&self, cpu: CpuConfig, cc: CcKind, conns: usize, media: MediaProfile) -> SimConfig {
+    pub fn pixel6(
+        &self,
+        cpu: CpuConfig,
+        cc: CcKind,
+        conns: usize,
+        media: MediaProfile,
+    ) -> SimConfig {
         let mut cfg = self.config(DeviceProfile::pixel6(), cpu, cc, conns);
         cfg.path = media.path_config();
         cfg
@@ -116,7 +144,9 @@ impl Params {
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -66,7 +66,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let cubic = reports[0].goodput_mbps;
     let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "vs Cubic"]);
@@ -108,9 +108,14 @@ pub fn run(params: &Params) -> Experiment {
             "progressively increasing the pacing rate increases goodput",
             format!(
                 "{:?} Mbps",
-                reports[3..].iter().map(|r| r.goodput_mbps as i64).collect::<Vec<_>>()
+                reports[3..]
+                    .iter()
+                    .map(|r| r.goodput_mbps as i64)
+                    .collect::<Vec<_>>()
             ),
-            reports[3..].windows(2).all(|w| w[1].goodput_mbps >= w[0].goodput_mbps * 0.95),
+            reports[3..]
+                .windows(2)
+                .all(|w| w[1].goodput_mbps >= w[0].goodput_mbps * 0.95),
         ),
     ];
 

@@ -8,7 +8,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::Params;
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
@@ -22,18 +22,24 @@ pub const CONNS: usize = 20;
 
 /// Run the shallow-buffer comparison.
 pub fn run(params: &Params) -> Experiment {
-    let shallow_path = MediaProfile::Ethernet.path_config().with_queue_packets(SHALLOW_QUEUE);
+    let shallow_path = MediaProfile::Ethernet
+        .path_config()
+        .with_queue_packets(SHALLOW_QUEUE);
     let mut paced_cfg = params.pixel4(CpuConfig::LowEnd, CcKind::Bbr, CONNS);
     paced_cfg.path = shallow_path.clone();
-    let mut unpaced_cfg =
-        params.pixel4_with(CpuConfig::LowEnd, CcKind::Bbr, CONNS, MasterConfig::pacing_off());
+    let mut unpaced_cfg = params.pixel4_with(
+        CpuConfig::LowEnd,
+        CcKind::Bbr,
+        CONNS,
+        MasterConfig::pacing_off(),
+    );
     unpaced_cfg.path = shallow_path;
 
     let specs = vec![
         RunSpec::new("BBR paced, 10-pkt buffer", paced_cfg, params.seeds),
         RunSpec::new("BBR unpaced, 10-pkt buffer", unpaced_cfg, params.seeds),
     ];
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
     let (paced, unpaced) = (&reports[0], &reports[1]);
 
     let mut table = ResultTable::new(vec![
@@ -61,7 +67,10 @@ pub fn run(params: &Params) -> Experiment {
         ShapeCheck::predicate(
             "goodput still increases without pacing",
             "goodput increases when disabling BBR's pacing",
-            format!("{:.0} vs {:.0} Mbps", unpaced.goodput_mbps, paced.goodput_mbps),
+            format!(
+                "{:.0} vs {:.0} Mbps",
+                unpaced.goodput_mbps, paced.goodput_mbps
+            ),
             unpaced.goodput_mbps > paced.goodput_mbps,
         ),
         ShapeCheck::predicate(

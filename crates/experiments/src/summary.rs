@@ -31,7 +31,11 @@ impl Scorecard {
                 }
             }
         }
-        Scorecard { total, passed, misses }
+        Scorecard {
+            total,
+            passed,
+            misses,
+        }
     }
 
     /// True if every check passed.
@@ -41,7 +45,10 @@ impl Scorecard {
 
     /// The one-line banner the `repro` binary prints.
     pub fn banner(&self) -> String {
-        format!("==== scorecard: {}/{} shape checks pass ====", self.passed, self.total)
+        format!(
+            "==== scorecard: {}/{} shape checks pass ====",
+            self.passed, self.total
+        )
     }
 }
 

@@ -64,12 +64,19 @@ pub struct ResultTable {
 impl ResultTable {
     /// A table with the given headers.
     pub fn new<H: Into<String>>(headers: Vec<H>) -> Self {
-        ResultTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        ResultTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header count).
     pub fn push_row(&mut self, row: Vec<Cell>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 
@@ -85,8 +92,11 @@ impl ResultTable {
     /// Render as aligned monospace text.
     pub fn render_text(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        let rendered: Vec<Vec<String>> =
-            self.rows.iter().map(|r| r.iter().map(Cell::render).collect()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -176,7 +186,7 @@ mod tests {
 
     #[test]
     fn precision_cells_render() {
-        assert_eq!(Cell::Prec(3.14159, 3).render(), "3.142");
+        assert_eq!(Cell::Prec(1.23456, 3).render(), "1.235");
         assert_eq!(Cell::Int(42).render(), "42");
         assert_eq!(Cell::Empty.render(), "");
     }

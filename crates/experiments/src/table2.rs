@@ -15,7 +15,7 @@
 use crate::checks::ShapeCheck;
 use crate::params::{Params, STRIDE_SWEEP};
 use crate::table::{Cell, ResultTable};
-use crate::{run_specs_parallel, Experiment};
+use crate::{run_specs, Experiment};
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::RunSpec;
@@ -46,7 +46,7 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs_parallel(specs, params.threads);
+    let reports = run_specs(params, specs);
 
     let rows: Vec<Row> = STRIDE_SWEEP
         .iter()
@@ -103,12 +103,16 @@ pub fn run(params: &Params) -> Experiment {
                 "{:.1} Kb at 1x → {:.1} Kb at {}x → {:.1} Kb at 50x",
                 first.skb_kb, best.skb_kb, best.stride, last.skb_kb
             ),
-            best.skb_kb > 1.4 * first.skb_kb && (last.skb_kb - best.skb_kb).abs() < 0.35 * best.skb_kb,
+            best.skb_kb > 1.4 * first.skb_kb
+                && (last.skb_kb - best.skb_kb).abs() < 0.35 * best.skb_kb,
         ),
         ShapeCheck::predicate(
             "idle time increases with stride",
             "0.88 ms at 1x → 31.1 ms at 50x",
-            format!("{:.2} ms at 1x → {:.2} ms at 50x", first.idle_ms, last.idle_ms),
+            format!(
+                "{:.2} ms at 1x → {:.2} ms at 50x",
+                first.idle_ms, last.idle_ms
+            ),
             last.idle_ms > 5.0 * first.idle_ms,
         ),
         ShapeCheck::ratio_in(
@@ -144,8 +148,10 @@ pub fn run(params: &Params) -> Experiment {
                         "{}x: {:.0} Mbps at {:.1} ms vs 1x: {:.0} Mbps at {:.1} ms",
                         r.stride, r.actual_mbps, r.rtt_ms, first.actual_mbps, first.rtt_ms
                     ),
-                    None => format!("no stride beats 1x ({:.0} Mbps, {:.1} ms) on both axes",
-                        first.actual_mbps, first.rtt_ms),
+                    None => format!(
+                        "no stride beats 1x ({:.0} Mbps, {:.1} ms) on both axes",
+                        first.actual_mbps, first.rtt_ms
+                    ),
                 },
                 win.is_some(),
             )

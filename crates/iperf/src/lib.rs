@@ -13,6 +13,8 @@
 
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use report::{render_timeline, RunReport, SeedResult};
 pub use runner::{run_averaged, run_averaged_parallel, RunSpec};
+pub use sweep::{run_specs_sweep, SeedCell};

@@ -211,7 +211,11 @@ mod tests {
         let r = RunReport::aggregate("a,b", vec![seed_result(1, 100.0, 1.0, 0)]);
         let header_cols = RunReport::csv_header().split(',').count();
         let row = r.csv_row();
-        assert_eq!(row.split(',').count(), header_cols, "row width matches header");
+        assert_eq!(
+            row.split(',').count(),
+            header_cols,
+            "row width matches header"
+        );
         assert!(row.starts_with("a;b,"), "embedded commas escaped");
         assert!(row.ends_with(",1"), "seed count last");
     }

@@ -18,7 +18,11 @@ impl RunSpec {
     /// A spec over seeds `1..=n`.
     pub fn new(label: impl Into<String>, config: SimConfig, n_seeds: u64) -> Self {
         assert!(n_seeds >= 1, "need at least one seed");
-        RunSpec { label: label.into(), config, seeds: (1..=n_seeds).collect() }
+        RunSpec {
+            label: label.into(),
+            config,
+            seeds: (1..=n_seeds).collect(),
+        }
     }
 
     fn run_seed(&self, seed: u64) -> SeedResult {
@@ -35,18 +39,17 @@ pub fn run_averaged(spec: &RunSpec) -> RunReport {
     RunReport::aggregate(spec.label.clone(), seeds)
 }
 
-/// Run a spec with one OS thread per seed (simulations are independent and
-/// CPU-bound; the experiment sweeps in the bench harness lean on this).
+/// Run a spec with one worker per seed via the sweep engine (simulations
+/// are independent and CPU-bound). Bit-identical to [`run_averaged`] by
+/// the engine's determinism contract (`sim_core::sweep`); no caching.
 pub fn run_averaged_parallel(spec: &RunSpec) -> RunReport {
-    let results: Vec<SeedResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = spec
-            .seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || spec.run_seed(seed)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("seed run panicked")).collect()
-    });
-    RunReport::aggregate(spec.label.clone(), results)
+    let opts = sim_core::sweep::SweepOptions {
+        jobs: spec.seeds.len().max(1),
+        ..sim_core::sweep::SweepOptions::default()
+    };
+    crate::sweep::run_specs_sweep(std::slice::from_ref(spec), &opts)
+        .pop()
+        .expect("one spec in, one report out")
 }
 
 #[cfg(test)]
@@ -57,8 +60,12 @@ mod tests {
     use sim_core::time::SimDuration;
 
     fn tiny_config() -> SimConfig {
-        let mut cfg =
-            SimConfig::new(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Cubic, 2);
+        let mut cfg = SimConfig::new(
+            DeviceProfile::pixel4(),
+            CpuConfig::HighEnd,
+            CcKind::Cubic,
+            2,
+        );
         cfg.duration = SimDuration::from_millis(800);
         cfg.warmup = SimDuration::from_millis(300);
         cfg
@@ -69,7 +76,10 @@ mod tests {
         let spec = RunSpec::new("agree", tiny_config(), 3);
         let seq = run_averaged(&spec);
         let par = run_averaged_parallel(&spec);
-        assert_eq!(seq.goodput_mbps, par.goodput_mbps, "determinism across threading");
+        assert_eq!(
+            seq.goodput_mbps, par.goodput_mbps,
+            "determinism across threading"
+        );
         assert_eq!(seq.mean_retx, par.mean_retx);
     }
 

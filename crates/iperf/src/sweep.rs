@@ -1,0 +1,246 @@
+//! Sweep-engine integration: one cell per (configuration, seed).
+//!
+//! This is the bridge between [`RunSpec`]'s seed lists and
+//! [`sim_core::sweep`]'s generic engine. Each seed of each spec becomes one
+//! [`SeedCell`]; the engine fans cells across workers, serves repeats from
+//! the content-addressed run cache, and returns outputs in submission
+//! order, which [`run_specs_sweep`] folds back into per-spec
+//! [`RunReport`]s.
+//!
+//! The cache key is the canonical JSON of the **entire** [`SimConfig`]
+//! (with the cell's seed already applied), so any config change — device,
+//! path, pacing stride, duration, seed — yields a different key.
+//! Configurations that write a pcap are never cached: a hit would skip the
+//! capture side effect.
+
+use crate::report::{RunReport, SeedResult};
+use crate::runner::RunSpec;
+use sim_core::sweep::{run_sweep, SweepCell, SweepOptions};
+use sim_core::SimRng;
+use tcp_sim::{SimConfig, StackSim};
+
+/// One (configuration, seed) simulation in a sweep.
+pub struct SeedCell {
+    /// The owning spec's display label.
+    pub label: String,
+    /// Full configuration with the cell's seed already applied.
+    pub config: SimConfig,
+}
+
+impl SweepCell for SeedCell {
+    type Output = SeedResult;
+
+    fn label(&self) -> String {
+        format!("{} [seed {}]", self.label, self.config.seed)
+    }
+
+    fn key_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(&self.config)
+            .expect("SimConfig serializes infallibly")
+            .into_bytes()
+    }
+
+    /// The simulation derives all randomness from `config.seed`, so the
+    /// engine-provided split RNG is deliberately unused — the cell is a
+    /// pure function of its key either way, which is what the determinism
+    /// contract needs.
+    fn run(&self, _rng: SimRng) -> SeedResult {
+        let res = StackSim::new(self.config.clone()).run();
+        SeedResult::from_sim(self.config.seed, &res)
+    }
+
+    fn encode(output: &SeedResult) -> Option<Vec<u8>> {
+        let mut buf = Vec::with_capacity(80);
+        buf.extend_from_slice(&output.seed.to_le_bytes());
+        buf.extend_from_slice(&output.goodput_mbps.to_le_bytes());
+        buf.extend_from_slice(&output.mean_rtt_ms.to_le_bytes());
+        buf.extend_from_slice(&output.p95_rtt_ms.to_le_bytes());
+        buf.extend_from_slice(&output.retx.to_le_bytes());
+        buf.extend_from_slice(&output.fairness.to_le_bytes());
+        buf.extend_from_slice(&output.mean_skb_bytes.to_le_bytes());
+        buf.extend_from_slice(&output.mean_idle_ms.to_le_bytes());
+        buf.extend_from_slice(&output.mean_freq_hz.to_le_bytes());
+        buf.extend_from_slice(&output.timer_fires.to_le_bytes());
+        Some(buf)
+    }
+
+    fn decode(bytes: &[u8]) -> Option<SeedResult> {
+        if bytes.len() != 80 {
+            return None;
+        }
+        let u = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        let f = |i: usize| f64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+        Some(SeedResult {
+            seed: u(0),
+            goodput_mbps: f(1),
+            mean_rtt_ms: f(2),
+            p95_rtt_ms: f(3),
+            retx: u(4),
+            fairness: f(5),
+            mean_skb_bytes: f(6),
+            mean_idle_ms: f(7),
+            mean_freq_hz: f(8),
+            timer_fires: u(9),
+        })
+    }
+
+    fn cacheable(&self) -> bool {
+        self.config.pcap.is_none()
+    }
+}
+
+/// Run every seed of every spec through the sweep engine, then aggregate
+/// back into one [`RunReport`] per spec (same order as `specs`).
+pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Vec<RunReport> {
+    let mut cells = Vec::new();
+    for spec in specs {
+        for &seed in &spec.seeds {
+            let mut config = spec.config.clone();
+            config.seed = seed;
+            cells.push(SeedCell {
+                label: spec.label.clone(),
+                config,
+            });
+        }
+    }
+    let report = run_sweep(&cells, opts);
+    let mut outputs = report.outputs.into_iter();
+    specs
+        .iter()
+        .map(|spec| {
+            let seeds: Vec<SeedResult> = (&mut outputs).take(spec.seeds.len()).collect();
+            RunReport::aggregate(spec.label.clone(), seeds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_averaged;
+    use congestion::CcKind;
+    use cpu_model::{CpuConfig, DeviceProfile};
+    use sim_core::time::SimDuration;
+
+    fn tiny_config() -> SimConfig {
+        let mut cfg = SimConfig::new(
+            DeviceProfile::pixel4(),
+            CpuConfig::HighEnd,
+            CcKind::Cubic,
+            2,
+        );
+        cfg.duration = SimDuration::from_millis(800);
+        cfg.warmup = SimDuration::from_millis(300);
+        cfg
+    }
+
+    fn temp_cache(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iperf-sweep-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sweep_matches_serial_runner() {
+        let spec = RunSpec::new("sweep-agree", tiny_config(), 3);
+        let baseline = run_averaged(&spec);
+        for jobs in [1, 3] {
+            let opts = SweepOptions {
+                jobs,
+                ..SweepOptions::default()
+            };
+            let swept = run_specs_sweep(std::slice::from_ref(&spec), &opts);
+            assert_eq!(swept.len(), 1);
+            assert_eq!(swept[0].goodput_mbps, baseline.goodput_mbps, "jobs={jobs}");
+            assert_eq!(swept[0].mean_rtt_ms, baseline.mean_rtt_ms, "jobs={jobs}");
+            assert_eq!(swept[0].mean_retx, baseline.mean_retx, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn seed_result_codec_round_trips_exactly() {
+        let original = SeedResult {
+            seed: 42,
+            goodput_mbps: 123.456789,
+            mean_rtt_ms: 3.25,
+            p95_rtt_ms: 7.125,
+            retx: 17,
+            fairness: 0.987654321,
+            mean_skb_bytes: 52_431.5,
+            mean_idle_ms: 0.015625,
+            mean_freq_hz: 5.76e8,
+            timer_fires: 123_456,
+        };
+        let bytes = SeedCell::encode(&original).unwrap();
+        assert_eq!(bytes.len(), 80);
+        let decoded = SeedCell::decode(&bytes).unwrap();
+        assert_eq!(decoded.seed, original.seed);
+        assert_eq!(
+            decoded.goodput_mbps.to_bits(),
+            original.goodput_mbps.to_bits()
+        );
+        assert_eq!(decoded.fairness.to_bits(), original.fairness.to_bits());
+        assert_eq!(decoded.timer_fires, original.timer_fires);
+        assert!(
+            SeedCell::decode(&bytes[..79]).is_none(),
+            "short buffer rejected"
+        );
+    }
+
+    #[test]
+    fn cached_rerun_is_identical() {
+        let dir = temp_cache("identical");
+        let spec = RunSpec::new("cached", tiny_config(), 2);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::default()
+        };
+        let cold = run_specs_sweep(std::slice::from_ref(&spec), &opts);
+        let warm = run_specs_sweep(std::slice::from_ref(&spec), &opts);
+        assert_eq!(cold[0].goodput_mbps, warm[0].goodput_mbps);
+        assert_eq!(cold[0].goodput_std, warm[0].goodput_std);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pcap_configs_are_uncacheable() {
+        let mut cfg = tiny_config();
+        cfg.pcap = Some(std::path::PathBuf::from("/tmp/unused.pcap"));
+        let cell = SeedCell {
+            label: "pcap".into(),
+            config: cfg,
+        };
+        assert!(!cell.cacheable());
+        let cell = SeedCell {
+            label: "plain".into(),
+            config: tiny_config(),
+        };
+        assert!(cell.cacheable());
+    }
+
+    #[test]
+    fn distinct_configs_have_distinct_keys() {
+        let a = SeedCell {
+            label: "a".into(),
+            config: tiny_config(),
+        };
+        let mut cfg = tiny_config();
+        cfg.seed = 2;
+        let b = SeedCell {
+            label: "a".into(),
+            config: cfg,
+        };
+        assert_ne!(a.key_bytes(), b.key_bytes(), "seed must be part of the key");
+        let mut cfg = tiny_config();
+        cfg.pacing.stride += 1;
+        let c = SeedCell {
+            label: "a".into(),
+            config: cfg,
+        };
+        assert_ne!(
+            a.key_bytes(),
+            c.key_bytes(),
+            "stride must be part of the key"
+        );
+    }
+}

@@ -64,7 +64,10 @@ impl Codel {
     /// A controller with the given parameters.
     pub fn new(config: CodelConfig) -> Self {
         assert!(!config.target.is_zero(), "target must be positive");
-        assert!(config.interval > config.target, "interval must exceed target");
+        assert!(
+            config.interval > config.target,
+            "interval must exceed target"
+        );
         Codel {
             config,
             first_above: None,
@@ -178,7 +181,10 @@ mod tests {
             }
         }
         let at = first_drop.expect("persistent bloat must trigger drops");
-        assert!((100..=110).contains(&at), "first drop near the 100 ms interval, got {at}");
+        assert!(
+            (100..=110).contains(&at),
+            "first drop near the 100 ms interval, got {at}"
+        );
         assert!(c.drops() > 1, "dropping continues under persistent bloat");
     }
 
@@ -241,7 +247,10 @@ mod tests {
         }
         assert!(drops_in_second.len() >= 2);
         let gap = drops_in_second[1] - drops_in_second[0];
-        assert!(gap < 100, "re-entry control law must be faster, gap {gap} ms");
+        assert!(
+            gap < 100,
+            "re-entry control law must be faster, gap {gap} ms"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct CrossTrafficConfig {
 impl CrossTrafficConfig {
     /// Full-size frames at the given rate.
     pub fn at(rate: Bandwidth) -> Self {
-        CrossTrafficConfig { rate, pkt_bytes: 1514 }
+        CrossTrafficConfig {
+            rate,
+            pkt_bytes: 1514,
+        }
     }
 }
 
@@ -41,9 +44,17 @@ pub struct CrossTraffic {
 impl CrossTraffic {
     /// A source starting at t = 0, drawing inter-arrivals from `rng`.
     pub fn new(config: CrossTrafficConfig, rng: SimRng) -> Self {
-        assert!(!config.rate.is_zero(), "cross-traffic rate must be positive");
+        assert!(
+            !config.rate.is_zero(),
+            "cross-traffic rate must be positive"
+        );
         assert!(config.pkt_bytes > 0, "cross packets must have size");
-        let mut s = CrossTraffic { config, rng, next: SimTime::ZERO, generated: 0 };
+        let mut s = CrossTraffic {
+            config,
+            rng,
+            next: SimTime::ZERO,
+            generated: 0,
+        };
         s.next = s.draw_next(SimTime::ZERO);
         s
     }

@@ -28,9 +28,9 @@
 pub mod codel;
 pub mod crosstraffic;
 pub mod link;
-pub mod pcap;
 pub mod media;
 pub mod netem;
+pub mod pcap;
 
 pub use codel::{Codel, CodelConfig};
 pub use link::{BottleneckLink, LinkConfig, SendOutcome, VariableRate};

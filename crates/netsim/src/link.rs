@@ -67,7 +67,12 @@ impl LinkConfig {
     pub fn new(rate: Bandwidth, propagation: SimDuration, queue_packets: usize) -> Self {
         assert!(!rate.is_zero(), "link rate must be positive");
         assert!(queue_packets >= 1, "queue must hold at least one packet");
-        LinkConfig { rate, propagation, queue_packets, codel: None }
+        LinkConfig {
+            rate,
+            propagation,
+            queue_packets,
+            codel: None,
+        }
     }
 
     /// Enable CoDel AQM on this link.
@@ -155,12 +160,14 @@ impl BottleneckLink {
     }
 
     fn maybe_resample(&mut self, now: SimTime) {
-        let Some((var, rng)) = self.variable.as_mut() else { return };
+        let Some((var, rng)) = self.variable.as_mut() else {
+            return;
+        };
         while now >= self.next_resample {
             let span = var.max.as_bps() - var.min.as_bps();
             let draw = if span == 0 { 0 } else { rng.below(span + 1) };
             self.current_rate = Bandwidth::from_bps(var.min.as_bps() + draw);
-            self.next_resample = self.next_resample + var.period;
+            self.next_resample += var.period;
         }
     }
 
@@ -190,7 +197,11 @@ impl BottleneckLink {
             self.stats.dropped += 1;
             return SendOutcome::Dropped;
         }
-        let start = if self.last_depart > now { self.last_depart } else { now };
+        let start = if self.last_depart > now {
+            self.last_depart
+        } else {
+            now
+        };
         // CoDel evaluates the packet's prospective sojourn (known exactly
         // under FIFO service) at enqueue time.
         if let Some(codel) = self.codel.as_mut() {
@@ -205,7 +216,10 @@ impl BottleneckLink {
         self.in_flight.push_back(departs);
         self.stats.accepted += 1;
         self.stats.bytes += wire_bytes;
-        SendOutcome::Accepted { departs, arrival: departs + self.config.propagation }
+        SendOutcome::Accepted {
+            departs,
+            arrival: departs + self.config.propagation,
+        }
     }
 }
 
@@ -250,7 +264,10 @@ mod tests {
         // Offer the next packet well after the first has departed.
         let t = SimTime::from_micros(100);
         let out = link.send(t, 1514);
-        assert_eq!(out.arrival().unwrap(), t + SimDuration::from_nanos(12_112) + SimDuration::from_micros(200));
+        assert_eq!(
+            out.arrival().unwrap(),
+            t + SimDuration::from_nanos(12_112) + SimDuration::from_micros(200)
+        );
     }
 
     #[test]
@@ -263,7 +280,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert_eq!(dropped, 34, "10-packet buffer admits 10 of a 44-packet burst");
+        assert_eq!(
+            dropped, 34,
+            "10-packet buffer admits 10 of a 44-packet burst"
+        );
         assert_eq!(link.stats().dropped, 34);
         assert_eq!(link.stats().accepted, 10);
     }
@@ -291,7 +311,7 @@ mod tests {
         for _ in 0..1000 {
             assert!(!link.send(now, 1514).is_dropped());
             assert!(link.queue_delay(now) <= SimDuration::from_micros(13));
-            now = now + gap;
+            now += gap;
         }
     }
 
@@ -322,7 +342,10 @@ mod tests {
             let ob = b.send(t, 1514);
             assert_eq!(oa, ob, "same seed must give identical outcomes");
             let r = a.current_rate();
-            assert!(r >= Bandwidth::from_mbps(400) && r <= Bandwidth::from_mbps(900), "rate {r}");
+            assert!(
+                r >= Bandwidth::from_mbps(400) && r <= Bandwidth::from_mbps(900),
+                "rate {r}"
+            );
         }
     }
 
@@ -349,7 +372,7 @@ mod tests {
             let mut now = SimTime::ZERO;
             let mut last_arrival = SimTime::ZERO;
             for (size, gap) in sizes.iter().zip(gaps.iter().cycle()) {
-                now = now + SimDuration::from_nanos(*gap);
+                now += SimDuration::from_nanos(*gap);
                 if let SendOutcome::Accepted { arrival, .. } = link.send(now, *size) {
                     prop_assert!(arrival >= last_arrival);
                     last_arrival = arrival;
@@ -384,7 +407,7 @@ mod tests {
                 if let SendOutcome::Accepted { departs, .. } = link.send(SimTime::ZERO, s) {
                     last = departs;
                 }
-                expected = expected + rate.time_to_send(s);
+                expected += rate.time_to_send(s);
             }
             prop_assert_eq!(last, expected);
         }

@@ -197,7 +197,10 @@ mod tests {
         let p = MediaProfile::Ethernet.path_config();
         assert_eq!(p.bottleneck_rate(), Bandwidth::from_gbps(1));
         assert!(p.forward_var.is_none(), "Ethernet rate is stable");
-        assert!(p.forward_netem.is_noop(), "paper's default: no tc conditions");
+        assert!(
+            p.forward_netem.is_noop(),
+            "paper's default: no tc conditions"
+        );
         // LAN-scale base RTT, well under a millisecond.
         assert!(p.base_rtt() < SimDuration::from_millis(1));
     }
@@ -227,7 +230,10 @@ mod tests {
         let p = MediaProfile::FiveG.path_config();
         assert!(p.bottleneck_rate() >= Bandwidth::from_mbps(150));
         assert!(p.bottleneck_rate() > MediaProfile::Lte.path_config().bottleneck_rate());
-        assert!(p.base_rtt() >= SimDuration::from_millis(10), "cellular-scale RTT");
+        assert!(
+            p.base_rtt() >= SimDuration::from_millis(10),
+            "cellular-scale RTT"
+        );
         assert!(p.forward_var.is_some(), "mmWave varies");
     }
 

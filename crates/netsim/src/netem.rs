@@ -95,7 +95,13 @@ pub struct Netem {
 impl Netem {
     /// Build a netem stage with its own RNG stream.
     pub fn new(config: NetemConfig, rng: SimRng) -> Self {
-        Netem { config, rng, rate_busy_until: SimTime::ZERO, drops: 0, passed: 0 }
+        Netem {
+            config,
+            rng,
+            rate_busy_until: SimTime::ZERO,
+            drops: 0,
+            passed: 0,
+        }
     }
 
     /// Offer a packet of `wire_bytes` at `now`.
@@ -107,13 +113,17 @@ impl Netem {
         let mut release = now + self.config.delay;
         if !self.config.jitter.is_zero() {
             let j = self.rng.below(self.config.jitter.as_nanos() + 1);
-            release = release + SimDuration::from_nanos(j);
+            release += SimDuration::from_nanos(j);
         }
         if self.config.reorder > 0.0 && self.rng.chance(self.config.reorder) {
-            release = release + self.config.reorder_gap;
+            release += self.config.reorder_gap;
         }
         if let Some(rate) = self.config.rate_limit {
-            let start = if self.rate_busy_until > release { self.rate_busy_until } else { release };
+            let start = if self.rate_busy_until > release {
+                self.rate_busy_until
+            } else {
+                release
+            };
             let done = start + rate.time_to_send(wire_bytes);
             self.rate_busy_until = done;
             release = done;
@@ -238,7 +248,10 @@ mod tests {
                 }
             }
         }
-        assert!((400..600).contains(&delayed), "roughly half delayed, got {delayed}");
+        assert!(
+            (400..600).contains(&delayed),
+            "roughly half delayed, got {delayed}"
+        );
     }
 
     #[test]

@@ -114,7 +114,8 @@ mod tests {
     #[test]
     fn roundtrip_frames_with_timestamps() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
-        w.write_frame(SimTime::from_micros(1_500), &[1, 2, 3]).unwrap();
+        w.write_frame(SimTime::from_micros(1_500), &[1, 2, 3])
+            .unwrap();
         w.write_frame(SimTime::from_secs(2), &[0xAA; 60]).unwrap();
         assert_eq!(w.records(), 2);
         let buf = w.finish().unwrap();
@@ -128,7 +129,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let garbage = vec![0u8; 24];
+        let garbage = [0u8; 24];
         assert!(read_pcap(&garbage[..]).is_err());
     }
 

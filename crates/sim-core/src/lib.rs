@@ -20,14 +20,23 @@
 //! [`units`] (bandwidth, byte counts, and the byte↔time conversions every
 //! pacing computation needs) and [`metrics`] (counters, time series, and
 //! streaming summary statistics used by the iperf-style reports).
+//!
+//! Batch execution lives in [`sweep`]: a parallel, deterministic sweep
+//! engine with a content-addressed run cache, used by the `repro` and
+//! `ablations` binaries to fan experiment cells across worker threads
+//! while staying bit-identical to a serial run.
+
+#![warn(missing_docs)]
 
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod sweep;
 pub mod time;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent, TimerToken};
 pub use rng::SimRng;
+pub use sweep::{run_sweep, CellReport, SweepCell, SweepOptions, SweepReport};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteCount, ByteSize};

@@ -22,7 +22,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -42,12 +48,20 @@ impl Summary {
 
     /// Arithmetic mean (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population standard deviation (0 if fewer than 2 samples).
     pub fn std_dev(&self) -> f64 {
-        if self.count < 2 { 0.0 } else { (self.m2 / self.count as f64).sqrt() }
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
     }
 
     /// Minimum (`None` if empty).
@@ -98,7 +112,12 @@ impl Reservoir {
     /// A reservoir keeping at most `cap` samples.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "reservoir capacity must be positive");
-        Reservoir { cap, seen: 0, samples: Vec::new(), rng_state: 0x243F_6A88_85A3_08D3 }
+        Reservoir {
+            cap,
+            seen: 0,
+            samples: Vec::new(),
+            rng_state: 0x243F_6A88_85A3_08D3,
+        }
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -168,7 +187,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// A series that keeps at most one point per `min_gap`.
     pub fn new(min_gap: SimDuration) -> Self {
-        TimeSeries { min_gap, points: Vec::new() }
+        TimeSeries {
+            min_gap,
+            points: Vec::new(),
+        }
     }
 
     /// Record a point.
@@ -206,7 +228,10 @@ impl UtilWindow {
     /// A tracker over a trailing `window`.
     pub fn new(window: SimDuration) -> Self {
         assert!(!window.is_zero(), "utilization window must be non-zero");
-        UtilWindow { window, intervals: std::collections::VecDeque::new() }
+        UtilWindow {
+            window,
+            intervals: std::collections::VecDeque::new(),
+        }
     }
 
     /// Record that the resource was busy on `[start, end)`.
@@ -246,7 +271,11 @@ impl UtilWindow {
             }
         }
         let span = now.saturating_since(window_start);
-        if span.is_zero() { 0.0 } else { (busy / span).min(1.0) }
+        if span.is_zero() {
+            0.0
+        } else {
+            (busy / span).min(1.0)
+        }
     }
 }
 

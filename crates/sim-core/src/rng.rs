@@ -67,7 +67,8 @@ impl SimRng {
     /// plus the label — it does not consume parent state, so the order in
     /// which children are split off is irrelevant.
     pub fn split(&self, label: u64) -> SimRng {
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut sm =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -82,6 +83,9 @@ impl SimRng {
     }
 
     /// Next raw 64-bit output (xoshiro256** scrambler).
+    // Not `Iterator::next`: this never ends and returns `u64`, not
+    // `Option<u64>`; renaming would churn every call site for no gain.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -301,7 +305,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.05, "normal mean {mean}");
-        assert!((var.sqrt() - 2.0).abs() < 0.05, "normal stddev {}", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.05,
+            "normal stddev {}",
+            var.sqrt()
+        );
     }
 
     #[test]
@@ -325,7 +333,12 @@ mod tests {
         // every experiment in the workspace.
         assert_eq!(
             first,
-            vec![0xbe6a36374160d49b, 0x214aaa0637a688c6, 0xf69d16de9954d388, 0xc60048c4e96e033]
+            vec![
+                0xbe6a36374160d49b,
+                0x214aaa0637a688c6,
+                0xf69d16de9954d388,
+                0xc60048c4e96e033
+            ]
         );
     }
 

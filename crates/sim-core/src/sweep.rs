@@ -1,0 +1,636 @@
+//! Parallel deterministic sweep engine.
+//!
+//! A *sweep* is a batch of independent simulation cells (one config × seed
+//! combination each) fanned out across a pool of worker threads. The engine
+//! guarantees three properties:
+//!
+//! # Determinism contract
+//!
+//! Parallel output is **bit-identical** to serial output, for any worker
+//! count. This holds because:
+//!
+//! 1. every cell draws randomness from its own [`SimRng`], derived as
+//!    `SimRng::new(root_seed).split(fnv64(cell.key_bytes()))` — a pure
+//!    function of the sweep's root seed and the cell's identity, never of
+//!    scheduling order or worker id;
+//! 2. cells are pure functions of `(key_bytes, rng)` — they share no
+//!    mutable state;
+//! 3. outputs are collected into a slot vector indexed by the cell's input
+//!    position, so the returned `Vec` is in submission order regardless of
+//!    completion order.
+//!
+//! Under this contract `run_sweep(cells, jobs=N)` and `run_sweep(cells,
+//! jobs=1)` return identical results, which the workspace asserts end to
+//! end in `tests/sweep_determinism.rs`.
+//!
+//! # Cache-key scheme
+//!
+//! With [`SweepOptions::cache_dir`] set, finished cells are persisted in a
+//! content-addressed run cache. The key is the cell's *content*, not its
+//! label or position: `key_bytes()` must be a canonical serialization of
+//! everything that influences the result (full config **and** seed — the
+//! caller includes the sweep's root seed in the bytes when it participates).
+//! The cache file name is 32 hex digits from two independent FNV-1a hashes
+//! of `key_bytes` (one plain, one with a tweaked offset basis), so
+//! accidental collisions require simultaneously colliding both streams.
+//! Entries are written atomically (temp file + rename) in a checksummed
+//! envelope:
+//!
+//! ```text
+//! magic "SWPC" | version u32 LE | payload_len u64 LE | fnv64(payload) LE | payload
+//! ```
+//!
+//! A reader that finds a missing, truncated, mis-versioned, or
+//! checksum-mismatched entry silently recomputes the cell and rewrites the
+//! entry; a cache can never poison a sweep. Cells whose execution has side
+//! effects (e.g. pcap capture) opt out via [`SweepCell::cacheable`].
+//!
+//! # Progress and timing
+//!
+//! Each finished cell is reported through a [`CellReport`] (label, wall
+//! time, cache hit flag) in the returned [`SweepReport`]; with
+//! [`SweepOptions::progress`] set, a `[k/n] label — time` line is also
+//! printed to stderr as cells complete (completion order, for liveness).
+
+use crate::rng::SimRng;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// FNV-1a offset basis (the standard one).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Magic bytes opening every cache entry.
+const CACHE_MAGIC: &[u8; 4] = b"SWPC";
+/// Cache envelope version; bump when the payload codec changes.
+const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a hash of `bytes`, starting from `basis`.
+fn fnv64_from(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash of `bytes` with the standard offset basis.
+///
+/// This is the hash the engine uses to derive per-cell RNG labels; it is
+/// exposed so callers can reproduce a cell's RNG stream out of band.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_from(FNV_OFFSET, bytes)
+}
+
+/// One unit of work in a sweep.
+///
+/// Implementations must be pure: the output may depend only on
+/// [`key_bytes`](Self::key_bytes) and the provided [`SimRng`]. See the
+/// [module docs](self) for the determinism contract this buys.
+pub trait SweepCell: Sync {
+    /// Result of running one cell.
+    type Output: Send;
+
+    /// Human-readable name used in progress lines (not part of the key).
+    fn label(&self) -> String;
+
+    /// Canonical serialization of everything that influences the output.
+    ///
+    /// Doubles as the cache key and the RNG split label, so it must be
+    /// stable across runs and distinct across semantically distinct cells.
+    fn key_bytes(&self) -> Vec<u8>;
+
+    /// Run the cell with its derived RNG.
+    fn run(&self, rng: SimRng) -> Self::Output;
+
+    /// Serialize an output for the run cache.
+    ///
+    /// Return `None` to skip caching this output (the sweep still returns
+    /// it). `decode(encode(x))` must reproduce `x` exactly.
+    fn encode(output: &Self::Output) -> Option<Vec<u8>>;
+
+    /// Deserialize a cached output; `None` rejects the entry (recompute).
+    fn decode(bytes: &[u8]) -> Option<Self::Output>;
+
+    /// Whether this cell may be served from / written to the cache.
+    ///
+    /// Cells with side effects (pcap capture, file output) must return
+    /// `false`: a cache hit would skip the side effect.
+    fn cacheable(&self) -> bool {
+        true
+    }
+}
+
+/// Knobs controlling how [`run_sweep`] executes a batch of cells.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker thread count; `1` runs serially on the calling thread.
+    pub jobs: usize,
+    /// Run-cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Seed from which every cell's RNG is split (see module docs).
+    pub root_seed: u64,
+    /// Print a per-cell completion line to stderr.
+    pub progress: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            cache_dir: None,
+            root_seed: 1,
+            progress: false,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Serial, cache-less, quiet options with the given root seed.
+    pub fn serial(root_seed: u64) -> Self {
+        SweepOptions {
+            root_seed,
+            ..SweepOptions::default()
+        }
+    }
+
+    /// The default cache location, `<target-ish dir>/sweep-cache`.
+    ///
+    /// Resolved relative to the current working directory so `repro` and
+    /// `ablations` invoked from the workspace root share one cache.
+    pub fn default_cache_dir() -> PathBuf {
+        PathBuf::from("target").join("sweep-cache")
+    }
+}
+
+/// Timing record for one finished cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell's [`SweepCell::label`].
+    pub label: String,
+    /// Wall-clock time spent obtaining the output (compute or cache read).
+    pub elapsed: Duration,
+    /// Whether the output came from the run cache.
+    pub cache_hit: bool,
+}
+
+/// Everything a sweep produced: outputs plus per-cell accounting.
+#[derive(Debug)]
+pub struct SweepReport<O> {
+    /// Cell outputs, in submission order (never completion order).
+    pub outputs: Vec<O>,
+    /// Per-cell timing, in submission order.
+    pub cells: Vec<CellReport>,
+    /// Total wall-clock time of the sweep.
+    pub elapsed: Duration,
+}
+
+impl<O> SweepReport<O> {
+    /// Number of cells served from the run cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cells.iter().filter(|c| c.cache_hit).count()
+    }
+}
+
+/// Cache file path for a cell key: 32 hex digits from two independent
+/// FNV-1a streams (see module docs).
+fn cache_path(dir: &Path, key: &[u8]) -> PathBuf {
+    let a = fnv64(key);
+    // Second stream: tweaked offset basis, so a collision must hold in two
+    // unrelated hash states at once.
+    let b = fnv64_from(FNV_OFFSET ^ 0x5bd1_e995_9d1b_54a5, key);
+    dir.join(format!("{a:016x}{b:016x}.bin"))
+}
+
+/// Read and validate a cache entry; `None` on any defect.
+fn cache_read(path: &Path) -> Option<Vec<u8>> {
+    let mut file = std::fs::File::open(path).ok()?;
+    let mut header = [0u8; 4 + 4 + 8 + 8];
+    file.read_exact(&mut header).ok()?;
+    if &header[0..4] != CACHE_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(header[4..8].try_into().unwrap()) != CACHE_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    // Reject absurd lengths before allocating (a corrupt header could
+    // otherwise ask for an exabyte).
+    if len > 1 << 32 {
+        return None;
+    }
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload).ok()?;
+    let mut trailing = [0u8; 1];
+    if file.read(&mut trailing).ok()? != 0 {
+        return None; // longer than the header claims
+    }
+    if fnv64(&payload) != checksum {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Atomically persist a cache entry (temp file + rename).
+fn cache_write(path: &Path, payload: &[u8]) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // cache is best-effort; never fail the sweep
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let ok = (|| {
+        let mut f = std::fs::File::create(&tmp).ok()?;
+        f.write_all(CACHE_MAGIC).ok()?;
+        f.write_all(&CACHE_VERSION.to_le_bytes()).ok()?;
+        f.write_all(&(payload.len() as u64).to_le_bytes()).ok()?;
+        f.write_all(&fnv64(payload).to_le_bytes()).ok()?;
+        f.write_all(payload).ok()?;
+        f.sync_all().ok()?;
+        Some(())
+    })()
+    .is_some();
+    if !ok || std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Obtain one cell's output: cache probe, else compute (and back-fill).
+fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, bool) {
+    let key = cell.key_bytes();
+    let cache_file = match (&opts.cache_dir, cell.cacheable()) {
+        (Some(dir), true) => Some(cache_path(dir, &key)),
+        _ => None,
+    };
+    if let Some(path) = &cache_file {
+        if let Some(output) = cache_read(path).and_then(|p| C::decode(&p)) {
+            return (output, true);
+        }
+    }
+    let rng = SimRng::new(opts.root_seed).split(fnv64(&key));
+    let output = cell.run(rng);
+    if let Some(path) = &cache_file {
+        if let Some(payload) = C::encode(&output) {
+            cache_write(path, &payload);
+        }
+    }
+    (output, false)
+}
+
+/// Run every cell and collect outputs in submission order.
+///
+/// With `opts.jobs > 1` the cells are fanned across that many scoped
+/// worker threads pulling from a shared atomic work queue; see the
+/// [module docs](self) for why the result is nevertheless bit-identical
+/// to `jobs == 1`.
+pub fn run_sweep<C: SweepCell>(cells: &[C], opts: &SweepOptions) -> SweepReport<C::Output> {
+    /// One result slot, filled exactly once by whichever worker ran the cell.
+    type Slot<O> = Mutex<Option<(O, CellReport)>>;
+
+    let started = Instant::now();
+    let total = cells.len();
+    let jobs = opts.jobs.max(1).min(total.max(1));
+    let done = AtomicUsize::new(0);
+
+    let mut slots: Vec<Slot<C::Output>> = Vec::with_capacity(total);
+    slots.resize_with(total, || Mutex::new(None));
+
+    let finish_one = |idx: usize, cell: &C| {
+        let cell_started = Instant::now();
+        let (output, cache_hit) = run_cell(cell, opts);
+        let report = CellReport {
+            label: cell.label(),
+            elapsed: cell_started.elapsed(),
+            cache_hit,
+        };
+        if opts.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!(
+                "  [{k}/{total}] {} — {:.1?}{}",
+                report.label,
+                report.elapsed,
+                if cache_hit { " (cached)" } else { "" }
+            );
+        }
+        *slots[idx].lock().unwrap() = Some((output, report));
+    };
+
+    if jobs <= 1 {
+        for (idx, cell) in cells.iter().enumerate() {
+            finish_one(idx, cell);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    finish_one(idx, &cells[idx]);
+                });
+            }
+        });
+    }
+
+    let mut outputs = Vec::with_capacity(total);
+    let mut reports = Vec::with_capacity(total);
+    for slot in slots {
+        let (output, report) = slot
+            .into_inner()
+            .unwrap()
+            .expect("sweep cell left no output");
+        outputs.push(output);
+        reports.push(report);
+    }
+    SweepReport {
+        outputs,
+        cells: reports,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy cell: output = (first RNG draw, sum of key bytes).
+    struct Toy {
+        id: u64,
+    }
+
+    impl SweepCell for Toy {
+        type Output = (u64, u64);
+
+        fn label(&self) -> String {
+            format!("toy-{}", self.id)
+        }
+
+        fn key_bytes(&self) -> Vec<u8> {
+            format!("toy:{}", self.id).into_bytes()
+        }
+
+        fn run(&self, mut rng: SimRng) -> Self::Output {
+            let key_sum: u64 = self.key_bytes().iter().map(|&b| b as u64).sum();
+            (rng.next(), key_sum)
+        }
+
+        fn encode(output: &Self::Output) -> Option<Vec<u8>> {
+            let mut buf = Vec::with_capacity(16);
+            buf.extend_from_slice(&output.0.to_le_bytes());
+            buf.extend_from_slice(&output.1.to_le_bytes());
+            Some(buf)
+        }
+
+        fn decode(bytes: &[u8]) -> Option<Self::Output> {
+            if bytes.len() != 16 {
+                return None;
+            }
+            Some((
+                u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+                u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            ))
+        }
+    }
+
+    /// Toy cell that opts out of caching and counts its executions.
+    struct SideEffect<'a> {
+        runs: &'a AtomicUsize,
+    }
+
+    impl SweepCell for SideEffect<'_> {
+        type Output = u64;
+
+        fn label(&self) -> String {
+            "side-effect".into()
+        }
+
+        fn key_bytes(&self) -> Vec<u8> {
+            b"side-effect".to_vec()
+        }
+
+        fn run(&self, mut rng: SimRng) -> u64 {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            rng.next()
+        }
+
+        fn encode(output: &u64) -> Option<Vec<u8>> {
+            Some(output.to_le_bytes().to_vec())
+        }
+
+        fn decode(bytes: &[u8]) -> Option<u64> {
+            Some(u64::from_le_bytes(bytes.try_into().ok()?))
+        }
+
+        fn cacheable(&self) -> bool {
+            false
+        }
+    }
+
+    fn toy_cells(n: u64) -> Vec<Toy> {
+        (0..n).map(|id| Toy { id }).collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sweep-test-{}-{}-{tag}",
+            std::process::id(),
+            fnv64(tag.as_bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let cells = toy_cells(40);
+        let serial = run_sweep(&cells, &SweepOptions::serial(7));
+        for jobs in [2, 4, 8] {
+            let opts = SweepOptions {
+                jobs,
+                ..SweepOptions::serial(7)
+            };
+            let parallel = run_sweep(&cells, &opts);
+            assert_eq!(serial.outputs, parallel.outputs, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn root_seed_changes_outputs() {
+        let cells = toy_cells(4);
+        let a = run_sweep(&cells, &SweepOptions::serial(1));
+        let b = run_sweep(&cells, &SweepOptions::serial(2));
+        assert_ne!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn rng_is_independent_of_cell_order() {
+        let forward = toy_cells(6);
+        let mut reversed = toy_cells(6);
+        reversed.reverse();
+        let a = run_sweep(&forward, &SweepOptions::serial(3));
+        let mut b = run_sweep(&reversed, &SweepOptions::serial(3));
+        b.outputs.reverse();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn cache_round_trip_hits_on_second_run() {
+        let dir = temp_dir("round-trip");
+        let cells = toy_cells(5);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(11)
+        };
+        let cold = run_sweep(&cells, &opts);
+        assert_eq!(cold.cache_hits(), 0);
+        let warm = run_sweep(&cells, &opts);
+        assert_eq!(warm.cache_hits(), 5);
+        assert_eq!(cold.outputs, warm.outputs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_ignores_entries_from_other_keys() {
+        let dir = temp_dir("other-keys");
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(11)
+        };
+        run_sweep(&toy_cells(3), &opts);
+        // Different root seed: same key bytes, so the cache would collide if
+        // the seed weren't part of the caller's key. The engine hashes only
+        // key_bytes, so callers must fold the seed in; Toy does not, which
+        // makes this a deliberate demonstration of a *hit*.
+        let other = run_sweep(
+            &toy_cells(3),
+            &SweepOptions {
+                root_seed: 99,
+                ..opts.clone()
+            },
+        );
+        assert_eq!(other.cache_hits(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_discarded_and_recomputed() {
+        let dir = temp_dir("corrupt");
+        let cells = toy_cells(1);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(5)
+        };
+        let cold = run_sweep(&cells, &opts);
+
+        let entry = cache_path(&dir, &cells[0].key_bytes());
+        assert!(entry.exists(), "cache entry should exist after cold run");
+
+        // Flip a payload byte: checksum mismatch.
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&entry, &bytes).unwrap();
+        let after_corrupt = run_sweep(&cells, &opts);
+        assert_eq!(after_corrupt.cache_hits(), 0, "corrupt entry must miss");
+        assert_eq!(after_corrupt.outputs, cold.outputs);
+
+        // The recompute rewrote a valid entry.
+        assert_eq!(run_sweep(&cells, &opts).cache_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_discarded_and_recomputed() {
+        let dir = temp_dir("truncated");
+        let cells = toy_cells(1);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(5)
+        };
+        let cold = run_sweep(&cells, &opts);
+
+        let entry = cache_path(&dir, &cells[0].key_bytes());
+        let bytes = std::fs::read(&entry).unwrap();
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            std::fs::write(&entry, &bytes[..cut]).unwrap();
+            let rerun = run_sweep(&cells, &opts);
+            assert_eq!(rerun.cache_hits(), 0, "truncated at {cut} must miss");
+            assert_eq!(rerun.outputs, cold.outputs);
+            // Each recompute rewrites the entry; restore the truncation for
+            // the next iteration via the loop's write above.
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_and_misversioned_entries_are_discarded() {
+        let dir = temp_dir("envelope");
+        let cells = toy_cells(1);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(5)
+        };
+        run_sweep(&cells, &opts);
+        let entry = cache_path(&dir, &cells[0].key_bytes());
+        let good = std::fs::read(&entry).unwrap();
+
+        // Trailing garbage beyond the declared payload length.
+        let mut long = good.clone();
+        long.push(0xaa);
+        std::fs::write(&entry, &long).unwrap();
+        assert_eq!(run_sweep(&cells, &opts).cache_hits(), 0);
+
+        // Wrong version.
+        let mut wrong_version = good.clone();
+        wrong_version[4] ^= 0x01;
+        std::fs::write(&entry, &wrong_version).unwrap();
+        assert_eq!(run_sweep(&cells, &opts).cache_hits(), 0);
+
+        // Wrong magic.
+        let mut wrong_magic = good;
+        wrong_magic[0] = b'X';
+        std::fs::write(&entry, &wrong_magic).unwrap();
+        assert_eq!(run_sweep(&cells, &opts).cache_hits(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncacheable_cells_bypass_the_cache() {
+        let dir = temp_dir("uncacheable");
+        let runs = AtomicUsize::new(0);
+        let cells = [SideEffect { runs: &runs }];
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(5)
+        };
+        let a = run_sweep(&cells, &opts);
+        let b = run_sweep(&cells, &opts);
+        assert_eq!(runs.load(Ordering::Relaxed), 2, "both runs must execute");
+        assert_eq!(a.cache_hits() + b.cache_hits(), 0);
+        assert_eq!(a.outputs, b.outputs, "still deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_accounts_every_cell_in_submission_order() {
+        let cells = toy_cells(7);
+        let report = run_sweep(
+            &cells,
+            &SweepOptions {
+                jobs: 3,
+                ..SweepOptions::serial(1)
+            },
+        );
+        assert_eq!(report.outputs.len(), 7);
+        assert_eq!(report.cells.len(), 7);
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.label, format!("toy-{i}"));
+        }
+    }
+}

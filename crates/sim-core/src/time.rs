@@ -96,7 +96,10 @@ impl SimDuration {
     /// Construct from fractional seconds. Panics on negative or non-finite
     /// input — durations in the simulator are always forward.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative, got {s}"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -143,7 +146,10 @@ impl SimDuration {
     /// Scale by a float factor (e.g. a congestion-control gain), rounding to
     /// the nearest nanosecond. Panics on negative or non-finite factors.
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k.is_finite() && k >= 0.0, "scale must be finite and non-negative, got {k}");
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "scale must be finite and non-negative, got {k}"
+        );
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 }
@@ -349,7 +355,10 @@ mod tests {
     #[test]
     fn max_sentinel_saturates() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
     }
 

@@ -106,12 +106,22 @@ impl Bandwidth {
     /// Scale by a float gain (BBR's pacing gains are 2.885, 1.25, 0.75, …).
     /// Panics on negative or non-finite gains.
     pub fn mul_f64(self, gain: f64) -> Bandwidth {
-        assert!(gain.is_finite() && gain >= 0.0, "bandwidth gain must be finite and >= 0, got {gain}");
+        assert!(
+            gain.is_finite() && gain >= 0.0,
+            "bandwidth gain must be finite and >= 0, got {gain}"
+        );
         let scaled = self.0 as f64 * gain;
-        Bandwidth(if scaled >= u64::MAX as f64 { u64::MAX } else { scaled as u64 })
+        Bandwidth(if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        })
     }
 
     /// Integer division (e.g. fair share per connection).
+    // Deliberately not `Div::div`: the divisor is a plain count, not a
+    // `Bandwidth`, and the zero-divisor clamp below is part of the API.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, k: u64) -> Bandwidth {
         Bandwidth(self.0 / k.max(1))
     }
@@ -212,7 +222,11 @@ impl AddAssign for ByteSize {
 impl Sub for ByteSize {
     type Output = ByteSize;
     fn sub(self, rhs: ByteSize) -> ByteSize {
-        ByteSize(self.0.checked_sub(rhs.0).expect("ByteSize subtraction underflow"))
+        ByteSize(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("ByteSize subtraction underflow"),
+        )
     }
 }
 
@@ -260,7 +274,9 @@ impl ByteCount {
 
     /// Bytes accumulated since an earlier snapshot (panics if `earlier` is larger).
     pub fn since(self, earlier: ByteCount) -> u64 {
-        self.0.checked_sub(earlier.0).expect("ByteCount went backwards")
+        self.0
+            .checked_sub(earlier.0)
+            .expect("ByteCount went backwards")
     }
 
     /// Goodput over an interval: total bytes / time.
@@ -294,7 +310,10 @@ mod tests {
         assert_eq!(gig.time_to_send(1514), SimDuration::from_nanos(12_112));
         // 15,000-byte skb at 140 Mbps (paper's §5.1.2 rate).
         let d = Bandwidth::from_mbps(140).time_to_send(15_000);
-        assert_eq!(d.as_nanos(), (15_000u128 * 8 * 1_000_000_000).div_ceil(140_000_000) as u64);
+        assert_eq!(
+            d.as_nanos(),
+            (15_000u128 * 8 * 1_000_000_000).div_ceil(140_000_000) as u64
+        );
     }
 
     #[test]
@@ -338,7 +357,10 @@ mod tests {
 
     #[test]
     fn from_bytes_over_zero_interval_is_zero() {
-        assert_eq!(Bandwidth::from_bytes_over(100, SimDuration::ZERO), Bandwidth::ZERO);
+        assert_eq!(
+            Bandwidth::from_bytes_over(100, SimDuration::ZERO),
+            Bandwidth::ZERO
+        );
     }
 
     #[test]
@@ -379,7 +401,10 @@ mod tests {
             total.add_size(ByteSize::new(1_000_000));
         }
         assert_eq!(total.bytes(), 10_000_000);
-        assert_eq!(total.rate_over(SimDuration::from_secs(1)), Bandwidth::from_mbps(80));
+        assert_eq!(
+            total.rate_over(SimDuration::from_secs(1)),
+            Bandwidth::from_mbps(80)
+        );
     }
 
     #[test]

@@ -29,20 +29,49 @@ fn main() {
     }
     cfg.duration = SimDuration::from_millis(12000);
     cfg.warmup = SimDuration::from_millis(500);
-    cfg.pacing = if stride == 0 { PacingConfig::auto() } else { PacingConfig::with_stride(stride) };
+    cfg.pacing = if stride == 0 {
+        PacingConfig::auto()
+    } else {
+        PacingConfig::with_stride(stride)
+    };
     let res = StackSim::new(cfg).run();
-    println!("goodput = {:.1} Mbps  (fairness {:.3})", res.goodput_mbps(), res.fairness);
-    println!("mean_rtt = {:.3} ms, p95 = {:.3}", res.mean_rtt_ms, res.p95_rtt_ms);
+    println!(
+        "goodput = {:.1} Mbps  (fairness {:.3})",
+        res.goodput_mbps(),
+        res.fairness
+    );
+    println!(
+        "mean_rtt = {:.3} ms, p95 = {:.3}",
+        res.mean_rtt_ms, res.p95_rtt_ms
+    );
     println!("retx = {}", res.total_retx);
-    println!("mean skb = {:.0} B, mean idle = {:.3} ms", res.mean_skb_bytes, res.mean_idle_ms);
+    println!(
+        "mean skb = {:.0} B, mean idle = {:.3} ms",
+        res.mean_skb_bytes, res.mean_idle_ms
+    );
     for (k, v) in res.counters.iter() {
         println!("  {k} = {v}");
     }
-    let mut per: Vec<f64> = res.per_conn.iter().map(|c| c.goodput.as_mbps_f64()).collect();
+    let mut per: Vec<f64> = res
+        .per_conn
+        .iter()
+        .map(|c| c.goodput.as_mbps_f64())
+        .collect();
     per.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    println!("per-conn goodput: {:?}", per.iter().map(|x| *x as u64).collect::<Vec<_>>());
-    println!("cpu: cycles={} busy={:?} mean_freq={:.0}MHz", res.cpu.total_cycles, res.cpu.busy_time, res.cpu.mean_freq_hz / 1e6);
+    println!(
+        "per-conn goodput: {:?}",
+        per.iter().map(|x| *x as u64).collect::<Vec<_>>()
+    );
+    println!(
+        "cpu: cycles={} busy={:?} mean_freq={:.0}MHz",
+        res.cpu.total_cycles,
+        res.cpu.busy_time,
+        res.cpu.mean_freq_hz / 1e6
+    );
     for (cat, cycles) in &res.cpu.cycles_by_category {
-        println!("  cycles[{cat}] = {cycles} ({:.1}%)", *cycles as f64 * 100.0 / res.cpu.total_cycles.max(1) as f64);
+        println!(
+            "  cycles[{cat}] = {cycles} ({:.1}%)",
+            *cycles as f64 * 100.0 / res.cpu.total_cycles.max(1) as f64
+        );
     }
 }

@@ -59,7 +59,12 @@ pub struct PacingConfig {
 
 impl Default for PacingConfig {
     fn default() -> Self {
-        PacingConfig { stride: 1, auto_stride: false, skb_cap_bytes: 15_000, fallback_gain: 1.2 }
+        PacingConfig {
+            stride: 1,
+            auto_stride: false,
+            skb_cap_bytes: 15_000,
+            fallback_gain: 1.2,
+        }
     }
 }
 
@@ -67,12 +72,18 @@ impl PacingConfig {
     /// Stock pacing with the given stride (the Fig. 8 sweep).
     pub fn with_stride(stride: u64) -> Self {
         assert!(stride >= 1, "stride must be at least 1");
-        PacingConfig { stride, ..Default::default() }
+        PacingConfig {
+            stride,
+            ..Default::default()
+        }
     }
 
     /// §7.1.2 extension: the adaptive stride controller, starting at 1x.
     pub fn auto() -> Self {
-        PacingConfig { auto_stride: true, ..Default::default() }
+        PacingConfig {
+            auto_stride: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -94,7 +105,10 @@ impl Pacer {
     pub fn new(config: PacingConfig, mss: u64) -> Self {
         assert!(mss > 0, "mss must be positive");
         assert!(config.stride >= 1, "stride must be at least 1");
-        assert!(config.skb_cap_bytes >= 2 * mss, "buffer cap must admit 2 segments");
+        assert!(
+            config.skb_cap_bytes >= 2 * mss,
+            "buffer cap must admit 2 segments"
+        );
         Pacer {
             config,
             mss,
@@ -298,7 +312,11 @@ mod tests {
             .iter()
             .map(|&s| Pacer::new(PacingConfig::with_stride(s), MSS).burst_segs(rate))
             .collect();
-        assert_eq!(bursts, vec![3, 6, 10, 10, 10, 10], "growth then plateau at cap");
+        assert_eq!(
+            bursts,
+            vec![3, 6, 10, 10, 10, 10],
+            "growth then plateau at cap"
+        );
     }
 
     #[test]
@@ -368,7 +386,8 @@ mod tests {
         // §5.2.2: "Cubic uses TCP's internal pacing rate of mss·cwnd/rtt".
         let p = Pacer::new(PacingConfig::default(), MSS);
         let rate = p.fallback_rate(70, SimDuration::from_millis(10));
-        let expect = Bandwidth::from_bytes_over(70 * MSS, SimDuration::from_millis(10)).mul_f64(1.2);
+        let expect =
+            Bandwidth::from_bytes_over(70 * MSS, SimDuration::from_millis(10)).mul_f64(1.2);
         assert_eq!(rate, expect);
         assert_eq!(p.fallback_rate(70, SimDuration::ZERO), Bandwidth::ZERO);
     }

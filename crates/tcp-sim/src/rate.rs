@@ -86,7 +86,12 @@ impl RateSampler {
     /// first packet sent after the connection was idle/fully acked, which
     /// restarts the send-interval clock; `pacing_limited` taints the stamp
     /// when that idle was created by the pacer's own gate.
-    pub fn on_send(&mut self, now: SimTime, is_flight_start: bool, pacing_limited: bool) -> TxStamp {
+    pub fn on_send(
+        &mut self,
+        now: SimTime,
+        is_flight_start: bool,
+        pacing_limited: bool,
+    ) -> TxStamp {
         if is_flight_start {
             self.first_tx_time = now;
             if self.delivered_time == SimTime::ZERO {
@@ -156,7 +161,9 @@ mod tests {
         // do too — so we measure on the second round.)
         let mut s = RateSampler::new(1448);
         // Round 1: prime the sampler.
-        let warm: Vec<_> = (0..10u64).map(|i| s.on_send(SimTime::from_millis(i), i == 0, false)).collect();
+        let warm: Vec<_> = (0..10u64)
+            .map(|i| s.on_send(SimTime::from_millis(i), i == 0, false))
+            .collect();
         for (i, stamp) in warm.iter().enumerate() {
             s.on_ack(SimTime::from_millis(i as u64 + 20), 1, stamp);
         }
@@ -170,7 +177,8 @@ mod tests {
         }
         let rate = last_rate.expect("samples produced");
         let expected = Bandwidth::from_bytes_over(1448, SimDuration::from_millis(1));
-        let err = (rate.as_bps() as f64 - expected.as_bps() as f64).abs() / expected.as_bps() as f64;
+        let err =
+            (rate.as_bps() as f64 - expected.as_bps() as f64).abs() / expected.as_bps() as f64;
         assert!(err < 0.10, "rate {rate} vs expected {expected}");
     }
 
@@ -234,10 +242,16 @@ mod tests {
         s.on_ack(
             SimTime::from_millis(5),
             3,
-            &TxStamp { tx_time: SimTime::from_millis(1), ..stamp },
+            &TxStamp {
+                tx_time: SimTime::from_millis(1),
+                ..stamp
+            },
         );
         let stamp2 = s.on_send(SimTime::from_millis(6), true, false);
-        assert!(!stamp2.app_limited, "app-limit must clear after inflight delivered");
+        assert!(
+            !stamp2.app_limited,
+            "app-limit must clear after inflight delivered"
+        );
     }
 
     #[test]
@@ -265,6 +279,9 @@ mod tests {
         };
         let rs = s.on_ack(SimTime::from_millis(2), 1, &stamp).unwrap();
         assert_eq!(rs.interval, SimDuration::from_millis(2));
-        assert_eq!(rs.rate, Bandwidth::from_bytes_over(1448, SimDuration::from_millis(2)));
+        assert_eq!(
+            rs.rate,
+            Bandwidth::from_bytes_over(1448, SimDuration::from_millis(2))
+        );
     }
 }

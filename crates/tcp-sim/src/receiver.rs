@@ -46,7 +46,12 @@ pub struct Receiver {
 impl Receiver {
     /// A fresh receiver expecting sequence 0.
     pub fn new() -> Self {
-        Receiver { rcv_nxt: 0, ooo: BTreeSet::new(), total_received: 0, duplicates: 0 }
+        Receiver {
+            rcv_nxt: 0,
+            ooo: BTreeSet::new(),
+            total_received: 0,
+            duplicates: 0,
+        }
     }
 
     /// Next expected sequence (everything below has been delivered to the
@@ -120,7 +125,10 @@ impl Receiver {
                 sacks.push((PktSeq(lo), PktSeq(hi)));
             }
         }
-        AckInfo { cum: PktSeq(self.rcv_nxt), sacks }
+        AckInfo {
+            cum: PktSeq(self.rcv_nxt),
+            sacks,
+        }
     }
 }
 

@@ -149,8 +149,7 @@ impl Sender {
 
     /// The standard inflight estimate.
     pub fn packets_in_flight(&self) -> u64 {
-        (self.packets_out() + self.retrans_out)
-            .saturating_sub(self.sacked_out + self.lost_out)
+        (self.packets_out() + self.retrans_out).saturating_sub(self.sacked_out + self.lost_out)
     }
 
     /// Whether any data is outstanding (drives the RTO timer).
@@ -203,7 +202,10 @@ impl Sender {
             }
         }
         if count > 0 {
-            return Some(SendPlan { runs, is_retx: true });
+            return Some(SendPlan {
+                runs,
+                is_retx: true,
+            });
         }
 
         // New data: a contiguous run from snd_nxt (infinite bulk source).
@@ -223,7 +225,9 @@ impl Sender {
                     // sample taken against the original stamp would span the
                     // whole loss episode and poison the bandwidth filter.
                     let stamp = self.rate.on_send(now, false, pacing_limited);
-                    let idx = self.index_of(PktSeq(seq)).expect("retransmitting unknown segment");
+                    let idx = self
+                        .index_of(PktSeq(seq))
+                        .expect("retransmitting unknown segment");
                     let seg = &mut self.segs[idx];
                     assert!(seg.lost, "retransmitting a segment not marked lost");
                     seg.last_tx = now;
@@ -239,8 +243,9 @@ impl Sender {
         for &(lo, hi) in &plan.runs {
             assert_eq!(lo, self.snd_nxt, "new data must start at snd_nxt");
             for seq in lo.0..hi.0 {
-                let stamp =
-                    self.rate.on_send(now, flight_start && seq == lo.0, pacing_limited);
+                let stamp = self
+                    .rate
+                    .on_send(now, flight_start && seq == lo.0, pacing_limited);
                 self.segs.push_back(SegState {
                     seq: PktSeq(seq),
                     sent_at: now,
@@ -279,7 +284,10 @@ impl Sender {
         // --- Cumulative part: drop segments below ack.cum. ---
         let cum = ack.cum.min(self.snd_nxt); // ignore acks beyond sent data
         while self.snd_una < cum {
-            let seg = self.segs.pop_front().expect("scoreboard shorter than window");
+            let seg = self
+                .segs
+                .pop_front()
+                .expect("scoreboard shorter than window");
             debug_assert_eq!(seg.seq, self.snd_una);
             if seg.sacked {
                 self.sacked_out -= 1;
@@ -449,13 +457,19 @@ mod tests {
     }
 
     fn cum_ack(cum: u64) -> AckInfo {
-        AckInfo { cum: PktSeq(cum), sacks: vec![] }
+        AckInfo {
+            cum: PktSeq(cum),
+            sacks: vec![],
+        }
     }
 
     fn sack(cum: u64, ranges: &[(u64, u64)]) -> AckInfo {
         AckInfo {
             cum: PktSeq(cum),
-            sacks: ranges.iter().map(|&(a, b)| (PktSeq(a), PktSeq(b))).collect(),
+            sacks: ranges
+                .iter()
+                .map(|&(a, b)| (PktSeq(a), PktSeq(b)))
+                .collect(),
         }
     }
 
@@ -537,11 +551,17 @@ mod tests {
         assert_eq!(s.total_retx(), 1);
         // Don't retransmit the same hole twice.
         let plan2 = s.plan_send(100, 10).unwrap();
-        assert!(!plan2.is_retx, "hole already retransmitted; next is new data");
+        assert!(
+            !plan2.is_retx,
+            "hole already retransmitted; next is new data"
+        );
         // The retransmission is delivered; recovery persists until snd_una
         // passes the recovery point (snd_nxt at entry = 10)…
         let out = s.on_ack(&cum_ack(5), SimTime::from_millis(40));
-        assert!(!out.recovery_exited, "recovery holds until the high-water mark");
+        assert!(
+            !out.recovery_exited,
+            "recovery holds until the high-water mark"
+        );
         assert!(s.in_recovery());
         // …and completes when the whole pre-loss window is acked.
         let out = s.on_ack(&cum_ack(10), SimTime::from_millis(50));
@@ -559,7 +579,10 @@ mod tests {
         // Cum-ack of the retransmitted head: newest delivered is the
         // retransmitted packet 0 ⇒ no RTT sample.
         let out = s.on_ack(&cum_ack(5), SimTime::from_millis(30));
-        assert!(out.rtt_sample.is_none(), "Karn: retransmitted segment not sampled");
+        assert!(
+            out.rtt_sample.is_none(),
+            "Karn: retransmitted segment not sampled"
+        );
         assert_eq!(out.newly_delivered, 1);
     }
 
@@ -676,21 +699,34 @@ mod tests {
     fn retransmit_of_discontiguous_holes_in_one_plan() {
         let mut s = Sender::new(1448);
         send_n(&mut s, 12, SimTime::ZERO);
-        s.on_ack(&sack(0, &[(1, 4), (5, 9), (10, 12)]), SimTime::from_millis(10));
+        s.on_ack(
+            &sack(0, &[(1, 4), (5, 9), (10, 12)]),
+            SimTime::from_millis(10),
+        );
         let plan = s.plan_send(100, 10).expect("retransmissions pending");
         assert!(plan.is_retx);
         // Holes 0 and 4 have ≥3 SACKed packets above them; hole 9 has only
         // two (10, 11), so the dup-threshold correctly leaves it pending —
         // TCP stays conservative until more evidence arrives.
-        assert_eq!(plan.runs, vec![(PktSeq(0), PktSeq(1)), (PktSeq(4), PktSeq(5))]);
+        assert_eq!(
+            plan.runs,
+            vec![(PktSeq(0), PktSeq(1)), (PktSeq(4), PktSeq(5))]
+        );
         // More SACKs above hole 9 tip it over the threshold.
         let mut s2 = Sender::new(1448);
         send_n(&mut s2, 14, SimTime::ZERO);
-        s2.on_ack(&sack(0, &[(1, 4), (5, 9), (10, 14)]), SimTime::from_millis(10));
+        s2.on_ack(
+            &sack(0, &[(1, 4), (5, 9), (10, 14)]),
+            SimTime::from_millis(10),
+        );
         let plan2 = s2.plan_send(100, 10).expect("retransmissions pending");
         assert_eq!(
             plan2.runs,
-            vec![(PktSeq(0), PktSeq(1)), (PktSeq(4), PktSeq(5)), (PktSeq(9), PktSeq(10))]
+            vec![
+                (PktSeq(0), PktSeq(1)),
+                (PktSeq(4), PktSeq(5)),
+                (PktSeq(9), PktSeq(10))
+            ]
         );
     }
 

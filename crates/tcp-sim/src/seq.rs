@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A packet-granularity sequence number (monotonic, never wraps).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PktSeq(pub u64);
 
 impl PktSeq {
@@ -31,7 +33,9 @@ impl PktSeq {
 
     /// Distance from `earlier` (panics if `earlier` is ahead).
     pub fn since(self, earlier: PktSeq) -> u64 {
-        self.0.checked_sub(earlier.0).expect("PktSeq distance underflow")
+        self.0
+            .checked_sub(earlier.0)
+            .expect("PktSeq distance underflow")
     }
 
     /// The 32-bit wire representation (byte-granularity wrap emulated at

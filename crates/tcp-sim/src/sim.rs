@@ -27,8 +27,8 @@
 
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
 use crate::receiver::{AckInfo, AckUrgency, Receiver};
-use crate::seq::PktSeq;
 use crate::sender::Sender;
+use crate::seq::PktSeq;
 use congestion::master::{Master, MasterConfig};
 use congestion::{AckSample, CcKind, CongestionControl, LossEvent};
 use cpu_model::{CostModel, Cpu, CpuConfig, CpuStats, DeviceProfile};
@@ -47,7 +47,11 @@ use sim_core::units::Bandwidth;
 const ADAPT_EPOCH: SimDuration = SimDuration::from_millis(300);
 
 /// Full configuration of one simulation run.
-#[derive(Clone)]
+///
+/// Derives `Serialize` so the sweep engine can build a canonical,
+/// content-addressed cache key from the whole configuration (see
+/// `sim_core::sweep`).
+#[derive(Clone, Serialize)]
 pub struct SimConfig {
     /// The phone being modelled.
     pub device: DeviceProfile,
@@ -96,7 +100,12 @@ pub struct SimConfig {
 impl SimConfig {
     /// A baseline configuration: the given CC on the given device config,
     /// Ethernet path, 5 simulated seconds after 1 s of warmup.
-    pub fn new(device: DeviceProfile, cpu_config: CpuConfig, cc: CcKind, connections: usize) -> Self {
+    pub fn new(
+        device: DeviceProfile,
+        cpu_config: CpuConfig,
+        cc: CcKind,
+        connections: usize,
+    ) -> Self {
         SimConfig {
             path: netsim::media::MediaProfile::Ethernet.path_config(),
             device,
@@ -182,9 +191,15 @@ impl SimResult {
 
 enum Event {
     Start(usize),
-    SendReady { conn: usize, from_timer: bool },
+    SendReady {
+        conn: usize,
+        from_timer: bool,
+    },
     /// A socket buffer cleared the CPU/device path (TSQ completion).
-    DeviceDone { conn: usize, bytes: u64 },
+    DeviceDone {
+        conn: usize,
+        bytes: u64,
+    },
     /// §7.1.2 auto-stride controller epoch (host-global, like the sysctl
     /// the paper's kernel patch would expose).
     AdaptStride,
@@ -192,10 +207,21 @@ enum Event {
     CrossArrival,
     /// Periodic timeline sample (iPerf3-style per-interval reporting).
     StatsSample,
-    SkbArrival { conn: usize, runs: Vec<(PktSeq, PktSeq)> },
-    EmitAck { conn: usize },
-    AckArrival { conn: usize, ack: AckInfo },
-    RtoFire { conn: usize, epoch: u64 },
+    SkbArrival {
+        conn: usize,
+        runs: Vec<(PktSeq, PktSeq)>,
+    },
+    EmitAck {
+        conn: usize,
+    },
+    AckArrival {
+        conn: usize,
+        ack: AckInfo,
+    },
+    RtoFire {
+        conn: usize,
+        epoch: u64,
+    },
     GovernorTick,
     MeasureStart,
 }
@@ -379,16 +405,21 @@ impl StackSim {
             let at = SimTime::ZERO + self.cfg.start_stagger * c as u64;
             self.queue.schedule_at(at, Event::Start(c));
         }
-        self.queue.schedule_at(SimTime::ZERO + self.cfg.warmup, Event::MeasureStart);
+        self.queue
+            .schedule_at(SimTime::ZERO + self.cfg.warmup, Event::MeasureStart);
         if self.cpu.is_dynamic() {
-            self.queue
-                .schedule_at(SimTime::ZERO + SimDuration::from_millis(10), Event::GovernorTick);
+            self.queue.schedule_at(
+                SimTime::ZERO + SimDuration::from_millis(10),
+                Event::GovernorTick,
+            );
         }
         if let Some(cross) = &self.cross {
-            self.queue.schedule_at(cross.next_arrival(), Event::CrossArrival);
+            self.queue
+                .schedule_at(cross.next_arrival(), Event::CrossArrival);
         }
         if let Some(interval) = self.cfg.sample_interval {
-            self.queue.schedule_at(SimTime::ZERO + interval, Event::StatsSample);
+            self.queue
+                .schedule_at(SimTime::ZERO + interval, Event::StatsSample);
         }
 
         while let Some(ev) = self.queue.pop() {
@@ -409,7 +440,8 @@ impl StackSim {
                     && !self.adapt_armed
                 {
                     self.adapt_armed = true;
-                    self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+                    self.queue
+                        .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
                 }
                 self.try_send(c, now, false);
             }
@@ -429,8 +461,7 @@ impl StackSim {
             }
             Event::AdaptStride => self.adapt_stride(now),
             Event::StatsSample => {
-                let delivered: u64 =
-                    self.conns.iter().map(|c| c.sender.delivered_pkts()).sum();
+                let delivered: u64 = self.conns.iter().map(|c| c.sender.delivered_pkts()).sum();
                 self.timeline.push((now, delivered));
                 if let Some(interval) = self.cfg.sample_interval {
                     self.queue.schedule_at(now + interval, Event::StatsSample);
@@ -525,8 +556,13 @@ impl StackSim {
             if !conn.pacing_timer_armed {
                 conn.pacing_timer_armed = true;
                 let at = conn.pacer.next_release();
-                self.queue
-                    .schedule_at(at.max(now), Event::SendReady { conn: c, from_timer: true });
+                self.queue.schedule_at(
+                    at.max(now),
+                    Event::SendReady {
+                        conn: c,
+                        from_timer: true,
+                    },
+                );
             }
             return;
         }
@@ -580,8 +616,7 @@ impl StackSim {
         // A send released after the pacer's gate drained the whole flight:
         // the delivery-rate sample bridging that gap measures our own
         // (possibly strided) pacer, not the path.
-        let pacing_limited =
-            pacing && conn.pacer.stride() > 1 && conn.sender.packets_out() == 0;
+        let pacing_limited = pacing && conn.pacer.stride() > 1 && conn.sender.packets_out() == 0;
 
         // Charge the CPU by category so reports can show where the cycles
         // went (the whole chunk still serialises as one back-to-back span).
@@ -589,10 +624,14 @@ impl StackSim {
             self.cpu.execute_tagged(now, pre_cycles, "timers");
         }
         if plan.is_retx {
-            self.cpu.execute_tagged(now, self.cfg.cost.retransmit_fixed, "retransmit");
+            self.cpu
+                .execute_tagged(now, self.cfg.cost.retransmit_fixed, "retransmit");
         }
-        self.cpu.execute_tagged(now, self.cfg.cost.skb_xmit_fixed, "skb-fixed");
-        let done = self.cpu.execute_tagged(now, self.cfg.cost.per_byte * bytes, "bytes");
+        self.cpu
+            .execute_tagged(now, self.cfg.cost.skb_xmit_fixed, "skb-fixed");
+        let done = self
+            .cpu
+            .execute_tagged(now, self.cfg.cost.per_byte * bytes, "bytes");
 
         // TCP stamps the segment when it is *built* (`tcp_transmit_skb`),
         // before the copy/checksum/driver work completes: a backlogged CPU
@@ -647,8 +686,13 @@ impl StackSim {
             }
         }
         if !accepted_runs.is_empty() {
-            self.queue
-                .schedule_at(last_arrival, Event::SkbArrival { conn: c, runs: accepted_runs });
+            self.queue.schedule_at(
+                last_arrival,
+                Event::SkbArrival {
+                    conn: c,
+                    runs: accepted_runs,
+                },
+            );
         }
 
         let conn = &mut self.conns[c];
@@ -661,7 +705,8 @@ impl StackSim {
         // (TSQ) drives burst continuation and unpaced window draining.
         conn.device_chunks += 1;
         conn.device_bytes += bytes;
-        self.queue.schedule_at(done, Event::DeviceDone { conn: c, bytes });
+        self.queue
+            .schedule_at(done, Event::DeviceDone { conn: c, bytes });
         // §7.1.1 memory proxy: retransmission scoreboard + device backlog.
         let mem = conn.sender.packets_out() * MSS + conn.device_bytes;
         conn.mem_peak_bytes = conn.mem_peak_bytes.max(mem);
@@ -670,7 +715,10 @@ impl StackSim {
             conn.pacing_timer_armed = true;
             self.queue.schedule_at(
                 conn.pacer.next_release().max(done),
-                Event::SendReady { conn: c, from_timer: true },
+                Event::SendReady {
+                    conn: c,
+                    from_timer: true,
+                },
             );
         }
     }
@@ -680,7 +728,13 @@ impl StackSim {
         conn.rto_armed = true;
         let backoff = 1u64 << conn.rto_backoff.min(6);
         let rto = conn.sender.rtt.rto() * backoff;
-        queue.schedule_at(now + rto, Event::RtoFire { conn: c, epoch: conn.rto_epoch });
+        queue.schedule_at(
+            now + rto,
+            Event::RtoFire {
+                conn: c,
+                epoch: conn.rto_epoch,
+            },
+        );
     }
 
     fn on_skb_arrival(&mut self, c: usize, now: SimTime, runs: Vec<(PktSeq, PktSeq)>) {
@@ -754,16 +808,19 @@ impl StackSim {
                 if let Some(pcap) = self.pcap.as_mut() {
                     Self::capture_ack(pcap, c, now, &ack);
                 }
-                self.queue.schedule_at(arrival, Event::AckArrival { conn: c, ack });
+                self.queue
+                    .schedule_at(arrival, Event::AckArrival { conn: c, ack });
             }
         }
     }
 
     fn on_ack_arrival(&mut self, c: usize, now: SimTime, ack: &AckInfo) {
         // Phone-side ACK processing cost: generic path + the CC's model.
-        self.cpu.execute_tagged(now, self.cfg.cost.ack_process, "acks");
-        let done =
-            self.cpu.execute_tagged(now, self.conns[c].cc.model_cost_cycles(), "cc-model");
+        self.cpu
+            .execute_tagged(now, self.cfg.cost.ack_process, "acks");
+        let done = self
+            .cpu
+            .execute_tagged(now, self.conns[c].cc.model_cost_cycles(), "cc-model");
         self.counters.inc("acks_processed");
 
         let conn = &mut self.conns[c];
@@ -788,8 +845,14 @@ impl StackSim {
         if outcome.newly_delivered > 0 {
             let sample = AckSample {
                 now: done,
-                rtt: outcome.rtt_sample.or(conn.sender.rtt.latest()).unwrap_or(SimDuration::ZERO),
-                delivery_rate: outcome.rate_sample.map(|r| r.rate).unwrap_or(Bandwidth::ZERO),
+                rtt: outcome
+                    .rtt_sample
+                    .or(conn.sender.rtt.latest())
+                    .unwrap_or(SimDuration::ZERO),
+                delivery_rate: outcome
+                    .rate_sample
+                    .map(|r| r.rate)
+                    .unwrap_or(Bandwidth::ZERO),
                 delivered: conn.sender.delivered_pkts(),
                 prior_delivered: outcome.prior_delivered,
                 acked: outcome.newly_delivered,
@@ -821,7 +884,7 @@ impl StackSim {
         if trace == Some(c) {
             static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
             let n = COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if n % 500 == 0 {
+            if n.is_multiple_of(500) {
                 eprintln!(
                     "t={done} bw={:?} cwnd={} rate={:?} inflight={} rtt={:?} delivered={} sample_rate={:?}",
                     conn.cc.bandwidth_estimate(),
@@ -856,7 +919,9 @@ impl StackSim {
                 return;
             }
         }
-        let done = self.cpu.execute_tagged(now, self.cfg.cost.rto_process, "rto");
+        let done = self
+            .cpu
+            .execute_tagged(now, self.cfg.cost.rto_process, "rto");
         self.counters.inc("rto_fires");
         let conn = &mut self.conns[c];
         let marked = conn.sender.on_rto();
@@ -894,12 +959,14 @@ impl StackSim {
         self.adapt_prev_delivered = delivered;
 
         if self.adapt_epochs <= 3 {
-            self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+            self.queue
+                .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
             return;
         }
         if self.adapt_cooldown > 0 {
             self.adapt_cooldown -= 1;
-            self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+            self.queue
+                .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
             return;
         }
 
@@ -909,7 +976,11 @@ impl StackSim {
             // An up-move was justified by CPU saturation, so it must *pay*
             // in delivered goodput to be kept; a down-move was justified by
             // idle headroom and merely must not regress.
-            let keep_floor = if cur > self.adapt_pre_change_stride { 1.02 } else { 0.97 };
+            let keep_floor = if cur > self.adapt_pre_change_stride {
+                1.02
+            } else {
+                0.97
+            };
             if epoch_rate < self.adapt_pre_change_rate * keep_floor {
                 // The move hurt: revert, and permanently fence off that
                 // direction past the reverted-from point — a one-shot
@@ -924,14 +995,16 @@ impl StackSim {
                 self.adapt_hold = 12;
                 self.counters.inc("stride_reverts");
                 self.adapt_cooldown = 2;
-                self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+                self.queue
+                    .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
                 return;
             }
             // Committed: fall through and consider the next move.
         }
         if self.adapt_hold > 0 {
             self.adapt_hold -= 1;
-            self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+            self.queue
+                .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
             return;
         }
 
@@ -953,7 +1026,8 @@ impl StackSim {
                 eprintln!("t={now} stride {cur} -> {next} (epoch util {util:.2})");
             }
         }
-        self.queue.schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
+        self.queue
+            .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
     }
 
     /// Synthesize and record a data packet (phone -> server).
@@ -969,7 +1043,11 @@ impl StackSim {
             dst_port: 5_201, // iperf3
             seq: PktSeq(seq.0 * MSS).to_wire(),
             ack: crate::seq::WireSeq(0),
-            flags: TcpFlags { ack: true, psh: true, ..Default::default() },
+            flags: TcpFlags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
             window: 65_535,
             sacks: vec![],
         };
@@ -998,7 +1076,10 @@ impl StackSim {
             dst_port: 50_000 + conn as u16,
             seq: crate::seq::WireSeq(0),
             ack: PktSeq(ack.cum.0 * MSS).to_wire(),
-            flags: TcpFlags { ack: true, ..Default::default() },
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
             window: 65_535,
             sacks: ack
                 .sacks
@@ -1063,7 +1144,11 @@ impl StackSim {
                 (0.0, 0.0)
             };
             skb_sum += conn.period_bytes_sum.max(conn.skb_bytes_sum);
-            skb_cnt += conn.period_count.max(if conn.period_count == 0 { conn.skb_count } else { 0 });
+            skb_cnt += conn.period_count.max(if conn.period_count == 0 {
+                conn.skb_count
+            } else {
+                0
+            });
             if conn.pacer.paced_sends() > 0 {
                 idle_ms_sum += mean_idle_ms;
                 idle_n += 1;
@@ -1090,16 +1175,32 @@ impl StackSim {
         let rates: Vec<f64> = per_conn.iter().map(|c| c.goodput.as_bps() as f64).collect();
         let sum: f64 = rates.iter().sum();
         let sumsq: f64 = rates.iter().map(|r| r * r).sum();
-        let fairness = if sumsq == 0.0 { 1.0 } else { sum * sum / (rates.len() as f64 * sumsq) };
+        let fairness = if sumsq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (rates.len() as f64 * sumsq)
+        };
 
         SimResult {
             total_goodput,
             mean_rtt_ms: rtt_all.mean(),
-            p95_rtt_ms: if p95_n == 0 { 0.0 } else { p95_sum / p95_n as f64 },
+            p95_rtt_ms: if p95_n == 0 {
+                0.0
+            } else {
+                p95_sum / p95_n as f64
+            },
             total_retx,
             cpu: self.cpu.stats(self.end),
-            mean_skb_bytes: if skb_cnt == 0 { 0.0 } else { skb_sum as f64 / skb_cnt as f64 },
-            mean_idle_ms: if idle_n == 0 { 0.0 } else { idle_ms_sum / idle_n as f64 },
+            mean_skb_bytes: if skb_cnt == 0 {
+                0.0
+            } else {
+                skb_sum as f64 / skb_cnt as f64
+            },
+            mean_idle_ms: if idle_n == 0 {
+                0.0
+            } else {
+                idle_ms_sum / idle_n as f64
+            },
             counters: self.counters,
             per_conn,
             fairness,
@@ -1135,14 +1236,20 @@ mod tests {
     fn cubic_high_end_reaches_near_line_rate() {
         let res = StackSim::new(quick(CcKind::Cubic, CpuConfig::HighEnd, 1)).run();
         let mbps = res.goodput_mbps();
-        assert!(mbps > 850.0, "High-End Cubic should near 1 Gbps line rate, got {mbps:.0}");
+        assert!(
+            mbps > 850.0,
+            "High-End Cubic should near 1 Gbps line rate, got {mbps:.0}"
+        );
     }
 
     #[test]
     fn bbr_high_end_reaches_near_line_rate() {
         let res = StackSim::new(quick(CcKind::Bbr, CpuConfig::HighEnd, 1)).run();
         let mbps = res.goodput_mbps();
-        assert!(mbps > 800.0, "High-End BBR should near line rate, got {mbps:.0}");
+        assert!(
+            mbps > 800.0,
+            "High-End BBR should near line rate, got {mbps:.0}"
+        );
     }
 
     #[test]
@@ -1287,7 +1394,11 @@ mod tests {
             paced.fairness,
             unpaced.fairness
         );
-        assert!(paced.fairness > 0.6, "paced Cubic Jain index {} too unfair", paced.fairness);
+        assert!(
+            paced.fairness > 0.6,
+            "paced Cubic Jain index {} too unfair",
+            paced.fairness
+        );
     }
 
     #[test]
@@ -1306,7 +1417,10 @@ mod tests {
             "loss recovery keeps the pipe productive: {:.0}",
             res.goodput_mbps()
         );
-        assert!(res.counters.get("rto_fires") < 50, "fast recovery, not RTO storms");
+        assert!(
+            res.counters.get("rto_fires") < 50,
+            "fast recovery, not RTO storms"
+        );
     }
 
     #[test]
@@ -1319,7 +1433,10 @@ mod tests {
         ));
         let clean = StackSim::new(clean).run();
         let loaded = StackSim::new(loaded).run();
-        assert!(loaded.counters.get("cross_pkts") > 0, "cross source must inject");
+        assert!(
+            loaded.counters.get("cross_pkts") > 0,
+            "cross source must inject"
+        );
         assert!(
             loaded.goodput_mbps() < 0.75 * clean.goodput_mbps(),
             "600 Mbps of cross traffic must take a real bite: {:.0} vs {:.0}",
@@ -1341,10 +1458,15 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(linktype, netsim::pcap::LINKTYPE_EN10MB);
         // Data packets + ACKs are all captured.
-        let sent = res.counters.get("pkts_sent") - res.counters.get("queue_drops")
+        let sent = res.counters.get("pkts_sent")
+            - res.counters.get("queue_drops")
             - res.counters.get("netem_drops");
         let acks = res.counters.get("acks_emitted") - res.counters.get("ack_drops");
-        assert_eq!(records.len() as u64, sent + acks, "every wire packet captured");
+        assert_eq!(
+            records.len() as u64,
+            sent + acks,
+            "every wire packet captured"
+        );
         // Every frame decodes with valid checksums.
         for rec in &records {
             let (src, dst, tcp) = crate::wire::parse_frame(&rec.frame).expect("frame ok");
@@ -1371,7 +1493,11 @@ mod tests {
             "paced timers share {:.3} should be substantial",
             share(&paced.cpu, "timers")
         );
-        assert_eq!(share(&unpaced.cpu, "timers"), 0.0, "no pacing timers when unpaced");
+        assert_eq!(
+            share(&unpaced.cpu, "timers"),
+            0.0,
+            "no pacing timers when unpaced"
+        );
         // Categories partition the total.
         assert_eq!(
             paced.cpu.cycles_by_category.values().sum::<u64>(),
@@ -1382,9 +1508,16 @@ mod tests {
     #[test]
     fn counters_track_pacing_activity() {
         let res = StackSim::new(quick(CcKind::Bbr, CpuConfig::MidEnd, 2)).run();
-        assert!(res.counters.get("timer_fires") > 0, "paced BBR must fire timers");
+        assert!(
+            res.counters.get("timer_fires") > 0,
+            "paced BBR must fire timers"
+        );
         assert!(res.counters.get("skbs_sent") > 0);
         let cubic = StackSim::new(quick(CcKind::Cubic, CpuConfig::MidEnd, 2)).run();
-        assert_eq!(cubic.counters.get("timer_arms"), 0, "unpaced Cubic arms no pacing timers");
+        assert_eq!(
+            cubic.counters.get("timer_arms"),
+            0,
+            "unpaced Cubic arms no pacing timers"
+        );
     }
 }

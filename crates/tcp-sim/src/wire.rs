@@ -216,14 +216,14 @@ impl TcpHeader {
         let mut opts = &data[20..hlen];
         while !opts.is_empty() {
             match opts[0] {
-                0 => break,           // end of options
+                0 => break,             // end of options
                 1 => opts = &opts[1..], // NOP
                 5 => {
                     if opts.len() < 2 {
                         return Err(DecodeError::Malformed);
                     }
                     let len = opts[1] as usize;
-                    if len < 2 || len > opts.len() || (len - 2) % 8 != 0 {
+                    if len < 2 || len > opts.len() || !(len - 2).is_multiple_of(8) {
                         return Err(DecodeError::Malformed);
                     }
                     let mut blocks = &opts[2..len];
@@ -337,9 +337,16 @@ mod tests {
             dst_port: 5_201, // iperf3
             seq: WireSeq(seq),
             ack: WireSeq(ack),
-            flags: TcpFlags { ack: true, psh: true, ..Default::default() },
+            flags: TcpFlags {
+                ack: true,
+                psh: true,
+                ..Default::default()
+            },
             window: 65_535,
-            sacks: sacks.into_iter().map(|(a, b)| (WireSeq(a), WireSeq(b))).collect(),
+            sacks: sacks
+                .into_iter()
+                .map(|(a, b)| (WireSeq(a), WireSeq(b)))
+                .collect(),
         }
     }
 

@@ -14,7 +14,10 @@ fn main() {
         Some("full") => Params::full(),
         _ => Params::quick(),
     };
-    println!("Running the Figure 2 sweep ({} seeds per point)…\n", params.seeds);
+    println!(
+        "Running the Figure 2 sweep ({} seeds per point)…\n",
+        params.seeds
+    );
     let exp = ExperimentId::Fig2.run(&params);
     println!("{}", exp.render_text());
     if exp.all_pass() {

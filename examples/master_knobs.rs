@@ -24,8 +24,16 @@ fn run(label: &str, cc: CcKind, master: MasterConfig) -> f64 {
 
 fn main() {
     println!("§5's isolation experiment — Low-End, 20 connections:\n");
-    let cubic = run("Cubic (reference)", CcKind::Cubic, MasterConfig::passthrough());
-    run("BBR stock (model + cwnd + pacing)", CcKind::Bbr, MasterConfig::passthrough());
+    let cubic = run(
+        "Cubic (reference)",
+        CcKind::Cubic,
+        MasterConfig::passthrough(),
+    );
+    run(
+        "BBR stock (model + cwnd + pacing)",
+        CcKind::Bbr,
+        MasterConfig::passthrough(),
+    );
     println!("\n  — is it BBR's model computation? (§5.1.1)");
     run(
         "BBR, cwnd pinned to 70, model disabled",
@@ -41,11 +49,19 @@ fn main() {
             force_pacing: Some(true),
             disable_model: true,
         };
-        run(&format!("BBR, cwnd=70, pacing pinned at {mbps} Mbps/conn"), CcKind::Bbr, master);
+        run(
+            &format!("BBR, cwnd=70, pacing pinned at {mbps} Mbps/conn"),
+            CcKind::Bbr,
+            master,
+        );
     }
     println!("  … only an effectively-unpaced 140 Mbps/conn reaches Cubic.\n");
     println!("  — so is pacing itself the problem, even for Cubic? (§5.2.2)");
-    let paced_cubic = run("Cubic with pacing forced on", CcKind::Cubic, MasterConfig::pacing_on());
+    let paced_cubic = run(
+        "Cubic with pacing forced on",
+        CcKind::Cubic,
+        MasterConfig::pacing_on(),
+    );
     println!();
     println!(
         "Verdict: pacing costs Cubic {:.0}% too — \"TCP Pacing is not a\n\

@@ -13,14 +13,24 @@ use mobile_bbr::sim_core::time::SimDuration;
 use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
 
 fn main() {
-    let conns: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let conns: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     println!("Pacing-stride sweep — Pixel 4 Low-End, {conns} connections, Ethernet\n");
-    println!("{:>7}  {:>14}  {:>13}  {:>13}  {:>12}", "stride", "goodput (Mbps)", "mean RTT (ms)", "skb len (KB)", "timer fires");
+    println!(
+        "{:>7}  {:>14}  {:>13}  {:>13}  {:>12}",
+        "stride", "goodput (Mbps)", "mean RTT (ms)", "skb len (KB)", "timer fires"
+    );
 
     let mut best = (0u64, 0.0f64);
     for stride in [1u64, 2, 5, 10, 20, 50] {
-        let mut cfg =
-            SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, conns);
+        let mut cfg = SimConfig::new(
+            DeviceProfile::pixel4(),
+            CpuConfig::LowEnd,
+            CcKind::Bbr,
+            conns,
+        );
         cfg.duration = SimDuration::from_secs(6);
         cfg.warmup = SimDuration::from_secs(1);
         cfg.pacing = PacingConfig::with_stride(stride);

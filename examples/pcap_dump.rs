@@ -21,11 +21,18 @@ fn main() {
     cfg.warmup = SimDuration::from_millis(100);
     cfg.pcap = Some(path.clone());
     let res = StackSim::new(cfg).run();
-    println!("simulated 300 ms of 2-connection BBR upload: {:.1} Mbps", res.goodput_mbps());
+    println!(
+        "simulated 300 ms of 2-connection BBR upload: {:.1} Mbps",
+        res.goodput_mbps()
+    );
 
     let bytes = std::fs::read(&path).expect("pcap written");
     let (linktype, records) = read_pcap(&bytes[..]).expect("valid pcap");
-    println!("captured {} frames (linktype {linktype}) at {}", records.len(), path.display());
+    println!(
+        "captured {} frames (linktype {linktype}) at {}",
+        records.len(),
+        path.display()
+    );
 
     // Decode the first few frames to prove the wire format is sound.
     let mut data = 0u32;

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! A timing-only harness: each benchmark runs a handful of iterations and
+//! prints a mean wall-clock time per iteration. No statistics, plots, or
+//! baselines. `criterion_main!` exits immediately when invoked by
+//! `cargo test` (any `--test`-ish flag), so bench targets stay inert in
+//! the test suite.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs the closure under test; handed to `bench_function` closures.
+pub struct Bencher {
+    _private: (),
+}
+
+const WARMUP_ITERS: u64 = 1;
+const MEASURE_ITERS: u64 = 5;
+
+impl Bencher {
+    /// Time `f`, printing mean ns/iter over a few iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        let mean = start.elapsed() / MEASURE_ITERS as u32;
+        println!("    {:>12} ns/iter (~{:.3?})", mean.as_nanos(), mean);
+    }
+}
+
+/// A named group of benchmarks; the builder methods are accepted and
+/// ignored (this shim does fixed-iteration timing).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Ignored (shim runs a fixed iteration count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (shim runs a fixed iteration count).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored (shim runs a fixed iteration count).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench: {}/{}", self.name, id);
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench: {id}");
+        f(&mut Bencher { _private: () });
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary. Exits immediately under
+/// `cargo test` (which passes `--test` to harness-less bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut calls = 0u64;
+        Bencher { _private: () }.iter(|| calls += 1);
+        assert_eq!(calls, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn group_builder_chains() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(1))
+                .bench_function("one", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

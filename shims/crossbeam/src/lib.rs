@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Since Rust 1.63 the standard library ships scoped threads with the same
+//! borrow-friendly semantics crossbeam pioneered, so this shim simply
+//! re-exports them under the `crossbeam::thread` path the workspace uses.
+
+/// Scoped thread support (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}

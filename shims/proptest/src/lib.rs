@@ -1,0 +1,498 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! `proptest!` test blocks (with optional `#![proptest_config(..)]`),
+//! range/`Just`/`prop_oneof!`/`collection::vec`/`sample::subsequence`
+//! strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Behavioural deviations from real proptest, by design:
+//! - **Deterministic**: each test's RNG is seeded from a hash of the test
+//!   name, so runs are reproducible with no failure-persistence files.
+//! - **No shrinking**: a failing case reports the assertion directly.
+//! - Default case count is 64 (proptest's is 256); override with the
+//!   `PROPTEST_CASES` environment variable.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draw one value from this strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-typed strategies — the engine behind
+    /// `prop_oneof!`. (Real proptest unifies heterogeneous arms; the shim
+    /// requires one strategy type per union, which is all this workspace
+    /// uses and keeps integer-literal inference working.)
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S> Union<S> {
+        /// Build from one strategy per `prop_oneof!` arm.
+        pub fn new(arms: Vec<S>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    (self.start as $wide).wrapping_add((rng.next_u64() % span) as $wide) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as $wide, *self.end() as $wide);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let unit = rng.unit_f64() as $t;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let unit = rng.unit_f64() as $t;
+                    self.start() + (self.end() - self.start()) * unit
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A: 0);
+    impl_tuple!(A: 0, B: 1);
+    impl_tuple!(A: 0, B: 1, C: 2);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric spread — good enough for invariants.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T` (see [`crate::prelude::any`]).
+    pub struct Any<T>(pub ::std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length bounds for [`vec`]; converts from `usize` (exact length) and
+    /// `Range<usize>` (half-open), like proptest's `SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from an inner strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with element strategy `element` and length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`sample::subsequence`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding order-preserving subsequences of a base vector.
+    pub struct Subsequence<T: Clone> {
+        base: Vec<T>,
+        size: usize,
+    }
+
+    /// Pick `size` distinct elements of `base`, preserving their order.
+    pub fn subsequence<T: Clone>(base: Vec<T>, size: usize) -> Subsequence<T> {
+        assert!(size <= base.len(), "subsequence size exceeds base length");
+        Subsequence { base, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            // Partial Fisher–Yates over indices, then sort to preserve order.
+            let mut idx: Vec<usize> = (0..self.base.len()).collect();
+            for i in 0..self.size {
+                let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..self.size].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.base[i].clone()).collect()
+        }
+    }
+}
+
+/// Test execution: RNG and configuration.
+pub mod test_runner {
+    /// Deterministic RNG for property tests (SplitMix64).
+    ///
+    /// Seeded from a hash of the test's name so each test draws an
+    /// independent, reproducible stream.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the named test.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a, then burn one output so similar names diverge.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = TestRng { state: h };
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+        /// Shrink-iteration ceiling. This shim never shrinks (it reports
+        /// the first failing case as-is), but the field keeps
+        /// `..ProptestConfig::default()` struct updates meaningful and
+        /// source-compatible with real proptest configs.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+}
+
+/// One-stop import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy::{Any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Canonical strategy for "any value of `T`".
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(::std::marker::PhantomData)
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a plain function that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)+) = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                    );
+                    { $body }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies; all arms must be the same strategy
+/// type (see [`strategy::Union`]).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $arm:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![$($arm),+])
+    };
+}
+
+/// Assert within a property (maps to `assert!`; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Assert equality within a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(1usize..8), &mut rng);
+            assert!((1..8).contains(&v));
+            let w = Strategy::generate(&(1u64..1_000), &mut rng);
+            assert!((1..1_000).contains(&w));
+            let f = Strategy::generate(&(-1e6f64..1e6), &mut rng);
+            assert!((-1e6..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn subsequence_is_sorted_subset() {
+        let mut rng = TestRng::for_test("subsequence_is_sorted_subset");
+        let base: Vec<u64> = (0..60).collect();
+        let strat = sample::subsequence(base.clone(), 60);
+        let v = Strategy::generate(&strat, &mut rng);
+        assert_eq!(v, base);
+        let strat = sample::subsequence(base, 10);
+        let v = Strategy::generate(&strat, &mut rng);
+        assert_eq!(v.len(), 10);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::for_test("vec_sizes");
+        let exact = collection::vec(any::<bool>(), 100);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 100);
+        let ranged = collection::vec(0u64..10, 1..200);
+        for _ in 0..200 {
+            let v = Strategy::generate(&ranged, &mut rng);
+            assert!((1..200).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 1u64..100, ys in collection::vec(0u8..10, 0..5)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(ys.len() < 5);
+        }
+
+        #[test]
+        fn oneof_yields_only_arms(k in prop_oneof![Just(1u64), Just(2), Just(10)]) {
+            prop_assert!(k == 1 || k == 2 || k == 10);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for the `rand` crate (see `shims/README.md`).
+//!
+//! Provides the [`RngCore`] trait that `sim_core::rng::SimRng` implements,
+//! with the same method signatures as rand 0.8 so the real crate can be
+//! swapped back in without source changes.
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+///
+/// The simulator's RNG is infallible, so this is never constructed in
+/// practice; it exists to keep signatures compatible with rand 0.8.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RNG error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator (rand 0.8 subset).
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fill `dest` with random data, or report a failure.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the registry is
+//! unreachable). Supports exactly the type shapes the workspace derives:
+//! non-generic named-field structs, tuple structs, unit structs, and enums
+//! with unit/tuple/struct variants, plus the container-level
+//! `#[serde(untagged)]` attribute. Anything else panics at compile time
+//! with a clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated code must parse")
+}
+
+/// Derive `serde::Deserialize`: a no-op marker (the workspace never
+/// deserializes through serde), kept so `#[derive(Deserialize)]` compiles.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    untagged: bool,
+    shape: Shape,
+}
+
+/// Skip a run of outer attributes; return whether any was `#[serde(untagged)]`.
+fn skip_attrs(tokens: &[TokenTree], idx: &mut usize) -> bool {
+    let mut untagged = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*idx) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*idx + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.stream().into_iter().any(
+                            |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "untagged"),
+                        ) {
+                            untagged = true;
+                        } else {
+                            panic!(
+                                "serde_derive shim: unsupported #[serde(...)] attribute \
+                                 (only `untagged` is implemented): {args}"
+                            );
+                        }
+                    }
+                }
+            }
+            *idx += 2;
+        } else {
+            break;
+        }
+    }
+    untagged
+}
+
+/// Skip an optional `pub` / `pub(crate)` visibility.
+fn skip_vis(tokens: &[TokenTree], idx: &mut usize) {
+    if matches!(tokens.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *idx += 1;
+        if matches!(tokens.get(*idx), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *idx += 1;
+        }
+    }
+}
+
+/// Count depth-0 fields of a tuple body (commas outside angle brackets).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut any = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    fields += 1;
+                    any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        any = true;
+    }
+    if any {
+        fields += 1;
+    }
+    fields
+}
+
+/// Parse the names of named fields from a brace-group body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut idx = 0;
+    let mut names = Vec::new();
+    while idx < tokens.len() {
+        skip_attrs(&tokens, &mut idx);
+        skip_vis(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => {
+                panic!("serde_derive shim: expected ':' after field `{name}`, found {other:?}")
+            }
+        }
+        // Skip the type: consume until a depth-0 comma.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(idx) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            idx += 1;
+        }
+        idx += 1; // the comma (or past-the-end)
+        names.push(name);
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut idx = 0;
+    let mut variants = Vec::new();
+    while idx < tokens.len() {
+        skip_attrs(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        idx += 1;
+        let fields = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            None => {}
+            other => panic!(
+                "serde_derive shim: expected ',' after variant `{name}` \
+                 (discriminants are unsupported), found {other:?}"
+            ),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    let untagged = skip_attrs(&tokens, &mut idx);
+    skip_vis(&tokens, &mut idx);
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    idx += 1;
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("serde_derive shim: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive shim: `{other}` items are not supported"),
+    };
+    Item {
+        name,
+        untagged,
+        shape,
+    }
+}
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        fields.join(", ")
+    )
+}
+
+fn array_literal(items: &[String]) -> String {
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => match fields {
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                array_literal(&items)
+            }
+            Fields::Named(names) => {
+                let pairs: Vec<(String, String)> = names
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.clone(),
+                            format!("::serde::Serialize::to_value(&self.{f})"),
+                        )
+                    })
+                    .collect();
+                object_literal(&pairs)
+            }
+        },
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                let (pattern, value) = match &v.fields {
+                    Fields::Unit => (
+                        format!("{name}::{vname}"),
+                        if item.untagged {
+                            "::serde::Value::Null".to_string()
+                        } else {
+                            format!("::serde::Value::Str(::std::string::String::from(\"{vname}\"))")
+                        },
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pattern = format!("{name}::{vname}({})", binds.join(", "));
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            array_literal(&items)
+                        };
+                        let value = if item.untagged {
+                            inner
+                        } else {
+                            object_literal(&[(vname.clone(), inner)])
+                        };
+                        (pattern, value)
+                    }
+                    Fields::Named(fields) => {
+                        let pattern = format!("{name}::{vname} {{ {} }}", fields.join(", "));
+                        let pairs: Vec<(String, String)> = fields
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        let inner = object_literal(&pairs);
+                        let value = if item.untagged {
+                            inner
+                        } else {
+                            object_literal(&[(vname.clone(), inner)])
+                        };
+                        (pattern, value)
+                    }
+                };
+                arms.push(format!("{pattern} => {value},"));
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_json` (see `shims/README.md`).
+//!
+//! Renders the `serde` shim's [`Value`] tree as JSON — compact
+//! (`to_string`) or pretty with 2-space indentation (`to_string_pretty`,
+//! matching real serde_json's layout) — and parses JSON text back into a
+//! [`Value`] (`from_str`), which the test suite uses to validate output.
+
+pub use serde::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Convert `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // Real serde_json errors on non-finite floats; rendering null keeps
+        // diagnostics flowing in a simulation report instead of aborting it.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e16 {
+        // Match serde_json/ryu: integral floats keep a ".0" suffix.
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(pad) = indent {
+                    out.push('\n');
+                    out.push_str(&pad.repeat(depth + 1));
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if let Some(pad) = indent {
+                out.push('\n');
+                out.push_str(&pad.repeat(depth));
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(pad) = indent {
+                    out.push('\n');
+                    out.push_str(&pad.repeat(depth + 1));
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            if let Some(pad) = indent {
+                out.push('\n');
+                out.push_str(&pad.repeat(depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parse JSON text into a [`Value`] tree.
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{tok}` at offset {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Value::Null),
+            Some(b't') => self.eat("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            let c = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| Error("bad escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape \\{}", other as char))),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the byte stream.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let ch = s.chars().next().unwrap();
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(e.to_string()))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error(e.to_string()))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error(e.to_string()))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error(format!("bad array at {:?}", other))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(Error(format!("bad object at {:?}", other))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_matches_serde_json_layout() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("FIG2".into())),
+            ("rate".into(), Value::Float(5.0)),
+            ("conns".into(), Value::UInt(20)),
+            (
+                "checks".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(
+            out,
+            r#"{"id":"FIG2","rate":5.0,"conns":20,"checks":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_two_spaces() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::UInt(1)]))]);
+        let mut out = String::new();
+        write_value(&mut out, &v, Some("  "), 0);
+        assert_eq!(out, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text =
+            r#"{"id":"FIG2","rate":5.5,"n":-3,"ok":true,"xs":[1,2.5,"a\nb"],"nothing":null}"#;
+        let v = from_str(text).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(out, text);
+    }
+
+    #[test]
+    fn float_formatting() {
+        let mut out = String::new();
+        write_float(&mut out, 5.0);
+        assert_eq!(out, "5.0");
+        out.clear();
+        write_float(&mut out, 0.1);
+        assert_eq!(out, "0.1");
+        out.clear();
+        write_float(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\n\u{01}");
+        assert_eq!(out, r#""a\"b\\c\n\u0001""#);
+        assert_eq!(
+            from_str(&out).unwrap(),
+            Value::Str("a\"b\\c\n\u{01}".into())
+        );
+    }
+}

@@ -32,7 +32,11 @@ fn table1_configurations_scale_goodput_monotonically() {
 
 #[test]
 fn all_media_profiles_run_all_algorithms() {
-    for media in [MediaProfile::Ethernet, MediaProfile::Wifi, MediaProfile::Lte] {
+    for media in [
+        MediaProfile::Ethernet,
+        MediaProfile::Wifi,
+        MediaProfile::Lte,
+    ] {
         for cc in [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2, CcKind::Reno] {
             let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::MidEnd, cc, 2);
             cfg.path = media.path_config();

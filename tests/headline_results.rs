@@ -53,7 +53,10 @@ fn headline_bbr_collapse_at_twenty_connections() {
 fn headline_high_end_reaches_line_rate() {
     for cc in [CcKind::Cubic, CcKind::Bbr] {
         let g = goodput(base(cc, CpuConfig::HighEnd, 1));
-        assert!(g > 850.0, "{cc} on High-End should near line rate, got {g:.0}");
+        assert!(
+            g > 850.0,
+            "{cc} on High-End should near line rate, got {g:.0}"
+        );
     }
 }
 
@@ -136,7 +139,10 @@ fn headline_stride_recovers_goodput() {
         if stride == 50 {
             at50 = res.goodput_mbps();
         }
-        assert!(res.total_retx < 1_000, "striding must not cause loss storms");
+        assert!(
+            res.total_retx < 1_000,
+            "striding must not cause loss storms"
+        );
     }
     assert!(
         best.1 > 1.25 * stock.goodput_mbps(),
@@ -145,7 +151,10 @@ fn headline_stride_recovers_goodput() {
         best.1,
         stock.goodput_mbps()
     );
-    assert!(best.0 != 50 && at50 < best.1, "the optimum is interior (Table 2)");
+    assert!(
+        best.0 != 50 && at50 < best.1,
+        "the optimum is interior (Table 2)"
+    );
 }
 
 /// Appendix A.1 / Fig. 9: LTE is bandwidth-limited — BBR ≈ Cubic.
@@ -166,7 +175,10 @@ fn headline_lte_parity() {
         results[1],
         results[0]
     );
-    assert!(results.iter().all(|&g| g < 22.0), "LTE stays under ~20 Mbps");
+    assert!(
+        results.iter().all(|&g| g < 22.0),
+        "LTE stays under ~20 Mbps"
+    );
 }
 
 /// Determinism across the whole stack: identical configs give identical

@@ -1,0 +1,106 @@
+//! End-to-end guarantees of the sweep engine (`sim_core::sweep`):
+//!
+//! 1. **Parallel == serial, byte for byte.** The full experiment scorecard
+//!    rendered to JSON with `--jobs 1` equals the same render with many
+//!    workers — the engine's headline determinism contract.
+//! 2. **The run cache is transparent.** A warm rerun serves every cell
+//!    from cache (100% hits), returns identical results, and is far
+//!    cheaper than the cold run.
+
+use experiments::{Experiment, ExperimentId, Params};
+use iperf::{RunSpec, SeedCell};
+use sim_core::sweep::{run_sweep, SweepOptions};
+
+/// Smoke-sized parameters with an explicit worker count and no cache.
+fn smoke_with_jobs(jobs: usize) -> Params {
+    let mut p = Params::smoke();
+    p.threads = jobs;
+    p.cache_dir = None;
+    p.progress = false;
+    p
+}
+
+fn run_all(params: &Params) -> Vec<Experiment> {
+    ExperimentId::ALL.iter().map(|id| id.run(params)).collect()
+}
+
+/// The exact bytes `repro --json` writes.
+fn to_json(experiments: &[Experiment]) -> String {
+    serde_json::to_string_pretty(experiments).unwrap()
+}
+
+#[test]
+fn parallel_sweep_json_is_byte_identical_to_serial() {
+    let serial = run_all(&smoke_with_jobs(1));
+    let parallel = run_all(&smoke_with_jobs(8));
+    assert_eq!(
+        to_json(&serial),
+        to_json(&parallel),
+        "jobs=8 must reproduce jobs=1 byte for byte"
+    );
+}
+
+#[test]
+fn warm_cache_rerun_is_complete_and_identical() {
+    let cache = std::env::temp_dir().join(format!("mobile-bbr-warm-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    // A representative slice of the scorecard's cells: two CPU configs,
+    // three seeds each, built exactly as the experiments build them.
+    let params = Params::smoke();
+    let specs = [
+        RunSpec::new(
+            "warm-low",
+            params.pixel4(cpu_model::CpuConfig::LowEnd, congestion::CcKind::Bbr, 4),
+            3,
+        ),
+        RunSpec::new(
+            "warm-high",
+            params.pixel4(cpu_model::CpuConfig::HighEnd, congestion::CcKind::Cubic, 4),
+            3,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for spec in &specs {
+        for &seed in &spec.seeds {
+            let mut config = spec.config.clone();
+            config.seed = seed;
+            cells.push(SeedCell {
+                label: spec.label.clone(),
+                config,
+            });
+        }
+    }
+
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(cache.clone()),
+        ..SweepOptions::default()
+    };
+    let cold = run_sweep(&cells, &opts);
+    assert_eq!(cold.cache_hits(), 0, "first run computes everything");
+
+    let warm = run_sweep(&cells, &opts);
+    assert_eq!(
+        warm.cache_hits(),
+        cells.len(),
+        "warm rerun must be 100% cache hits"
+    );
+    for (c, w) in cold.outputs.iter().zip(&warm.outputs) {
+        assert_eq!(c.seed, w.seed);
+        assert_eq!(c.goodput_mbps.to_bits(), w.goodput_mbps.to_bits());
+        assert_eq!(c.mean_rtt_ms.to_bits(), w.mean_rtt_ms.to_bits());
+        assert_eq!(c.retx, w.retx);
+        assert_eq!(c.timer_fires, w.timer_fires);
+    }
+    // The full-binary warm/cold ratio is far below 10%; in-process we only
+    // assert the conservative half to keep the test robust on loaded CI.
+    assert!(
+        warm.elapsed < cold.elapsed / 2,
+        "warm rerun should be much cheaper: cold {:?}, warm {:?}",
+        cold.elapsed,
+        warm.elapsed
+    );
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
