@@ -3,6 +3,7 @@
 use congestion::CcKind;
 use cpu_model::{CpuConfig, DeviceProfile};
 use criterion::{criterion_group, criterion_main, Criterion};
+use sim_core::event::reference::ReferenceQueue;
 use sim_core::event::EventQueue;
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -25,6 +26,48 @@ fn event_queue(c: &mut Criterion) {
             std::hint::black_box(sum)
         })
     });
+}
+
+/// The simulator's dominant timer pattern: a burst of re-arms (every send
+/// re-arms the pacing timer, every ACK re-arms the RTO) per delivered
+/// event, at a constant population of concurrent timers. This is the
+/// schedule→cancel→reschedule workload the timer wheel is built for; the
+/// `reference` twin benchmarks the retained heap + hash-set queue so the
+/// speedup is measured, not asserted. Mirrors the `perf` bin's churn loop.
+fn timer_rearm(c: &mut Criterion) {
+    const ROUNDS: usize = 10_000;
+    const REARMS_PER_POP: usize = 4;
+    macro_rules! churn {
+        ($q:expr, $flows:expr) => {{
+            let mut q = $q;
+            let mut timers: Vec<_> = (0..$flows as u64)
+                .map(|i| q.schedule_at(SimTime::from_nanos(1_000 + 37 * i), i))
+                .collect();
+            let mut j = 0usize;
+            for _round in 0..ROUNDS {
+                for _ in 0..REARMS_PER_POP {
+                    q.cancel(timers[j]);
+                    timers[j] = q.schedule_after(SimDuration::from_micros(5), j as u64);
+                }
+                let e = q.pop().expect("population stays positive");
+                timers[e.event as usize] =
+                    q.schedule_at(e.at + SimDuration::from_micros(7), e.event);
+                j += 1;
+                if j == $flows {
+                    j = 0;
+                }
+            }
+            std::hint::black_box(q.now())
+        }};
+    }
+    for flows in [1usize, 20, 200] {
+        c.bench_function(&format!("timer_rearm/wheel_{flows}_flows"), |b| {
+            b.iter(|| churn!(EventQueue::<u64>::new(), flows))
+        });
+        c.bench_function(&format!("timer_rearm/reference_{flows}_flows"), |b| {
+            b.iter(|| churn!(ReferenceQueue::<u64>::new(), flows))
+        });
+    }
 }
 
 fn pacing_math(c: &mut Criterion) {
@@ -66,5 +109,11 @@ fn one_simulated_second(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, event_queue, pacing_math, one_simulated_second);
+criterion_group!(
+    benches,
+    event_queue,
+    timer_rearm,
+    pacing_math,
+    one_simulated_second
+);
 criterion_main!(benches);

@@ -14,6 +14,7 @@
 
 use crate::governor::{ClusterKind, CoreCluster, CpuTopology, GovernorPolicy, SchedutilParams};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which phone is being modelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -72,8 +73,10 @@ impl std::fmt::Display for CpuConfig {
 pub struct DeviceProfile {
     /// Which phone.
     pub kind: DeviceKind,
-    /// BIG.LITTLE frequency ladders.
-    pub topology: CpuTopology,
+    /// BIG.LITTLE frequency ladders, shared (never mutated after
+    /// construction) so cloning a profile — and hence a whole
+    /// `SimConfig`, one per sweep cell — does not copy the ladders.
+    pub topology: Arc<CpuTopology>,
     /// Table 1 Low-End pin (Hz): min LITTLE frequency.
     pub low_end_hz: u64,
     /// Table 1 Mid-End pin (Hz): 1.2 GHz on both phones.
@@ -108,7 +111,7 @@ impl DeviceProfile {
             low_end_hz: 576_000_000,
             mid_end_hz: 1_209_000_000,
             high_end_hz: 2_800_000_000,
-            topology,
+            topology: Arc::new(topology),
         }
     }
 
@@ -132,7 +135,7 @@ impl DeviceProfile {
             low_end_hz: 300_000_000,
             mid_end_hz: 1_197_000_000,
             high_end_hz: 2_800_000_000,
-            topology,
+            topology: Arc::new(topology),
         }
     }
 

@@ -45,7 +45,7 @@ pub struct CpuStats {
 /// A single modelled core (the one running the phone's network softirq),
 /// with either a pinned or a governed frequency.
 pub struct Cpu {
-    topology: CpuTopology,
+    topology: std::sync::Arc<CpuTopology>,
     freq_hz: u64,
     cluster: ClusterKind,
     governor: Option<SchedutilState>,
@@ -66,8 +66,8 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    /// Build a CPU from a topology and governor policy.
-    pub fn new(topology: CpuTopology, policy: GovernorPolicy) -> Self {
+    /// Build a CPU from a (shared) topology and governor policy.
+    pub fn new(topology: std::sync::Arc<CpuTopology>, policy: GovernorPolicy) -> Self {
         let (freq_hz, cluster, governor) = match policy {
             GovernorPolicy::Fixed { freq_hz, cluster } => {
                 assert!(freq_hz > 0, "pinned frequency must be positive");

@@ -17,14 +17,16 @@ use crate::report::{RunReport, SeedResult};
 use crate::runner::RunSpec;
 use sim_core::sweep::{run_sweep, SweepCell, SweepOptions};
 use sim_core::SimRng;
+use std::sync::Arc;
 use tcp_sim::{SimConfig, StackSim};
 
 /// One (configuration, seed) simulation in a sweep.
 pub struct SeedCell {
     /// The owning spec's display label.
     pub label: String,
-    /// Full configuration with the cell's seed already applied.
-    pub config: SimConfig,
+    /// Full configuration with the cell's seed already applied. Shared so
+    /// handing it to [`StackSim`] does not deep-copy the config per cell.
+    pub config: Arc<SimConfig>,
 }
 
 impl SweepCell for SeedCell {
@@ -45,7 +47,7 @@ impl SweepCell for SeedCell {
     /// pure function of its key either way, which is what the determinism
     /// contract needs.
     fn run(&self, _rng: SimRng) -> SeedResult {
-        let res = StackSim::new(self.config.clone()).run();
+        let res = StackSim::from_arc(self.config.clone()).run();
         SeedResult::from_sim(self.config.seed, &res)
     }
 
@@ -99,7 +101,7 @@ pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Vec<RunReport>
             config.seed = seed;
             cells.push(SeedCell {
                 label: spec.label.clone(),
-                config,
+                config: Arc::new(config),
             });
         }
     }
@@ -208,12 +210,12 @@ mod tests {
         cfg.pcap = Some(std::path::PathBuf::from("/tmp/unused.pcap"));
         let cell = SeedCell {
             label: "pcap".into(),
-            config: cfg,
+            config: Arc::new(cfg),
         };
         assert!(!cell.cacheable());
         let cell = SeedCell {
             label: "plain".into(),
-            config: tiny_config(),
+            config: Arc::new(tiny_config()),
         };
         assert!(cell.cacheable());
     }
@@ -222,20 +224,20 @@ mod tests {
     fn distinct_configs_have_distinct_keys() {
         let a = SeedCell {
             label: "a".into(),
-            config: tiny_config(),
+            config: Arc::new(tiny_config()),
         };
         let mut cfg = tiny_config();
         cfg.seed = 2;
         let b = SeedCell {
             label: "a".into(),
-            config: cfg,
+            config: Arc::new(cfg),
         };
         assert_ne!(a.key_bytes(), b.key_bytes(), "seed must be part of the key");
         let mut cfg = tiny_config();
         cfg.pacing.stride += 1;
         let c = SeedCell {
             label: "a".into(),
-            config: cfg,
+            config: Arc::new(cfg),
         };
         assert_ne!(
             a.key_bytes(),

@@ -25,6 +25,8 @@
 //!   (bandwidth-limited ≤ 20 Mbps, Appendix A.1), plus the 10-packet
 //!   shallow-buffer variant of §5.2.3.
 
+#![warn(missing_docs)]
+
 pub mod codel;
 pub mod crosstraffic;
 pub mod link;

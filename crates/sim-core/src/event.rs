@@ -4,29 +4,120 @@
 //! properties the reproduction depends on:
 //!
 //! 1. **Determinism.** Events at equal timestamps pop in the order they were
-//!    scheduled (FIFO tie-break via a monotonically increasing sequence
-//!    number). `BinaryHeap` alone does not guarantee this.
+//!    scheduled (FIFO tie-break). The wheel preserves this structurally:
+//!    every per-slot list is appended in schedule order, and cascades walk
+//!    head→tail, so arrival order within a timestamp is never disturbed.
 //! 2. **Cancellation.** TCP re-arms its RTO on every ACK and its pacing timer
-//!    on every send; both need `O(log n)` lazy cancellation. Scheduling
-//!    returns a [`TimerToken`]; cancelled tokens are skipped at pop time.
+//!    on every send; both need cheap cancellation. Scheduling returns a
+//!    [`TimerToken`]; cancelling unlinks the cell in O(1).
 //! 3. **Monotonic clock.** The queue tracks `now` and rejects scheduling in
 //!    the past, which turns subtle causality bugs into loud panics.
+//!
+//! # Implementation: hierarchical timer wheel over a slab
+//!
+//! The queue is a kernel-style hierarchical timer wheel: [`LEVELS`] levels of
+//! 64 slots each, covering `SimTime` nanoseconds. An event at absolute time
+//! `at` lives at the level of the highest bit in which `at` differs from the
+//! wheel's `elapsed` cursor (6 bits per level), in the slot given by `at`'s
+//! bit-field at that level. Level 0 slots therefore hold events whose firing
+//! time is *exactly known* (one slot per nanosecond within the current 64 ns
+//! block); higher levels hold coarser blocks that are **cascaded** — re-placed
+//! one level down — when the cursor enters their block. Events beyond the
+//! wheel horizon (2^36 ns ≈ 68.7 s past `elapsed`; reachable, since RTO
+//! backoff goes to 120 s) sit in an unsorted overflow list that is only
+//! consulted when the wheel itself is empty.
+//!
+//! Event payloads live in a **slab** of cells linked into intrusive doubly
+//! linked per-slot lists. Freed cells are recycled through an intrusive free
+//! list, so steady-state schedule/cancel/pop does **zero heap allocation**.
+//! [`TimerToken`]s are generation-tagged slab indices: freeing a cell bumps
+//! its generation, so a stale token held across a fire or cancel can never
+//! act on the cell's next occupant.
+//!
+//! `schedule_at` and `cancel` are O(1); `pop` is O(1) amortised (cascades
+//! touch each event at most [`LEVELS`] times over its lifetime). There is no
+//! hashing and no per-event allocation anywhere on the hot path.
+//!
+//! ## Why pop order is identical to the old binary heap's
+//!
+//! The previous implementation popped by `(at, seq)` where `seq` was a global
+//! schedule counter. The wheel reproduces that order exactly:
+//!
+//! * Same-time events always share a slot (their bits are identical), and
+//!   every insertion — direct or via cascade — appends at the tail. A cell's
+//!   placement is always a pure function of `(at, elapsed)`, and the cursor
+//!   enters a time block only after cascading that block's slot, so an
+//!   earlier-scheduled event has always already been moved into whichever
+//!   list a later same-time event lands in. List order therefore equals
+//!   schedule order.
+//! * Across different times, lower levels fire before higher levels and
+//!   lower slots before higher slots, which is exactly ascending `at`.
+//! * Overflow events differ from every wheel event above bit 35, so they are
+//!   strictly later than everything in the wheel; the overflow list is only
+//!   drained (earliest block first, in schedule order) once the wheel is
+//!   empty.
+//!
+//! This contract is enforced by a differential property test against the
+//! retained heap implementation in [`reference`].
 //!
 //! The event payload `E` is chosen by the layer that owns the simulation
 //! (the TCP stack simulator defines an event enum covering timer fires,
 //! packet arrivals, and CPU completions).
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+pub mod reference;
+
+/// Bits per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of wheel levels. Six levels give a 2^36 ns ≈ 68.7 s horizon, which
+/// keeps RTO-scale timers (seconds) in the wheel; only backed-off RTOs
+/// (up to 120 s) reach the overflow list.
+const LEVELS: usize = 6;
+/// Total bits covered by the wheel; times differing from `elapsed` at or
+/// above this bit go to the overflow list.
+const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+/// Null link / "no cell" sentinel for slab indices.
+const NIL: u32 = u32::MAX;
+/// An empty slot: head and tail both [`NIL`] in one packed word.
+const NIL_PAIR: u64 = (NIL as u64) << 32 | NIL as u64;
+
+/// Head (first-popped end) of a packed head/tail slot word.
+#[inline(always)]
+fn pair_head(s: u64) -> u32 {
+    s as u32
+}
+
+/// Tail (append end) of a packed head/tail slot word.
+#[inline(always)]
+fn pair_tail(s: u64) -> u32 {
+    (s >> 32) as u32
+}
 
 /// Handle to a scheduled event, used for cancellation.
 ///
-/// Tokens are unique per queue for the lifetime of the queue (a `u64`
-/// sequence number: schedule one event per nanosecond and it still takes
-/// ~584 years of wall time to wrap).
+/// A token is a generation-tagged slab index: it stays valid until its event
+/// fires or is cancelled, after which the cell's generation is bumped and the
+/// token goes permanently stale (cancelling it returns `false`, even if the
+/// cell has been recycled for a new event).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerToken(u64);
+
+impl TimerToken {
+    fn new(gen: u32, idx: u32) -> Self {
+        TimerToken(((gen as u64) << 32) | idx as u64)
+    }
+
+    fn idx(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// An event popped from the queue: when it fires and its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,31 +130,27 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-struct HeapEntry<E> {
+/// Where a slab cell currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// On the free list (no pending event; `next` threads the free list).
+    Free,
+    /// On the far-future overflow list.
+    Overflow,
+    /// In wheel list `level`/`slot`.
+    Wheel { level: u8, slot: u8 },
+}
+
+struct Cell<E> {
     at: SimTime,
-    seq: u64,
-    event: E,
+    gen: u32,
+    prev: u32,
+    next: u32,
+    loc: Loc,
+    event: Option<E>,
 }
 
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapEntry<E> {}
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Earliest time first; FIFO within a timestamp.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// Deterministic discrete-event priority queue.
+/// Deterministic discrete-event priority queue (hierarchical timer wheel).
 ///
 /// ```
 /// use sim_core::event::EventQueue;
@@ -78,15 +165,27 @@ impl<E> Ord for HeapEntry<E> {
 /// assert_eq!(q.now(), SimTime::from_millis(2));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    /// Slab of event cells; indices are stable, cells are recycled.
+    cells: Vec<Cell<E>>,
+    /// Head of the intrusive free list (threaded through `Cell::next`).
+    free_head: u32,
+    /// Per-slot list head/tail pairs (head in the low half, tail in the
+    /// high half — one load/store per list edit), indexed
+    /// `level * SLOTS + slot`. Appends are O(1) via the tail.
+    slots: [u64; LEVELS * SLOTS],
+    /// Per-level occupancy bitmask: bit `s` set iff slot `s` is non-empty.
+    occ: [u64; LEVELS],
+    /// Level occupancy: bit `l` set iff `occ[l] != 0`. Lets `pop` find the
+    /// lowest non-empty level with one `trailing_zeros` instead of a scan.
+    level_occ: u8,
+    /// Far-future overflow list (insertion order == schedule order).
+    ovf_head: u32,
+    ovf_tail: u32,
+    /// Wheel cursor in nanos. Equal to `now` between calls; `pop` advances it
+    /// through cascade block starts internally.
+    elapsed: u64,
     now: SimTime,
-    next_seq: u64,
-    /// Lazily cancelled sequence numbers: entries stay in the heap and are
-    /// skipped at pop time, keeping cancellation O(1).
-    cancelled: std::collections::HashSet<u64>,
-    /// Sequence numbers currently in the heap and not cancelled. Gives
-    /// precise "was this token still pending?" answers for `cancel`.
-    live: std::collections::HashSet<u64>,
+    len: usize,
     popped: u64,
 }
 
@@ -100,11 +199,16 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at t = 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            cells: Vec::new(),
+            free_head: NIL,
+            slots: [NIL_PAIR; LEVELS * SLOTS],
+            occ: [0; LEVELS],
+            level_occ: 0,
+            ovf_head: NIL,
+            ovf_tail: NIL,
+            elapsed: 0,
             now: SimTime::ZERO,
-            next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
-            live: std::collections::HashSet::new(),
+            len: 0,
             popped: 0,
         }
     }
@@ -117,17 +221,24 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Total number of events ever popped (for engine statistics).
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of slab cells ever allocated (== peak concurrently pending
+    /// events). Exposed so tests can assert that steady-state operation
+    /// recycles cells instead of growing the slab.
+    pub fn slab_capacity(&self) -> usize {
+        self.cells.len()
     }
 
     /// Schedule `event` to fire at absolute time `at`.
@@ -141,11 +252,10 @@ impl<E> EventQueue<E> {
             "attempted to schedule an event in the past: at={at:?} < now={:?}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, event }));
-        self.live.insert(seq);
-        TimerToken(seq)
+        let idx = self.alloc(at, event);
+        self.place(idx, at.as_nanos());
+        self.len += 1;
+        TimerToken::new(self.cells[idx as usize].gen, idx)
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
@@ -156,50 +266,328 @@ impl<E> EventQueue<E> {
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. this call actually cancelled something).
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is skipped when
-    /// it reaches the top.
+    /// Cancellation is eager and O(1): the cell is unlinked from its slot
+    /// list and recycled immediately. A token whose event already fired or
+    /// was cancelled is stale (the generation no longer matches) and returns
+    /// `false`, even if the cell now hosts a different event.
     pub fn cancel(&mut self, token: TimerToken) -> bool {
-        if self.live.remove(&token.0) {
-            self.cancelled.insert(token.0);
-            true
-        } else {
-            false
+        let idx = token.idx();
+        match self.cells.get(idx as usize) {
+            // A generation match alone proves the event is pending: `release`
+            // bumps the generation, and a freed cell's current generation is
+            // only ever issued in a token after the cell is re-allocated.
+            Some(c) if c.gen == token.gen() => {
+                debug_assert!(c.loc != Loc::Free, "gen matched a free cell");
+                self.unlink(idx);
+                self.release(idx);
+                self.len -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue; // Lazily discard cancelled events.
-            }
-            self.live.remove(&entry.seq);
-            debug_assert!(entry.at >= self.now, "event queue time went backwards");
-            self.now = entry.at;
-            self.popped += 1;
-            return Some(ScheduledEvent {
-                at: entry.at,
-                token: TimerToken(entry.seq),
-                event: entry.event,
-            });
+        if self.len == 0 {
+            return None;
         }
-        None
+        loop {
+            // Lowest non-empty level holds the earliest pending block.
+            let level = self.level_occ.trailing_zeros() as usize;
+            if level == 0 {
+                // Level-0 slots are exact times: pop the list head (FIFO).
+                let slot = self.occ[0].trailing_zeros() as usize;
+                debug_assert!(slot as u64 >= (self.elapsed & (SLOTS as u64 - 1)));
+                let pair = self.slots[slot];
+                let idx = pair_head(pair);
+                let next = self.cells[idx as usize].next;
+                if next == NIL {
+                    self.slots[slot] = NIL_PAIR;
+                    self.occ[0] &= !(1u64 << slot);
+                    if self.occ[0] == 0 {
+                        self.level_occ &= !1;
+                    }
+                } else {
+                    self.slots[slot] = (pair & !0xFFFF_FFFF) | next as u64;
+                    self.cells[next as usize].prev = NIL;
+                }
+                let gen = self.cells[idx as usize].gen;
+                let (at, event) = self.release(idx);
+                debug_assert!(at >= self.now, "event queue time went backwards");
+                self.now = at;
+                self.elapsed = at.as_nanos();
+                self.len -= 1;
+                self.popped += 1;
+                return Some(ScheduledEvent {
+                    at,
+                    token: TimerToken::new(gen, idx),
+                    event: event.expect("pending cell holds a payload"),
+                });
+            } else if level < LEVELS {
+                let slot = self.occ[level].trailing_zeros() as usize;
+                let li = level * SLOTS + slot;
+                // Sparse fast path: a single-occupant slot at the lowest
+                // non-empty level *is* the global minimum (same-time events
+                // always share a slot, later slots/levels/overflow are
+                // strictly later), so pop it directly. The cursor stays put —
+                // every other event's placement remains valid — which makes
+                // the dominant simulator pattern (a handful of timers, each
+                // alone in its slot) cascade-free. Both links are NIL by
+                // construction, so the unlink is one store and a bit clear.
+                let pair = self.slots[li];
+                if pair_head(pair) == pair_tail(pair) {
+                    let idx = pair_head(pair);
+                    self.slots[li] = NIL_PAIR;
+                    self.occ[level] &= !(1u64 << slot);
+                    if self.occ[level] == 0 {
+                        self.level_occ &= !(1u8 << level);
+                    }
+                    let gen = self.cells[idx as usize].gen;
+                    let (at, event) = self.release(idx);
+                    debug_assert!(at >= self.now, "event queue time went backwards");
+                    self.now = at;
+                    self.len -= 1;
+                    self.popped += 1;
+                    return Some(ScheduledEvent {
+                        at,
+                        token: TimerToken::new(gen, idx),
+                        event: event.expect("pending cell holds a payload"),
+                    });
+                }
+                // Enter the earliest block at this level and cascade the whole
+                // slot list down, head→tail so schedule order is preserved.
+                //
+                // The cursor jumps to the *earliest timestamp in the block*,
+                // not the block start: every other pending event lives in a
+                // strictly later block (higher slot at this level, or a higher
+                // level, or overflow), so `elapsed = min_at` keeps the cursor
+                // ≤ every pending event while letting a sparse block's
+                // earliest event re-place directly into level 0 instead of
+                // cascading once per intermediate level. This is what makes
+                // the single-timer rearm pattern (one flow re-arming its
+                // pacing timer) one cascade per pop rather than `level`.
+                let mut min_at = u64::MAX;
+                let mut idx = pair_head(pair);
+                while idx != NIL {
+                    let c = &self.cells[idx as usize];
+                    min_at = min_at.min(c.at.as_nanos());
+                    idx = c.next;
+                }
+                debug_assert!(min_at >= self.elapsed);
+                self.elapsed = min_at;
+                let mut idx = pair_head(pair);
+                self.slots[li] = NIL_PAIR;
+                self.occ[level] &= !(1u64 << slot);
+                if self.occ[level] == 0 {
+                    self.level_occ &= !(1u8 << level);
+                }
+                while idx != NIL {
+                    let c = &self.cells[idx as usize];
+                    let (next, at) = (c.next, c.at.as_nanos());
+                    self.place(idx, at);
+                    idx = next;
+                }
+            } else {
+                // Wheel empty but len > 0: everything pending is in overflow.
+                // Jump the cursor to the earliest overflow timestamp (all
+                // pending events are in overflow, so the minimum bounds them
+                // all) and pull that event's wheel-horizon block into the
+                // wheel, preserving schedule order (the overflow list is
+                // appended in schedule order).
+                debug_assert!(self.ovf_head != NIL);
+                let mut min_at = u64::MAX;
+                let mut idx = self.ovf_head;
+                while idx != NIL {
+                    let c = &self.cells[idx as usize];
+                    min_at = min_at.min(c.at.as_nanos());
+                    idx = c.next;
+                }
+                debug_assert!(min_at > self.elapsed);
+                self.elapsed = min_at;
+                let mut idx = self.ovf_head;
+                while idx != NIL {
+                    let c = &self.cells[idx as usize];
+                    let (next, at) = (c.next, c.at.as_nanos());
+                    if at >> WHEEL_BITS == min_at >> WHEEL_BITS {
+                        self.unlink(idx);
+                        self.place(idx, at);
+                    }
+                    idx = next;
+                }
+            }
+        }
     }
 
     /// Peek at the firing time of the next pending event without popping.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drain cancelled entries off the top so the peeked time is live.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.at);
+    ///
+    /// Pure: does not mutate the queue (cancellation is eager, so there are
+    /// no tombstones to drain). O(1) when the next event is in the current
+    /// level-0 block; otherwise a short scan of one slot list (or of the
+    /// overflow list when nothing is within the wheel horizon).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occ[0] != 0 {
+            // Level-0 slot index *is* the time's low bits: exact, O(1).
+            let slot = self.occ[0].trailing_zeros() as u64;
+            return Some(SimTime::from_nanos(
+                (self.elapsed & !(SLOTS as u64 - 1)) | slot,
+            ));
+        }
+        for level in 1..LEVELS {
+            if self.occ[level] != 0 {
+                let slot = self.occ[level].trailing_zeros() as usize;
+                return self.list_min(pair_head(self.slots[level * SLOTS + slot]));
             }
         }
-        None
+        self.list_min(self.ovf_head)
+    }
+
+    /// Earliest `at` on the list starting at `head` (None if empty).
+    fn list_min(&self, head: u32) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut idx = head;
+        while idx != NIL {
+            let c = &self.cells[idx as usize];
+            if best.is_none_or(|b| c.at < b) {
+                best = Some(c.at);
+            }
+            idx = c.next;
+        }
+        best
+    }
+
+    /// Take a cell off the free list (or grow the slab) and fill it.
+    /// `prev`/`next` are left stale: [`Self::place`] always overwrites both.
+    fn alloc(&mut self, at: SimTime, event: E) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let cell = &mut self.cells[idx as usize];
+            debug_assert!(cell.loc == Loc::Free && cell.event.is_none());
+            self.free_head = cell.next;
+            cell.at = at;
+            cell.event = Some(event);
+            idx
+        } else {
+            let idx = self.cells.len();
+            assert!(idx < NIL as usize, "event slab full");
+            self.cells.push(Cell {
+                at,
+                gen: 0,
+                prev: NIL,
+                next: NIL,
+                loc: Loc::Free,
+                event: Some(event),
+            });
+            idx as u32
+        }
+    }
+
+    /// Recycle an (already unlinked) cell: bump the generation so any
+    /// outstanding token goes stale, take the payload, push on the free list.
+    fn release(&mut self, idx: u32) -> (SimTime, Option<E>) {
+        let free_head = self.free_head;
+        let cell = &mut self.cells[idx as usize];
+        let event = cell.event.take();
+        cell.gen = cell.gen.wrapping_add(1);
+        cell.loc = Loc::Free;
+        cell.next = free_head; // the free list threads `next` only
+
+        self.free_head = idx;
+        (cell.at, event)
+    }
+
+    /// Link `idx` into the list its firing time (`at`, in nanos — passed by
+    /// the caller, which always has it in hand) belongs to, relative to the
+    /// current cursor. Always appends at the tail (FIFO within a slot).
+    fn place(&mut self, idx: u32, at: u64) {
+        debug_assert!(at == self.cells[idx as usize].at.as_nanos());
+        debug_assert!(at >= self.elapsed);
+        let x = at ^ self.elapsed;
+        if x >> WHEEL_BITS != 0 {
+            let tail = self.ovf_tail;
+            let cell = &mut self.cells[idx as usize];
+            cell.loc = Loc::Overflow;
+            cell.prev = tail;
+            cell.next = NIL;
+            if tail == NIL {
+                self.ovf_head = idx;
+            } else {
+                self.cells[tail as usize].next = idx;
+            }
+            self.ovf_tail = idx;
+        } else {
+            // Level of the highest differing bit; `x | 1` maps x == 0
+            // (schedule exactly at `now`) to level 0.
+            let h = 63 - (x | 1).leading_zeros();
+            let level = (h / LEVEL_BITS) as usize;
+            let slot = ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            let li = level * SLOTS + slot;
+            let pair = self.slots[li];
+            let tail = pair_tail(pair);
+            let cell = &mut self.cells[idx as usize];
+            cell.loc = Loc::Wheel {
+                level: level as u8,
+                slot: slot as u8,
+            };
+            cell.prev = tail;
+            cell.next = NIL;
+            if tail == NIL {
+                self.slots[li] = (idx as u64) << 32 | idx as u64;
+            } else {
+                self.cells[tail as usize].next = idx;
+                self.slots[li] = (pair & 0xFFFF_FFFF) | (idx as u64) << 32;
+            }
+            self.occ[level] |= 1u64 << slot;
+            self.level_occ |= 1u8 << level;
+        }
+    }
+
+    /// Unlink `idx` from whichever list it is on (O(1) via `Loc`).
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, loc) = {
+            let c = &self.cells[idx as usize];
+            (c.prev, c.next, c.loc)
+        };
+        match loc {
+            Loc::Overflow => {
+                if prev == NIL {
+                    self.ovf_head = next;
+                } else {
+                    self.cells[prev as usize].next = next;
+                }
+                if next == NIL {
+                    self.ovf_tail = prev;
+                } else {
+                    self.cells[next as usize].prev = prev;
+                }
+            }
+            Loc::Wheel { level, slot } => {
+                let li = level as usize * SLOTS + slot as usize;
+                let mut pair = self.slots[li];
+                if prev == NIL {
+                    pair = (pair & !0xFFFF_FFFF) | next as u64;
+                } else {
+                    self.cells[prev as usize].next = next;
+                }
+                if next == NIL {
+                    pair = (pair & 0xFFFF_FFFF) | (prev as u64) << 32;
+                } else {
+                    self.cells[next as usize].prev = prev;
+                }
+                self.slots[li] = pair;
+                if pair_head(pair) == NIL {
+                    self.occ[level as usize] &= !(1u64 << slot);
+                    if self.occ[level as usize] == 0 {
+                        self.level_occ &= !(1u8 << level);
+                    }
+                }
+            }
+            Loc::Free => unreachable!("unlink of a free cell"),
+        }
     }
 }
 
@@ -298,6 +686,20 @@ mod tests {
     }
 
     #[test]
+    fn peek_time_is_pure_and_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(3), ());
+        q.schedule_at(SimTime::from_millis(40), ());
+        q.schedule_at(SimTime::from_secs(200), ());
+        while !q.is_empty() {
+            let peeked = q.peek_time();
+            assert_eq!(peeked, q.peek_time(), "peek must not mutate");
+            assert_eq!(peeked, Some(q.pop().unwrap().at));
+        }
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
     fn schedule_after_is_relative_to_now() {
         let mut q = EventQueue::new();
         q.schedule_at(SimTime::from_millis(10), "first");
@@ -315,6 +717,67 @@ mod tests {
         q.cancel(a);
         while q.pop().is_some() {}
         assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        let mut q = EventQueue::new();
+        // Past the 2^36 ns wheel horizon: these must land in overflow...
+        q.schedule_at(SimTime::from_secs(120), "rto-max");
+        q.schedule_at(SimTime::from_secs(90), "late");
+        // ...while a near event stays in the wheel.
+        q.schedule_at(SimTime::from_millis(1), "soon");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| (e.at, e.event))).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime::from_millis(1), "soon"),
+                (SimTime::from_secs(90), "late"),
+                (SimTime::from_secs(120), "rto-max"),
+            ]
+        );
+    }
+
+    #[test]
+    fn overflow_preserves_fifo_within_a_timestamp() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(100);
+        for i in 0..50 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stale_token_does_not_cancel_recycled_cells_occupant() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_millis(1), "a");
+        assert!(q.cancel(a));
+        // The freed cell is recycled for "b"; the stale token must not
+        // touch it.
+        let b = q.schedule_at(SimTime::from_millis(2), "b");
+        assert!(!q.cancel(a), "stale token must be inert");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(!q.cancel(b), "b already fired");
+    }
+
+    #[test]
+    fn slab_recycles_cells_in_steady_state() {
+        let mut q = EventQueue::new();
+        let mut tok = q.schedule_at(SimTime::from_nanos(10), 0u64);
+        for i in 1..10_000u64 {
+            q.cancel(tok);
+            q.schedule_at(SimTime::from_nanos(10 + i), i);
+            let e = q.pop().unwrap();
+            tok = q.schedule_at(e.at + SimDuration::from_nanos(7), i);
+        }
+        assert!(
+            q.slab_capacity() <= 4,
+            "steady-state churn must recycle cells, slab grew to {}",
+            q.slab_capacity()
+        );
     }
 
     proptest! {

@@ -511,7 +511,7 @@ mod tests {
             &toy_cells(3),
             &SweepOptions {
                 root_seed: 99,
-                ..opts.clone()
+                ..opts
             },
         );
         assert_eq!(other.cache_hits(), 3);

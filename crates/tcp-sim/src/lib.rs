@@ -18,6 +18,8 @@
 //!   acknowledgement generation, GRO-style coalescing urgency;
 //! * [`wire`] — Ethernet/IPv4/TCP wire codecs (checksums, SACK options)
 //!   backing the pcap export;
+//! * [`pool`] — free-list buffer pools keeping the per-segment hot path
+//!   allocation-free;
 //! * [`sim`] — the event loop that binds the stack to the
 //!   [`cpu_model::Cpu`] (every operation costs cycles and serialises) and
 //!   to [`netsim`]'s bottleneck path, and reports goodput/RTT/retransmit
@@ -27,7 +29,10 @@
 //! Socket buffers (skbs) are runs of whole packets, so Table 2's buffer
 //! lengths are quantised to MSS multiples — documented in DESIGN.md.
 
+#![warn(missing_docs)]
+
 pub mod pacing;
+pub mod pool;
 pub mod rate;
 pub mod receiver;
 pub mod rtt;

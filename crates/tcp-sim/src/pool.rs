@@ -1,0 +1,90 @@
+//! Small free-list pools for the simulator's hot-path buffers.
+//!
+//! The event loop moves two kinds of owned buffers through the event queue
+//! on every data round-trip: a run-list `Vec<(PktSeq, PktSeq)>` riding the
+//! `SkbArrival` event, and an `AckInfo` SACK vector riding `AckArrival`.
+//! Allocating them per event would put `malloc` on the per-segment path —
+//! exactly what the timer-wheel refactor removed from the timer side.
+//! [`VecPool`] recycles them instead: a buffer is taken when the event is
+//! built and returned (cleared, capacity kept) when the event is consumed,
+//! so steady state runs entirely on warm capacity.
+//!
+//! The pool deliberately never shrinks; buffers here are a few dozen
+//! elements at most and the population is bounded by the number of events
+//! in flight (≤ a few per connection).
+
+/// A free list of `Vec<T>` buffers that keeps capacity across uses.
+pub struct VecPool<T> {
+    free: Vec<Vec<T>>,
+    misses: u64,
+}
+
+impl<T> VecPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        VecPool {
+            free: Vec::new(),
+            misses: 0,
+        }
+    }
+
+    /// Take a cleared buffer, reusing capacity when one is free.
+    pub fn take(&mut self) -> Vec<T> {
+        match self.free.pop() {
+            Some(v) => v,
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer to the pool; contents are dropped, capacity kept.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        v.clear();
+        self.free.push(v);
+    }
+
+    /// Number of `take` calls that had to build a fresh buffer. In steady
+    /// state this stops growing: every event's buffer comes back via
+    /// [`VecPool::put`] before the next one is needed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl<T> Default for VecPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_capacity() {
+        let mut pool: VecPool<u64> = VecPool::new();
+        let mut a = pool.take();
+        assert_eq!(pool.misses(), 1);
+        a.extend(0..100);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take();
+        assert_eq!(pool.misses(), 1, "second take must be a pool hit");
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+    }
+
+    #[test]
+    fn misses_count_only_cold_takes() {
+        let mut pool: VecPool<u8> = VecPool::new();
+        let (a, b) = (pool.take(), pool.take());
+        assert_eq!(pool.misses(), 2);
+        pool.put(a);
+        pool.put(b);
+        let _ = (pool.take(), pool.take());
+        assert_eq!(pool.misses(), 2);
+    }
+}

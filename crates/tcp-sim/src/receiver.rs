@@ -104,7 +104,20 @@ impl Receiver {
 
     /// Build the current acknowledgement (cumulative + up to 3 SACKs).
     pub fn build_ack(&self) -> AckInfo {
-        let mut sacks = Vec::new();
+        let mut ack = AckInfo {
+            cum: PktSeq(0),
+            sacks: Vec::new(),
+        };
+        self.build_ack_into(&mut ack);
+        ack
+    }
+
+    /// Allocation-free [`Receiver::build_ack`]: overwrite a caller-owned
+    /// `AckInfo`, reusing its `sacks` capacity. The simulator pools the
+    /// SACK vectors so steady-state ACK emission never touches the heap.
+    pub fn build_ack_into(&self, ack: &mut AckInfo) {
+        ack.cum = PktSeq(self.rcv_nxt);
+        ack.sacks.clear();
         let mut iter = self.ooo.iter().copied();
         if let Some(first) = iter.next() {
             let mut lo = first;
@@ -113,21 +126,17 @@ impl Receiver {
                 if s == hi {
                     hi += 1;
                 } else {
-                    sacks.push((PktSeq(lo), PktSeq(hi)));
+                    ack.sacks.push((PktSeq(lo), PktSeq(hi)));
                     lo = s;
                     hi = s + 1;
-                    if sacks.len() == 3 {
+                    if ack.sacks.len() == 3 {
                         break;
                     }
                 }
             }
-            if sacks.len() < 3 {
-                sacks.push((PktSeq(lo), PktSeq(hi)));
+            if ack.sacks.len() < 3 {
+                ack.sacks.push((PktSeq(lo), PktSeq(hi)));
             }
-        }
-        AckInfo {
-            cum: PktSeq(self.rcv_nxt),
-            sacks,
         }
     }
 }

@@ -70,7 +70,7 @@ pub struct AckOutcome {
 }
 
 /// A transmission plan: which packets to put in the next socket buffer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SendPlan {
     /// Packet runs `[lo, hi)` to transmit (retransmissions may be
     /// discontiguous; new data is one run).
@@ -176,17 +176,31 @@ impl Sender {
     /// respecting `cwnd` and at most `max_pkts` in this buffer.
     /// Returns `None` if nothing can be sent.
     pub fn plan_send(&self, cwnd: u64, max_pkts: u64) -> Option<SendPlan> {
+        let mut plan = SendPlan {
+            runs: Vec::new(),
+            is_retx: false,
+        };
+        self.plan_send_into(cwnd, max_pkts, &mut plan)
+            .then_some(plan)
+    }
+
+    /// Allocation-free [`Sender::plan_send`]: fill a caller-owned plan
+    /// (reusing its `runs` capacity) and report whether anything can be
+    /// sent. The simulator's hot loop keeps one scratch plan per stack so
+    /// steady-state sends never touch the heap.
+    pub fn plan_send_into(&self, cwnd: u64, max_pkts: u64, plan: &mut SendPlan) -> bool {
+        plan.runs.clear();
+        plan.is_retx = false;
         if max_pkts == 0 {
-            return None;
+            return false;
         }
         let inflight = self.packets_in_flight();
         if inflight >= cwnd {
-            return None;
+            return false;
         }
         let budget = (cwnd - inflight).min(max_pkts);
 
         // Retransmissions: lost segments not yet retransmitted, in order.
-        let mut runs: Vec<(PktSeq, PktSeq)> = Vec::new();
         let mut count = 0u64;
         for seg in &self.segs {
             if count == budget {
@@ -194,25 +208,21 @@ impl Sender {
             }
             if seg.lost && seg.last_tx == seg.sent_at {
                 // Lost and never retransmitted since being marked.
-                match runs.last_mut() {
+                match plan.runs.last_mut() {
                     Some((_, hi)) if *hi == seg.seq => *hi = seg.seq.next(),
-                    _ => runs.push((seg.seq, seg.seq.next())),
+                    _ => plan.runs.push((seg.seq, seg.seq.next())),
                 }
                 count += 1;
             }
         }
         if count > 0 {
-            return Some(SendPlan {
-                runs,
-                is_retx: true,
-            });
+            plan.is_retx = true;
+            return true;
         }
 
         // New data: a contiguous run from snd_nxt (infinite bulk source).
-        Some(SendPlan {
-            runs: vec![(self.snd_nxt, self.snd_nxt.advance(budget))],
-            is_retx: false,
-        })
+        plan.runs.push((self.snd_nxt, self.snd_nxt.advance(budget)));
+        true
     }
 
     /// Record that a plan was transmitted at `now`. `pacing_limited` marks

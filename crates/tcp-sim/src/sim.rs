@@ -26,8 +26,9 @@
 //! rate.
 
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
+use crate::pool::VecPool;
 use crate::receiver::{AckInfo, AckUrgency, Receiver};
-use crate::sender::Sender;
+use crate::sender::{SendPlan, Sender};
 use crate::seq::PktSeq;
 use congestion::master::{Master, MasterConfig};
 use congestion::{AckSample, CcKind, CongestionControl, LossEvent};
@@ -283,7 +284,7 @@ struct Conn {
 /// assert!(result.goodput_mbps() > 0.0);
 /// ```
 pub struct StackSim {
-    cfg: SimConfig,
+    cfg: std::sync::Arc<SimConfig>,
     queue: EventQueue<Event>,
     cpu: Cpu,
     fwd_netem: Netem,
@@ -296,6 +297,13 @@ pub struct StackSim {
     pcap: Option<netsim::pcap::PcapWriter<std::io::BufWriter<std::fs::File>>>,
     cross: Option<netsim::crosstraffic::CrossTraffic>,
     timeline: Vec<(SimTime, u64)>,
+    // Hot-path buffer recycling: run lists ride `SkbArrival`, SACK vectors
+    // ride `AckArrival`, and one scratch plan serves every `try_send`.
+    // Together with the slab-backed event queue this keeps the steady-state
+    // send/ack path off the allocator entirely.
+    run_pool: VecPool<(PktSeq, PktSeq)>,
+    sack_pool: VecPool<(PktSeq, PktSeq)>,
+    plan_scratch: SendPlan,
     // §7.1.2 host-global auto-stride controller.
     adapt_epochs: u32,
     adapt_prev_busy: SimDuration,
@@ -313,6 +321,15 @@ pub struct StackSim {
 impl StackSim {
     /// Build a simulation from its configuration.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::from_arc(std::sync::Arc::new(cfg))
+    }
+
+    /// Build a simulation from a shared configuration without copying it.
+    ///
+    /// Sweep drivers hold one config per cell; sharing it into the
+    /// simulator avoids a deep `SimConfig` clone (frequency ladders, netem
+    /// tables, …) per seed.
+    pub fn from_arc(cfg: std::sync::Arc<SimConfig>) -> Self {
         assert!(cfg.connections >= 1, "need at least one connection");
         assert!(cfg.warmup < cfg.duration, "warmup must precede the end");
         let rng = SimRng::new(cfg.seed);
@@ -387,6 +404,9 @@ impl StackSim {
             adapt_floor: 1,
             adapt_armed: false,
             timeline: Vec::new(),
+            run_pool: VecPool::new(),
+            sack_pool: VecPool::new(),
+            plan_scratch: SendPlan::default(),
             cross: cfg
                 .cross_traffic
                 .map(|c| netsim::crosstraffic::CrossTraffic::new(c, rng.split(4))),
@@ -486,7 +506,7 @@ impl StackSim {
                 self.conns[conn].ack_timer = None;
                 self.emit_ack(conn, now);
             }
-            Event::AckArrival { conn, ack } => self.on_ack_arrival(conn, now, &ack),
+            Event::AckArrival { conn, ack } => self.on_ack_arrival(conn, now, ack),
             Event::RtoFire { conn, epoch } => self.on_rto(conn, now, epoch),
             Event::GovernorTick => {
                 if let Some(next) = self.cpu.governor_tick(now) {
@@ -581,14 +601,18 @@ impl StackSim {
             (GSO_MAX_BYTES / MSS).max(1)
         };
         let cwnd = conn.cc.cwnd();
-        let Some(plan) = conn.sender.plan_send(cwnd, max_pkts) else {
+        // One scratch plan serves every send: take it out of `self` (so the
+        // borrow of `conn` stays disjoint) and put it back on every exit.
+        let mut plan = std::mem::take(&mut self.plan_scratch);
+        if !conn.sender.plan_send_into(cwnd, max_pkts, &mut plan) {
             // cwnd-limited (or nothing to retransmit): the ACK clock will
             // wake us. Spurious timer fires still cost cycles.
+            self.plan_scratch = plan;
             if pre_cycles > 0 {
                 self.cpu.execute_tagged(now, pre_cycles, "timers");
             }
             return;
-        };
+        }
 
         if pacing && conn.burst_remaining == 0 {
             // Open the new pacing period: grant the stride x autosize
@@ -656,7 +680,7 @@ impl StackSim {
         // Each MSS packet passes netem and the bottleneck individually.
         // GRO at the server aggregates the chunk into one delivery event
         // at its last packet's arrival.
-        let mut accepted_runs: Vec<(PktSeq, PktSeq)> = Vec::new();
+        let mut accepted_runs = self.run_pool.take();
         let mut last_arrival = SimTime::ZERO;
         for &(lo, hi) in &plan.runs {
             for seq in lo.0..hi.0 {
@@ -685,7 +709,9 @@ impl StackSim {
                 }
             }
         }
-        if !accepted_runs.is_empty() {
+        if accepted_runs.is_empty() {
+            self.run_pool.put(accepted_runs);
+        } else {
             self.queue.schedule_at(
                 last_arrival,
                 Event::SkbArrival {
@@ -694,6 +720,7 @@ impl StackSim {
                 },
             );
         }
+        self.plan_scratch = plan;
 
         let conn = &mut self.conns[c];
         // Arm/refresh the RTO.
@@ -741,20 +768,21 @@ impl StackSim {
         // Non-GRO mode: the server acks every `n` in-order segments, as a
         // classic stack would — each ACK costs the phone CPU.
         if let Some(n) = self.cfg.ack_per_segs {
-            let mut pending = Vec::new();
+            let mut pending = 0u64;
             {
                 let conn = &mut self.conns[c];
-                for (lo, hi) in runs {
+                for &(lo, hi) in &runs {
                     let mut seg = lo;
                     while seg < hi {
                         let end = PktSeq((seg.0 + n).min(hi.0));
-                        let urgency = conn.receiver.on_data(seg, end);
-                        pending.push(urgency);
+                        conn.receiver.on_data(seg, end);
+                        pending += 1;
                         seg = end;
                     }
                 }
             }
-            for _ in pending {
+            self.run_pool.put(runs);
+            for _ in 0..pending {
                 self.emit_ack(c, now);
             }
             return;
@@ -763,12 +791,13 @@ impl StackSim {
         let mut urgency = AckUrgency::Coalesce;
         {
             let conn = &mut self.conns[c];
-            for (lo, hi) in runs {
+            for &(lo, hi) in &runs {
                 if conn.receiver.on_data(lo, hi) == AckUrgency::Immediate {
                     urgency = AckUrgency::Immediate;
                 }
             }
         }
+        self.run_pool.put(runs);
         match urgency {
             AckUrgency::Immediate => {
                 if let Some(tok) = self.conns[c].ack_timer.take() {
@@ -788,7 +817,11 @@ impl StackSim {
     }
 
     fn emit_ack(&mut self, c: usize, now: SimTime) {
-        let ack = self.conns[c].receiver.build_ack();
+        let mut ack = AckInfo {
+            cum: PktSeq(0),
+            sacks: self.sack_pool.take(),
+        };
+        self.conns[c].receiver.build_ack_into(&mut ack);
         self.counters.inc("acks_emitted");
         // Reverse path: netem + link (the server's NIC is never the
         // bottleneck, but serialisation and propagation still apply).
@@ -796,6 +829,7 @@ impl StackSim {
         let release = match self.rev_netem.process(now, wire) {
             NetemVerdict::Drop => {
                 self.counters.inc("ack_drops");
+                self.sack_pool.put(ack.sacks);
                 return; // lost ACK; a later one supersedes it
             }
             NetemVerdict::Pass { release } => release,
@@ -803,6 +837,7 @@ impl StackSim {
         match self.rev_link.send(release, wire) {
             SendOutcome::Dropped => {
                 self.counters.inc("ack_drops");
+                self.sack_pool.put(ack.sacks);
             }
             SendOutcome::Accepted { arrival, .. } => {
                 if let Some(pcap) = self.pcap.as_mut() {
@@ -814,7 +849,7 @@ impl StackSim {
         }
     }
 
-    fn on_ack_arrival(&mut self, c: usize, now: SimTime, ack: &AckInfo) {
+    fn on_ack_arrival(&mut self, c: usize, now: SimTime, ack: AckInfo) {
         // Phone-side ACK processing cost: generic path + the CC's model.
         self.cpu
             .execute_tagged(now, self.cfg.cost.ack_process, "acks");
@@ -824,7 +859,7 @@ impl StackSim {
         self.counters.inc("acks_processed");
 
         let conn = &mut self.conns[c];
-        let outcome = conn.sender.on_ack(ack, done);
+        let outcome = conn.sender.on_ack(&ack, done);
 
         if let Some(rtt) = outcome.rtt_sample {
             if conn.measuring {
@@ -906,6 +941,7 @@ impl StackSim {
             conn.rto_armed = false;
         }
 
+        self.sack_pool.put(ack.sacks);
         self.try_send(c, done, false);
     }
 
@@ -1171,6 +1207,13 @@ impl StackSim {
             });
         }
 
+        // Pool health: in steady state misses stay at the cold-start count
+        // (bounded by events in flight), making regressions visible in
+        // counter dumps without touching the serialized scorecard.
+        let mut counters = self.counters;
+        counters.add("pool_run_misses", self.run_pool.misses());
+        counters.add("pool_sack_misses", self.sack_pool.misses());
+
         // Jain fairness over per-connection goodput.
         let rates: Vec<f64> = per_conn.iter().map(|c| c.goodput.as_bps() as f64).collect();
         let sum: f64 = rates.iter().sum();
@@ -1201,7 +1244,7 @@ impl StackSim {
             } else {
                 idle_ms_sum / idle_n as f64
             },
-            counters: self.counters,
+            counters,
             per_conn,
             fairness,
             peak_mem_bytes: peak_mem,
@@ -1361,7 +1404,7 @@ mod tests {
     fn lte_is_bandwidth_limited_bbr_matches_cubic() {
         let mut cfg = quick(CcKind::Bbr, CpuConfig::LowEnd, 4);
         cfg.path = MediaProfile::Lte.path_config();
-        let bbr = StackSim::new(cfg.clone()).run();
+        let bbr = StackSim::new(cfg).run();
         let mut cfg2 = quick(CcKind::Cubic, CpuConfig::LowEnd, 4);
         cfg2.path = MediaProfile::Lte.path_config();
         let cubic = StackSim::new(cfg2).run();

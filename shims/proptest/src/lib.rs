@@ -22,6 +22,47 @@ pub mod strategy {
         type Value;
         /// Draw one value from this strategy.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f` (no shrinking in this shim,
+        /// so this is a plain post-map).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy type, so differently-typed strategies (e.g.
+        /// `prop_map` arms with distinct closures) can share a union.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy, as returned by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     /// Strategy that always yields a clone of its payload.
@@ -56,6 +97,41 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> S::Value {
             let idx = (rng.next_u64() % self.arms.len() as u64) as usize;
             self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Weighted choice between same-typed strategies — the engine behind
+    /// the `weight => strategy` form of `prop_oneof!`. Arms with distinct
+    /// types (e.g. different `prop_map` closures) can be unified with
+    /// [`Strategy::boxed`].
+    pub struct WeightedUnion<S> {
+        arms: Vec<(u32, S)>,
+        total: u64,
+    }
+
+    impl<S> WeightedUnion<S> {
+        /// Build from `(weight, strategy)` pairs; weights must sum > 0.
+        pub fn new(arms: Vec<(u32, S)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(
+                total > 0,
+                "prop_oneof! weights must sum to a positive value"
+            );
+            WeightedUnion { arms, total }
+        }
+    }
+
+    impl<S: Strategy> Strategy for WeightedUnion<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let mut r = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if r < *w as u64 {
+                    return s.generate(rng);
+                }
+                r -= *w as u64;
+            }
+            unreachable!("weighted draw exceeded total weight")
         }
     }
 
@@ -349,7 +425,9 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::sample;
-    pub use crate::strategy::{Any, Arbitrary, Just, Strategy, Union};
+    pub use crate::strategy::{
+        Any, Arbitrary, BoxedStrategy, Just, Strategy, Union, WeightedUnion,
+    };
     pub use crate::test_runner::{ProptestConfig, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
@@ -403,10 +481,14 @@ macro_rules! __proptest_fns {
     };
 }
 
-/// Uniform choice between strategies; all arms must be the same strategy
-/// type (see [`strategy::Union`]).
+/// Choice between strategies: uniform (`a, b, c`) or weighted
+/// (`3 => a, 1 => b`). All arms must be the same strategy type; use
+/// [`strategy::Strategy::boxed`] to unify differently-typed arms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ( $( $w:expr => $arm:expr ),+ $(,)? ) => {
+        $crate::strategy::WeightedUnion::new(::std::vec![$( ($w, $arm) ),+])
+    };
     ( $( $arm:expr ),+ $(,)? ) => {
         $crate::strategy::Union::new(::std::vec![$($arm),+])
     };
@@ -494,5 +576,31 @@ mod tests {
         fn oneof_yields_only_arms(k in prop_oneof![Just(1u64), Just(2), Just(10)]) {
             prop_assert!(k == 1 || k == 2 || k == 10);
         }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..10).prop_map(|v| v * 3)) {
+            prop_assert!(x % 3 == 0 && x < 30);
+        }
+
+        #[test]
+        fn weighted_oneof_draws_boxed_arms(
+            k in prop_oneof![
+                3 => (0u64..5).prop_map(|v| v as i64).boxed(),
+                1 => Just(-1i64).boxed(),
+            ],
+        ) {
+            prop_assert!(k == -1 || (0..5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut rng = TestRng::for_test("weighted_union_respects_weights");
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000)
+            .filter(|_| Strategy::generate(&strat, &mut rng))
+            .count();
+        // ~900 expected; wide tolerance keeps this robust to RNG details.
+        assert!((700..=995).contains(&hits), "weight skew missing: {hits}");
     }
 }

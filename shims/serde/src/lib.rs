@@ -58,6 +58,12 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Marker trait paired with the no-op `derive(Deserialize)`.
 ///
 /// The workspace never deserializes through serde (the sweep cache uses its
@@ -171,6 +177,12 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 }
 
 impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }

@@ -67,7 +67,7 @@ fn warm_cache_rerun_is_complete_and_identical() {
             config.seed = seed;
             cells.push(SeedCell {
                 label: spec.label.clone(),
-                config,
+                config: std::sync::Arc::new(config),
             });
         }
     }
