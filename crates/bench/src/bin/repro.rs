@@ -13,7 +13,19 @@
 //! bit-identical output to `--jobs 1`, and finished cells are cached
 //! content-addressed under `target/sweep-cache` (disable with
 //! `--no-cache`, relocate with `--cache-dir`). `--progress` prints a
-//! per-cell completion line with its wall time and cache status.
+//! per-cell completion line with its wall time and cache status, plus a
+//! final one-line cache/pool-health summary.
+//!
+//! `--trace PATH` switches to flight-recorder mode: instead of running
+//! experiments, it records the canonical Low-End / 20-connection BBR run
+//! with `sim-trace` enabled and writes the trace to PATH —
+//! `--trace-format jsonl` (default, for the `trace` inspector) or
+//! `chrome` (load in Perfetto / `chrome://tracing`):
+//!
+//! ```bash
+//! cargo run --release -p mobile-bbr-bench --bin repro -- \
+//!     --trace trace.json --trace-format chrome
+//! ```
 
 use experiments::{Experiment, ExperimentId, Params};
 
@@ -23,6 +35,8 @@ struct Args {
     markdown: Option<String>,
     json: Option<String>,
     csv: Option<String>,
+    trace: Option<String>,
+    trace_chrome: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut no_cache = false;
     let mut cache_dir: Option<String> = None;
     let mut progress = false;
+    let mut trace: Option<String> = None;
+    let mut trace_chrome = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -105,6 +121,23 @@ fn parse_args() -> Result<Args, String> {
                 progress = true;
                 i += 1;
             }
+            "--trace" => {
+                trace = Some(argv.get(i + 1).ok_or("--trace needs a path")?.clone());
+                i += 2;
+            }
+            "--trace-format" => {
+                let fmt = argv.get(i + 1).ok_or("--trace-format needs a value")?;
+                trace_chrome = match fmt.as_str() {
+                    "jsonl" => false,
+                    "chrome" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown trace format '{other}' (expected jsonl or chrome)"
+                        ))
+                    }
+                };
+                i += 2;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -128,7 +161,43 @@ fn parse_args() -> Result<Args, String> {
         markdown,
         json,
         csv,
+        trace,
+        trace_chrome,
     })
+}
+
+/// Flight-recorder mode: record the paper's worst case — Low-End, 20 BBR
+/// connections — with tracing on and write the trace to `path`.
+fn record_trace(params: &Params, path: &str, chrome: bool) -> Result<(), String> {
+    use congestion::CcKind;
+    use cpu_model::CpuConfig;
+
+    let config = params.pixel4(CpuConfig::LowEnd, CcKind::Bbr, 20);
+    let (res, log) = tcp_sim::StackSim::new(config).run_traced();
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    if chrome {
+        sim_core::trace::write_chrome(&log, &mut w)
+    } else {
+        sim_core::trace::write_jsonl(&log, &mut w)
+    }
+    .map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "recorded BBR Low-End 20-conn run: {:.1} Mbps, {} events ({} dropped), {} counter series",
+        res.goodput_mbps(),
+        log.events.len(),
+        log.dropped,
+        log.counters.len()
+    );
+    println!(
+        "wrote {path} ({})",
+        if chrome {
+            "Chrome trace-event JSON — load in Perfetto or chrome://tracing"
+        } else {
+            "sim-trace/v1 JSONL — inspect with the `trace` binary"
+        }
+    );
+    Ok(())
 }
 
 fn main() {
@@ -136,10 +205,18 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--markdown PATH] [--json PATH] [--csv PATH]");
+            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--markdown PATH] [--json PATH] [--csv PATH] [--trace PATH [--trace-format jsonl|chrome]]");
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = record_trace(&args.params, path, args.trace_chrome) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let mut done: Vec<Experiment> = Vec::new();
     let t0 = std::time::Instant::now();
@@ -153,6 +230,9 @@ fn main() {
 
     let card = experiments::Scorecard::tally(&done);
     println!("{} ({:.1?} total)", card.banner(), t0.elapsed());
+    if args.params.progress {
+        eprintln!("{}", sim_core::sweep::totals().summary_line());
+    }
 
     if let Some(path) = args.markdown {
         let md = experiments::summary::render_markdown(&done);

@@ -1,0 +1,231 @@
+//! Inspect `sim-trace/v1` JSONL flight-recorder traces.
+//!
+//! ```bash
+//! trace inspect trace.jsonl   # validate + per-kind event census
+//! trace top trace.jsonl       # CPU categories ranked by modelled cycles
+//! trace flows trace.jsonl     # per-connection activity summary
+//! ```
+//!
+//! Traces come from `repro --trace PATH` (default JSONL format). Exit
+//! status: 0 on success, 1 on I/O errors, 2 when the file is not a valid
+//! `sim-trace/v1` trace.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// A parsed trace: header plus every body line as JSON.
+struct Trace {
+    header: Value,
+    lines: Vec<Value>,
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("error: open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut lines = std::io::BufReader::new(file).lines();
+    let first = match lines.next() {
+        Some(Ok(l)) => l,
+        Some(Err(e)) => fail(format!("read {path}: {e}")),
+        None => fail(format!("{path} is empty")),
+    };
+    let header: Value = serde_json::from_str(&first)
+        .unwrap_or_else(|e| fail(format!("{path}: header is not JSON: {e}")));
+    if header.get("schema").and_then(Value::as_str) != Some("sim-trace/v1") {
+        fail(format!(
+            "{path}: missing schema \"sim-trace/v1\" — not a sim-trace JSONL file \
+             (Chrome-format traces are for Perfetto, not this tool)"
+        ));
+    }
+    let mut body = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.unwrap_or_else(|e| fail(format!("read {path}: {e}")));
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(&line)
+            .unwrap_or_else(|e| fail(format!("{path} line {}: not JSON: {e}", i + 2)));
+        if v.get("t").and_then(Value::as_u64).is_none()
+            || v.get("k").and_then(Value::as_str).is_none()
+        {
+            fail(format!("{path} line {}: missing \"t\"/\"k\" fields", i + 2));
+        }
+        body.push(v);
+    }
+    Trace {
+        header,
+        lines: body,
+    }
+}
+
+fn kind(v: &Value) -> &str {
+    v.get("k").and_then(Value::as_str).unwrap_or("")
+}
+
+fn num(v: &Value, field: &str) -> u64 {
+    v.get(field).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// `trace inspect`: validate the file and print an event census.
+fn inspect(path: &str) {
+    let trace = load(path);
+    let declared = trace
+        .header
+        .get("events")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events = 0u64;
+    let mut last_t = 0u64;
+    for v in &trace.lines {
+        let t = num(v, "t");
+        if t < last_t {
+            fail(format!(
+                "{path}: events not in time order ({t} after {last_t})"
+            ));
+        }
+        last_t = t;
+        *by_kind.entry(kind(v).to_string()).or_default() += 1;
+        if kind(v) != "counter" {
+            events += 1;
+        }
+    }
+    if events != declared {
+        fail(format!(
+            "{path}: header declares {declared} events but body has {events}"
+        ));
+    }
+    println!(
+        "valid sim-trace/v1: {events} events, {} dropped, {} counter series, span {:.3} s",
+        trace
+            .header
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        trace
+            .header
+            .get("counters")
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        last_t as f64 / 1e9,
+    );
+    let mut census: Vec<(String, u64)> = by_kind.into_iter().collect();
+    census.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (k, n) in census {
+        println!("  {n:>10}  {k}");
+    }
+}
+
+/// `trace top`: rank CPU cost categories by total modelled cycles.
+fn top(path: &str) {
+    let trace = load(path);
+    // cpu_span: conn = category name, b = cycles.
+    let mut cycles: BTreeMap<String, u64> = BTreeMap::new();
+    for v in trace.lines.iter().filter(|v| kind(v) == "cpu_span") {
+        let cat = v.get("conn").and_then(Value::as_str).unwrap_or("?");
+        *cycles.entry(cat.to_string()).or_default() += num(v, "b");
+    }
+    if cycles.is_empty() {
+        fail(format!("{path}: no cpu_span events — was tracing enabled?"));
+    }
+    let total: u64 = cycles.values().sum();
+    let mut ranked: Vec<(String, u64)> = cycles.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!(
+        "modelled CPU by category ({:.1} Mcycles total):",
+        total as f64 / 1e6
+    );
+    for (cat, c) in ranked {
+        println!(
+            "  {:>10.1} Mcycles  {:>5.1} %  {cat}",
+            c as f64 / 1e6,
+            100.0 * c as f64 / total as f64
+        );
+    }
+}
+
+/// `trace flows`: per-connection activity summary.
+fn flows(path: &str) {
+    let trace = load(path);
+    #[derive(Default)]
+    struct Flow {
+        tx_segs: u64,
+        tx_bytes: u64,
+        retx_segs: u64,
+        acks: u64,
+        pacing_fires: u64,
+        rto_fires: u64,
+        last_cwnd: u64,
+        last_rate_bps: u64,
+        last_phase: String,
+    }
+    let mut by_conn: BTreeMap<u64, Flow> = BTreeMap::new();
+    for v in &trace.lines {
+        let conn = match v.get("conn").and_then(Value::as_u64) {
+            Some(c) => c,
+            None => continue, // counters and interned-conn (cpu_span) lines
+        };
+        let f = by_conn.entry(conn).or_default();
+        match kind(v) {
+            "seg_tx" => {
+                f.tx_segs += num(v, "a");
+                f.tx_bytes += num(v, "b");
+            }
+            "seg_retx" => f.retx_segs += num(v, "a"),
+            "ack_rx" => f.acks += 1,
+            "pacing_fire" => f.pacing_fires += 1,
+            "rto_fire" => f.rto_fires += 1,
+            "cwnd_update" => f.last_cwnd = num(v, "a"),
+            "pacing_rate" => f.last_rate_bps = num(v, "a"),
+            "cc_phase" => {
+                f.last_phase = v.get("b").and_then(Value::as_str).unwrap_or("").to_string();
+            }
+            _ => {}
+        }
+    }
+    if by_conn.is_empty() {
+        fail(format!("{path}: no per-connection events"));
+    }
+    println!(
+        "{:>5} {:>9} {:>10} {:>7} {:>9} {:>7} {:>10} {:>12} {:>11} {:>12}",
+        "conn", "tx segs", "tx MB", "retx", "acks", "rto", "pacing", "cwnd", "rate Mbps", "phase"
+    );
+    for (conn, f) in &by_conn {
+        println!(
+            "{conn:>5} {:>9} {:>10.2} {:>7} {:>9} {:>7} {:>10} {:>12} {:>11.1} {:>12}",
+            f.tx_segs,
+            f.tx_bytes as f64 / 1e6,
+            f.retx_segs,
+            f.acks,
+            f.rto_fires,
+            f.pacing_fires,
+            f.last_cwnd,
+            f.last_rate_bps as f64 / 1e6,
+            if f.last_phase.is_empty() {
+                "-"
+            } else {
+                &f.last_phase
+            },
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.as_slice() {
+        [cmd, path] if cmd == "inspect" => inspect(path),
+        [cmd, path] if cmd == "top" => top(path),
+        [cmd, path] if cmd == "flows" => flows(path),
+        _ => {
+            eprintln!("usage: trace <inspect|top|flows> <trace.jsonl>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -357,6 +357,15 @@ impl CongestionControl for Bbr {
         "bbr"
     }
 
+    fn phase(&self) -> &'static str {
+        match self.mode {
+            Mode::Startup => "startup",
+            Mode::Drain => "drain",
+            Mode::ProbeBw => "probe_bw",
+            Mode::ProbeRtt => "probe_rtt",
+        }
+    }
+
     fn on_ack(&mut self, sample: &AckSample) {
         self.update_round(sample);
         self.update_bw(sample);

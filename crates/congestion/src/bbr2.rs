@@ -404,6 +404,18 @@ impl CongestionControl for Bbr2 {
         "bbr2"
     }
 
+    fn phase(&self) -> &'static str {
+        match self.mode {
+            Mode::Startup => "startup",
+            Mode::Drain => "drain",
+            Mode::ProbeDown => "probe_down",
+            Mode::ProbeCruise => "probe_cruise",
+            Mode::ProbeRefill => "probe_refill",
+            Mode::ProbeUp => "probe_up",
+            Mode::ProbeRtt => "probe_rtt",
+        }
+    }
+
     fn on_ack(&mut self, sample: &AckSample) {
         self.update_round(sample);
         self.update_bw(sample);

@@ -167,6 +167,16 @@ impl CongestionControl for Cubic {
         "cubic"
     }
 
+    fn phase(&self) -> &'static str {
+        if self.in_recovery {
+            "recovery"
+        } else if self.in_slow_start() {
+            "slow_start"
+        } else {
+            "avoidance"
+        }
+    }
+
     fn on_ack(&mut self, sample: &AckSample) {
         if !sample.rtt.is_zero() {
             self.delay_min = self.delay_min.min(sample.rtt);

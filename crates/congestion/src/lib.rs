@@ -35,6 +35,8 @@
 //! every acknowledged packet", §5) and the master module can zero it out
 //! for the §5.1.1 experiment.
 
+#![warn(missing_docs)]
+
 pub mod bbr;
 pub mod bbr2;
 pub mod cubic;
@@ -135,6 +137,15 @@ pub trait CongestionControl: Send {
     /// Current slow-start threshold in packets, for instrumentation.
     fn ssthresh(&self) -> u64 {
         u64::MAX
+    }
+
+    /// Current state-machine phase as a stable identifier, for sim-trace
+    /// phase-transition records: BBR reports `"startup"`/`"drain"`/
+    /// `"probe_bw"`/`"probe_rtt"` (v2 adds the ProbeBW sub-phases),
+    /// loss-based algorithms report `"slow_start"`/`"avoidance"`/
+    /// `"recovery"`. The default is `""` (no state machine to report).
+    fn phase(&self) -> &'static str {
+        ""
     }
 }
 

@@ -113,6 +113,10 @@ impl CongestionControl for Master {
         self.inner.name()
     }
 
+    fn phase(&self) -> &'static str {
+        self.inner.phase()
+    }
+
     fn on_ack(&mut self, sample: &AckSample) {
         if !self.config.disable_model {
             self.inner.on_ack(sample);

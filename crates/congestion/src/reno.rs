@@ -39,6 +39,16 @@ impl CongestionControl for Reno {
         "reno"
     }
 
+    fn phase(&self) -> &'static str {
+        if self.in_recovery {
+            "recovery"
+        } else if (self.cwnd as u64) < self.ssthresh {
+            "slow_start"
+        } else {
+            "avoidance"
+        }
+    }
+
     fn on_ack(&mut self, sample: &AckSample) {
         if self.in_recovery {
             return; // window frozen during fast recovery

@@ -12,9 +12,11 @@
 //! governor period from trailing utilisation (see [`crate::governor`]).
 
 use crate::governor::{ClusterKind, CpuTopology, GovernorPolicy, SchedutilState};
+use crate::profile::{CpuProfile, CpuProfiler};
 use serde::Serialize;
 use sim_core::metrics::UtilWindow;
 use sim_core::time::{SimDuration, SimTime};
+use sim_core::trace::{TraceBuffer, TraceKind, TraceSink};
 use std::collections::BTreeMap;
 
 /// Aggregate statistics about a CPU over a run.
@@ -63,6 +65,10 @@ pub struct Cpu {
     freq_weighted_ns: f64,
     last_freq_change: SimTime,
     cycles_by_category: BTreeMap<&'static str, u64>,
+    // sim-trace: span recording and the windowed Fig. 4/5 profiler. Both are
+    // inert (one branch each per execute) unless enabled for a traced run.
+    tracer: TraceSink,
+    profiler: Option<CpuProfiler>,
 }
 
 impl Cpu {
@@ -99,7 +105,32 @@ impl Cpu {
             freq_weighted_ns: 0.0,
             last_freq_change: SimTime::ZERO,
             cycles_by_category: BTreeMap::new(),
+            tracer: TraceSink::disabled(),
+            profiler: None,
         }
+    }
+
+    /// Attach a sim-trace ring buffer; every subsequent executed span
+    /// records a [`TraceKind::CpuSpan`] (category, start→end, cycles).
+    pub fn set_tracer(&mut self, capacity: usize) {
+        self.tracer.enable(capacity);
+    }
+
+    /// Detach and return the span trace buffer (None if tracing was never
+    /// enabled or the `trace` feature is compiled out).
+    pub fn take_tracer(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
+    }
+
+    /// Start bucketing executed cycles into `window`-sized profile windows
+    /// (see [`crate::profile`]).
+    pub fn enable_profiler(&mut self, window: SimDuration) {
+        self.profiler = Some(CpuProfiler::new(window));
+    }
+
+    /// Finish and return the windowed profile (None if never enabled).
+    pub fn take_profile(&mut self) -> Option<CpuProfile> {
+        self.profiler.take().map(CpuProfiler::finish)
     }
 
     /// Current operating frequency in Hz.
@@ -158,6 +189,19 @@ impl Cpu {
         self.total_cycles += cycles;
         *self.cycles_by_category.entry(category).or_insert(0) += cycles;
         self.busy_time += dur;
+        if self.tracer.is_enabled() {
+            let cat = self.tracer.intern(category);
+            self.tracer.record(
+                start,
+                TraceKind::CpuSpan,
+                cat as u32,
+                end.as_nanos(),
+                cycles,
+            );
+        }
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(start, category, cycles);
+        }
         end
     }
 
@@ -175,6 +219,18 @@ impl Cpu {
     /// Cumulative busy time (for long-horizon utilisation measurements).
     pub fn busy_time(&self) -> SimDuration {
         self.busy_time
+    }
+
+    /// Total cycles executed so far (live view; [`Cpu::stats`] snapshots it).
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Live per-category cycle breakdown. The simulator snapshots this at
+    /// the start of the measurement period so steady-state attribution can
+    /// exclude warmup.
+    pub fn cycles_by_category(&self) -> &BTreeMap<&'static str, u64> {
+        &self.cycles_by_category
     }
 
     /// Governor tick: re-evaluate frequency from trailing utilisation.

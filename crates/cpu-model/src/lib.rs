@@ -29,13 +29,21 @@
 //! resource is "cycles per second available to the stack", not core count.
 //! Cache effects, thermal throttling, and scheduler preemption are folded
 //! into the calibrated cycle costs.
+//!
+//! For traced runs, [`profile`] buckets executed cycles per utilization
+//! window and per cost category — the simulated analogue of the paper's
+//! Fig. 4/5 `perf` profiles.
+
+#![warn(missing_docs)]
 
 pub mod configs;
 pub mod cost;
 pub mod cpu;
 pub mod governor;
+pub mod profile;
 
 pub use configs::{CpuConfig, DeviceKind, DeviceProfile};
 pub use cost::CostModel;
 pub use cpu::{Cpu, CpuStats};
 pub use governor::{ClusterKind, CoreCluster, CpuTopology, GovernorPolicy};
+pub use profile::{CpuProfile, CpuProfiler, ProfileRow};

@@ -22,6 +22,7 @@
 //! | [`table2`] | Table 2 — per-stride skb length / idle / expected vs actual / RTT |
 //! | [`fig9`] | Fig. 9 / A.1 — LTE: BBR ≈ Cubic |
 //! | [`fairness`] | §7.1.3 — Jain fairness under stride (future-work probe) |
+//! | [`profile`] | §5 root cause — steady-state CPU cycle attribution, Low-End 20 conns |
 //!
 //! ```no_run
 //! use experiments::{params::Params, ExperimentId};
@@ -47,6 +48,7 @@ pub mod fig9;
 pub mod fiveg;
 pub mod memory;
 pub mod params;
+pub mod profile;
 pub mod sec51;
 pub mod shallow;
 pub mod summary;
@@ -142,12 +144,15 @@ pub enum ExperimentId {
     AutoStride,
     /// §7.2 budget-device survey.
     Devices,
+    /// §5 root cause — steady-state cycle attribution via the simulated-CPU
+    /// profiler (pacing-timer work dominates BBR, not Cubic).
+    Profile,
 }
 
 impl ExperimentId {
     /// All experiments in paper order (paper artifacts first, then the
     /// future-work extensions).
-    pub const ALL: [ExperimentId; 17] = [
+    pub const ALL: [ExperimentId; 18] = [
         ExperimentId::Fig2,
         ExperimentId::Fig3,
         ExperimentId::Bbr2Wifi,
@@ -165,6 +170,7 @@ impl ExperimentId {
         ExperimentId::Memory,
         ExperimentId::AutoStride,
         ExperimentId::Devices,
+        ExperimentId::Profile,
     ];
 
     /// The CLI name used by the `repro` binary (`--exp <name>`).
@@ -187,6 +193,7 @@ impl ExperimentId {
             ExperimentId::Memory => "memory",
             ExperimentId::AutoStride => "autostride",
             ExperimentId::Devices => "devices",
+            ExperimentId::Profile => "profile",
         }
     }
 
@@ -215,6 +222,7 @@ impl ExperimentId {
             ExperimentId::Memory => memory::run(params),
             ExperimentId::AutoStride => autostride::run(params),
             ExperimentId::Devices => devices::run(params),
+            ExperimentId::Profile => profile::run(params),
         }
     }
 }
@@ -240,9 +248,9 @@ mod tests {
 
     #[test]
     fn all_covers_every_paper_artifact() {
-        // Figures 2–9 and Table 2, plus §4.2, §5.1, §5.2.3, and the four
+        // Figures 2–9 and Table 2, plus §4.2, §5.1, §5.2.3, the four
         // §7 future-work extensions (fairness, 5G, memory, auto-stride,
-        // devices): 17 experiments.
-        assert_eq!(ExperimentId::ALL.len(), 17);
+        // devices), and the cycle-attribution profile: 18 experiments.
+        assert_eq!(ExperimentId::ALL.len(), 18);
     }
 }

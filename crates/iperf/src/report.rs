@@ -27,6 +27,24 @@ pub struct SeedResult {
     pub mean_freq_hz: f64,
     /// Pacing-timer fires over the run.
     pub timer_fires: u64,
+    /// Hot-path buffer-pool misses over the whole run (cold-start fills).
+    pub pool_misses: u64,
+    /// Pool misses during the measurement window only — a healthy run
+    /// keeps this at zero (the steady-state no-allocation invariant).
+    pub pool_misses_steady: u64,
+    /// Modelled CPU cycles charged during the measurement window.
+    pub cycles_total: u64,
+    /// Measurement-window cycles spent on pacing-timer traffic.
+    pub cycles_timers: u64,
+    /// Measurement-window cycles spent on generic ACK processing.
+    pub cycles_acks: u64,
+    /// Measurement-window cycles spent in the CC's model update.
+    pub cycles_cc: u64,
+    /// Measurement-window cycles spent building/copying data (per-byte +
+    /// fixed skb transmit work).
+    pub cycles_data: u64,
+    /// Remaining measurement-window cycles (retransmit, RTO, misc).
+    pub cycles_other: u64,
 }
 
 impl SeedResult {
@@ -43,6 +61,15 @@ impl SeedResult {
             mean_idle_ms: res.mean_idle_ms,
             mean_freq_hz: res.cpu.mean_freq_hz,
             timer_fires: res.counters.get("timer_fires"),
+            pool_misses: res.counters.get("pool_run_misses") + res.counters.get("pool_sack_misses"),
+            pool_misses_steady: res.counters.get("pool_run_misses_steady")
+                + res.counters.get("pool_sack_misses_steady"),
+            cycles_total: res.counters.get("cycles_steady_total"),
+            cycles_timers: res.counters.get("cycles_steady_timers"),
+            cycles_acks: res.counters.get("cycles_steady_acks"),
+            cycles_cc: res.counters.get("cycles_steady_cc_model"),
+            cycles_data: res.counters.get("cycles_steady_data"),
+            cycles_other: res.counters.get("cycles_steady_other"),
         }
     }
 }
@@ -173,6 +200,14 @@ mod tests {
             mean_idle_ms: 0.9,
             mean_freq_hz: 576e6,
             timer_fires: 1000,
+            pool_misses: 4,
+            pool_misses_steady: 0,
+            cycles_total: 1_000_000,
+            cycles_timers: 300_000,
+            cycles_acks: 200_000,
+            cycles_cc: 150_000,
+            cycles_data: 250_000,
+            cycles_other: 100_000,
         }
     }
 

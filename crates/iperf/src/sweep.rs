@@ -52,7 +52,10 @@ impl SweepCell for SeedCell {
     }
 
     fn encode(output: &SeedResult) -> Option<Vec<u8>> {
-        let mut buf = Vec::with_capacity(80);
+        // 18 × 8-byte little-endian words. Bumping the width invalidates
+        // cache entries written by older binaries: `decode` rejects them by
+        // length and the engine recomputes — a safe, silent migration.
+        let mut buf = Vec::with_capacity(144);
         buf.extend_from_slice(&output.seed.to_le_bytes());
         buf.extend_from_slice(&output.goodput_mbps.to_le_bytes());
         buf.extend_from_slice(&output.mean_rtt_ms.to_le_bytes());
@@ -63,11 +66,19 @@ impl SweepCell for SeedCell {
         buf.extend_from_slice(&output.mean_idle_ms.to_le_bytes());
         buf.extend_from_slice(&output.mean_freq_hz.to_le_bytes());
         buf.extend_from_slice(&output.timer_fires.to_le_bytes());
+        buf.extend_from_slice(&output.pool_misses.to_le_bytes());
+        buf.extend_from_slice(&output.pool_misses_steady.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_total.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_timers.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_acks.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_cc.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_data.to_le_bytes());
+        buf.extend_from_slice(&output.cycles_other.to_le_bytes());
         Some(buf)
     }
 
     fn decode(bytes: &[u8]) -> Option<SeedResult> {
-        if bytes.len() != 80 {
+        if bytes.len() != 144 {
             return None;
         }
         let u = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
@@ -83,6 +94,14 @@ impl SweepCell for SeedCell {
             mean_idle_ms: f(7),
             mean_freq_hz: f(8),
             timer_fires: u(9),
+            pool_misses: u(10),
+            pool_misses_steady: u(11),
+            cycles_total: u(12),
+            cycles_timers: u(13),
+            cycles_acks: u(14),
+            cycles_cc: u(15),
+            cycles_data: u(16),
+            cycles_other: u(17),
         })
     }
 
@@ -107,13 +126,23 @@ pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Vec<RunReport>
     }
     let report = run_sweep(&cells, opts);
     let mut outputs = report.outputs.into_iter();
-    specs
+    let reports: Vec<RunReport> = specs
         .iter()
         .map(|spec| {
             let seeds: Vec<SeedResult> = (&mut outputs).take(spec.seeds.len()).collect();
             RunReport::aggregate(spec.label.clone(), seeds)
         })
-        .collect()
+        .collect();
+    // Roll per-seed pool-miss counts into the engine's global run metrics
+    // so `repro`'s final summary can report hot-path allocator health.
+    let (misses, steady) = reports
+        .iter()
+        .flat_map(|r| &r.seeds)
+        .fold((0u64, 0u64), |(m, s), seed| {
+            (m + seed.pool_misses, s + seed.pool_misses_steady)
+        });
+    sim_core::sweep::note_pool_misses(misses, steady);
+    reports
 }
 
 #[cfg(test)]
@@ -172,9 +201,17 @@ mod tests {
             mean_idle_ms: 0.015625,
             mean_freq_hz: 5.76e8,
             timer_fires: 123_456,
+            pool_misses: 7,
+            pool_misses_steady: 1,
+            cycles_total: 9_876_543_210,
+            cycles_timers: 4_000_000_000,
+            cycles_acks: 2_000_000_000,
+            cycles_cc: 1_500_000_000,
+            cycles_data: 2_000_000_000,
+            cycles_other: 376_543_210,
         };
         let bytes = SeedCell::encode(&original).unwrap();
-        assert_eq!(bytes.len(), 80);
+        assert_eq!(bytes.len(), 144);
         let decoded = SeedCell::decode(&bytes).unwrap();
         assert_eq!(decoded.seed, original.seed);
         assert_eq!(
@@ -183,9 +220,17 @@ mod tests {
         );
         assert_eq!(decoded.fairness.to_bits(), original.fairness.to_bits());
         assert_eq!(decoded.timer_fires, original.timer_fires);
+        assert_eq!(decoded.pool_misses, original.pool_misses);
+        assert_eq!(decoded.pool_misses_steady, original.pool_misses_steady);
+        assert_eq!(decoded.cycles_total, original.cycles_total);
+        assert_eq!(decoded.cycles_other, original.cycles_other);
         assert!(
-            SeedCell::decode(&bytes[..79]).is_none(),
+            SeedCell::decode(&bytes[..143]).is_none(),
             "short buffer rejected"
+        );
+        assert!(
+            SeedCell::decode(&bytes[..80]).is_none(),
+            "pre-extension cache entries rejected (engine recomputes)"
         );
     }
 

@@ -65,6 +65,7 @@
 //! packet arrivals, and CPU completions).
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceBuffer, TraceKind, TraceSink};
 
 pub mod reference;
 
@@ -187,6 +188,9 @@ pub struct EventQueue<E> {
     now: SimTime,
     len: usize,
     popped: u64,
+    /// sim-trace tracepoint target (zero-sized and inert unless the `trace`
+    /// feature is on *and* a buffer has been attached).
+    tracer: TraceSink,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -210,7 +214,20 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             len: 0,
             popped: 0,
+            tracer: TraceSink::disabled(),
         }
+    }
+
+    /// Attach a sim-trace ring buffer; subsequent schedule/cancel/pop/cascade
+    /// operations record [`TraceKind::WheelSchedule`]-family events into it.
+    pub fn set_tracer(&mut self, capacity: usize) {
+        self.tracer.enable(capacity);
+    }
+
+    /// Detach and return the trace buffer attached by [`Self::set_tracer`]
+    /// (None if tracing was never enabled or the feature is compiled out).
+    pub fn take_tracer(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
     }
 
     /// Current simulation time: the timestamp of the last popped event
@@ -255,7 +272,15 @@ impl<E> EventQueue<E> {
         let idx = self.alloc(at, event);
         self.place(idx, at.as_nanos());
         self.len += 1;
-        TimerToken::new(self.cells[idx as usize].gen, idx)
+        let token = TimerToken::new(self.cells[idx as usize].gen, idx);
+        self.tracer.record(
+            self.now,
+            TraceKind::WheelSchedule,
+            0,
+            at.as_nanos(),
+            token.0,
+        );
+        token
     }
 
     /// Schedule `event` to fire `delay` after the current clock.
@@ -281,6 +306,8 @@ impl<E> EventQueue<E> {
                 self.unlink(idx);
                 self.release(idx);
                 self.len -= 1;
+                self.tracer
+                    .record(self.now, TraceKind::WheelCancel, 0, token.0, 0);
                 true
             }
             _ => false,
@@ -320,9 +347,11 @@ impl<E> EventQueue<E> {
                 self.elapsed = at.as_nanos();
                 self.len -= 1;
                 self.popped += 1;
+                let token = TimerToken::new(gen, idx);
+                self.tracer.record(at, TraceKind::WheelPop, 0, token.0, 0);
                 return Some(ScheduledEvent {
                     at,
-                    token: TimerToken::new(gen, idx),
+                    token,
                     event: event.expect("pending cell holds a payload"),
                 });
             } else if level < LEVELS {
@@ -350,9 +379,11 @@ impl<E> EventQueue<E> {
                     self.now = at;
                     self.len -= 1;
                     self.popped += 1;
+                    let token = TimerToken::new(gen, idx);
+                    self.tracer.record(at, TraceKind::WheelPop, 0, token.0, 0);
                     return Some(ScheduledEvent {
                         at,
-                        token: TimerToken::new(gen, idx),
+                        token,
                         event: event.expect("pending cell holds a payload"),
                     });
                 }
@@ -383,12 +414,21 @@ impl<E> EventQueue<E> {
                 if self.occ[level] == 0 {
                     self.level_occ &= !(1u8 << level);
                 }
+                let mut moved = 0u64;
                 while idx != NIL {
                     let c = &self.cells[idx as usize];
                     let (next, at) = (c.next, c.at.as_nanos());
                     self.place(idx, at);
                     idx = next;
+                    moved += 1;
                 }
+                self.tracer.record(
+                    SimTime::from_nanos(min_at),
+                    TraceKind::WheelCascade,
+                    0,
+                    level as u64,
+                    moved,
+                );
             } else {
                 // Wheel empty but len > 0: everything pending is in overflow.
                 // Jump the cursor to the earliest overflow timestamp (all
@@ -407,15 +447,26 @@ impl<E> EventQueue<E> {
                 debug_assert!(min_at > self.elapsed);
                 self.elapsed = min_at;
                 let mut idx = self.ovf_head;
+                let mut moved = 0u64;
                 while idx != NIL {
                     let c = &self.cells[idx as usize];
                     let (next, at) = (c.next, c.at.as_nanos());
                     if at >> WHEEL_BITS == min_at >> WHEEL_BITS {
                         self.unlink(idx);
                         self.place(idx, at);
+                        moved += 1;
                     }
                     idx = next;
                 }
+                // Overflow pulls are cascades from the virtual level above
+                // the wheel.
+                self.tracer.record(
+                    SimTime::from_nanos(min_at),
+                    TraceKind::WheelCascade,
+                    0,
+                    LEVELS as u64,
+                    moved,
+                );
             }
         }
     }

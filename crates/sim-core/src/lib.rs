@@ -25,6 +25,12 @@
 //! engine with a content-addressed run cache, used by the `repro` and
 //! `ablations` binaries to fan experiment cells across worker threads
 //! while staying bit-identical to a serial run.
+//!
+//! Observability lives in [`trace`] (`sim-trace`): flight-recorder ring
+//! buffers fed by tracepoints in the hot paths, merged into a deterministic
+//! [`trace::TraceLog`] and exported as JSONL or Chrome/Perfetto trace
+//! events. Tracing is statically zero-cost when the `trace` cargo feature
+//! (on by default) is disabled.
 
 #![warn(missing_docs)]
 
@@ -33,10 +39,12 @@ pub mod metrics;
 pub mod rng;
 pub mod sweep;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use event::{EventQueue, ScheduledEvent, TimerToken};
 pub use rng::SimRng;
 pub use sweep::{run_sweep, CellReport, SweepCell, SweepOptions, SweepReport};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceKind, TraceLog, TraceRecord, TraceSink};
 pub use units::{Bandwidth, ByteCount, ByteSize};

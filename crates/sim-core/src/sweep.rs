@@ -55,7 +55,7 @@
 use crate::rng::SimRng;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -167,6 +167,21 @@ impl SweepOptions {
     }
 }
 
+/// How the run cache served (or failed to serve) one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// A valid entry decoded; the simulation was skipped.
+    Hit,
+    /// No entry existed; the cell was computed and back-filled.
+    MissCold,
+    /// An entry existed but was invalid (bad envelope, failed checksum, or
+    /// an undecodable payload from an older codec); it was discarded,
+    /// recomputed, and rewritten.
+    MissCorrupt,
+    /// The cell opted out of caching, or no cache directory was configured.
+    Uncacheable,
+}
+
 /// Timing record for one finished cell.
 #[derive(Debug, Clone)]
 pub struct CellReport {
@@ -176,6 +191,96 @@ pub struct CellReport {
     pub elapsed: Duration,
     /// Whether the output came from the run cache.
     pub cache_hit: bool,
+    /// The full cache disposition ([`CellReport::cache_hit`] is its
+    /// `== Hit` projection, kept for existing callers).
+    pub state: CacheState,
+}
+
+/// Process-wide run metrics, accumulated across every sweep (and fed by
+/// the simulation layer via [`note_pool_misses`]). Drivers print these at
+/// the end of a session via [`totals`]; [`reset_totals`] rewinds them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTotals {
+    /// Cells executed or served from cache.
+    pub cells: u64,
+    /// Cells served from a valid cache entry.
+    pub cache_hits: u64,
+    /// Cells computed because no entry existed.
+    pub cache_misses: u64,
+    /// Cells recomputed because an entry existed but was invalid.
+    pub cache_corrupt: u64,
+    /// Cells that bypassed the cache entirely.
+    pub uncacheable: u64,
+    /// Summed per-cell wall-clock time, nanoseconds (across workers, so it
+    /// exceeds elapsed real time under parallelism).
+    pub cell_wall_nanos: u64,
+    /// Hot-path buffer-pool misses reported by the simulation layer.
+    pub pool_misses: u64,
+    /// Pool misses inside measurement windows (zero in a healthy run).
+    pub pool_misses_steady: u64,
+}
+
+impl SweepTotals {
+    /// The one-line cache/pool summary `repro --progress` prints.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "sweep totals: {} cells in {:.1}s — cache {} hits / {} misses / {} corrupt-recomputed / {} uncacheable; pool misses {} total / {} steady",
+            self.cells,
+            self.cell_wall_nanos as f64 / 1e9,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_corrupt,
+            self.uncacheable,
+            self.pool_misses,
+            self.pool_misses_steady,
+        )
+    }
+}
+
+static TOTAL_CELLS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MISSES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_CORRUPT: AtomicU64 = AtomicU64::new(0);
+static TOTAL_UNCACHEABLE: AtomicU64 = AtomicU64::new(0);
+static TOTAL_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_POOL_MISSES_STEADY: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide run metrics.
+pub fn totals() -> SweepTotals {
+    SweepTotals {
+        cells: TOTAL_CELLS.load(Ordering::Relaxed),
+        cache_hits: TOTAL_HITS.load(Ordering::Relaxed),
+        cache_misses: TOTAL_MISSES.load(Ordering::Relaxed),
+        cache_corrupt: TOTAL_CORRUPT.load(Ordering::Relaxed),
+        uncacheable: TOTAL_UNCACHEABLE.load(Ordering::Relaxed),
+        cell_wall_nanos: TOTAL_WALL_NANOS.load(Ordering::Relaxed),
+        pool_misses: TOTAL_POOL_MISSES.load(Ordering::Relaxed),
+        pool_misses_steady: TOTAL_POOL_MISSES_STEADY.load(Ordering::Relaxed),
+    }
+}
+
+/// Rewind the process-wide run metrics to zero (start of a session).
+pub fn reset_totals() {
+    for counter in [
+        &TOTAL_CELLS,
+        &TOTAL_HITS,
+        &TOTAL_MISSES,
+        &TOTAL_CORRUPT,
+        &TOTAL_UNCACHEABLE,
+        &TOTAL_WALL_NANOS,
+        &TOTAL_POOL_MISSES,
+        &TOTAL_POOL_MISSES_STEADY,
+    ] {
+        counter.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fold simulation-layer pool-miss counts into the run metrics (called by
+/// the iperf sweep bridge after aggregating each batch's seed results).
+pub fn note_pool_misses(total: u64, steady: u64) {
+    TOTAL_POOL_MISSES.fetch_add(total, Ordering::Relaxed);
+    TOTAL_POOL_MISSES_STEADY.fetch_add(steady, Ordering::Relaxed);
 }
 
 /// Everything a sweep produced: outputs plus per-cell accounting.
@@ -206,9 +311,30 @@ fn cache_path(dir: &Path, key: &[u8]) -> PathBuf {
     dir.join(format!("{a:016x}{b:016x}.bin"))
 }
 
-/// Read and validate a cache entry; `None` on any defect.
-fn cache_read(path: &Path) -> Option<Vec<u8>> {
-    let mut file = std::fs::File::open(path).ok()?;
+/// What a cache probe found, distinguishing "never computed" from "entry
+/// present but unusable" — the session summary reports them separately.
+enum CacheProbe {
+    /// No entry on disk.
+    Absent,
+    /// An entry exists but its envelope or checksum is invalid.
+    Corrupt,
+    /// A validated payload.
+    Valid(Vec<u8>),
+}
+
+/// Read and validate a cache entry.
+fn cache_read(path: &Path) -> CacheProbe {
+    let Ok(mut file) = std::fs::File::open(path) else {
+        return CacheProbe::Absent;
+    };
+    match read_envelope(&mut file) {
+        Some(payload) => CacheProbe::Valid(payload),
+        None => CacheProbe::Corrupt,
+    }
+}
+
+/// Validate the `SWPC` envelope and return its payload; `None` on defect.
+fn read_envelope(file: &mut std::fs::File) -> Option<Vec<u8>> {
     let mut header = [0u8; 4 + 4 + 8 + 8];
     file.read_exact(&mut header).ok()?;
     if &header[0..4] != CACHE_MAGIC {
@@ -260,15 +386,26 @@ fn cache_write(path: &Path, payload: &[u8]) {
 }
 
 /// Obtain one cell's output: cache probe, else compute (and back-fill).
-fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, bool) {
+fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, CacheState) {
     let key = cell.key_bytes();
     let cache_file = match (&opts.cache_dir, cell.cacheable()) {
         (Some(dir), true) => Some(cache_path(dir, &key)),
         _ => None,
     };
+    let mut state = if cache_file.is_some() {
+        CacheState::MissCold
+    } else {
+        CacheState::Uncacheable
+    };
     if let Some(path) = &cache_file {
-        if let Some(output) = cache_read(path).and_then(|p| C::decode(&p)) {
-            return (output, true);
+        match cache_read(path) {
+            CacheProbe::Valid(payload) => match C::decode(&payload) {
+                Some(output) => return (output, CacheState::Hit),
+                // Valid envelope, stale codec: treat like corruption.
+                None => state = CacheState::MissCorrupt,
+            },
+            CacheProbe::Corrupt => state = CacheState::MissCorrupt,
+            CacheProbe::Absent => {}
         }
     }
     let rng = SimRng::new(opts.root_seed).split(fnv64(&key));
@@ -278,7 +415,7 @@ fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, bool) {
             cache_write(path, &payload);
         }
     }
-    (output, false)
+    (output, state)
 }
 
 /// Run every cell and collect outputs in submission order.
@@ -299,21 +436,37 @@ pub fn run_sweep<C: SweepCell>(cells: &[C], opts: &SweepOptions) -> SweepReport<
     let mut slots: Vec<Slot<C::Output>> = Vec::with_capacity(total);
     slots.resize_with(total, || Mutex::new(None));
 
+    // Interactive progress belongs on stderr (stdout carries results).
+    #[allow(clippy::print_stderr)]
     let finish_one = |idx: usize, cell: &C| {
         let cell_started = Instant::now();
-        let (output, cache_hit) = run_cell(cell, opts);
+        let (output, state) = run_cell(cell, opts);
         let report = CellReport {
             label: cell.label(),
             elapsed: cell_started.elapsed(),
-            cache_hit,
+            cache_hit: state == CacheState::Hit,
+            state,
         };
+        TOTAL_CELLS.fetch_add(1, Ordering::Relaxed);
+        match state {
+            CacheState::Hit => &TOTAL_HITS,
+            CacheState::MissCold => &TOTAL_MISSES,
+            CacheState::MissCorrupt => &TOTAL_CORRUPT,
+            CacheState::Uncacheable => &TOTAL_UNCACHEABLE,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        TOTAL_WALL_NANOS.fetch_add(report.elapsed.as_nanos() as u64, Ordering::Relaxed);
         if opts.progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             eprintln!(
                 "  [{k}/{total}] {} — {:.1?}{}",
                 report.label,
                 report.elapsed,
-                if cache_hit { " (cached)" } else { "" }
+                match state {
+                    CacheState::Hit => " (cached)",
+                    CacheState::MissCorrupt => " (corrupt entry recomputed)",
+                    _ => "",
+                }
             );
         }
         *slots[idx].lock().unwrap() = Some((output, report));
@@ -538,6 +691,11 @@ mod tests {
         std::fs::write(&entry, &bytes).unwrap();
         let after_corrupt = run_sweep(&cells, &opts);
         assert_eq!(after_corrupt.cache_hits(), 0, "corrupt entry must miss");
+        assert_eq!(
+            after_corrupt.cells[0].state,
+            CacheState::MissCorrupt,
+            "a bad entry is reported as corruption, not a cold miss"
+        );
         assert_eq!(after_corrupt.outputs, cold.outputs);
 
         // The recompute rewrote a valid entry.
@@ -615,6 +773,47 @@ mod tests {
         assert_eq!(a.cache_hits() + b.cache_hits(), 0);
         assert_eq!(a.outputs, b.outputs, "still deterministic");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_states_distinguish_cold_hit_and_uncacheable() {
+        let dir = temp_dir("states");
+        let cells = toy_cells(2);
+        let opts = SweepOptions {
+            cache_dir: Some(dir.clone()),
+            ..SweepOptions::serial(21)
+        };
+        let cold = run_sweep(&cells, &opts);
+        assert!(cold.cells.iter().all(|c| c.state == CacheState::MissCold));
+        let warm = run_sweep(&cells, &opts);
+        assert!(warm.cells.iter().all(|c| c.state == CacheState::Hit));
+        assert!(warm.cells.iter().all(|c| c.cache_hit));
+        // No cache dir: everything is uncacheable by definition.
+        let uncached = run_sweep(&cells, &SweepOptions::serial(21));
+        assert!(uncached
+            .cells
+            .iter()
+            .all(|c| c.state == CacheState::Uncacheable));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn totals_accumulate_cells_and_pool_misses() {
+        // Totals are process-global and other tests run concurrently, so
+        // assert only on deltas this test caused (monotone non-negative).
+        let before = totals();
+        let cells = toy_cells(3);
+        run_sweep(&cells, &SweepOptions::serial(33));
+        note_pool_misses(5, 1);
+        let after = totals();
+        assert!(after.cells >= before.cells + 3);
+        assert!(after.uncacheable >= before.uncacheable + 3);
+        assert!(after.pool_misses >= before.pool_misses + 5);
+        assert!(after.pool_misses_steady > before.pool_misses_steady);
+        let line = after.summary_line();
+        assert!(line.contains("cells"), "{line}");
+        assert!(line.contains("corrupt-recomputed"), "{line}");
+        assert!(line.contains("pool misses"), "{line}");
     }
 
     #[test]

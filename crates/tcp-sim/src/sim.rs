@@ -42,7 +42,9 @@ use sim_core::event::{EventQueue, TimerToken};
 use sim_core::metrics::{Counters, Reservoir, Summary};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
+use sim_core::trace::{TraceKind, TraceLog, TraceSink};
 use sim_core::units::Bandwidth;
+use std::collections::BTreeMap;
 
 /// Auto-stride controller epoch (§7.1.2 extension).
 const ADAPT_EPOCH: SimDuration = SimDuration::from_millis(300);
@@ -267,6 +269,11 @@ struct Conn {
     cur_period_bytes: u64,
     period_bytes_sum: u64,
     period_count: u64,
+    // sim-trace change detection: only transitions are recorded, so the
+    // last-seen CC outputs are cached here (checked only when tracing).
+    last_cwnd: u64,
+    last_rate_bps: u64,
+    last_phase: &'static str,
 }
 
 /// The simulation engine.
@@ -316,6 +323,16 @@ pub struct StackSim {
     adapt_ceiling: u64,
     adapt_floor: u64,
     adapt_armed: bool,
+    // sim-trace: the stack's own tracepoint sink (the timer wheel and the
+    // CPU model carry their own; `collect_trace` merges all three).
+    trace: TraceSink,
+    // MeasureStart snapshots for steady-state attribution: cycle and
+    // pool-miss totals as of the end of warmup, so `finish` can report
+    // measurement-window deltas.
+    measure_cycles: BTreeMap<&'static str, u64>,
+    measure_cycles_total: u64,
+    measure_run_misses: u64,
+    measure_sack_misses: u64,
 }
 
 impl StackSim {
@@ -378,6 +395,9 @@ impl StackSim {
                     cur_period_bytes: 0,
                     period_bytes_sum: 0,
                     period_count: 0,
+                    last_cwnd: 0,
+                    last_rate_bps: 0,
+                    last_phase: "",
                 }
             })
             .collect();
@@ -403,6 +423,11 @@ impl StackSim {
             adapt_ceiling: 64,
             adapt_floor: 1,
             adapt_armed: false,
+            trace: TraceSink::disabled(),
+            measure_cycles: BTreeMap::new(),
+            measure_cycles_total: 0,
+            measure_run_misses: 0,
+            measure_sack_misses: 0,
             timeline: Vec::new(),
             run_pool: VecPool::new(),
             sack_pool: VecPool::new(),
@@ -419,8 +444,67 @@ impl StackSim {
         }
     }
 
+    /// Turn on flight-recorder tracing: the stack, the timer wheel and the
+    /// CPU model each get a fixed-capacity ring of `capacity` records, and
+    /// the CPU model starts a windowed cycle profiler
+    /// ([`cpu_model::profile::DEFAULT_WINDOW`]).
+    ///
+    /// Tracing never changes simulation behaviour — a traced run produces a
+    /// bit-identical [`SimResult`] to an untraced one. When `sim-core` is
+    /// built with `--no-default-features` (no `trace` feature) the rings
+    /// stay off and only the profiler runs.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+        self.queue.set_tracer(capacity);
+        self.cpu.set_tracer(capacity);
+        self.cpu.enable_profiler(cpu_model::profile::DEFAULT_WINDOW);
+    }
+
     /// Run to completion and report.
     pub fn run(mut self) -> SimResult {
+        self.run_to_end();
+        self.finish()
+    }
+
+    /// Run to completion with tracing enabled, returning both the result
+    /// and the merged trace log (events from the timer wheel, the CPU
+    /// model and the stack, plus the windowed cycle-profile counter
+    /// series).
+    ///
+    /// Enables tracing at [`sim_core::trace::DEFAULT_CAPACITY`] unless
+    /// [`StackSim::enable_tracing`] was already called with a custom
+    /// capacity.
+    pub fn run_traced(mut self) -> (SimResult, TraceLog) {
+        if !self.trace.is_enabled() {
+            self.enable_tracing(sim_core::trace::DEFAULT_CAPACITY);
+        }
+        self.run_to_end();
+        let log = self.collect_trace();
+        (self.finish(), log)
+    }
+
+    /// Drain the per-domain rings into one chronologically merged log.
+    /// Buffer order (wheel, CPU, stack) is fixed — it is the deterministic
+    /// tie-break for records carrying the same timestamp.
+    fn collect_trace(&mut self) -> TraceLog {
+        let mut buffers = Vec::new();
+        if let Some(b) = self.queue.take_tracer() {
+            buffers.push(b);
+        }
+        if let Some(b) = self.cpu.take_tracer() {
+            buffers.push(b);
+        }
+        if let Some(b) = self.trace.take() {
+            buffers.push(b);
+        }
+        let mut log = TraceLog::merge(buffers);
+        if let Some(profile) = self.cpu.take_profile() {
+            log.counters.extend(profile.to_series());
+        }
+        log
+    }
+
+    fn run_to_end(&mut self) {
         for c in 0..self.conns.len() {
             let at = SimTime::ZERO + self.cfg.start_stagger * c as u64;
             self.queue.schedule_at(at, Event::Start(c));
@@ -448,7 +532,6 @@ impl StackSim {
             }
             self.handle(ev.at, ev.event);
         }
-        self.finish()
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -520,6 +603,12 @@ impl StackSim {
                     conn.rtt_summary = Summary::new();
                     conn.rtt_reservoir = Reservoir::new(2048);
                 }
+                // Steady-state attribution baseline: everything charged or
+                // missed after this point is measurement-window work.
+                self.measure_cycles = self.cpu.cycles_by_category().clone();
+                self.measure_cycles_total = self.cpu.total_cycles();
+                self.measure_run_misses = self.run_pool.misses();
+                self.measure_sack_misses = self.sack_pool.misses();
             }
         }
     }
@@ -548,6 +637,8 @@ impl StackSim {
         if from_timer {
             pre_cycles += self.cfg.cost.timer_fire;
             self.counters.inc("timer_fires");
+            self.trace
+                .record(now, TraceKind::PacingFire, c as u32, 0, 0);
         }
 
         let conn = &mut self.conns[c];
@@ -575,9 +666,11 @@ impl StackSim {
             }
             if !conn.pacing_timer_armed {
                 conn.pacing_timer_armed = true;
-                let at = conn.pacer.next_release();
+                let at = conn.pacer.next_release().max(now);
+                self.trace
+                    .record(now, TraceKind::TimerArm, c as u32, at.as_nanos(), 0);
                 self.queue.schedule_at(
-                    at.max(now),
+                    at,
                     Event::SendReady {
                         conn: c,
                         from_timer: true,
@@ -673,6 +766,12 @@ impl StackSim {
         }
         self.counters.inc("skbs_sent");
         self.counters.add("pkts_sent", pkts);
+        let tx_kind = if plan.is_retx {
+            TraceKind::SegRetx
+        } else {
+            TraceKind::SegTx
+        };
+        self.trace.record(now, tx_kind, c as u32, pkts, bytes);
 
         // Wire transmission: the CPU prepares the whole buffer (charged
         // above), then the NIC/adapter bursts its packets at line rate —
@@ -740,8 +839,11 @@ impl StackSim {
 
         if pacing && conn.burst_remaining == 0 && !conn.pacing_timer_armed {
             conn.pacing_timer_armed = true;
+            let at = conn.pacer.next_release().max(done);
+            self.trace
+                .record(now, TraceKind::TimerArm, c as u32, at.as_nanos(), 0);
             self.queue.schedule_at(
-                conn.pacer.next_release().max(done),
+                at,
                 Event::SendReady {
                     conn: c,
                     from_timer: true,
@@ -860,6 +962,16 @@ impl StackSim {
 
         let conn = &mut self.conns[c];
         let outcome = conn.sender.on_ack(&ack, done);
+        if self.trace.is_enabled() {
+            let rtt_ns = outcome.rtt_sample.map(SimDuration::as_nanos).unwrap_or(0);
+            self.trace.record(
+                done,
+                TraceKind::AckRx,
+                c as u32,
+                outcome.newly_delivered * MSS,
+                rtt_ns,
+            );
+        }
 
         if let Some(rtt) = outcome.rtt_sample {
             if conn.measuring {
@@ -905,31 +1017,28 @@ impl StackSim {
             self.counters.inc("recovery_exits");
         }
 
-        // Debug affordance: `TCPSIM_TRACE=1 [TCPSIM_TRACE_CONN=k]` prints a
-        // periodic model snapshot for one connection to stderr.
-        static TRACE_CONN: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-        let trace = *TRACE_CONN.get_or_init(|| {
-            std::env::var_os("TCPSIM_TRACE").map(|_| {
-                std::env::var("TCPSIM_TRACE_CONN")
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(0)
-            })
-        });
-        if trace == Some(c) {
-            static COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-            let n = COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if n.is_multiple_of(500) {
-                eprintln!(
-                    "t={done} bw={:?} cwnd={} rate={:?} inflight={} rtt={:?} delivered={} sample_rate={:?}",
-                    conn.cc.bandwidth_estimate(),
-                    conn.cc.cwnd(),
-                    conn.cc.pacing_rate(),
-                    conn.sender.packets_in_flight(),
-                    outcome.rtt_sample,
-                    conn.sender.delivered_pkts(),
-                    outcome.rate_sample.map(|r| r.rate),
-                );
+        // Flight-recorder view of the CC's outputs: record transitions
+        // only, so a converged model costs nothing but the comparisons.
+        if self.trace.is_enabled() {
+            let cwnd = conn.cc.cwnd();
+            if cwnd != conn.last_cwnd {
+                conn.last_cwnd = cwnd;
+                self.trace
+                    .record(done, TraceKind::CwndUpdate, c as u32, cwnd, 0);
+            }
+            let rate = conn.cc.pacing_rate().map(|r| r.as_bps()).unwrap_or(0);
+            if rate != conn.last_rate_bps {
+                conn.last_rate_bps = rate;
+                self.trace
+                    .record(done, TraceKind::PacingRate, c as u32, rate, 0);
+            }
+            let phase = conn.cc.phase();
+            if phase != conn.last_phase {
+                let from = self.trace.intern(conn.last_phase);
+                let to = self.trace.intern(phase);
+                conn.last_phase = phase;
+                self.trace
+                    .record(done, TraceKind::CcPhase, c as u32, from, to);
             }
         }
 
@@ -965,6 +1074,13 @@ impl StackSim {
         let inflight = conn.sender.packets_in_flight();
         conn.cc.on_rto(done, inflight);
         conn.rto_backoff += 1;
+        self.trace.record(
+            done,
+            TraceKind::RtoFire,
+            c as u32,
+            u64::from(conn.rto_backoff),
+            0,
+        );
         Self::arm_rto(&mut self.queue, conn, c, done);
         self.try_send(c, done, false);
     }
@@ -1028,6 +1144,13 @@ impl StackSim {
                     self.adapt_floor = self.adapt_pre_change_stride;
                 }
                 self.set_all_strides(self.adapt_pre_change_stride);
+                self.trace.record(
+                    now,
+                    TraceKind::StrideAdapt,
+                    0,
+                    cur,
+                    self.adapt_pre_change_stride,
+                );
                 self.adapt_hold = 12;
                 self.counters.inc("stride_reverts");
                 self.adapt_cooldown = 2;
@@ -1058,9 +1181,7 @@ impl StackSim {
             self.adapt_pending_eval = true;
             self.adapt_cooldown = 3;
             self.counters.inc("stride_adaptations");
-            if std::env::var_os("TCPSIM_TRACE_STRIDE").is_some() {
-                eprintln!("t={now} stride {cur} -> {next} (epoch util {util:.2})");
-            }
+            self.trace.record(now, TraceKind::StrideAdapt, 0, cur, next);
         }
         self.queue
             .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
@@ -1209,10 +1330,45 @@ impl StackSim {
 
         // Pool health: in steady state misses stay at the cold-start count
         // (bounded by events in flight), making regressions visible in
-        // counter dumps without touching the serialized scorecard.
+        // counter dumps without touching the serialized scorecard. The
+        // `_steady` variants count only measurement-window misses, which a
+        // healthy run keeps at exactly zero.
+        let cpu_stats = self.cpu.stats(self.end);
         let mut counters = self.counters;
         counters.add("pool_run_misses", self.run_pool.misses());
         counters.add("pool_sack_misses", self.sack_pool.misses());
+        counters.add(
+            "pool_run_misses_steady",
+            self.run_pool.misses() - self.measure_run_misses,
+        );
+        counters.add(
+            "pool_sack_misses_steady",
+            self.sack_pool.misses() - self.measure_sack_misses,
+        );
+
+        // Steady-state cycle attribution (Fig. 4/5's breakdown): cycles
+        // charged after MeasureStart, split into the categories the paper
+        // discusses. `other` absorbs retransmit/RTO and anything new.
+        let steady = |cat: &str| -> u64 {
+            let total = cpu_stats.cycles_by_category.get(cat).copied().unwrap_or(0);
+            total.saturating_sub(self.measure_cycles.get(cat).copied().unwrap_or(0))
+        };
+        let steady_total = cpu_stats
+            .total_cycles
+            .saturating_sub(self.measure_cycles_total);
+        let steady_timers = steady("timers");
+        let steady_acks = steady("acks");
+        let steady_cc = steady("cc-model");
+        let steady_data = steady("bytes") + steady("skb-fixed");
+        counters.add("cycles_steady_total", steady_total);
+        counters.add("cycles_steady_timers", steady_timers);
+        counters.add("cycles_steady_acks", steady_acks);
+        counters.add("cycles_steady_cc_model", steady_cc);
+        counters.add("cycles_steady_data", steady_data);
+        counters.add(
+            "cycles_steady_other",
+            steady_total.saturating_sub(steady_timers + steady_acks + steady_cc + steady_data),
+        );
 
         // Jain fairness over per-connection goodput.
         let rates: Vec<f64> = per_conn.iter().map(|c| c.goodput.as_bps() as f64).collect();
@@ -1233,7 +1389,7 @@ impl StackSim {
                 p95_sum / p95_n as f64
             },
             total_retx,
-            cpu: self.cpu.stats(self.end),
+            cpu: cpu_stats,
             mean_skb_bytes: if skb_cnt == 0 {
                 0.0
             } else {
@@ -1546,6 +1702,62 @@ mod tests {
             paced.cpu.cycles_by_category.values().sum::<u64>(),
             paced.cpu.total_cycles
         );
+    }
+
+    #[test]
+    fn steady_state_never_misses_the_buffer_pools() {
+        // The run/SACK pools warm up during slow start; once measurement
+        // begins every take() must be served from the pool — a steady-state
+        // miss means the hot path hit the allocator.
+        let res = StackSim::new(quick(CcKind::Bbr, CpuConfig::LowEnd, 5)).run();
+        assert_eq!(
+            res.counters.get("pool_run_misses_steady"),
+            0,
+            "run-list pool missed during the measurement window"
+        );
+        assert_eq!(
+            res.counters.get("pool_sack_misses_steady"),
+            0,
+            "SACK pool missed during the measurement window"
+        );
+        // And the steady-cycle partition must add up.
+        let parts = res.counters.get("cycles_steady_timers")
+            + res.counters.get("cycles_steady_acks")
+            + res.counters.get("cycles_steady_cc_model")
+            + res.counters.get("cycles_steady_data")
+            + res.counters.get("cycles_steady_other");
+        assert_eq!(parts, res.counters.get("cycles_steady_total"));
+        assert!(res.counters.get("cycles_steady_total") > 0);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_to_untraced() {
+        // The flight recorder must be an observer: same config, same seed,
+        // tracing on vs off, identical results.
+        let plain = StackSim::new(quick(CcKind::Bbr, CpuConfig::LowEnd, 3)).run();
+        let (traced, log) = StackSim::new(quick(CcKind::Bbr, CpuConfig::LowEnd, 3)).run_traced();
+        assert_eq!(plain.total_goodput, traced.total_goodput);
+        assert_eq!(plain.total_retx, traced.total_retx);
+        assert_eq!(plain.mean_rtt_ms, traced.mean_rtt_ms);
+        assert_eq!(
+            plain.counters.get("skbs_sent"),
+            traced.counters.get("skbs_sent")
+        );
+        assert_eq!(plain.cpu.total_cycles, traced.cpu.total_cycles);
+        // The log itself is well-formed: time-ordered, with the windowed
+        // CPU profile appended as counter series.
+        assert!(log.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(log.counters.iter().any(|s| s.name.starts_with("cycles.")));
+        // With the default `trace` feature on, paced BBR must have left
+        // pacing-timer and CC tracepoints behind (the ring is empty only
+        // when sim-core was built without the feature).
+        if !log.events.is_empty() {
+            use sim_core::trace::TraceKind;
+            assert!(log.events.iter().any(|e| e.kind == TraceKind::PacingFire));
+            assert!(log.events.iter().any(|e| e.kind == TraceKind::CwndUpdate));
+            assert!(log.events.iter().any(|e| e.kind == TraceKind::CpuSpan));
+            assert!(log.events.iter().any(|e| e.kind == TraceKind::WheelPop));
+        }
     }
 
     #[test]

@@ -50,6 +50,32 @@ impl Value {
             other => panic!("unsupported map key type: {other:?}"),
         }
     }
+
+    /// Look up a field of an object (`None` for other variants or missing
+    /// keys) — mirrors real serde_json's `Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string inside [`Value::Str`], if that is what this is.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an unsigned or non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
 }
 
 /// A type that can convert itself into a [`Value`] tree.
