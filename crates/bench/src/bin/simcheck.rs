@@ -1,0 +1,287 @@
+//! Deterministic scenario fuzzer for the whole simulator.
+//!
+//! ```bash
+//! simcheck                                  # corpus regression + 200 random scenarios
+//! simcheck --budget 500 --seed 1 --jobs 4   # bigger batch, bit-identical to --jobs 1
+//! simcheck --scenario 'cc=bbr,conns=3'      # replay one spec through every oracle
+//! simcheck --mutant-check --budget 120      # prove each intentional mutation is caught
+//! ```
+//!
+//! Every failure is shrunk to a minimal spec, printed as a one-line repro
+//! (`simcheck --scenario '<spec>'`), appended to the checked-in corpus at
+//! `tests/simcheck_corpus.txt`, and its flight-recorder trace is written
+//! under `--failure-dir` for the `trace` inspector.
+//!
+//! Exit codes: 0 all invariants hold; 1 at least one violation (or an
+//! escaped mutant); 2 usage error.
+
+use mobile_bbr_bench::simcheck::{check_scenario, fuzz, mutant_check, Scenario};
+use sim_core::check::Corpus;
+use std::path::PathBuf;
+
+struct Args {
+    budget: u64,
+    seed: u64,
+    jobs: usize,
+    corpus: PathBuf,
+    failure_dir: PathBuf,
+    scenario: Option<String>,
+    mutant_check: bool,
+    progress: bool,
+    no_corpus_append: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        budget: 200,
+        seed: 1,
+        jobs: 1,
+        corpus: PathBuf::from("tests/simcheck_corpus.txt"),
+        failure_dir: PathBuf::from("target/simcheck-failures"),
+        scenario: None,
+        mutant_check: false,
+        progress: false,
+        no_corpus_append: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--budget" => {
+                args.budget = argv
+                    .get(i + 1)
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = argv
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+                i += 2;
+            }
+            "--jobs" => {
+                args.jobs = argv
+                    .get(i + 1)
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                i += 2;
+            }
+            "--corpus" => {
+                args.corpus = PathBuf::from(argv.get(i + 1).ok_or("--corpus needs a path")?);
+                i += 2;
+            }
+            "--failure-dir" => {
+                args.failure_dir =
+                    PathBuf::from(argv.get(i + 1).ok_or("--failure-dir needs a path")?);
+                i += 2;
+            }
+            "--scenario" => {
+                args.scenario = Some(argv.get(i + 1).ok_or("--scenario needs a spec")?.clone());
+                i += 2;
+            }
+            "--mutant-check" => {
+                args.mutant_check = true;
+                i += 1;
+            }
+            "--progress" => {
+                args.progress = true;
+                i += 1;
+            }
+            "--no-corpus-append" => {
+                args.no_corpus_append = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_usage() {
+    println!(
+        "simcheck: deterministic scenario fuzzer with invariant oracles\n\
+         \n\
+         USAGE: simcheck [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+           --budget N           random scenarios to run (default 200)\n\
+           --seed N             root seed for the scenario stream (default 1)\n\
+           --jobs N             worker threads; output is bit-identical for any N (default 1)\n\
+           --corpus PATH        seed corpus to replay first (default tests/simcheck_corpus.txt)\n\
+           --failure-dir PATH   where failure traces go (default target/simcheck-failures)\n\
+           --scenario SPEC      replay one 'k=v,...' spec instead of fuzzing\n\
+           --mutant-check       verify each tcp_sim::mutants mutation is caught\n\
+                                (needs a --features simcheck-mutants build)\n\
+           --no-corpus-append   report failures without persisting them to the corpus\n\
+           --progress           per-scenario progress on stderr"
+    );
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("simcheck: {msg}");
+    std::process::exit(2);
+}
+
+/// Replay one spec through every oracle; print verdict.
+fn run_single(spec: &str) -> i32 {
+    let scenario = match Scenario::parse(spec) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("bad --scenario: {e}")),
+    };
+    let violations = check_scenario(&scenario);
+    if violations.is_empty() {
+        println!("PASS {}", scenario.spec_string());
+        0
+    } else {
+        println!("FAIL {}", scenario.spec_string());
+        for v in &violations {
+            println!("  {v}");
+        }
+        1
+    }
+}
+
+/// Verify every intentional mutation is caught by at least one oracle.
+fn run_mutant_check(args: &Args) -> i32 {
+    let reports = match mutant_check(args.budget, args.seed) {
+        Ok(r) => r,
+        Err(e) => fail(&e),
+    };
+    let mut escaped = 0;
+    for r in &reports {
+        match &r.caught {
+            Some((shrunk, violations)) => {
+                println!(
+                    "CAUGHT {} after {} scenario(s) by [{}]",
+                    r.mutant,
+                    r.tried,
+                    violations
+                        .iter()
+                        .map(|v| v.oracle)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                println!("  repro: simcheck --scenario '{}'", shrunk.spec_string());
+            }
+            None => {
+                escaped += 1;
+                println!("ESCAPED {} survived {} scenario(s)", r.mutant, r.tried);
+            }
+        }
+    }
+    println!(
+        "mutant-check: {}/{} mutations caught",
+        reports.len() - escaped,
+        reports.len()
+    );
+    if escaped == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Corpus regression + random fuzzing.
+fn run_fuzz(args: &Args) -> i32 {
+    let mut corpus = match Corpus::load(&args.corpus) {
+        Ok(c) => c,
+        Err(e) => fail(&format!(
+            "cannot read corpus {}: {e}",
+            args.corpus.display()
+        )),
+    };
+
+    // Phase 1: replay every corpus entry (permanent regression tests).
+    let mut violations_total = 0u64;
+    for line in corpus.entries.clone() {
+        let scenario = match Scenario::parse(&line) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("corpus entry '{line}': {e}")),
+        };
+        let violations = check_scenario(&scenario);
+        if !violations.is_empty() {
+            violations_total += violations.len() as u64;
+            println!("FAIL corpus {line}");
+            for v in &violations {
+                println!("  {v}");
+            }
+        }
+    }
+    if args.progress {
+        eprintln!("corpus: {} entr(ies) replayed", corpus.entries.len());
+    }
+
+    // Phase 2: the random budget, fanned across --jobs workers.
+    let outcome = match fuzz(
+        args.budget,
+        args.seed,
+        args.jobs,
+        Some(&args.failure_dir),
+        args.progress,
+    ) {
+        Ok(o) => o,
+        Err(e) => fail(&format!("fuzz batch failed: {e}")),
+    };
+    for f in &outcome.failures {
+        violations_total += f.violations.len() as u64;
+        println!("FAIL scenario #{}: {}", f.index, f.scenario.spec_string());
+        for v in &f.violations {
+            println!("  {v}");
+        }
+        println!("  repro: simcheck --scenario '{}'", f.shrunk.spec_string());
+        if let Some(path) = &f.trace_path {
+            println!("  trace: {}", path.display());
+        }
+        if !args.no_corpus_append {
+            match corpus.append(&f.shrunk.spec_string()) {
+                Ok(true) => println!("  corpus: added to {}", args.corpus.display()),
+                Ok(false) => {}
+                Err(e) => eprintln!("simcheck: corpus append failed: {e}"),
+            }
+        }
+    }
+    // NB: stdout must stay bit-identical for any --jobs value, so the
+    // worker count is reported on stderr only (with --progress).
+    if args.progress {
+        eprintln!("jobs: {}", args.jobs);
+    }
+    println!(
+        "simcheck: {} corpus + {} random scenarios, {} violation(s), seed {}",
+        corpus.entries.len(),
+        outcome.scenarios,
+        violations_total,
+        args.seed
+    );
+    if violations_total == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => fail(&e),
+    };
+    let code = if let Some(spec) = &args.scenario {
+        run_single(spec)
+    } else if args.mutant_check {
+        run_mutant_check(&args)
+    } else {
+        run_fuzz(&args)
+    };
+    std::process::exit(code);
+}

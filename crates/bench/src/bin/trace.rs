@@ -57,6 +57,15 @@ fn load(path: &str) -> Trace {
         {
             fail(format!("{path} line {}: missing \"t\"/\"k\" fields", i + 2));
         }
+        let k = v.get("k").and_then(Value::as_str).unwrap_or("");
+        // "counter" is the synthetic series kind write_jsonl appends after
+        // the event body; everything else must be a known TraceKind.
+        if k != "counter" && !sim_core::trace::ALL_KINDS.iter().any(|t| t.name() == k) {
+            fail(format!(
+                "{path} line {}: unknown event kind {k:?} (not a sim-trace/v1 TraceKind)",
+                i + 2
+            ));
+        }
         body.push(v);
     }
     Trace {

@@ -15,6 +15,13 @@
 //!   reduced parameters (regression guard on simulation cost).
 //! * **`benches/engine`** — micro-benchmarks of the hot simulation paths
 //!   (event queue, pacing arithmetic, one simulated second per algorithm).
+//! * **`simcheck`** — the deterministic scenario fuzzer: draws whole
+//!   configurations, runs them through [`simcheck`]'s invariant-oracle
+//!   library, shrinks failures to one-line repros, and (with the
+//!   `simcheck-mutants` feature) proves each intentional mutation in
+//!   `tcp_sim::mutants` is caught.
+
+pub mod simcheck;
 
 use experiments::{Experiment, ExperimentId, Params};
 

@@ -1,0 +1,1035 @@
+//! The `simcheck` deterministic scenario fuzzer: oracle library, scenario
+//! space, shrinking, corpus regression, and the mutant sensitivity harness.
+//!
+//! The generic machinery (oracle evaluation, bisection + greedy shrinking,
+//! the persisted corpus) lives in `sim_core::check`; this module supplies
+//! the *concrete* pieces that need the full simulator API:
+//!
+//! * [`Scenario`] — a point in the supported configuration space (CC ×
+//!   CPU config × media × 1–20 connections × pacing stride × shallow
+//!   buffers × netem impairments × cross-traffic × ACK cadence), with a
+//!   deterministic [`Scenario::draw`] from a [`SimRng`] and a compact
+//!   `key=value` spec codec so every failure is a one-line repro;
+//! * [`oracles`] — the invariant library: physical conservation, protocol
+//!   sanity, counter identities, and paper-derived metamorphic relations
+//!   (Eq. 2 / Table 2 stride envelope, CPU-frequency monotonicity, Fig. 7 pacing
+//!   RTT inflation);
+//! * [`fuzz`] — the batch driver, built on `sim_core::sweep::run_sweep`
+//!   so results are bit-identical for any `--jobs` value;
+//! * [`shrink_scenario`] — bisection over the numeric axes plus greedy
+//!   strategy-level simplification (drop impairments, collapse media to
+//!   Ethernet) while the original oracle still fails;
+//! * [`mutant_check`] — activates each intentional `tcp_sim::mutants`
+//!   mutation in turn and requires at least one oracle to catch it.
+
+use congestion::master::MasterConfig;
+use congestion::CcKind;
+use cpu_model::{CostModel, CpuConfig, DeviceProfile};
+use netsim::media::MediaProfile;
+use sim_core::check::{evaluate, shrink, shrink_u64, NamedOracle, Violation};
+use sim_core::rng::SimRng;
+use sim_core::sweep::{run_sweep, SweepCell, SweepOptions};
+use sim_core::time::SimDuration;
+use sim_core::units::Bandwidth;
+use tcp_sim::mutants::{self, Mutant};
+use tcp_sim::{PacingConfig, SimConfig, SimResult, StackSim};
+use test_support::{ALL_CC, ALL_CPU, ALL_MEDIA};
+
+/// One point in the supported configuration space.
+///
+/// All fields are integers (loss is parts-per-million) so the spec string
+/// round-trips exactly — a shrunk repro re-runs bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Congestion controller.
+    pub cc: CcKind,
+    /// Table 1 CPU configuration.
+    pub cpu: CpuConfig,
+    /// Media profile (§3.2 + 5G).
+    pub media: MediaProfile,
+    /// Parallel connections, 1–20 (the paper's sweep range).
+    pub conns: u64,
+    /// Pacing stride (Eq. 2).
+    pub stride: u64,
+    /// Force pacing off via the master module (§5).
+    pub pacing_off: bool,
+    /// Shallow-buffer override of the uplink queue (§5.2.3), packets.
+    pub queue: Option<u64>,
+    /// Uplink netem loss, parts per million.
+    pub loss_ppm: u32,
+    /// Extra uplink netem jitter, microseconds.
+    pub jitter_us: u64,
+    /// Poisson cross-traffic at the bottleneck, Mbps (0 = none).
+    pub cross_mbps: u64,
+    /// Classic delayed-ACK cadence (`None` = GRO-coalescing server).
+    pub ack_per_segs: Option<u64>,
+    /// Simulated duration, milliseconds.
+    pub dur_ms: u64,
+    /// Warmup before the measurement window, milliseconds.
+    pub warmup_ms: u64,
+    /// Simulation seed (netem draws, WiFi variation).
+    pub seed: u64,
+}
+
+fn cc_name(cc: CcKind) -> &'static str {
+    match cc {
+        CcKind::Cubic => "cubic",
+        CcKind::Bbr => "bbr",
+        CcKind::Bbr2 => "bbr2",
+        CcKind::Reno => "reno",
+    }
+}
+
+fn cpu_name(cpu: CpuConfig) -> &'static str {
+    match cpu {
+        CpuConfig::LowEnd => "low",
+        CpuConfig::MidEnd => "mid",
+        CpuConfig::HighEnd => "high",
+        CpuConfig::Default => "default",
+    }
+}
+
+fn media_name(media: MediaProfile) -> &'static str {
+    match media {
+        MediaProfile::Ethernet => "eth",
+        MediaProfile::Wifi => "wifi",
+        MediaProfile::Lte => "lte",
+        MediaProfile::FiveG => "5g",
+    }
+}
+
+impl Scenario {
+    /// Draw a scenario uniformly-ish from the supported space. Impairment
+    /// axes are biased toward "absent" so the common case stays the clean
+    /// path and the metamorphic oracles (which need clean runs) fire often.
+    pub fn draw(rng: &mut SimRng) -> Scenario {
+        let dur_ms = rng.range_inclusive(400, 900);
+        Scenario {
+            cc: ALL_CC[rng.below(ALL_CC.len() as u64) as usize],
+            cpu: ALL_CPU[rng.below(ALL_CPU.len() as u64) as usize],
+            media: ALL_MEDIA[rng.below(ALL_MEDIA.len() as u64) as usize],
+            conns: rng.range_inclusive(1, 20),
+            stride: [1, 1, 2, 4, 8, 16, 32][rng.below(7) as usize],
+            pacing_off: rng.chance(0.25),
+            queue: if rng.chance(0.25) {
+                Some(rng.range_inclusive(5, 60))
+            } else {
+                None
+            },
+            loss_ppm: if rng.chance(0.3) {
+                rng.range_inclusive(100, 10_000) as u32
+            } else {
+                0
+            },
+            jitter_us: if rng.chance(0.3) {
+                rng.range_inclusive(50, 2_000)
+            } else {
+                0
+            },
+            cross_mbps: if rng.chance(0.2) {
+                rng.range_inclusive(10, 400)
+            } else {
+                0
+            },
+            ack_per_segs: if rng.chance(0.2) {
+                Some(rng.range_inclusive(1, 8))
+            } else {
+                None
+            },
+            dur_ms,
+            warmup_ms: rng.range_inclusive(150, 300),
+            seed: rng.range_inclusive(1, 999_999),
+        }
+    }
+
+    /// Compact one-line spec: comma-separated `key=value` pairs, the exact
+    /// input `simcheck --scenario` accepts and the corpus stores.
+    pub fn spec_string(&self) -> String {
+        format!(
+            "cc={},cpu={},media={},conns={},stride={},pacing={},queue={},loss={},jitter={},cross={},acks={},dur={},warmup={},seed={}",
+            cc_name(self.cc),
+            cpu_name(self.cpu),
+            media_name(self.media),
+            self.conns,
+            self.stride,
+            if self.pacing_off { "off" } else { "on" },
+            self.queue.map(|q| q.to_string()).unwrap_or_else(|| "-".into()),
+            self.loss_ppm,
+            self.jitter_us,
+            self.cross_mbps,
+            self.ack_per_segs.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+            self.dur_ms,
+            self.warmup_ms,
+            self.seed,
+        )
+    }
+
+    /// Parse a [`Scenario::spec_string`] back. Unknown keys, malformed
+    /// values, and out-of-range fields are errors, never panics.
+    pub fn parse(spec: &str) -> Result<Scenario, String> {
+        let mut s = Scenario {
+            cc: CcKind::Bbr,
+            cpu: CpuConfig::LowEnd,
+            media: MediaProfile::Ethernet,
+            conns: 1,
+            stride: 1,
+            pacing_off: false,
+            queue: None,
+            loss_ppm: 0,
+            jitter_us: 0,
+            cross_mbps: 0,
+            ack_per_segs: None,
+            dur_ms: 600,
+            warmup_ms: 200,
+            seed: 1,
+        };
+        fn int(key: &str, v: &str) -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{key}: bad integer {v:?}"))
+        }
+        fn opt_int(key: &str, v: &str) -> Result<Option<u64>, String> {
+            if v == "-" {
+                Ok(None)
+            } else {
+                int(key, v).map(Some)
+            }
+        }
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, v) = part
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            match key {
+                "cc" => {
+                    s.cc = *ALL_CC
+                        .iter()
+                        .find(|c| cc_name(**c) == v)
+                        .ok_or_else(|| format!("unknown cc {v:?}"))?
+                }
+                "cpu" => {
+                    s.cpu = *ALL_CPU
+                        .iter()
+                        .find(|c| cpu_name(**c) == v)
+                        .ok_or_else(|| format!("unknown cpu {v:?}"))?
+                }
+                "media" => {
+                    s.media = *ALL_MEDIA
+                        .iter()
+                        .find(|m| media_name(**m) == v)
+                        .ok_or_else(|| format!("unknown media {v:?}"))?
+                }
+                "conns" => s.conns = int(key, v)?.clamp(1, 20),
+                "stride" => s.stride = int(key, v)?.max(1),
+                "pacing" => {
+                    s.pacing_off = match v {
+                        "on" => false,
+                        "off" => true,
+                        other => return Err(format!("pacing: expected on/off, got {other:?}")),
+                    }
+                }
+                "queue" => s.queue = opt_int(key, v)?,
+                "loss" => s.loss_ppm = int(key, v)?.min(1_000_000) as u32,
+                "jitter" => s.jitter_us = int(key, v)?,
+                "cross" => s.cross_mbps = int(key, v)?,
+                "acks" => s.ack_per_segs = opt_int(key, v)?.map(|a| a.max(1)),
+                "dur" => s.dur_ms = int(key, v)?.max(50),
+                "warmup" => s.warmup_ms = int(key, v)?,
+                "seed" => s.seed = int(key, v)?,
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        if s.warmup_ms >= s.dur_ms {
+            return Err(format!(
+                "warmup {} must be shorter than dur {}",
+                s.warmup_ms, s.dur_ms
+            ));
+        }
+        Ok(s)
+    }
+
+    /// Materialise the full simulator configuration.
+    pub fn to_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::new(
+            DeviceProfile::pixel4(),
+            self.cpu,
+            self.cc,
+            self.conns as usize,
+        );
+        let mut path = self.media.path_config();
+        if let Some(q) = self.queue {
+            path = path.with_queue_packets(q as usize);
+        }
+        if self.loss_ppm > 0 {
+            path.forward_netem = path
+                .forward_netem
+                .clone()
+                .with_loss(f64::from(self.loss_ppm) / 1e6);
+        }
+        if self.jitter_us > 0 {
+            path.forward_netem.jitter += SimDuration::from_micros(self.jitter_us);
+        }
+        cfg.path = path;
+        cfg.pacing = PacingConfig::with_stride(self.stride);
+        if self.pacing_off {
+            cfg.master = MasterConfig::pacing_off();
+        }
+        if self.cross_mbps > 0 {
+            cfg.cross_traffic = Some(netsim::crosstraffic::CrossTrafficConfig::at(
+                Bandwidth::from_mbps(self.cross_mbps),
+            ));
+        }
+        cfg.ack_per_segs = self.ack_per_segs;
+        cfg.duration = SimDuration::from_millis(self.dur_ms);
+        cfg.warmup = SimDuration::from_millis(self.warmup_ms);
+        cfg.sample_interval = None;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// No impairments: loss, cross traffic, and shallow buffers absent.
+    fn clean(&self) -> bool {
+        self.loss_ppm == 0 && self.cross_mbps == 0 && self.queue.is_none()
+    }
+
+    /// A controller that actually paces (BBR family with pacing enabled).
+    fn paced_bbr(&self) -> bool {
+        matches!(self.cc, CcKind::Bbr | CcKind::Bbr2) && !self.pacing_off
+    }
+
+    /// Length of the measurement window in milliseconds.
+    fn window_ms(&self) -> u64 {
+        self.dur_ms.saturating_sub(self.warmup_ms)
+    }
+}
+
+/// Everything the oracles get to look at: the scenario, its result, and
+/// the companion runs the metamorphic relations need (present only when
+/// the scenario is eligible for that relation — see [`run_scenario`]).
+pub struct ScenarioRun {
+    /// The drawn scenario.
+    pub scenario: Scenario,
+    /// Result of the scenario itself.
+    pub result: SimResult,
+    /// Bit-identical re-run (determinism spot-check subset).
+    pub rerun: Option<SimResult>,
+    /// Same scenario at stride 1 (Eq. 2 / Table 2 stride envelope).
+    pub stride_one: Option<SimResult>,
+    /// Same scenario on the High-End CPU (frequency monotonicity).
+    pub cpu_high: Option<SimResult>,
+    /// Same scenario with pacing forced off (Fig. 7 RTT inflation).
+    pub unpaced: Option<SimResult>,
+}
+
+/// Run a scenario plus whichever companion runs its oracles are eligible
+/// for. Eligibility guards keep the metamorphic relations on the terrain
+/// where the paper makes them: clean paths, Ethernet where the claim is
+/// Ethernet-specific, long-enough measurement windows.
+pub fn run_scenario(s: &Scenario) -> ScenarioRun {
+    let result = StackSim::new(s.to_config()).run();
+    let rerun = if s.seed.is_multiple_of(5) {
+        Some(StackSim::new(s.to_config()).run())
+    } else {
+        None
+    };
+    // Eq. 2 stride envelope: stride stretches idle time, so goodput is
+    // bounded by stride 1 above and by the 1/stride law (Table 2's
+    // post-plateau regime) below.
+    let stride_one = if s.stride > 1
+        && s.paced_bbr()
+        && s.clean()
+        && s.media == MediaProfile::Ethernet
+        && s.cpu == CpuConfig::HighEnd
+        && s.ack_per_segs.is_none()
+    {
+        let mut alt = s.clone();
+        alt.stride = 1;
+        Some(StackSim::new(alt.to_config()).run())
+    } else {
+        None
+    };
+    // Goodput is monotone non-decreasing in CPU frequency (the paper's
+    // whole mechanism: more cycles, never less goodput) — checked on
+    // clean paths from the Low-End config.
+    let cpu_high = if s.cpu == CpuConfig::LowEnd && s.clean() && s.window_ms() >= 300 {
+        let mut alt = s.clone();
+        alt.cpu = CpuConfig::HighEnd;
+        Some(StackSim::new(alt.to_config()).run())
+    } else {
+        None
+    };
+    // Fig. 7: disabling pacing never meaningfully lowers RTT (it inflates
+    // it — unpaced bursts queue at the bottleneck).
+    let unpaced = if s.paced_bbr()
+        && s.clean()
+        && s.media == MediaProfile::Ethernet
+        && s.conns >= 2
+        && s.window_ms() >= 300
+    {
+        let mut alt = s.clone();
+        alt.pacing_off = true;
+        Some(StackSim::new(alt.to_config()).run())
+    } else {
+        None
+    };
+    ScenarioRun {
+        scenario: s.clone(),
+        result,
+        rerun,
+        stride_one,
+        cpu_high,
+        unpaced,
+    }
+}
+
+fn delivered_window(res: &SimResult) -> u64 {
+    res.per_conn.iter().map(|c| c.delivered_pkts).sum()
+}
+
+/// The invariant-oracle library (see module docs for the taxonomy).
+pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
+    fn o(
+        name: &'static str,
+        check: fn(&ScenarioRun) -> Result<(), String>,
+    ) -> NamedOracle<ScenarioRun> {
+        NamedOracle { name, check }
+    }
+    vec![
+        o("goodput-line-rate", |r| {
+            // Physical conservation: goodput cannot exceed the uplink's
+            // hard rate ceiling (envelope top for variable media).
+            let ceiling = r.scenario.media.path_config().max_forward_rate();
+            let bound = ceiling.as_mbps_f64() * 1.1 + 1.0;
+            if r.result.goodput_mbps() <= bound {
+                Ok(())
+            } else {
+                Err(format!(
+                    "goodput {:.1} Mbps exceeds line-rate bound {:.1}",
+                    r.result.goodput_mbps(),
+                    bound
+                ))
+            }
+        }),
+        o("conservation-delivered", |r| {
+            let sent = r.result.counters.get("pkts_sent");
+            let delivered = delivered_window(&r.result);
+            if delivered <= sent {
+                Ok(())
+            } else {
+                Err(format!("delivered {delivered} > sent {sent}"))
+            }
+        }),
+        o("rtt-floor", |r| {
+            // RTT can never undershoot the propagation + fixed-netem floor.
+            if r.result.mean_rtt_ms <= 0.0 {
+                return Ok(());
+            }
+            let base = r.scenario.media.path_config().base_rtt().as_millis_f64();
+            if r.result.mean_rtt_ms >= base * 0.9 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "mean RTT {:.3} ms below base path RTT {:.3} ms",
+                    r.result.mean_rtt_ms, base
+                ))
+            }
+        }),
+        o("cpu-busy-bound", |r| {
+            let limit = SimDuration::from_millis(r.scenario.dur_ms + 150);
+            if r.result.cpu.busy_time <= limit {
+                Ok(())
+            } else {
+                Err(format!(
+                    "CPU busy {:?} exceeds run length {} ms (+150 ms grace)",
+                    r.result.cpu.busy_time, r.scenario.dur_ms
+                ))
+            }
+        }),
+        o("cycles-partition", |r| {
+            let sum: u64 = r.result.cpu.cycles_by_category.values().sum();
+            if sum != r.result.cpu.total_cycles {
+                return Err(format!(
+                    "categories sum {} != total {}",
+                    sum, r.result.cpu.total_cycles
+                ));
+            }
+            let g = |n| r.result.counters.get(n);
+            let parts = g("cycles_steady_timers")
+                + g("cycles_steady_acks")
+                + g("cycles_steady_cc_model")
+                + g("cycles_steady_data")
+                + g("cycles_steady_other");
+            if parts == g("cycles_steady_total") {
+                Ok(())
+            } else {
+                Err(format!(
+                    "steady parts {} != steady total {}",
+                    parts,
+                    g("cycles_steady_total")
+                ))
+            }
+        }),
+        o("timer-accounting", |r| {
+            let fires = r.result.counters.get("timer_fires");
+            let arms = r.result.counters.get("timer_arms");
+            if !r.scenario.paced_bbr() && (fires != 0 || arms != 0) {
+                return Err(format!(
+                    "unpaced run armed/fired pacing timers (arms {arms}, fires {fires})"
+                ));
+            }
+            if fires > arms + r.scenario.conns {
+                return Err(format!(
+                    "fires {} > arms {} + conns {}",
+                    fires, arms, r.scenario.conns
+                ));
+            }
+            Ok(())
+        }),
+        o("timer-cycles-consistent", |r| {
+            // Exact identity: every timer fire and period-open arm charges
+            // its CostModel cycles into the "timers" category, and nothing
+            // else does. Catches Mutant::SkipTimerFireCharge.
+            let cost = CostModel::mobile_default();
+            let fires = r.result.counters.get("timer_fires");
+            let arms = r.result.counters.get("timer_arms");
+            let want = fires * cost.timer_fire + arms * cost.timer_arm;
+            let got = r
+                .result
+                .cpu
+                .cycles_by_category
+                .get("timers")
+                .copied()
+                .unwrap_or(0);
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "cycles[timers] {got} != fires {fires}x{} + arms {arms}x{} = {want}",
+                    cost.timer_fire, cost.timer_arm
+                ))
+            }
+        }),
+        o("retx-accounting", |r| {
+            // The event loop's retx counter must agree with the
+            // scoreboard's own total. Catches Mutant::SkipRetxCount.
+            let counted = r.result.counters.get("retx_pkts");
+            if r.result.total_retx == counted {
+                Ok(())
+            } else {
+                Err(format!(
+                    "scoreboard retx {} != counted retx {}",
+                    r.result.total_retx, counted
+                ))
+            }
+        }),
+        o("seq-sanity", |r| {
+            let n = r.result.counters.get("seq_regressions");
+            if n == 0 {
+                Ok(())
+            } else {
+                Err(format!("{n} terminal sequence regressions"))
+            }
+        }),
+        o("sack-coherence", |r| {
+            let n = r.result.counters.get("sack_incoherent");
+            if n == 0 {
+                Ok(())
+            } else {
+                Err(format!("{n} incoherent SACK blocks emitted"))
+            }
+        }),
+        o("rx-conservation", |r| {
+            // The receiver cannot see more packets than survived the wire
+            // (arrivals scheduled past the horizon are never delivered, so
+            // this is <=, not ==). Catches Mutant::SackClaimExtra.
+            let g = |n| r.result.counters.get(n);
+            let seen = g("rx_pkts_received") + g("rx_duplicates");
+            if seen <= g("rx_pkts_accepted") {
+                Ok(())
+            } else {
+                Err(format!(
+                    "receiver saw {seen} pkts but only {} survived the wire",
+                    g("rx_pkts_accepted")
+                ))
+            }
+        }),
+        o("rx-duplicates-bounded", |r| {
+            // Every duplicate reception requires a retransmission (the
+            // path never duplicates packets).
+            let dups = r.result.counters.get("rx_duplicates");
+            if dups <= r.result.total_retx {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{dups} duplicate receptions but only {} retransmissions",
+                    r.result.total_retx
+                ))
+            }
+        }),
+        o("wheel-conservation", |r| {
+            let g = |n| r.result.counters.get(n);
+            let out = g("wheel_popped") + g("wheel_cancelled") + g("wheel_pending");
+            if g("wheel_scheduled") == out {
+                Ok(())
+            } else {
+                Err(format!(
+                    "wheel scheduled {} != popped+cancelled+pending {}",
+                    g("wheel_scheduled"),
+                    out
+                ))
+            }
+        }),
+        o("fairness-valid", |r| {
+            if (0.0..=1.0 + 1e-9).contains(&r.result.fairness) {
+                Ok(())
+            } else {
+                Err(format!("Jain index {} outside [0,1]", r.result.fairness))
+            }
+        }),
+        o("pool-identity", |r| {
+            let g = |n| r.result.counters.get(n);
+            for (miss, take, reuse) in [
+                ("pool_run_misses", "pool_run_takes", "pool_run_reuses"),
+                ("pool_sack_misses", "pool_sack_takes", "pool_sack_reuses"),
+            ] {
+                if g(miss) != g(take) - g(reuse) {
+                    return Err(format!(
+                        "{miss} {} != {take} {} - {reuse} {}",
+                        g(miss),
+                        g(take),
+                        g(reuse)
+                    ));
+                }
+            }
+            Ok(())
+        }),
+        o("conn-progress", |r| {
+            // On a clean path with a real measurement window, every
+            // paced-BBR connection keeps moving — a silent stall is the
+            // lost-wakeup signature. Catches Mutant::DropPacingArm.
+            let s = &r.scenario;
+            if !(s.paced_bbr() && s.clean() && s.window_ms() >= 300) {
+                return Ok(());
+            }
+            for (i, conn) in r.result.per_conn.iter().enumerate() {
+                if conn.delivered_pkts == 0 {
+                    return Err(format!(
+                        "conn {i} delivered nothing in a {} ms clean window",
+                        s.window_ms()
+                    ));
+                }
+            }
+            Ok(())
+        }),
+        o("stride-envelope", |r| {
+            // Eq. 2 + Table 2: a longer stride can never *create* goodput
+            // (it only stretches idle time), and in the worst case — the
+            // socket-buffer cap binding immediately — throughput falls as
+            // 1/stride, never faster.
+            let Some(base) = &r.stride_one else {
+                return Ok(());
+            };
+            let (g_s, g_1) = (r.result.goodput_mbps(), base.goodput_mbps());
+            let stride = r.scenario.stride as f64;
+            if g_s > 1.15 * g_1 + 5.0 {
+                return Err(format!(
+                    "stride {} goodput {g_s:.1} exceeds stride-1 goodput {g_1:.1}",
+                    r.scenario.stride
+                ));
+            }
+            if g_s < 0.4 * g_1 / stride - 5.0 {
+                return Err(format!(
+                    "stride {} goodput {g_s:.1} below the 1/stride law ({g_1:.1}/{stride})",
+                    r.scenario.stride
+                ));
+            }
+            Ok(())
+        }),
+        o("cpu-monotone", |r| {
+            let Some(high) = &r.cpu_high else {
+                return Ok(());
+            };
+            let (g_low, g_high) = (r.result.goodput_mbps(), high.goodput_mbps());
+            if g_high >= 0.9 * g_low - 1.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "High-End goodput {g_high:.1} below Low-End {g_low:.1}"
+                ))
+            }
+        }),
+        o("pacing-rtt-inflation", |r| {
+            // Fig. 7: removing pacing floods the bottleneck queue — the
+            // unpaced RTT must not come out meaningfully below the paced.
+            let Some(unpaced) = &r.unpaced else {
+                return Ok(());
+            };
+            if r.result.mean_rtt_ms <= 0.0 || unpaced.mean_rtt_ms <= 0.0 {
+                return Ok(());
+            }
+            if unpaced.mean_rtt_ms >= 0.95 * r.result.mean_rtt_ms {
+                Ok(())
+            } else {
+                Err(format!(
+                    "unpaced RTT {:.3} ms below paced {:.3} ms",
+                    unpaced.mean_rtt_ms, r.result.mean_rtt_ms
+                ))
+            }
+        }),
+        o("determinism-rerun", |r| {
+            let Some(again) = &r.rerun else {
+                return Ok(());
+            };
+            let a = &r.result;
+            if a.total_goodput != again.total_goodput
+                || a.total_retx != again.total_retx
+                || a.counters.get("pkts_sent") != again.counters.get("pkts_sent")
+                || a.cpu.total_cycles != again.cpu.total_cycles
+            {
+                Err(format!(
+                    "rerun diverged: goodput {:.3}/{:.3}, retx {}/{}",
+                    a.goodput_mbps(),
+                    again.goodput_mbps(),
+                    a.total_retx,
+                    again.total_retx
+                ))
+            } else {
+                Ok(())
+            }
+        }),
+    ]
+}
+
+/// Run a scenario through every oracle.
+pub fn check_scenario(s: &Scenario) -> Vec<Violation> {
+    evaluate(&oracles(), &run_scenario(s))
+}
+
+/// Does re-checking `s` still fail one of the `original` oracle names?
+fn still_fails(s: &Scenario, original: &[String]) -> bool {
+    check_scenario(s)
+        .iter()
+        .any(|v| original.iter().any(|name| name == v.oracle))
+}
+
+/// Shrink a failing scenario: bisect the numeric axes (connections,
+/// stride, duration), then greedily drop impairments and collapse the
+/// media to Ethernet — keeping each move only while one of the original
+/// oracles still fails. Deterministic, bounded work.
+pub fn shrink_scenario(failing: &Scenario, violations: &[Violation]) -> Scenario {
+    let names: Vec<String> = violations.iter().map(|v| v.oracle.to_string()).collect();
+    let mut s = failing.clone();
+
+    if s.conns > 1 {
+        let probe = s.clone();
+        let names_ref = &names;
+        s.conns = shrink_u64(1, s.conns, move |c| {
+            let mut t = probe.clone();
+            t.conns = c;
+            still_fails(&t, names_ref)
+        });
+    }
+    if s.stride > 1 {
+        let probe = s.clone();
+        let names_ref = &names;
+        s.stride = shrink_u64(1, s.stride, move |st| {
+            let mut t = probe.clone();
+            t.stride = st;
+            still_fails(&t, names_ref)
+        });
+    }
+    if s.dur_ms > 400 {
+        let probe = s.clone();
+        let names_ref = &names;
+        s.dur_ms = shrink_u64(400, s.dur_ms, move |d| {
+            let mut t = probe.clone();
+            t.dur_ms = d;
+            t.warmup_ms = t.warmup_ms.min(d.saturating_sub(100));
+            still_fails(&t, names_ref)
+        });
+        s.warmup_ms = s.warmup_ms.min(s.dur_ms.saturating_sub(100));
+    }
+
+    // Strategy-level simplification: each candidate removes one source of
+    // complexity; `shrink` adopts any candidate that still fails.
+    let candidates = |cur: &Scenario| -> Vec<Scenario> {
+        let mut out = Vec::new();
+        let mut push = |f: &dyn Fn(&mut Scenario)| {
+            let mut t = cur.clone();
+            f(&mut t);
+            if t != *cur {
+                out.push(t);
+            }
+        };
+        push(&|t| t.loss_ppm = 0);
+        push(&|t| t.jitter_us = 0);
+        push(&|t| t.cross_mbps = 0);
+        push(&|t| t.queue = None);
+        push(&|t| t.ack_per_segs = None);
+        push(&|t| t.media = MediaProfile::Ethernet);
+        push(&|t| t.pacing_off = false);
+        out
+    };
+    shrink(s, candidates, |t| still_fails(t, &names), 24)
+}
+
+/// One failure found by [`fuzz`], with its shrunk repro.
+pub struct FailureReport {
+    /// Index of the scenario in the fuzz stream.
+    pub index: u64,
+    /// The scenario as drawn.
+    pub scenario: Scenario,
+    /// Its shrunk equivalent (fails at least one of the same oracles).
+    pub shrunk: Scenario,
+    /// The violations the original scenario produced.
+    pub violations: Vec<Violation>,
+    /// Where the shrunk run's trace was written, if a dir was given.
+    pub trace_path: Option<std::path::PathBuf>,
+}
+
+/// Outcome of one fuzz batch.
+pub struct FuzzOutcome {
+    /// Scenarios executed.
+    pub scenarios: u64,
+    /// Failures, in scenario-index order (deterministic for any `jobs`).
+    pub failures: Vec<FailureReport>,
+}
+
+/// One fuzz unit: index `i` of a batch rooted at `root_seed`. The cell's
+/// RNG is engine-split from its key, so the drawn scenario depends only on
+/// `(root_seed, i)` — never on jobs or scheduling.
+struct FuzzCell {
+    root_seed: u64,
+    index: u64,
+}
+
+impl SweepCell for FuzzCell {
+    type Output = (Scenario, Vec<Violation>);
+
+    fn label(&self) -> String {
+        format!("simcheck[{}]", self.index)
+    }
+
+    fn key_bytes(&self) -> Vec<u8> {
+        format!("simcheck:{}:{}", self.root_seed, self.index).into_bytes()
+    }
+
+    fn run(&self, mut rng: SimRng) -> Self::Output {
+        let s = Scenario::draw(&mut rng);
+        let violations = check_scenario(&s);
+        (s, violations)
+    }
+
+    // Never cached: oracle results must reflect the *current* build
+    // (mutant state is process-global and not part of the key).
+    fn encode(_output: &Self::Output) -> Option<Vec<u8>> {
+        None
+    }
+    fn decode(_bytes: &[u8]) -> Option<Self::Output> {
+        None
+    }
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+/// Run `budget` scenarios drawn from `seed` across `jobs` workers.
+///
+/// Output is bit-identical for any `jobs` value (the sweep engine's
+/// determinism contract). Failures are shrunk serially afterwards, and —
+/// when `failure_dir` is given — the shrunk run is re-executed with the
+/// flight recorder on and its trace saved as JSONL.
+pub fn fuzz(
+    budget: u64,
+    seed: u64,
+    jobs: usize,
+    failure_dir: Option<&std::path::Path>,
+    progress: bool,
+) -> std::io::Result<FuzzOutcome> {
+    let cells: Vec<FuzzCell> = (0..budget)
+        .map(|index| FuzzCell {
+            root_seed: seed,
+            index,
+        })
+        .collect();
+    let opts = SweepOptions {
+        jobs,
+        cache_dir: None,
+        root_seed: seed,
+        progress,
+    };
+    let report = run_sweep(&cells, &opts);
+
+    let mut failures = Vec::new();
+    for (index, (scenario, violations)) in report.outputs.into_iter().enumerate() {
+        if violations.is_empty() {
+            continue;
+        }
+        let shrunk = shrink_scenario(&scenario, &violations);
+        let trace_path = match failure_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let key = sim_core::sweep::fnv64(shrunk.spec_string().as_bytes());
+                let path = dir.join(format!("simcheck-{key:016x}.jsonl"));
+                let (_res, log) = StackSim::new(shrunk.to_config()).run_traced();
+                let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                sim_core::trace::write_jsonl(&log, &mut file)?;
+                Some(path)
+            }
+            None => None,
+        };
+        failures.push(FailureReport {
+            index: index as u64,
+            scenario,
+            shrunk,
+            violations,
+            trace_path,
+        });
+    }
+    Ok(FuzzOutcome {
+        scenarios: budget,
+        failures,
+    })
+}
+
+/// Result of probing one intentional mutation.
+pub struct MutantReport {
+    /// The mutation probed.
+    pub mutant: Mutant,
+    /// Scenarios executed before it was caught (or the whole budget).
+    pub tried: u64,
+    /// The catching scenario, shrunk, with the oracles that flagged it;
+    /// `None` means the mutant escaped the budget.
+    pub caught: Option<(Scenario, Vec<Violation>)>,
+}
+
+/// Bias a drawn scenario toward the terrain where `mutant`'s bug class
+/// can express at all (a retransmit-accounting bug needs retransmissions;
+/// a pacing bug needs pacing). The oracles themselves are untouched —
+/// this only focuses the compute budget.
+fn bias_for(mutant: Mutant, mut s: Scenario) -> Scenario {
+    match mutant {
+        Mutant::SkipTimerFireCharge | Mutant::DropPacingArm => {
+            if !matches!(s.cc, CcKind::Bbr | CcKind::Bbr2) {
+                s.cc = CcKind::Bbr;
+            }
+            s.pacing_off = false;
+            if mutant == Mutant::DropPacingArm {
+                // conn-progress eligibility: clean path, real window.
+                s.loss_ppm = 0;
+                s.cross_mbps = 0;
+                s.queue = None;
+                s.dur_ms = s.dur_ms.max(700);
+                s.warmup_ms = s.warmup_ms.min(250);
+            }
+        }
+        Mutant::SkipRetxCount => {
+            // Guarantee retransmissions: shallow buffer or real loss.
+            if s.queue.is_none() && s.loss_ppm < 1_000 {
+                s.loss_ppm = 5_000;
+            }
+        }
+        Mutant::SackClaimExtra => {}
+    }
+    s
+}
+
+/// Activate each intentional mutation in turn and fuzz (serially — mutant
+/// state is process-global) until an oracle catches it or `budget`
+/// scenarios pass. Requires a build with the `simcheck-mutants` feature.
+pub fn mutant_check(budget: u64, seed: u64) -> Result<Vec<MutantReport>, String> {
+    if !mutants::enabled() {
+        return Err(
+            "this build was compiled without the `simcheck-mutants` feature; \
+             re-run with `--features simcheck-mutants`"
+                .into(),
+        );
+    }
+    let mut reports = Vec::new();
+    for mutant in mutants::ALL {
+        let mut rng = SimRng::new(seed).split(mutant as u64);
+        let mut caught = None;
+        let mut tried = 0;
+        while tried < budget {
+            let s = bias_for(mutant, Scenario::draw(&mut rng));
+            tried += 1;
+            // Re-activating resets the mutant's internal trigger state so
+            // each scenario (and each shrink probe below) is reproducible.
+            mutants::set_active(Some(mutant));
+            let violations = check_scenario(&s);
+            if !violations.is_empty() {
+                mutants::set_active(Some(mutant));
+                let shrunk = shrink_scenario(&s, &violations);
+                mutants::set_active(Some(mutant));
+                let shrunk_violations = check_scenario(&shrunk);
+                let final_violations = if shrunk_violations.is_empty() {
+                    violations
+                } else {
+                    shrunk_violations
+                };
+                caught = Some((shrunk, final_violations));
+                break;
+            }
+        }
+        mutants::set_active(None);
+        reports.push(MutantReport {
+            mutant,
+            tried,
+            caught,
+        });
+    }
+    mutants::set_active(None);
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_exactly() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let s = Scenario::draw(&mut rng);
+            let spec = s.spec_string();
+            let back = Scenario::parse(&spec).expect("round trip parses");
+            assert_eq!(s, back, "spec {spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_without_panicking() {
+        assert!(Scenario::parse("cc=quic").is_err());
+        assert!(Scenario::parse("nonsense").is_err());
+        assert!(Scenario::parse("volume=11").is_err());
+        assert!(Scenario::parse("dur=500,warmup=500").is_err());
+        assert!(Scenario::parse("conns=abc").is_err());
+        // Partial specs fill defaults.
+        let s = Scenario::parse("cc=cubic,conns=3").expect("partial spec ok");
+        assert_eq!(s.cc, CcKind::Cubic);
+        assert_eq!(s.conns, 3);
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_in_range() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..50 {
+            let (sa, sb) = (Scenario::draw(&mut a), Scenario::draw(&mut b));
+            assert_eq!(sa, sb);
+            assert!((1..=20).contains(&sa.conns));
+            assert!(sa.warmup_ms < sa.dur_ms);
+            assert!(sa.loss_ppm <= 10_000);
+        }
+    }
+
+    #[test]
+    fn clean_scenario_passes_all_oracles() {
+        let s =
+            Scenario::parse("cc=bbr,cpu=high,media=eth,conns=2,dur=500,warmup=200,seed=3").unwrap();
+        let violations = check_scenario(&s);
+        assert!(
+            violations.is_empty(),
+            "clean scenario violated: {violations:?}"
+        );
+    }
+}

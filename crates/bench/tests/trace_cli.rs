@@ -1,0 +1,154 @@
+//! Failure-path tests for the `trace` inspector binary: damaged input must
+//! exit 2 with a diagnostic on stderr — never panic — and missing files
+//! exit 1 (I/O error, distinct from format errors).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn trace_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_trace")
+}
+
+fn write_temp(tag: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.jsonl"));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn run_inspect(path: &std::path::Path) -> Output {
+    Command::new(trace_bin())
+        .args(["inspect", path.to_str().unwrap()])
+        .output()
+        .expect("trace binary runs")
+}
+
+const VALID_HEADER: &str =
+    r#"{"schema":"sim-trace/v1","events":1,"dropped":0,"counters":0,"strings":[]}"#;
+
+#[test]
+fn valid_minimal_trace_exits_zero() {
+    let path = write_temp(
+        "valid",
+        &format!(
+            "{VALID_HEADER}\n{}\n",
+            r#"{"t":5,"k":"seg_tx","conn":0,"a":1,"b":1448}"#
+        ),
+    );
+    let out = run_inspect(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid sim-trace/v1"), "stdout: {stdout}");
+}
+
+#[test]
+fn empty_file_exits_two() {
+    let path = write_temp("empty", "");
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("empty"), "stderr: {stderr}");
+}
+
+#[test]
+fn malformed_header_exits_two() {
+    let path = write_temp("badheader", "this is not json\n");
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not JSON"));
+}
+
+#[test]
+fn wrong_schema_exits_two() {
+    let path = write_temp("wrongschema", "{\"schema\":\"something-else\"}\n");
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sim-trace/v1"));
+}
+
+#[test]
+fn malformed_body_line_exits_two() {
+    let path = write_temp("badbody", &format!("{VALID_HEADER}\n{{truncated\n"));
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn missing_fields_exit_two() {
+    let path = write_temp("nofields", &format!("{VALID_HEADER}\n{}\n", r#"{"x":1}"#));
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing"));
+}
+
+#[test]
+fn unknown_trace_kind_exits_two() {
+    let path = write_temp(
+        "unknownkind",
+        &format!(
+            "{VALID_HEADER}\n{}\n",
+            r#"{"t":5,"k":"warp_drive","conn":0,"a":0,"b":0}"#
+        ),
+    );
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown event kind"), "stderr: {stderr}");
+    assert!(stderr.contains("warp_drive"), "stderr: {stderr}");
+}
+
+#[test]
+fn counter_lines_are_accepted() {
+    // "counter" is not a TraceKind but is a legal synthetic series line.
+    let path = write_temp(
+        "counters",
+        &format!(
+            "{VALID_HEADER}\n{}\n{}\n",
+            r#"{"t":3,"k":"counter","name":"cpu","v":7}"#,
+            r#"{"t":5,"k":"seg_tx","conn":0,"a":1,"b":1448}"#
+        ),
+    );
+    let out = run_inspect(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn declared_event_count_mismatch_exits_two() {
+    let path = write_temp(
+        "mismatch",
+        &format!(
+            "{}\n{}\n",
+            r#"{"schema":"sim-trace/v1","events":7,"dropped":0,"counters":0,"strings":[]}"#,
+            r#"{"t":5,"k":"seg_tx","conn":0,"a":1,"b":1448}"#
+        ),
+    );
+    let out = run_inspect(&path);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("declares"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = Command::new(trace_bin())
+        .args(["inspect", "/nonexistent/definitely-missing.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = Command::new(trace_bin()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -186,6 +186,26 @@ impl PathConfig {
     pub fn bottleneck_rate(&self) -> Bandwidth {
         self.forward.rate
     }
+
+    /// The uplink's hard ceiling: the top of the variable-rate envelope,
+    /// or the nominal rate for fixed links. No run can deliver faster than
+    /// this — the physical-conservation bound the goodput oracle checks
+    /// (where [`PathConfig::bottleneck_rate`] is only the nominal centre).
+    pub fn max_forward_rate(&self) -> Bandwidth {
+        match &self.forward_var {
+            Some(var) => var.max.max(self.forward.rate),
+            None => self.forward.rate,
+        }
+    }
+
+    /// The uplink's floor: the bottom of the variable-rate envelope, or
+    /// the nominal rate for fixed links.
+    pub fn min_forward_rate(&self) -> Bandwidth {
+        match &self.forward_var {
+            Some(var) => var.min.min(self.forward.rate),
+            None => self.forward.rate,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +271,28 @@ mod tests {
             .path_config()
             .with_forward_netem(NetemConfig::none().with_loss(0.01));
         assert_eq!(p.forward_netem.loss, 0.01);
+    }
+
+    #[test]
+    fn forward_rate_envelope_brackets_nominal() {
+        for media in [
+            MediaProfile::Ethernet,
+            MediaProfile::Wifi,
+            MediaProfile::Lte,
+            MediaProfile::FiveG,
+        ] {
+            let p = media.path_config();
+            assert!(p.min_forward_rate() <= p.bottleneck_rate());
+            assert!(p.bottleneck_rate() <= p.max_forward_rate());
+        }
+        // Fixed links collapse the envelope to the nominal rate.
+        let eth = MediaProfile::Ethernet.path_config();
+        assert_eq!(eth.max_forward_rate(), eth.bottleneck_rate());
+        assert_eq!(eth.min_forward_rate(), eth.bottleneck_rate());
+        // Variable links expose the true ceiling.
+        let wifi = MediaProfile::Wifi.path_config();
+        assert_eq!(wifi.max_forward_rate(), Bandwidth::from_mbps(900));
+        assert_eq!(wifi.min_forward_rate(), Bandwidth::from_mbps(400));
     }
 
     #[test]

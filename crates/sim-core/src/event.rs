@@ -188,6 +188,8 @@ pub struct EventQueue<E> {
     now: SimTime,
     len: usize,
     popped: u64,
+    scheduled: u64,
+    cancelled: u64,
     /// sim-trace tracepoint target (zero-sized and inert unless the `trace`
     /// feature is on *and* a buffer has been attached).
     tracer: TraceSink,
@@ -214,6 +216,8 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             len: 0,
             popped: 0,
+            scheduled: 0,
+            cancelled: 0,
             tracer: TraceSink::disabled(),
         }
     }
@@ -251,6 +255,21 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Total number of events ever scheduled. Together with
+    /// [`Self::popped`], [`Self::cancelled`] and [`Self::len`] this gives
+    /// the wheel's conservation law — `scheduled == popped + cancelled +
+    /// len` at every instant — which the simcheck oracles assert after
+    /// every fuzzed run (a broken slab/token path would break it).
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Total number of events ever cancelled (successful [`Self::cancel`]
+    /// calls; stale-token calls do not count).
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
     /// Number of slab cells ever allocated (== peak concurrently pending
     /// events). Exposed so tests can assert that steady-state operation
     /// recycles cells instead of growing the slab.
@@ -272,6 +291,7 @@ impl<E> EventQueue<E> {
         let idx = self.alloc(at, event);
         self.place(idx, at.as_nanos());
         self.len += 1;
+        self.scheduled += 1;
         let token = TimerToken::new(self.cells[idx as usize].gen, idx);
         self.tracer.record(
             self.now,
@@ -306,6 +326,7 @@ impl<E> EventQueue<E> {
                 self.unlink(idx);
                 self.release(idx);
                 self.len -= 1;
+                self.cancelled += 1;
                 self.tracer
                     .record(self.now, TraceKind::WheelCancel, 0, token.0, 0);
                 true
@@ -768,6 +789,33 @@ mod tests {
         q.cancel(a);
         while q.pop().is_some() {}
         assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
+    fn conservation_scheduled_equals_popped_cancelled_pending() {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for i in 0..20u64 {
+            tokens.push(q.schedule_at(SimTime::from_nanos(10 + i), i));
+        }
+        for tok in tokens.iter().step_by(3) {
+            q.cancel(*tok);
+        }
+        // Stale cancels must not count.
+        for tok in tokens.iter().step_by(3) {
+            assert!(!q.cancel(*tok));
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        assert_eq!(
+            q.scheduled(),
+            q.popped() + q.cancelled() + q.len() as u64,
+            "wheel conservation: scheduled == popped + cancelled + pending"
+        );
+        assert_eq!(q.scheduled(), 20);
+        assert_eq!(q.cancelled(), 7);
+        assert_eq!(q.popped(), 5);
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! `ablations` binaries to fan experiment cells across worker threads
 //! while staying bit-identical to a serial run.
 //!
+//! Verification machinery lives in [`check`]: invariant oracles,
+//! scenario shrinking, and the persisted failure corpus behind the
+//! `simcheck` scenario fuzzer (the concrete oracle library is in the
+//! bench crate, which can see the full simulator API).
+//!
 //! Observability lives in [`trace`] (`sim-trace`): flight-recorder ring
 //! buffers fed by tracepoints in the hot paths, merged into a deterministic
 //! [`trace::TraceLog`] and exported as JSONL or Chrome/Perfetto trace
@@ -34,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod event;
 pub mod metrics;
 pub mod rng;
@@ -42,6 +48,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use check::{evaluate, Corpus, NamedOracle, Oracle, Violation};
 pub use event::{EventQueue, ScheduledEvent, TimerToken};
 pub use rng::SimRng;
 pub use sweep::{run_sweep, CellReport, SweepCell, SweepOptions, SweepReport};

@@ -20,6 +20,8 @@
 //!   backing the pcap export;
 //! * [`pool`] — free-list buffer pools keeping the per-segment hot path
 //!   allocation-free;
+//! * [`mutants`] — intentional single-line behaviour mutations (feature
+//!   `simcheck-mutants`) that the simcheck fuzzer's oracles must catch;
 //! * [`sim`] — the event loop that binds the stack to the
 //!   [`cpu_model::Cpu`] (every operation costs cycles and serialises) and
 //!   to [`netsim`]'s bottleneck path, and reports goodput/RTT/retransmit
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod mutants;
 pub mod pacing;
 pub mod pool;
 pub mod rate;

@@ -14,8 +14,14 @@
 //! in flight (≤ a few per connection).
 
 /// A free list of `Vec<T>` buffers that keeps capacity across uses.
+///
+/// `misses` is not derived from the other two counters — all three are
+/// maintained independently so the identity `misses == takes − reuses`
+/// is a genuine cross-check (a simcheck oracle), not a tautology.
 pub struct VecPool<T> {
     free: Vec<Vec<T>>,
+    takes: u64,
+    reuses: u64,
     misses: u64,
 }
 
@@ -24,14 +30,20 @@ impl<T> VecPool<T> {
     pub fn new() -> Self {
         VecPool {
             free: Vec::new(),
+            takes: 0,
+            reuses: 0,
             misses: 0,
         }
     }
 
     /// Take a cleared buffer, reusing capacity when one is free.
     pub fn take(&mut self) -> Vec<T> {
+        self.takes += 1;
         match self.free.pop() {
-            Some(v) => v,
+            Some(v) => {
+                self.reuses += 1;
+                v
+            }
             None => {
                 self.misses += 1;
                 Vec::new()
@@ -50,6 +62,16 @@ impl<T> VecPool<T> {
     /// [`VecPool::put`] before the next one is needed.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Total `take` calls (hits + misses).
+    pub fn takes(&self) -> u64 {
+        self.takes
+    }
+
+    /// `take` calls satisfied from the free list (warm capacity reused).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
     }
 }
 
@@ -86,5 +108,40 @@ mod tests {
         pool.put(b);
         let _ = (pool.take(), pool.take());
         assert_eq!(pool.misses(), 2);
+    }
+
+    /// The accounting identity `misses == takes − reuses` under scripted
+    /// churn: hold a varying number of buffers out of the pool so every
+    /// combination of cold take, warm take, and deferred return occurs.
+    #[test]
+    fn churn_preserves_miss_identity() {
+        let mut pool: VecPool<u32> = VecPool::new();
+        let mut held: Vec<Vec<u32>> = Vec::new();
+        for round in 0..50u32 {
+            // Grow the outstanding set on even rounds, shrink on odd.
+            let want = if round % 2 == 0 {
+                (round % 7) as usize + 1
+            } else {
+                (round % 3) as usize
+            };
+            while held.len() < want {
+                held.push(pool.take());
+            }
+            while held.len() > want {
+                pool.put(held.pop().unwrap());
+            }
+            assert_eq!(
+                pool.misses(),
+                pool.takes() - pool.reuses(),
+                "identity broken at round {round}"
+            );
+        }
+        for v in held.drain(..) {
+            pool.put(v);
+        }
+        assert_eq!(pool.misses(), pool.takes() - pool.reuses());
+        // The peak outstanding population bounds cold takes.
+        assert!(pool.misses() <= 7, "cold takes exceed peak population");
+        assert!(pool.reuses() > 0, "churn never hit warm capacity");
     }
 }

@@ -74,6 +74,15 @@ impl Receiver {
     /// to acknowledge.
     pub fn on_data(&mut self, lo: PktSeq, hi: PktSeq) -> AckUrgency {
         assert!(lo < hi, "empty packet run");
+        // Mutant M2: claim one packet beyond the run — a SACK/merge
+        // off-by-one. The sender clamps incoming ACKs to `snd_nxt`, so
+        // this cannot crash the scoreboard; it must instead be caught by
+        // the rx-conservation oracle (accepted > survived the wire).
+        let hi = if crate::mutants::is(crate::mutants::Mutant::SackClaimExtra) {
+            PktSeq(hi.0 + 1)
+        } else {
+            hi
+        };
         let mut urgency = AckUrgency::Coalesce;
         let arrived_above = !self.ooo.is_empty();
         for seq in lo.0..hi.0 {

@@ -25,6 +25,7 @@
 //! and goodput collapses, while the same workload at 2.8 GHz runs at line
 //! rate.
 
+use crate::mutants::{self, Mutant};
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
 use crate::pool::VecPool;
 use crate::receiver::{AckInfo, AckUrgency, Receiver};
@@ -244,6 +245,12 @@ struct Conn {
     device_chunks: u32,
     /// Bytes currently in the CPU/device path (memory accounting).
     device_bytes: u64,
+    /// Packets that survived netem + the bottleneck queue and were handed
+    /// to the receiver's arrival event. The rx-conservation oracle checks
+    /// `receiver.total_received() + receiver.duplicates() <=` this (strict
+    /// equality can't hold: arrivals scheduled past the end of the run are
+    /// never delivered).
+    accepted_pkts: u64,
     /// Peak memory footprint proxy: scoreboard + device backlog bytes
     /// (§7.1.1's RAM question).
     mem_peak_bytes: u64,
@@ -380,6 +387,7 @@ impl StackSim {
                     pacing_timer_armed: false,
                     device_chunks: 0,
                     device_bytes: 0,
+                    accepted_pkts: 0,
                     mem_peak_bytes: 0,
                     burst_remaining: 0,
                     rto_epoch: 0,
@@ -635,7 +643,12 @@ impl StackSim {
         // callbacks "continually reschedule connections to be processed").
         let mut pre_cycles = 0u64;
         if from_timer {
-            pre_cycles += self.cfg.cost.timer_fire;
+            // Mutant M1: the fire is counted but its cycles are never
+            // charged — the exact cost the paper's finding rests on.
+            // Breaks `cycles[timers] == fires·c_fire + arms·c_arm`.
+            if !mutants::is(Mutant::SkipTimerFireCharge) {
+                pre_cycles += self.cfg.cost.timer_fire;
+            }
             self.counters.inc("timer_fires");
             self.trace
                 .record(now, TraceKind::PacingFire, c as u32, 0, 0);
@@ -727,7 +740,9 @@ impl StackSim {
 
         let pkts = plan.packets();
         let bytes = pkts * MSS;
-        if plan.is_retx {
+        // Mutant M3: retransmissions silently missing from the counter,
+        // which then diverges from the scoreboard's own `total_retx`.
+        if plan.is_retx && !mutants::is(Mutant::SkipRetxCount) {
             self.counters.add("retx_pkts", pkts);
         }
         // A send released after the pacer's gate drained the whole flight:
@@ -781,6 +796,7 @@ impl StackSim {
         // at its last packet's arrival.
         let mut accepted_runs = self.run_pool.take();
         let mut last_arrival = SimTime::ZERO;
+        let mut accepted_pkts = 0u64;
         for &(lo, hi) in &plan.runs {
             for seq in lo.0..hi.0 {
                 let wire = wire_bytes(MSS);
@@ -797,6 +813,7 @@ impl StackSim {
                     }
                     SendOutcome::Accepted { arrival, .. } => {
                         last_arrival = last_arrival.max(arrival);
+                        accepted_pkts += 1;
                         match accepted_runs.last_mut() {
                             Some((_, h)) if h.0 == seq => *h = PktSeq(seq + 1),
                             _ => accepted_runs.push((PktSeq(seq), PktSeq(seq + 1))),
@@ -822,6 +839,7 @@ impl StackSim {
         self.plan_scratch = plan;
 
         let conn = &mut self.conns[c];
+        conn.accepted_pkts += accepted_pkts;
         // Arm/refresh the RTO.
         if !conn.rto_armed {
             Self::arm_rto(&mut self.queue, conn, c, done);
@@ -839,6 +857,12 @@ impl StackSim {
 
         if pacing && conn.burst_remaining == 0 && !conn.pacing_timer_armed {
             conn.pacing_timer_armed = true;
+            // Mutant M4: every 64th arm is silently lost — the flow
+            // believes a timer is pending but none ever fires (the
+            // lost-wakeup bug class; only the ACK clock can revive it).
+            if mutants::is(Mutant::DropPacingArm) && mutants::drop_this_arm() {
+                return;
+            }
             let at = conn.pacer.next_release().max(done);
             self.trace
                 .record(now, TraceKind::TimerArm, c as u32, at.as_nanos(), 0);
@@ -924,6 +948,19 @@ impl StackSim {
             sacks: self.sack_pool.take(),
         };
         self.conns[c].receiver.build_ack_into(&mut ack);
+        // SACK coherence check on every emitted ACK: blocks must sit
+        // strictly above the cumulative point, be non-empty, and be
+        // strictly increasing and disjoint (adjacent blocks would mean the
+        // receiver failed to merge runs). Violations are counted, not
+        // panicked on — the `sack-coherence` oracle turns them into
+        // first-class fuzz failures with a shrunk repro.
+        let mut prev_hi = ack.cum;
+        for &(lo, hi) in &ack.sacks {
+            if lo <= prev_hi || hi <= lo {
+                self.counters.inc("sack_incoherent");
+            }
+            prev_hi = hi;
+        }
         self.counters.inc("acks_emitted");
         // Reverse path: netem + link (the server's NIC is never the
         // bottleneck, but serialisation and propagation still apply).
@@ -1275,9 +1312,27 @@ impl StackSim {
         let mut idle_ms_sum = 0.0;
         let mut idle_n = 0u32;
         let mut peak_mem = 0u64;
+        let mut rx_received = 0u64;
+        let mut rx_duplicates = 0u64;
+        let mut rx_accepted = 0u64;
+        let mut seq_regressions = 0u64;
+        let mut snd_nxt_total = 0u64;
 
         for conn in &self.conns {
             peak_mem += conn.mem_peak_bytes;
+            rx_received += conn.receiver.total_received();
+            rx_duplicates += conn.receiver.duplicates();
+            rx_accepted += conn.accepted_pkts;
+            snd_nxt_total += conn.sender.snd_nxt().0;
+            // Terminal sequence sanity: the unacknowledged edge never
+            // overtakes the send edge, and the receiver never claims data
+            // the sender has not produced.
+            if conn.sender.snd_una() > conn.sender.snd_nxt() {
+                seq_regressions += 1;
+            }
+            if conn.receiver.rcv_nxt() > conn.sender.snd_nxt() {
+                seq_regressions += 1;
+            }
             let delivered = conn.sender.delivered_pkts() - conn.delivered_at_measure;
             let goodput = Bandwidth::from_bytes_over(delivered * MSS, window);
             total_goodput = total_goodput.saturating_add(goodput);
@@ -1345,6 +1400,28 @@ impl StackSim {
             "pool_sack_misses_steady",
             self.sack_pool.misses() - self.measure_sack_misses,
         );
+        // Independent take/reuse tallies so `misses == takes − reuses` is a
+        // genuine cross-check, not a derived quantity.
+        counters.add("pool_run_takes", self.run_pool.takes());
+        counters.add("pool_run_reuses", self.run_pool.reuses());
+        counters.add("pool_sack_takes", self.sack_pool.takes());
+        counters.add("pool_sack_reuses", self.sack_pool.reuses());
+
+        // Timer-wheel conservation: every scheduled token is eventually
+        // popped, cancelled, or still pending — nothing duplicated, nothing
+        // lost (the wheel-conservation oracle).
+        counters.add("wheel_scheduled", self.queue.scheduled());
+        counters.add("wheel_popped", self.queue.popped());
+        counters.add("wheel_cancelled", self.queue.cancelled());
+        counters.add("wheel_pending", self.queue.len() as u64);
+
+        // Receive-side conservation and terminal sequence sanity (see the
+        // per-conn loop above).
+        counters.add("rx_pkts_received", rx_received);
+        counters.add("rx_duplicates", rx_duplicates);
+        counters.add("rx_pkts_accepted", rx_accepted);
+        counters.add("seq_regressions", seq_regressions);
+        counters.add("snd_nxt_total", snd_nxt_total);
 
         // Steady-state cycle attribution (Fig. 4/5's breakdown): cycles
         // charged after MeasureStart, split into the categories the paper
@@ -1728,6 +1805,36 @@ mod tests {
             + res.counters.get("cycles_steady_other");
         assert_eq!(parts, res.counters.get("cycles_steady_total"));
         assert!(res.counters.get("cycles_steady_total") > 0);
+    }
+
+    #[test]
+    fn accounting_identities_hold_in_results() {
+        // The identities simcheck's oracles rely on, checked once here on a
+        // representative run: pool misses equal takes minus reuses, the
+        // timer wheel conserves tokens, receive-side conservation holds,
+        // and no terminal sequence regression occurred.
+        let res = StackSim::new(quick(CcKind::Bbr, CpuConfig::MidEnd, 3)).run();
+        let g = |name| res.counters.get(name);
+        assert!(g("pool_run_takes") > 0, "run pool must see traffic");
+        assert_eq!(
+            g("pool_run_misses"),
+            g("pool_run_takes") - g("pool_run_reuses")
+        );
+        assert_eq!(
+            g("pool_sack_misses"),
+            g("pool_sack_takes") - g("pool_sack_reuses")
+        );
+        assert_eq!(
+            g("wheel_scheduled"),
+            g("wheel_popped") + g("wheel_cancelled") + g("wheel_pending"),
+            "timer wheel must conserve tokens"
+        );
+        assert!(
+            g("rx_pkts_received") + g("rx_duplicates") <= g("rx_pkts_accepted"),
+            "receiver cannot see more packets than survived the wire"
+        );
+        assert_eq!(g("seq_regressions"), 0);
+        assert_eq!(g("sack_incoherent"), 0);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Shared test scaffolding for the workspace.
+//!
+//! The property tests (`tests/system_invariants.rs`) and the `simcheck`
+//! scenario fuzzer (bench crate) draw configurations from the same
+//! supported space: every congestion controller × every Table 1 CPU
+//! configuration × every media profile. This crate is the single source
+//! of that space, in two forms:
+//!
+//! * plain `ALL_*` arrays, for seeded-RNG drawing (simcheck indexes them
+//!   with its own deterministic [`sim_core`-style] PRNG);
+//! * `arb_*` proptest strategies built on those arrays, for `proptest!`
+//!   blocks.
+//!
+//! Keeping both forms here means adding a controller or a medium updates
+//! the fuzzer and the property tests in one place.
+
+#![warn(missing_docs)]
+
+use congestion::CcKind;
+use cpu_model::CpuConfig;
+use netsim::media::MediaProfile;
+use proptest::prelude::*;
+
+/// Every congestion controller the simulator supports.
+pub const ALL_CC: [CcKind; 4] = [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2, CcKind::Reno];
+
+/// Every Table 1 CPU configuration.
+pub const ALL_CPU: [CpuConfig; 4] = [
+    CpuConfig::LowEnd,
+    CpuConfig::MidEnd,
+    CpuConfig::HighEnd,
+    CpuConfig::Default,
+];
+
+/// Every media profile (§3.2 plus the forward-looking 5G envelope).
+pub const ALL_MEDIA: [MediaProfile; 4] = [
+    MediaProfile::Ethernet,
+    MediaProfile::Wifi,
+    MediaProfile::Lte,
+    MediaProfile::FiveG,
+];
+
+/// Uniform choice over [`ALL_CC`].
+pub fn arb_cc() -> impl Strategy<Value = CcKind> {
+    prop_oneof![
+        Just(CcKind::Cubic),
+        Just(CcKind::Bbr),
+        Just(CcKind::Bbr2),
+        Just(CcKind::Reno),
+    ]
+}
+
+/// Uniform choice over [`ALL_CPU`].
+pub fn arb_cpu() -> impl Strategy<Value = CpuConfig> {
+    prop_oneof![
+        Just(CpuConfig::LowEnd),
+        Just(CpuConfig::MidEnd),
+        Just(CpuConfig::HighEnd),
+        Just(CpuConfig::Default),
+    ]
+}
+
+/// Uniform choice over [`ALL_MEDIA`].
+pub fn arb_media() -> impl Strategy<Value = MediaProfile> {
+    prop_oneof![
+        Just(MediaProfile::Ethernet),
+        Just(MediaProfile::Wifi),
+        Just(MediaProfile::Lte),
+        Just(MediaProfile::FiveG),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn arrays_cover_the_space_without_duplicates() {
+        for (i, a) in ALL_CC.iter().enumerate() {
+            assert_eq!(ALL_CC.iter().filter(|b| *b == a).count(), 1, "dup at {i}");
+        }
+        for (i, a) in ALL_CPU.iter().enumerate() {
+            assert_eq!(ALL_CPU.iter().filter(|b| *b == a).count(), 1, "dup at {i}");
+        }
+        for (i, a) in ALL_MEDIA.iter().enumerate() {
+            assert_eq!(
+                ALL_MEDIA.iter().filter(|b| *b == a).count(),
+                1,
+                "dup at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategies_only_emit_known_values() {
+        let mut rng = TestRng::for_test("test-support::strategies");
+        for _ in 0..64 {
+            assert!(ALL_CC.contains(&arb_cc().generate(&mut rng)));
+            assert!(ALL_CPU.contains(&arb_cpu().generate(&mut rng)));
+            assert!(ALL_MEDIA.contains(&arb_media().generate(&mut rng)));
+        }
+    }
+}

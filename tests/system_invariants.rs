@@ -8,33 +8,9 @@ use mobile_bbr::netsim::media::MediaProfile;
 use mobile_bbr::sim_core::time::SimDuration;
 use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, SimResult, StackSim};
 use proptest::prelude::*;
-
-fn arb_cc() -> impl Strategy<Value = CcKind> {
-    prop_oneof![
-        Just(CcKind::Cubic),
-        Just(CcKind::Bbr),
-        Just(CcKind::Bbr2),
-        Just(CcKind::Reno),
-    ]
-}
-
-fn arb_cpu() -> impl Strategy<Value = CpuConfig> {
-    prop_oneof![
-        Just(CpuConfig::LowEnd),
-        Just(CpuConfig::MidEnd),
-        Just(CpuConfig::HighEnd),
-        Just(CpuConfig::Default),
-    ]
-}
-
-fn arb_media() -> impl Strategy<Value = MediaProfile> {
-    prop_oneof![
-        Just(MediaProfile::Ethernet),
-        Just(MediaProfile::Wifi),
-        Just(MediaProfile::Lte),
-        Just(MediaProfile::FiveG),
-    ]
-}
+// Configuration-space strategies are shared with the simcheck fuzzer so
+// new controllers/media enter both in one place.
+use test_support::{arb_cc, arb_cpu, arb_media};
 
 fn run_one(
     cc: CcKind,
