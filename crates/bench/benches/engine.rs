@@ -99,9 +99,11 @@ fn one_simulated_second(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let conns = if cpu == CpuConfig::HighEnd { 1 } else { 20 };
-                let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
-                cfg.duration = SimDuration::from_secs(1);
-                cfg.warmup = SimDuration::from_millis(300);
+                let cfg = SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+                    .duration(SimDuration::from_secs(1))
+                    .warmup(SimDuration::from_millis(300))
+                    .build()
+                    .expect("valid config");
                 std::hint::black_box(StackSim::new(cfg).run().goodput_mbps())
             })
         });

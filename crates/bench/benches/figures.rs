@@ -18,7 +18,7 @@ fn bench_experiment(c: &mut Criterion, idx: usize, id: ExperimentId) {
     // Print the regenerated (reduced) table once so `cargo bench` output
     // contains every figure's rows.
     PRINT_ONCE[idx].call_once(|| {
-        let exp = id.run(&params);
+        let exp = id.run(&params).expect("experiment completes");
         println!("\n{}", exp.render_text());
     });
     let mut group = c.benchmark_group("figures");
@@ -28,7 +28,7 @@ fn bench_experiment(c: &mut Criterion, idx: usize, id: ExperimentId) {
         .measurement_time(Duration::from_secs(5));
     group.bench_function(id.cli_name(), |b| {
         b.iter(|| {
-            let exp = id.run(&params);
+            let exp = id.run(&params).expect("experiment completes");
             std::hint::black_box(exp.table.rows.len())
         })
     });

@@ -25,13 +25,16 @@ fn params() -> Params {
 
 /// Run one spec on the sweep engine with this binary's parameters
 /// (worker count, run cache, progress) — see `sim_core::sweep`.
-fn run(p: &Params, spec: RunSpec) -> RunReport {
-    iperf::run_specs_sweep(std::slice::from_ref(&spec), &p.sweep_options())
-        .pop()
-        .expect("one spec in, one report out")
+/// Errors (cancellation, checkpoint I/O) bubble to `main`'s exit edge.
+fn run(p: &Params, spec: RunSpec) -> Result<RunReport, sim_core::Error> {
+    Ok(
+        iperf::run_specs_sweep(std::slice::from_ref(&spec), &p.sweep_options())?
+            .pop()
+            .expect("one spec in, one report out"),
+    )
 }
 
-fn timer_cost_sweep(p: &Params) {
+fn timer_cost_sweep(p: &Params) -> Result<(), sim_core::Error> {
     println!("== ABLATION 1: pacing-timer cost vs the value of striding ==");
     println!("   (paper §7.1.4: would hardware pacing make the stride unnecessary?)\n");
     let mut table = ResultTable::new(vec![
@@ -45,8 +48,8 @@ fn timer_cost_sweep(p: &Params) {
         base.cost = CostModel::mobile_default().with_timer_cost_factor(factor);
         let mut strided = base.clone();
         strided.pacing = PacingConfig::with_stride(10);
-        let r1 = run(p, RunSpec::new(format!("1x @{factor}"), base, p.seeds));
-        let r10 = run(p, RunSpec::new(format!("10x @{factor}"), strided, p.seeds));
+        let r1 = run(p, RunSpec::new(format!("1x @{factor}"), base, p.seeds))?;
+        let r10 = run(p, RunSpec::new(format!("10x @{factor}"), strided, p.seeds))?;
         table.push_row(vec![
             format!("{factor:.1}x").into(),
             r1.goodput_mbps.into(),
@@ -55,9 +58,10 @@ fn timer_cost_sweep(p: &Params) {
         ]);
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
-fn buffer_cap_sweep(p: &Params) {
+fn buffer_cap_sweep(p: &Params) -> Result<(), sim_core::Error> {
     println!("== ABLATION 2: socket-buffer cap vs strided throughput ==");
     println!("   (Table 2's plateau: the cap bounds one pacing period's data)\n");
     let mut table = ResultTable::new(vec![
@@ -79,15 +83,16 @@ fn buffer_cap_sweep(p: &Params) {
             let rep = run(
                 p,
                 RunSpec::new(format!("cap {cap_kb}KB stride {stride}"), cfg, p.seeds),
-            );
+            )?;
             row.push(rep.goodput_mbps.into());
         }
         table.push_row(row);
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
-fn governor_comparison(p: &Params) {
+fn governor_comparison(p: &Params) -> Result<(), sim_core::Error> {
     println!("== ABLATION 3: dynamic governor vs pinned frequencies ==");
     println!("   (why the Default configuration sits well below High-End)\n");
     let mut table = ResultTable::new(vec![
@@ -105,13 +110,13 @@ fn governor_comparison(p: &Params) {
                 p.pixel4(cpu, CcKind::Cubic, 20),
                 p.seeds,
             ),
-        );
+        )?;
         let bbr_spec = RunSpec::new(
             format!("bbr {cpu}"),
             p.pixel4(cpu, CcKind::Bbr, 20),
             p.seeds,
         );
-        let bbr = run(p, bbr_spec);
+        let bbr = run(p, bbr_spec)?;
         let freq =
             bbr.seeds.iter().map(|s| s.mean_freq_hz).sum::<f64>() / bbr.seeds.len() as f64 / 1e6;
         table.push_row(vec![
@@ -123,9 +128,10 @@ fn governor_comparison(p: &Params) {
         ]);
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
-fn aqm_comparison(p: &Params) {
+fn aqm_comparison(p: &Params) -> Result<(), sim_core::Error> {
     use congestion::master::MasterConfig;
     use netsim::codel::CodelConfig;
     use netsim::media::MediaProfile;
@@ -155,7 +161,7 @@ fn aqm_comparison(p: &Params) {
             path.forward = path.forward.with_codel(CodelConfig::default());
             cfg.path = path;
         }
-        let rep = run(p, RunSpec::new(label, cfg, p.seeds));
+        let rep = run(p, RunSpec::new(label, cfg, p.seeds))?;
         table.push_row(vec![
             label.into(),
             rep.goodput_mbps.into(),
@@ -164,9 +170,10 @@ fn aqm_comparison(p: &Params) {
         ]);
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
-fn competition(p: &Params) {
+fn competition(p: &Params) -> Result<(), sim_core::Error> {
     use netsim::crosstraffic::CrossTrafficConfig;
     use sim_core::units::Bandwidth;
     use tcp_sim::PacingConfig;
@@ -196,7 +203,7 @@ fn competition(p: &Params) {
                     cfg,
                     p.seeds,
                 ),
-            );
+            )?;
             table.push_row(vec![
                 rep.label.clone().into(),
                 rep.goodput_mbps.into(),
@@ -207,9 +214,10 @@ fn competition(p: &Params) {
         }
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
-fn ack_frequency(p: &Params) {
+fn ack_frequency(p: &Params) -> Result<(), sim_core::Error> {
     println!("== ABLATION 6: server ACK frequency (GRO vs classic per-2-MSS) ==");
     println!("   (the phone pays ~9k cycles per ACK; a non-coalescing server");
     println!("    multiplies that load and squeezes both algorithms)\n");
@@ -223,7 +231,7 @@ fn ack_frequency(p: &Params) {
         for cc in [CcKind::Cubic, CcKind::Bbr] {
             let mut cfg = p.pixel4(CpuConfig::LowEnd, cc, 20);
             cfg.ack_per_segs = per_segs;
-            let rep = run(p, RunSpec::new(format!("{label} {cc}"), cfg, p.seeds));
+            let rep = run(p, RunSpec::new(format!("{label} {cc}"), cfg, p.seeds))?;
             rates.push(rep.goodput_mbps);
             row.push(rep.goodput_mbps.into());
         }
@@ -231,9 +239,11 @@ fn ack_frequency(p: &Params) {
         table.push_row(row);
     }
     println!("{}", table.render_text());
+    Ok(())
 }
 
 fn main() {
+    mobile_bbr_bench::cancel::install_sigint_handler();
     let mut p = params();
     let mut which = "all".to_string();
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -298,23 +308,31 @@ fn main() {
         }
     }
     let t0 = std::time::Instant::now();
-    if which == "all" || which == "timer" {
-        timer_cost_sweep(&p);
-    }
-    if which == "all" || which == "cap" {
-        buffer_cap_sweep(&p);
-    }
-    if which == "all" || which == "governor" {
-        governor_comparison(&p);
-    }
-    if which == "all" || which == "aqm" {
-        aqm_comparison(&p);
-    }
-    if which == "all" || which == "competition" {
-        competition(&p);
-    }
-    if which == "all" || which == "acks" {
-        ack_frequency(&p);
+    if let Err(e) = run_studies(&p, &which) {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
     println!("(ablations done in {:.1?})", t0.elapsed());
+}
+
+fn run_studies(p: &Params, which: &str) -> Result<(), sim_core::Error> {
+    if which == "all" || which == "timer" {
+        timer_cost_sweep(p)?;
+    }
+    if which == "all" || which == "cap" {
+        buffer_cap_sweep(p)?;
+    }
+    if which == "all" || which == "governor" {
+        governor_comparison(p)?;
+    }
+    if which == "all" || which == "aqm" {
+        aqm_comparison(p)?;
+    }
+    if which == "all" || which == "competition" {
+        competition(p)?;
+    }
+    if which == "all" || which == "acks" {
+        ack_frequency(p)?;
+    }
+    Ok(())
 }

@@ -10,7 +10,7 @@
 //! perf --full                  # time fig2 at full parameters (slow)
 //! ```
 //!
-//! Three measurements, mirroring the simulator's real load profile:
+//! Four measurements, mirroring the simulator's real load profile:
 //!
 //! 1. **Timer churn** — a burst of schedule→cancel→reschedule re-arm
 //!    cycles (pacing + RTO timers) followed by one pop, at 1/20/200
@@ -19,6 +19,12 @@
 //! 2. **fig2 wall time** — the end-to-end `repro --exp fig2` experiment
 //!    (quick parameters unless `--full`), uncached.
 //! 3. **Peak RSS** — `VmHWM` from `/proc/self/status` after the runs.
+//! 4. **Streaming memory bound** — a 10,000-cell synthetic sweep with a
+//!    fat (256 KiB) output per cell, run after a quarter-size warm-up
+//!    grid has set the high-water mark. The streaming engine holds at
+//!    most `max_inflight` unreleased outputs, so the 4× grid must leave
+//!    `VmHWM` essentially flat; unbounded buffering would grow it by
+//!    ~1.9 GiB. Growth beyond [`STREAM_GROWTH_LIMIT`] fails the run.
 //!
 //! The committed JSON doubles as the CI regression baseline: the
 //! `bench-smoke` job re-measures and `--check`s against it, so an event-core
@@ -27,6 +33,8 @@
 use serde_json::Value;
 use sim_core::event::reference::ReferenceQueue;
 use sim_core::event::EventQueue;
+use sim_core::rng::SimRng;
+use sim_core::sweep::{run_sweep_streaming, SweepCell, SweepOptions};
 use sim_core::time::{SimDuration, SimTime};
 use std::time::Instant;
 
@@ -98,6 +106,73 @@ fn measure_flows(flows: usize) -> (f64, f64) {
         .min()
         .expect("REPS > 0");
     (ops_per_sec(ROUNDS, wheel), ops_per_sec(ROUNDS, reference))
+}
+
+/// Cells in the streaming-memory sweep (measurement 4).
+const STREAM_CELLS: usize = 10_000;
+/// Output payload per synthetic cell.
+const STREAM_PAYLOAD: usize = 256 * 1024;
+/// In-flight window for the measurement; the engine's memory bound is
+/// roughly `max(max_inflight, jobs) × STREAM_PAYLOAD` ≈ 2 MiB here.
+const STREAM_INFLIGHT: usize = 8;
+const STREAM_JOBS: usize = 4;
+/// `VmHWM` growth from the quarter grid to the full grid above which the
+/// streaming engine is considered to be buffering outputs (the unbounded
+/// worst case is ~1.9 GiB; the bounded steady state adds nothing).
+const STREAM_GROWTH_LIMIT: u64 = 128 * 1024 * 1024;
+
+/// Synthetic sweep cell with a deliberately fat output: cheap to compute,
+/// expensive to hold. If finished-but-unreleased outputs accumulated,
+/// RSS would scale with grid size instead of with the in-flight window.
+struct FatCell {
+    id: u64,
+}
+
+impl SweepCell for FatCell {
+    type Output = Vec<u8>;
+
+    fn label(&self) -> String {
+        format!("fat-{}", self.id)
+    }
+
+    fn key_bytes(&self) -> Vec<u8> {
+        format!("perf-fat:{}", self.id).into_bytes()
+    }
+
+    fn run(&self, mut rng: SimRng) -> Vec<u8> {
+        vec![rng.next() as u8; STREAM_PAYLOAD]
+    }
+
+    fn encode(_: &Vec<u8>) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn decode(_: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+
+    fn cacheable(&self) -> bool {
+        false
+    }
+}
+
+/// Run a fat-cell sweep of `n` cells, folding each output into a checksum
+/// so nothing outlives its release.
+fn fat_sweep(n: usize) -> u64 {
+    let cells: Vec<FatCell> = (0..n as u64).map(|id| FatCell { id }).collect();
+    let opts = SweepOptions {
+        jobs: STREAM_JOBS,
+        max_inflight: STREAM_INFLIGHT,
+        ..SweepOptions::default()
+    };
+    let mut sum = 0u64;
+    run_sweep_streaming(&cells, &opts, |_idx, out, _report| {
+        sum = sum
+            .wrapping_add(out[0] as u64)
+            .wrapping_add(out.len() as u64);
+    })
+    .expect("uncancelled synthetic sweep completes");
+    sum
 }
 
 /// Peak resident set size in bytes (`VmHWM`), or 0 where unavailable.
@@ -222,7 +297,7 @@ fn main() {
     params.cache_dir = None;
     let fig2 = experiments::ExperimentId::from_cli_name("fig2").expect("fig2 exists");
     let t0 = Instant::now();
-    let exp = fig2.run(&params);
+    let exp = fig2.run(&params).expect("fig2 completes");
     let fig2_wall = t0.elapsed();
     std::hint::black_box(&exp);
     println!(
@@ -231,9 +306,36 @@ fn main() {
         fig2_wall.as_secs_f64()
     );
 
-    // 3. Memory high-water mark of this whole process.
+    // 3. Memory high-water mark of this whole process (read before the
+    //    streaming measurement so it keeps describing the repro workload).
     let rss = peak_rss_bytes();
     println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+
+    // 4. Streaming memory bound. `VmHWM` is monotonic: the quarter grid
+    //    sets the mark, then a flat engine leaves the 4x grid's growth
+    //    near zero while unbounded buffering would add gigabytes.
+    std::hint::black_box(fat_sweep(STREAM_CELLS / 4));
+    let hwm_quarter = peak_rss_bytes();
+    std::hint::black_box(fat_sweep(STREAM_CELLS));
+    let hwm_full = peak_rss_bytes();
+    let stream_growth = hwm_full.saturating_sub(hwm_quarter);
+    let unbounded = (STREAM_CELLS - STREAM_CELLS / 4) as u64 * STREAM_PAYLOAD as u64;
+    println!(
+        "streaming sweep {}->{} cells (payload {} KiB, inflight {}): RSS growth {:.1} MiB (unbounded would be ~{:.0} MiB)",
+        STREAM_CELLS / 4,
+        STREAM_CELLS,
+        STREAM_PAYLOAD / 1024,
+        STREAM_INFLIGHT,
+        stream_growth as f64 / (1024.0 * 1024.0),
+        unbounded as f64 / (1024.0 * 1024.0),
+    );
+    if stream_growth > STREAM_GROWTH_LIMIT {
+        eprintln!(
+            "streaming memory check FAILED: RSS grew {} bytes from quarter to full grid (limit {})",
+            stream_growth, STREAM_GROWTH_LIMIT
+        );
+        std::process::exit(1);
+    }
 
     let doc = Value::Object(vec![
         ("schema".into(), Value::Str("bench-event-core/v1".into())),
@@ -265,6 +367,20 @@ fn main() {
             Value::Float(fig2_wall.as_secs_f64()),
         ),
         ("peak_rss_bytes".into(), Value::UInt(rss)),
+        (
+            "streaming_sweep".into(),
+            Value::Object(vec![
+                ("cells".into(), Value::UInt(STREAM_CELLS as u64)),
+                ("payload_bytes".into(), Value::UInt(STREAM_PAYLOAD as u64)),
+                ("jobs".into(), Value::UInt(STREAM_JOBS as u64)),
+                ("max_inflight".into(), Value::UInt(STREAM_INFLIGHT as u64)),
+                (
+                    "rss_growth_quarter_to_full_bytes".into(),
+                    Value::UInt(stream_growth),
+                ),
+                ("unbounded_worst_case_bytes".into(), Value::UInt(unbounded)),
+            ]),
+        ),
     ]);
     let mut text = serde_json::to_string_pretty(&doc).expect("render JSON");
     text.push('\n');

@@ -16,6 +16,16 @@
 //! per-cell completion line with its wall time and cache status, plus a
 //! final one-line cache/pool-health summary.
 //!
+//! Long runs are interruptible and resumable: `--checkpoint PATH` records
+//! every finished cell to PATH (atomic tmp+rename envelope, like the run
+//! cache), Ctrl-C drains the in-flight cells, finalizes the checkpoint,
+//! and exits 130; rerunning with `--checkpoint PATH --resume` replays the
+//! recorded cells and produces a byte-identical scorecard. Without
+//! `--resume` an existing checkpoint is discarded and the run starts
+//! fresh. `--max-inflight N` bounds buffered-but-unreleased cells (memory
+//! stays flat in grid size); `--cancel-after N` is a deterministic
+//! test hook that interrupts after N released cells.
+//!
 //! `--trace PATH` switches to flight-recorder mode: instead of running
 //! experiments, it records the canonical Low-End / 20-connection BBR run
 //! with `sim-trace` enabled and writes the trace to PATH —
@@ -32,6 +42,7 @@ use experiments::{Experiment, ExperimentId, Params};
 struct Args {
     exps: Vec<ExperimentId>,
     params: Params,
+    resume: bool,
     markdown: Option<String>,
     json: Option<String>,
     csv: Option<String>,
@@ -51,6 +62,10 @@ fn parse_args() -> Result<Args, String> {
     let mut progress = false;
     let mut trace: Option<String> = None;
     let mut trace_chrome = false;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut max_inflight: usize = 0;
+    let mut cancel_after: Option<u64> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -121,6 +136,31 @@ fn parse_args() -> Result<Args, String> {
                 progress = true;
                 i += 1;
             }
+            "--checkpoint" => {
+                checkpoint = Some(argv.get(i + 1).ok_or("--checkpoint needs a path")?.clone());
+                i += 2;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+            }
+            "--max-inflight" => {
+                max_inflight = argv
+                    .get(i + 1)
+                    .ok_or("--max-inflight needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?;
+                i += 2;
+            }
+            "--cancel-after" => {
+                cancel_after = Some(
+                    argv.get(i + 1)
+                        .ok_or("--cancel-after needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --cancel-after: {e}"))?,
+                );
+                i += 2;
+            }
             "--trace" => {
                 trace = Some(argv.get(i + 1).ok_or("--trace needs a path")?.clone());
                 i += 2;
@@ -155,9 +195,16 @@ fn parse_args() -> Result<Args, String> {
         params.cache_dir = None;
     }
     params.progress = progress;
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
+    }
+    params.checkpoint = checkpoint.map(Into::into);
+    params.max_inflight = max_inflight;
+    params.cancel_after = cancel_after;
     Ok(Args {
         exps,
         params,
+        resume,
         markdown,
         json,
         csv,
@@ -201,12 +248,14 @@ fn record_trace(params: &Params, path: &str, chrome: bool) -> Result<(), String>
 }
 
 fn main() {
+    mobile_bbr_bench::cancel::install_sigint_handler();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
+            let e = sim_core::Error::Cli(e);
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--markdown PATH] [--json PATH] [--csv PATH] [--trace PATH [--trace-format jsonl|chrome]]");
-            std::process::exit(2);
+            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--checkpoint PATH [--resume]] [--max-inflight N] [--cancel-after N] [--markdown PATH] [--json PATH] [--csv PATH] [--trace PATH [--trace-format jsonl|chrome]]");
+            std::process::exit(e.exit_code());
         }
     };
 
@@ -218,11 +267,48 @@ fn main() {
         return;
     }
 
+    // A fresh (non-`--resume`) run must not replay a stale checkpoint.
+    if let Some(path) = &args.params.checkpoint {
+        if !args.resume && path.exists() {
+            if let Err(e) = std::fs::remove_file(path) {
+                let e =
+                    sim_core::Error::io(format!("discard stale checkpoint {}", path.display()), e);
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
+
+    match run_experiments(&args) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, sim_core::Error::Interrupted { .. }) {
+                if let Some(path) = &args.params.checkpoint {
+                    eprintln!(
+                        "checkpoint finalized at {}; rerun with `--checkpoint {} --resume` to continue where this run stopped",
+                        path.display(),
+                        path.display()
+                    );
+                } else {
+                    eprintln!("hint: rerun with `--checkpoint PATH` to make long runs resumable");
+                }
+            }
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// Run the selected experiments and emit reports. Returns whether every
+/// shape check passed; all failures (cancellation, checkpoint/output
+/// I/O) flow to `main`'s single exit-code edge as `sim_core::Error`.
+fn run_experiments(args: &Args) -> Result<bool, sim_core::Error> {
     let mut done: Vec<Experiment> = Vec::new();
     let t0 = std::time::Instant::now();
     for id in &args.exps {
         let start = std::time::Instant::now();
-        let exp = id.run(&args.params);
+        let exp = id.run(&args.params)?;
         println!("{}", exp.render_text());
         println!("  ({} in {:.1?})\n", id.cli_name(), start.elapsed());
         done.push(exp);
@@ -234,15 +320,12 @@ fn main() {
         eprintln!("{}", sim_core::sweep::totals().summary_line());
     }
 
-    if let Some(path) = args.markdown {
+    if let Some(path) = &args.markdown {
         let md = experiments::summary::render_markdown(&done);
-        std::fs::write(&path, &md).unwrap_or_else(|e| {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        });
+        std::fs::write(path, &md).map_err(|e| sim_core::Error::io(format!("write {path}"), e))?;
         println!("wrote {path}");
     }
-    if let Some(path) = args.csv {
+    if let Some(path) = &args.csv {
         // Flatten every experiment's table into one tidy CSV: one row per
         // table row, prefixed by the experiment id and its column name.
         let mut out = String::from("experiment,row,column,value\n");
@@ -260,20 +343,13 @@ fn main() {
                 }
             }
         }
-        std::fs::write(&path, out).unwrap_or_else(|e| {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        });
+        std::fs::write(path, out).map_err(|e| sim_core::Error::io(format!("write {path}"), e))?;
         println!("wrote {path}");
     }
-    if let Some(path) = args.json {
-        std::fs::write(&path, mobile_bbr_bench::to_json(&done)).unwrap_or_else(|e| {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
-        });
+    if let Some(path) = &args.json {
+        std::fs::write(path, mobile_bbr_bench::to_json(&done))
+            .map_err(|e| sim_core::Error::io(format!("write {path}"), e))?;
         println!("wrote {path}");
     }
-    if !card.all_pass() {
-        std::process::exit(1);
-    }
+    Ok(card.all_pass())
 }

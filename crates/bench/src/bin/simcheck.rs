@@ -12,10 +12,17 @@
 //! `tests/simcheck_corpus.txt`, and its flight-recorder trace is written
 //! under `--failure-dir` for the `trace` inspector.
 //!
+//! Long campaigns are interruptible and resumable: `--checkpoint PATH`
+//! records every scenario verdict (atomic tmp+rename envelope), Ctrl-C
+//! drains in-flight scenarios, finalizes the checkpoint, and exits 130;
+//! rerunning with `--checkpoint PATH --resume` replays recorded verdicts
+//! and produces byte-identical output. Without `--resume`, an existing
+//! checkpoint file is discarded and the campaign starts fresh.
+//!
 //! Exit codes: 0 all invariants hold; 1 at least one violation (or an
-//! escaped mutant); 2 usage error.
+//! escaped mutant); 2 usage error; 130 interrupted (Ctrl-C).
 
-use mobile_bbr_bench::simcheck::{check_scenario, fuzz, mutant_check, Scenario};
+use mobile_bbr_bench::simcheck::{check_scenario, fuzz, mutant_check, FuzzOptions, Scenario};
 use sim_core::check::Corpus;
 use std::path::PathBuf;
 
@@ -29,6 +36,10 @@ struct Args {
     mutant_check: bool,
     progress: bool,
     no_corpus_append: bool,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    max_inflight: usize,
+    cancel_after: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         mutant_check: false,
         progress: false,
         no_corpus_append: false,
+        checkpoint: None,
+        resume: false,
+        max_inflight: 0,
+        cancel_after: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -99,12 +114,42 @@ fn parse_args() -> Result<Args, String> {
                 args.no_corpus_append = true;
                 i += 1;
             }
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(
+                    argv.get(i + 1).ok_or("--checkpoint needs a path")?,
+                ));
+                i += 2;
+            }
+            "--resume" => {
+                args.resume = true;
+                i += 1;
+            }
+            "--max-inflight" => {
+                args.max_inflight = argv
+                    .get(i + 1)
+                    .ok_or("--max-inflight needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?;
+                i += 2;
+            }
+            "--cancel-after" => {
+                args.cancel_after = Some(
+                    argv.get(i + 1)
+                        .ok_or("--cancel-after needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --cancel-after: {e}"))?,
+                );
+                i += 2;
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}' (see --help)")),
         }
+    }
+    if args.resume && args.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
     }
     Ok(args)
 }
@@ -125,6 +170,10 @@ fn print_usage() {
            --mutant-check       verify each tcp_sim::mutants mutation is caught\n\
                                 (needs a --features simcheck-mutants build)\n\
            --no-corpus-append   report failures without persisting them to the corpus\n\
+           --checkpoint PATH    record scenario verdicts for interrupt/resume\n\
+           --resume             resume from an existing --checkpoint file\n\
+           --max-inflight N     bound buffered-but-unreleased verdicts (0 = auto)\n\
+           --cancel-after N     deterministic test hook: interrupt after N cells\n\
            --progress           per-scenario progress on stderr"
     );
 }
@@ -224,15 +273,32 @@ fn run_fuzz(args: &Args) -> i32 {
     }
 
     // Phase 2: the random budget, fanned across --jobs workers.
-    let outcome = match fuzz(
-        args.budget,
-        args.seed,
-        args.jobs,
-        Some(&args.failure_dir),
-        args.progress,
-    ) {
+    let outcome = match fuzz(&FuzzOptions {
+        budget: args.budget,
+        seed: args.seed,
+        jobs: args.jobs,
+        failure_dir: Some(args.failure_dir.clone()),
+        progress: args.progress,
+        checkpoint: args.checkpoint.clone(),
+        max_inflight: args.max_inflight,
+        cancel_after: args.cancel_after,
+    }) {
         Ok(o) => o,
-        Err(e) => fail(&format!("fuzz batch failed: {e}")),
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            if matches!(e, sim_core::Error::Interrupted { .. }) {
+                if let Some(path) = &args.checkpoint {
+                    eprintln!(
+                        "checkpoint finalized at {}; rerun with `--checkpoint {} --resume` to continue",
+                        path.display(),
+                        path.display()
+                    );
+                } else {
+                    eprintln!("hint: rerun with `--checkpoint PATH` to make campaigns resumable");
+                }
+            }
+            std::process::exit(e.exit_code());
+        }
     };
     for f in &outcome.failures {
         violations_total += f.violations.len() as u64;
@@ -272,10 +338,22 @@ fn run_fuzz(args: &Args) -> i32 {
 }
 
 fn main() {
+    mobile_bbr_bench::cancel::install_sigint_handler();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => fail(&e),
     };
+    // A fresh (non-`--resume`) campaign must not replay a stale checkpoint.
+    if let Some(path) = &args.checkpoint {
+        if !args.resume && path.exists() {
+            if let Err(e) = std::fs::remove_file(path) {
+                fail(&format!(
+                    "cannot discard stale checkpoint {}: {e}",
+                    path.display()
+                ));
+            }
+        }
+    }
     let code = if let Some(spec) = &args.scenario {
         run_single(spec)
     } else if args.mutant_check {

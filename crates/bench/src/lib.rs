@@ -21,16 +21,20 @@
 //!   `simcheck-mutants` feature) proves each intentional mutation in
 //!   `tcp_sim::mutants` is caught.
 
+pub mod cancel;
 pub mod simcheck;
 
 use experiments::{Experiment, ExperimentId, Params};
 
-/// Run one experiment and return (text, markdown, json) renderings.
-pub fn run_and_render(id: ExperimentId, params: &Params) -> (Experiment, String, String) {
-    let exp = id.run(params);
+/// Run one experiment and return it with (text, markdown) renderings.
+pub fn run_and_render(
+    id: ExperimentId,
+    params: &Params,
+) -> Result<(Experiment, String, String), sim_core::Error> {
+    let exp = id.run(params)?;
     let text = exp.render_text();
     let md = exp.render_markdown();
-    (exp, text, md)
+    Ok((exp, text, md))
 }
 
 /// Serialize experiments to a JSON document (for machine consumption).
@@ -44,7 +48,8 @@ mod tests {
 
     #[test]
     fn render_pipeline_works() {
-        let (exp, text, md) = run_and_render(ExperimentId::Fig9, &Params::smoke());
+        let (exp, text, md) =
+            run_and_render(ExperimentId::Fig9, &Params::smoke()).expect("fig9 completes");
         assert!(text.contains("FIG9"));
         assert!(md.contains("### FIG9"));
         let json = to_json(&[exp]);

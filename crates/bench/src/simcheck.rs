@@ -14,7 +14,7 @@
 //!   sanity, counter identities, and paper-derived metamorphic relations
 //!   (Eq. 2 / Table 2 stride envelope, CPU-frequency monotonicity, Fig. 7 pacing
 //!   RTT inflation);
-//! * [`fuzz`] — the batch driver, built on `sim_core::sweep::run_sweep`
+//! * [`fuzz`] — the batch driver, built on `sim_core::sweep::run_sweep_streaming`
 //!   so results are bit-identical for any `--jobs` value;
 //! * [`shrink_scenario`] — bisection over the numeric axes plus greedy
 //!   strategy-level simplification (drop impairments, collapse media to
@@ -28,7 +28,7 @@ use cpu_model::{CostModel, CpuConfig, DeviceProfile};
 use netsim::media::MediaProfile;
 use sim_core::check::{evaluate, shrink, shrink_u64, NamedOracle, Violation};
 use sim_core::rng::SimRng;
-use sim_core::sweep::{run_sweep, SweepCell, SweepOptions};
+use sim_core::sweep::{run_sweep_streaming, SweepCell, SweepOptions};
 use sim_core::time::SimDuration;
 use sim_core::units::Bandwidth;
 use tcp_sim::mutants::{self, Mutant};
@@ -227,7 +227,7 @@ impl Scenario {
                         other => return Err(format!("pacing: expected on/off, got {other:?}")),
                     }
                 }
-                "queue" => s.queue = opt_int(key, v)?,
+                "queue" => s.queue = opt_int(key, v)?.map(|q| q.max(1)),
                 "loss" => s.loss_ppm = int(key, v)?.min(1_000_000) as u32,
                 "jitter" => s.jitter_us = int(key, v)?,
                 "cross" => s.cross_mbps = int(key, v)?,
@@ -249,12 +249,6 @@ impl Scenario {
 
     /// Materialise the full simulator configuration.
     pub fn to_config(&self) -> SimConfig {
-        let mut cfg = SimConfig::new(
-            DeviceProfile::pixel4(),
-            self.cpu,
-            self.cc,
-            self.conns as usize,
-        );
         let mut path = self.media.path_config();
         if let Some(q) = self.queue {
             path = path.with_queue_packets(q as usize);
@@ -268,22 +262,33 @@ impl Scenario {
         if self.jitter_us > 0 {
             path.forward_netem.jitter += SimDuration::from_micros(self.jitter_us);
         }
-        cfg.path = path;
-        cfg.pacing = PacingConfig::with_stride(self.stride);
+        let mut builder = SimConfig::builder(
+            DeviceProfile::pixel4(),
+            self.cpu,
+            self.cc,
+            self.conns as usize,
+        )
+        .path(path)
+        .pacing(PacingConfig::with_stride(self.stride))
+        .ack_per_segs(self.ack_per_segs)
+        .duration(SimDuration::from_millis(self.dur_ms))
+        .warmup(SimDuration::from_millis(self.warmup_ms))
+        .sample_interval(None)
+        .seed(self.seed);
         if self.pacing_off {
-            cfg.master = MasterConfig::pacing_off();
+            builder = builder.master(MasterConfig::pacing_off());
         }
         if self.cross_mbps > 0 {
-            cfg.cross_traffic = Some(netsim::crosstraffic::CrossTrafficConfig::at(
+            builder = builder.cross_traffic(netsim::crosstraffic::CrossTrafficConfig::at(
                 Bandwidth::from_mbps(self.cross_mbps),
             ));
         }
-        cfg.ack_per_segs = self.ack_per_segs;
-        cfg.duration = SimDuration::from_millis(self.dur_ms);
-        cfg.warmup = SimDuration::from_millis(self.warmup_ms);
-        cfg.sample_interval = None;
-        cfg.seed = self.seed;
-        cfg
+        // Parsing, drawing, and shrinking all maintain warmup < dur,
+        // stride >= 1, conns >= 1, queue >= 1, so a Scenario is always a
+        // valid configuration.
+        builder
+            .build()
+            .expect("scenario invariants guarantee a valid config")
     }
 
     /// No impairments: loss, cross traffic, and shallow buffers absent.
@@ -819,61 +824,150 @@ impl SweepCell for FuzzCell {
         (s, violations)
     }
 
-    // Never cached: oracle results must reflect the *current* build
-    // (mutant state is process-global and not part of the key).
-    fn encode(_output: &Self::Output) -> Option<Vec<u8>> {
-        None
+    /// Codec for the *campaign checkpoint* (never the cross-run cache —
+    /// see [`Self::cacheable`]): the scenario's canonical spec string plus
+    /// each violation as (oracle, detail), all length-prefixed.
+    fn encode(output: &Self::Output) -> Option<Vec<u8>> {
+        let (scenario, violations) = output;
+        let mut buf = Vec::new();
+        let put = |buf: &mut Vec<u8>, bytes: &[u8]| {
+            buf.extend_from_slice(&(u32::try_from(bytes.len()).ok()?).to_le_bytes());
+            buf.extend_from_slice(bytes);
+            Some(())
+        };
+        put(&mut buf, scenario.spec_string().as_bytes())?;
+        put(
+            &mut buf,
+            &(u32::try_from(violations.len()).ok()?).to_le_bytes(),
+        )?;
+        for v in violations {
+            put(&mut buf, v.oracle.as_bytes())?;
+            put(&mut buf, v.detail.as_bytes())?;
+        }
+        Some(buf)
     }
-    fn decode(_bytes: &[u8]) -> Option<Self::Output> {
-        None
+
+    fn decode(bytes: &[u8]) -> Option<Self::Output> {
+        let mut rest = bytes;
+        let mut next = || -> Option<&[u8]> {
+            let len = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+            let field = rest.get(4..4 + len)?;
+            rest = &rest[4 + len..];
+            Some(field)
+        };
+        let scenario = Scenario::parse(std::str::from_utf8(next()?).ok()?).ok()?;
+        let count = u32::from_le_bytes(next()?.try_into().ok()?) as usize;
+        let known = oracles();
+        let mut violations = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            let name = std::str::from_utf8(next()?).ok()?;
+            // Oracle names are `&'static str`: map back through the
+            // current oracle library; an unknown name (renamed oracle
+            // since the checkpoint was written) rejects the record and
+            // the engine recomputes.
+            let oracle = known.iter().find(|o| o.name == name)?.name;
+            let detail = std::str::from_utf8(next()?).ok()?.to_string();
+            violations.push(Violation { oracle, detail });
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+        Some((scenario, violations))
     }
+
+    /// Never cross-run cached: oracle results must reflect the *current*
+    /// build (mutant state is process-global and not part of the key).
     fn cacheable(&self) -> bool {
         false
     }
+
+    /// But campaign checkpoints are fine: a resume runs the same binary
+    /// on the same batch, so recorded verdicts stay valid.
+    fn resumable(&self) -> bool {
+        true
+    }
+}
+
+/// Knobs for one [`fuzz`] campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOptions {
+    /// Random scenarios to draw and check.
+    pub budget: u64,
+    /// Root seed of the scenario stream.
+    pub seed: u64,
+    /// Worker threads (0 is treated as 1); any value is bit-identical.
+    pub jobs: usize,
+    /// Where shrunk failures' flight-recorder traces go (`None` skips
+    /// trace capture).
+    pub failure_dir: Option<std::path::PathBuf>,
+    /// Per-scenario progress lines on stderr.
+    pub progress: bool,
+    /// Campaign checkpoint: verdicts recorded here resume an interrupted
+    /// batch (same binary, same seed/budget) without recomputation.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Bound on buffered-but-unreleased scenario verdicts (0 = auto).
+    pub max_inflight: usize,
+    /// Deterministic test hook: interrupt after this many released cells.
+    pub cancel_after: Option<u64>,
 }
 
 /// Run `budget` scenarios drawn from `seed` across `jobs` workers.
 ///
 /// Output is bit-identical for any `jobs` value (the sweep engine's
-/// determinism contract). Failures are shrunk serially afterwards, and —
-/// when `failure_dir` is given — the shrunk run is re-executed with the
-/// flight recorder on and its trace saved as JSONL.
-pub fn fuzz(
-    budget: u64,
-    seed: u64,
-    jobs: usize,
-    failure_dir: Option<&std::path::Path>,
-    progress: bool,
-) -> std::io::Result<FuzzOutcome> {
-    let cells: Vec<FuzzCell> = (0..budget)
+/// determinism contract). Failing scenarios are shrunk **as their
+/// verdicts stream out** of the engine — the batch never materializes in
+/// memory — and, when `failure_dir` is given, each shrunk repro is
+/// re-executed with the flight recorder on and its trace saved as JSONL.
+///
+/// Errors: [`sim_core::Error::Interrupted`] on Ctrl-C / cancellation
+/// (the checkpoint, if configured, is already finalized), I/O failures
+/// while writing traces or the checkpoint.
+pub fn fuzz(options: &FuzzOptions) -> Result<FuzzOutcome, sim_core::Error> {
+    let cells: Vec<FuzzCell> = (0..options.budget)
         .map(|index| FuzzCell {
-            root_seed: seed,
+            root_seed: options.seed,
             index,
         })
         .collect();
     let opts = SweepOptions {
-        jobs,
+        jobs: options.jobs.max(1),
         cache_dir: None,
-        root_seed: seed,
-        progress,
+        root_seed: options.seed,
+        progress: options.progress,
+        checkpoint: options.checkpoint.clone(),
+        max_inflight: options.max_inflight,
+        cancel: None,
+        cancel_after: options.cancel_after,
     };
-    let report = run_sweep(&cells, &opts);
 
-    let mut failures = Vec::new();
-    for (index, (scenario, violations)) in report.outputs.into_iter().enumerate() {
-        if violations.is_empty() {
-            continue;
+    let mut failures: Vec<FailureReport> = Vec::new();
+    let mut io_err: Option<sim_core::Error> = None;
+    let summary = run_sweep_streaming(&cells, &opts, |index, (scenario, violations), _rep| {
+        if violations.is_empty() || io_err.is_some() {
+            return;
         }
         let shrunk = shrink_scenario(&scenario, &violations);
-        let trace_path = match failure_dir {
+        let trace_path = match &options.failure_dir {
             Some(dir) => {
-                std::fs::create_dir_all(dir)?;
-                let key = sim_core::sweep::fnv64(shrunk.spec_string().as_bytes());
-                let path = dir.join(format!("simcheck-{key:016x}.jsonl"));
-                let (_res, log) = StackSim::new(shrunk.to_config()).run_traced();
-                let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-                sim_core::trace::write_jsonl(&log, &mut file)?;
-                Some(path)
+                let write = || -> std::io::Result<std::path::PathBuf> {
+                    std::fs::create_dir_all(dir)?;
+                    let key = sim_core::sweep::fnv64(shrunk.spec_string().as_bytes());
+                    let path = dir.join(format!("simcheck-{key:016x}.jsonl"));
+                    let (_res, log) = StackSim::new(shrunk.to_config()).run_traced();
+                    let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                    sim_core::trace::write_jsonl(&log, &mut file)?;
+                    Ok(path)
+                };
+                match write() {
+                    Ok(path) => Some(path),
+                    Err(e) => {
+                        io_err = Some(sim_core::Error::io(
+                            format!("write failure trace under {}", dir.display()),
+                            e,
+                        ));
+                        None
+                    }
+                }
             }
             None => None,
         };
@@ -884,9 +978,12 @@ pub fn fuzz(
             violations,
             trace_path,
         });
+    })?;
+    if let Some(e) = io_err {
+        return Err(e);
     }
     Ok(FuzzOutcome {
-        scenarios: budget,
+        scenarios: summary.completed as u64,
         failures,
     })
 }

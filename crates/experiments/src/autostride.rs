@@ -27,7 +27,7 @@ pub const CONFIGS: [CpuConfig; 3] = [CpuConfig::LowEnd, CpuConfig::MidEnd, CpuCo
 pub const CONNS: usize = 20;
 
 /// Run the auto-stride comparison.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for config in CONFIGS {
         for &stride in &STRIDE_SWEEP {
@@ -46,7 +46,7 @@ pub fn run(params: &Params) -> Experiment {
         cfg.warmup = cfg.duration / 2;
         specs.push(RunSpec::new(format!("auto, {config}"), cfg, params.seeds));
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let per_config = STRIDE_SWEEP.len() + 1;
     let mut table = ResultTable::new(vec![
@@ -108,12 +108,12 @@ pub fn run(params: &Params) -> Experiment {
         ));
     }
 
-    Experiment {
+    Ok(Experiment {
         id: "AUTO-STRIDE".into(),
         title: "Online stride adaptation vs the fixed-stride sweep (§7.1.2 future work)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONFIGS.len());
         assert_eq!(exp.checks.len(), CONFIGS.len() * 2);
     }

@@ -18,7 +18,7 @@ use netsim::media::MediaProfile;
 pub const CONNS: usize = 20;
 
 /// Run the §4.2 comparison.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let algos = [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2];
     let specs = algos
         .iter()
@@ -30,7 +30,7 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec![
         "Algorithm",
@@ -73,12 +73,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "BBR2-WIFI".into(),
         title: "Cubic vs BBR vs BBR2 (Pixel 6 Low-End, WiFi, 20 conns) — §4.2".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), 3);
         assert!(exp.table.num_at(0, 1).unwrap() > 0.0);
     }

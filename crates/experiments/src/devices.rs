@@ -77,7 +77,7 @@ pub fn survey_mean_freq_hz() -> u64 {
 }
 
 /// Run the §7.2 analysis.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut table = ResultTable::new(vec!["Phone (~$60)", "Cores", "Max freq (MHz)", "Android"]);
     for p in &SURVEY {
         table.push_row(vec![
@@ -118,7 +118,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
     let ratio = reports[1].goodput_mbps / reports[0].goodput_mbps;
     table.push_row(vec![
         format!("BBR/Cubic @20 conns at {mean_freq:.0} MHz").into(),
@@ -144,12 +144,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "DEVICES".into(),
         title: "The $60 phone class and its BBR penalty (§7.2)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), SURVEY.len() + 2);
         assert_eq!(exp.checks.len(), 2);
     }

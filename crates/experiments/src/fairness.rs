@@ -24,7 +24,7 @@ pub const STRIDES: [u64; 3] = [1, 5, 10];
 pub const CONNS: usize = 20;
 
 /// Run the fairness probe.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs: Vec<RunSpec> = STRIDES
         .iter()
         .map(|&s| {
@@ -62,7 +62,7 @@ pub fn run(params: &Params) -> Experiment {
         ),
         params.seeds,
     ));
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec![
         "Setup",
@@ -98,12 +98,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FAIRNESS".into(),
         title: "Pacing-stride fairness probe (§7.1.3 future work, 20 flows, High-End)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), STRIDES.len() + 3);
         assert_eq!(exp.checks.len(), 2);
     }

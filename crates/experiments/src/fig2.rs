@@ -19,7 +19,7 @@ use iperf::RunSpec;
 use std::collections::HashMap;
 
 /// Run the Figure 2 sweep.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     let mut keys = Vec::new();
     for config in CpuConfig::ALL {
@@ -35,7 +35,7 @@ pub fn run(params: &Params) -> Experiment {
             }
         }
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
     let goodput: HashMap<(CpuConfig, usize, CcKind), f64> = keys
         .iter()
         .zip(&reports)
@@ -126,12 +126,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG2".into(),
         title: "BBR vs Cubic goodput across device configurations (Pixel 4, Ethernet)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn smoke_runs_and_produces_full_table() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(
             exp.table.rows.len(),
             CpuConfig::ALL.len() * CONN_SWEEP.len()

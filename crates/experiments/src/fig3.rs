@@ -15,7 +15,7 @@ use iperf::RunSpec;
 use netsim::media::MediaProfile;
 
 /// Run the Figure 3 sweep.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for &conns in &CONN_SWEEP {
         for cc in [CcKind::Cubic, CcKind::Bbr] {
@@ -26,7 +26,7 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut ratios = Vec::new();
@@ -64,12 +64,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG3".into(),
         title: "Pixel 6 Low-End goodput vs connections (Ethernet)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONN_SWEEP.len());
         assert_eq!(exp.checks.len(), 2);
     }

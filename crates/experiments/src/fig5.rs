@@ -15,7 +15,7 @@ use cpu_model::CpuConfig;
 use iperf::RunSpec;
 
 /// Run the Figure 5 sweep.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for &conns in &CONN_SWEEP {
         specs.push(RunSpec::new(
@@ -34,7 +34,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec![
         "Conns",
@@ -78,12 +78,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG5".into(),
         title: "Effect of pacing vs number of connections (Low-End)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONN_SWEEP.len());
     }
 }

@@ -24,7 +24,7 @@ use sim_core::units::Bandwidth;
 pub const CONNS: usize = 20;
 
 /// Run the Figure 6 comparison.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let setups: Vec<(&str, MasterConfig)> = vec![
         ("Cubic, no pacing (default)", MasterConfig::passthrough()),
         ("Cubic, pacing on (mss·cwnd/rtt)", MasterConfig::pacing_on()),
@@ -47,7 +47,7 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let unpaced = reports[0].goodput_mbps;
     let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "vs unpaced"]);
@@ -86,13 +86,13 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG6".into(),
         title: "Cubic with pacing enabled (Low-End, 20 conns): TCP pacing is not BBR-specific"
             .into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -101,7 +101,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), 4);
         assert_eq!(exp.checks.len(), 3);
     }

@@ -21,7 +21,7 @@ pub const CONFIGS: [CpuConfig; 3] = [CpuConfig::LowEnd, CpuConfig::MidEnd, CpuCo
 pub const CONNS: usize = 20;
 
 /// Run the Figure 7 comparison.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for config in CONFIGS {
         specs.push(RunSpec::new(
@@ -35,7 +35,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec![
         "Config",
@@ -67,12 +67,12 @@ pub fn run(params: &Params) -> Experiment {
         ));
     }
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG7".into(),
         title: "RTT of BBR with and without pacing (20 conns)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONFIGS.len());
         assert_eq!(exp.checks.len(), CONFIGS.len());
     }

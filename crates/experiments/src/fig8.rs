@@ -22,7 +22,7 @@ pub const CONFIGS: [CpuConfig; 3] = [CpuConfig::LowEnd, CpuConfig::MidEnd, CpuCo
 pub const CONNS: usize = 20;
 
 /// Run the Figure 8 stride sweep.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for config in CONFIGS {
         for &stride in &STRIDE_SWEEP {
@@ -33,7 +33,7 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut headers: Vec<String> = vec!["Config".into()];
     headers.extend(STRIDE_SWEEP.iter().map(|s| format!("{s}x (Mbps)")));
@@ -80,12 +80,12 @@ pub fn run(params: &Params) -> Experiment {
         ));
     }
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG8".into(),
         title: "Goodput under 1x-50x pacing strides (20 conns)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONFIGS.len());
         assert_eq!(exp.checks.len(), CONFIGS.len() * 3);
     }

@@ -20,7 +20,7 @@ use netsim::media::MediaProfile;
 /// RTT plus up to 200 ms of bufferbloat, loss-based convergence takes
 /// seconds (the paper ran 5 minutes). LTE simulation is very cheap
 /// (≤ 20 Mbps of events), so the window is stretched 6× here.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for &conns in &CONN_SWEEP {
         for cc in [CcKind::Cubic, CcKind::Bbr] {
@@ -34,7 +34,7 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut all_close = true;
@@ -70,12 +70,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "FIG9".into(),
         title: "LTE uplink: bandwidth-limited, so BBR ≈ Cubic (Appendix A.1)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONN_SWEEP.len());
         assert_eq!(exp.checks.len(), 2);
     }

@@ -24,7 +24,7 @@ use netsim::media::MediaProfile;
 pub const CONNS: [usize; 3] = [1, 10, 20];
 
 /// Run the 5G prediction experiment.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = Vec::new();
     for &conns in &CONNS {
         for cc in [CcKind::Cubic, CcKind::Bbr] {
@@ -39,7 +39,7 @@ pub fn run(params: &Params) -> Experiment {
             ));
         }
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec!["Conns", "Cubic (Mbps)", "BBR (Mbps)", "BBR/Cubic"]);
     let mut ratios = Vec::new();
@@ -76,13 +76,13 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "5G".into(),
         title: "Forward-looking 5G mmWave uplink: the LTE escape hatch closes (§4 prediction)"
             .into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), CONNS.len());
         assert_eq!(exp.checks.len(), 2);
     }

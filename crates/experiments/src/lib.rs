@@ -28,7 +28,7 @@
 //! use experiments::{params::Params, ExperimentId};
 //!
 //! let params = Params::quick();
-//! let exp = ExperimentId::Fig2.run(&params);
+//! let exp = ExperimentId::Fig2.run(&params).expect("experiment completes");
 //! println!("{}", exp.render_text());
 //! ```
 
@@ -203,7 +203,11 @@ impl ExperimentId {
     }
 
     /// Run this experiment.
-    pub fn run(self, params: &Params) -> Experiment {
+    ///
+    /// Errors propagate from the sweep engine: [`sim_core::error::Error::Interrupted`]
+    /// when a cancellation request (Ctrl-C) stopped the sweep mid-grid, or
+    /// an I/O error from an unwritable checkpoint file.
+    pub fn run(self, params: &Params) -> Result<Experiment, sim_core::error::Error> {
         match self {
             ExperimentId::Fig2 => fig2::run(params),
             ExperimentId::Fig3 => fig3::run(params),
@@ -230,7 +234,10 @@ impl ExperimentId {
 /// Run labelled specs through the sweep engine (`sim_core::sweep`):
 /// seed-granular cells fanned over `params.threads` workers, served from
 /// the run cache when `params.cache_dir` is set, reports in input order.
-pub(crate) fn run_specs(params: &Params, specs: Vec<iperf::RunSpec>) -> Vec<iperf::RunReport> {
+pub(crate) fn run_specs(
+    params: &Params,
+    specs: Vec<iperf::RunSpec>,
+) -> Result<Vec<iperf::RunReport>, sim_core::error::Error> {
     iperf::run_specs_sweep(&specs, &params.sweep_options())
 }
 

@@ -25,7 +25,7 @@ pub const CONNS: usize = 20;
 
 /// Run the memory-usage probe. (Single-seed per stride: peak memory is a
 /// maximum, not a mean, and the workload is deterministic.)
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut table = ResultTable::new(vec!["Pacing Stride", "Peak memory (KB)", "Goodput (Mbps)"]);
     let mut peaks = Vec::new();
     for &stride in &STRIDE_SWEEP {
@@ -51,12 +51,12 @@ pub fn run(params: &Params) -> Experiment {
         max <= base * 1.5 + 100.0,
     )];
 
-    Experiment {
+    Ok(Experiment {
         id: "MEM".into(),
         title: "Pacing-stride memory usage (§7.1.1, Low-End, 20 conns)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -65,7 +65,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), STRIDE_SWEEP.len());
         assert!(
             exp.table.num_at(0, 1).unwrap() > 0.0,

@@ -6,7 +6,7 @@ use cpu_model::{CpuConfig, DeviceProfile};
 use netsim::media::MediaProfile;
 use serde::Serialize;
 use sim_core::time::SimDuration;
-use tcp_sim::{PacingConfig, SimConfig};
+use tcp_sim::{PacingConfig, SimConfig, SimConfigBuilder};
 
 /// The connection counts the paper sweeps.
 pub const CONN_SWEEP: [usize; 4] = [1, 5, 10, 20];
@@ -33,6 +33,16 @@ pub struct Params {
     pub cache_dir: Option<std::path::PathBuf>,
     /// Print per-cell progress/timing lines to stderr as sweeps run.
     pub progress: bool,
+    /// Checkpoint file recording completed cells; an interrupted run
+    /// restarted with the same file resumes instead of recomputing.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Bound on buffered-but-unreleased sweep outputs (0 = auto:
+    /// `max(4 * jobs, 16)`); memory stays flat in grid size.
+    pub max_inflight: usize,
+    /// Deterministic cancellation test hook: interrupt the sweep once this
+    /// many cells have been released (exercises checkpoint/resume without
+    /// signal timing).
+    pub cancel_after: Option<u64>,
 }
 
 impl Params {
@@ -46,6 +56,9 @@ impl Params {
             threads: available_threads(),
             cache_dir: None,
             progress: false,
+            checkpoint: None,
+            max_inflight: 0,
+            cancel_after: None,
         }
     }
 
@@ -58,6 +71,9 @@ impl Params {
             threads: available_threads(),
             cache_dir: None,
             progress: false,
+            checkpoint: None,
+            max_inflight: 0,
+            cancel_after: None,
         }
     }
 
@@ -71,6 +87,9 @@ impl Params {
             threads: available_threads(),
             cache_dir: Some(sim_core::sweep::SweepOptions::default_cache_dir()),
             progress: false,
+            checkpoint: None,
+            max_inflight: 0,
+            cancel_after: None,
         }
     }
 
@@ -81,7 +100,24 @@ impl Params {
             cache_dir: self.cache_dir.clone(),
             root_seed: 1,
             progress: self.progress,
+            checkpoint: self.checkpoint.clone(),
+            max_inflight: self.max_inflight,
+            cancel: None,
+            cancel_after: self.cancel_after,
         }
+    }
+
+    /// Start a builder carrying this preset's duration/warmup.
+    fn builder(
+        &self,
+        device: DeviceProfile,
+        cpu: CpuConfig,
+        cc: CcKind,
+        conns: usize,
+    ) -> SimConfigBuilder {
+        SimConfig::builder(device, cpu, cc, conns)
+            .duration(self.duration)
+            .warmup(self.warmup)
     }
 
     /// Build the standard simulation config for a data point.
@@ -92,10 +128,9 @@ impl Params {
         cc: CcKind,
         conns: usize,
     ) -> SimConfig {
-        let mut cfg = SimConfig::new(device, cpu, cc, conns);
-        cfg.duration = self.duration;
-        cfg.warmup = self.warmup;
-        cfg
+        self.builder(device, cpu, cc, conns)
+            .build()
+            .expect("experiment presets are valid by construction")
     }
 
     /// Standard Pixel 4 / Ethernet config (most of the paper).
@@ -111,9 +146,10 @@ impl Params {
         conns: usize,
         master: MasterConfig,
     ) -> SimConfig {
-        let mut cfg = self.pixel4(cpu, cc, conns);
-        cfg.master = master;
-        cfg
+        self.builder(DeviceProfile::pixel4(), cpu, cc, conns)
+            .master(master)
+            .build()
+            .expect("experiment presets are valid by construction")
     }
 
     /// Pixel 4 with a pacing stride.
@@ -124,9 +160,10 @@ impl Params {
         conns: usize,
         stride: u64,
     ) -> SimConfig {
-        let mut cfg = self.pixel4(cpu, cc, conns);
-        cfg.pacing = PacingConfig::with_stride(stride);
-        cfg
+        self.builder(DeviceProfile::pixel4(), cpu, cc, conns)
+            .pacing(PacingConfig::with_stride(stride))
+            .build()
+            .expect("experiment strides are valid by construction")
     }
 
     /// Pixel 6 config on a given medium.
@@ -137,9 +174,10 @@ impl Params {
         conns: usize,
         media: MediaProfile,
     ) -> SimConfig {
-        let mut cfg = self.config(DeviceProfile::pixel6(), cpu, cc, conns);
-        cfg.path = media.path_config();
-        cfg
+        self.builder(DeviceProfile::pixel6(), cpu, cc, conns)
+            .media(media)
+            .build()
+            .expect("experiment presets are valid by construction")
     }
 }
 

@@ -47,7 +47,7 @@ fn mean_cycles(report: &RunReport) -> (f64, f64, f64, f64, f64, f64) {
 }
 
 /// Run the cycle-attribution profile.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let specs = vec![
         RunSpec::new(
             "BBR paced",
@@ -65,7 +65,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ),
     ];
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let mut table = ResultTable::new(vec![
         "Variant",
@@ -153,12 +153,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "PROFILE".into(),
         title: "Steady-state CPU cycle attribution (Low-End, 20 conns)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), 3);
         assert_eq!(exp.checks.len(), 5);
         // The attribution counters themselves must be populated even in a

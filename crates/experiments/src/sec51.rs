@@ -30,7 +30,7 @@ pub const RATE_SWEEP_MBPS: [u64; 5] = [16, 40, 80, 110, 140];
 pub const CONNS: usize = 20;
 
 /// Run the §5.1 knob experiments.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let mut specs = vec![
         RunSpec::new(
             "Cubic (reference)",
@@ -66,7 +66,7 @@ pub fn run(params: &Params) -> Experiment {
             params.seeds,
         ));
     }
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let cubic = reports[0].goodput_mbps;
     let mut table = ResultTable::new(vec!["Setup", "Goodput (Mbps)", "vs Cubic"]);
@@ -119,13 +119,13 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "SEC5.1".into(),
         title: "Master-module knobs: fixed cwnd, disabled model, fixed pacing rates (Low-End, 20 conns)"
             .into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), 3 + RATE_SWEEP_MBPS.len());
         assert_eq!(exp.checks.len(), 4);
     }

@@ -21,7 +21,7 @@ pub const SHALLOW_QUEUE: usize = 10;
 pub const CONNS: usize = 20;
 
 /// Run the shallow-buffer comparison.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let shallow_path = MediaProfile::Ethernet
         .path_config()
         .with_queue_packets(SHALLOW_QUEUE);
@@ -39,7 +39,7 @@ pub fn run(params: &Params) -> Experiment {
         RunSpec::new("BBR paced, 10-pkt buffer", paced_cfg, params.seeds),
         RunSpec::new("BBR unpaced, 10-pkt buffer", unpaced_cfg, params.seeds),
     ];
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
     let (paced, unpaced) = (&reports[0], &reports[1]);
 
     let mut table = ResultTable::new(vec![
@@ -81,12 +81,12 @@ pub fn run(params: &Params) -> Experiment {
         ),
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "SHALLOW".into(),
         title: "10-packet shallow buffer: pacing prevents congestion losses (§5.2.3)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), 2);
         assert_eq!(exp.checks.len(), 3);
     }

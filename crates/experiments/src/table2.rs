@@ -35,7 +35,7 @@ struct Row {
 }
 
 /// Run the Table 2 sweep.
-pub fn run(params: &Params) -> Experiment {
+pub fn run(params: &Params) -> Result<Experiment, sim_core::error::Error> {
     let specs = STRIDE_SWEEP
         .iter()
         .map(|&stride| {
@@ -46,7 +46,7 @@ pub fn run(params: &Params) -> Experiment {
             )
         })
         .collect();
-    let reports = run_specs(params, specs);
+    let reports = run_specs(params, specs)?;
 
     let rows: Vec<Row> = STRIDE_SWEEP
         .iter()
@@ -158,12 +158,12 @@ pub fn run(params: &Params) -> Experiment {
         },
     ];
 
-    Experiment {
+    Ok(Experiment {
         id: "TABLE2".into(),
         title: "Pacing-stride anatomy under the Default configuration (20 conns)".into(),
         table,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn smoke_runs() {
-        let exp = run(&Params::smoke());
+        let exp = run(&Params::smoke()).expect("experiment completes");
         assert_eq!(exp.table.rows.len(), STRIDE_SWEEP.len());
         assert_eq!(exp.checks.len(), 5);
     }

@@ -42,14 +42,19 @@ pub fn run_averaged(spec: &RunSpec) -> RunReport {
 /// Run a spec with one worker per seed via the sweep engine (simulations
 /// are independent and CPU-bound). Bit-identical to [`run_averaged`] by
 /// the engine's determinism contract (`sim_core::sweep`); no caching.
-pub fn run_averaged_parallel(spec: &RunSpec) -> RunReport {
+///
+/// Errors only on cancellation ([`sim_core::error::Error::Interrupted`]
+/// via the process-global Ctrl-C flag) — there is no checkpoint here.
+pub fn run_averaged_parallel(spec: &RunSpec) -> Result<RunReport, sim_core::error::Error> {
     let opts = sim_core::sweep::SweepOptions {
         jobs: spec.seeds.len().max(1),
         ..sim_core::sweep::SweepOptions::default()
     };
-    crate::sweep::run_specs_sweep(std::slice::from_ref(spec), &opts)
-        .pop()
-        .expect("one spec in, one report out")
+    Ok(
+        crate::sweep::run_specs_sweep(std::slice::from_ref(spec), &opts)?
+            .pop()
+            .expect("one spec in, one report out"),
+    )
 }
 
 #[cfg(test)]
@@ -60,22 +65,23 @@ mod tests {
     use sim_core::time::SimDuration;
 
     fn tiny_config() -> SimConfig {
-        let mut cfg = SimConfig::new(
+        SimConfig::builder(
             DeviceProfile::pixel4(),
             CpuConfig::HighEnd,
             CcKind::Cubic,
             2,
-        );
-        cfg.duration = SimDuration::from_millis(800);
-        cfg.warmup = SimDuration::from_millis(300);
-        cfg
+        )
+        .duration(SimDuration::from_millis(800))
+        .warmup(SimDuration::from_millis(300))
+        .build()
+        .expect("tiny test config is valid")
     }
 
     #[test]
     fn sequential_and_parallel_agree() {
         let spec = RunSpec::new("agree", tiny_config(), 3);
         let seq = run_averaged(&spec);
-        let par = run_averaged_parallel(&spec);
+        let par = run_averaged_parallel(&spec).expect("uncancelled sweep completes");
         assert_eq!(
             seq.goodput_mbps, par.goodput_mbps,
             "determinism across threading"

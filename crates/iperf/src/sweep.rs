@@ -15,7 +15,8 @@
 
 use crate::report::{RunReport, SeedResult};
 use crate::runner::RunSpec;
-use sim_core::sweep::{run_sweep, SweepCell, SweepOptions};
+use sim_core::error::Error;
+use sim_core::sweep::{run_sweep_streaming, SweepCell, SweepOptions};
 use sim_core::SimRng;
 use std::sync::Arc;
 use tcp_sim::{SimConfig, StackSim};
@@ -110,9 +111,16 @@ impl SweepCell for SeedCell {
     }
 }
 
-/// Run every seed of every spec through the sweep engine, then aggregate
-/// back into one [`RunReport`] per spec (same order as `specs`).
-pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Vec<RunReport> {
+/// Run every seed of every spec through the sweep engine, aggregating into
+/// one [`RunReport`] per spec (same order as `specs`) **as results
+/// stream out**: a spec's report is folded the moment its last seed is
+/// released, so peak memory holds one spec's seed list plus the engine's
+/// bounded in-flight window — never the whole grid.
+///
+/// Errors propagate from the engine: [`Error::Interrupted`] on
+/// cancellation (the checkpoint, if any, has already been finalized) and
+/// I/O errors from an unwritable checkpoint file.
+pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Result<Vec<RunReport>, Error> {
     let mut cells = Vec::new();
     for spec in specs {
         for &seed in &spec.seeds {
@@ -124,25 +132,33 @@ pub fn run_specs_sweep(specs: &[RunSpec], opts: &SweepOptions) -> Vec<RunReport>
             });
         }
     }
-    let report = run_sweep(&cells, opts);
-    let mut outputs = report.outputs.into_iter();
-    let reports: Vec<RunReport> = specs
-        .iter()
-        .map(|spec| {
-            let seeds: Vec<SeedResult> = (&mut outputs).take(spec.seeds.len()).collect();
-            RunReport::aggregate(spec.label.clone(), seeds)
-        })
-        .collect();
+    let mut reports: Vec<RunReport> = Vec::with_capacity(specs.len());
+    let mut pending: Vec<SeedResult> = Vec::new();
+    let (mut misses, mut steady) = (0u64, 0u64);
+    // Outputs arrive in submission order, so cell i belongs to the spec at
+    // reports.len(): fold seeds until the current spec's list is full,
+    // then aggregate and move on (skipping any zero-seed specs).
+    let drain = |pending: &mut Vec<SeedResult>, reports: &mut Vec<RunReport>| {
+        while reports.len() < specs.len() && pending.len() == specs[reports.len()].seeds.len() {
+            let seeds = std::mem::take(pending);
+            reports.push(RunReport::aggregate(
+                specs[reports.len()].label.clone(),
+                seeds,
+            ));
+        }
+    };
+    drain(&mut pending, &mut reports);
+    run_sweep_streaming(&cells, opts, |_idx, out, _cell| {
+        misses += out.pool_misses;
+        steady += out.pool_misses_steady;
+        pending.push(out);
+        drain(&mut pending, &mut reports);
+    })?;
+    debug_assert_eq!(reports.len(), specs.len(), "every spec aggregated");
     // Roll per-seed pool-miss counts into the engine's global run metrics
     // so `repro`'s final summary can report hot-path allocator health.
-    let (misses, steady) = reports
-        .iter()
-        .flat_map(|r| &r.seeds)
-        .fold((0u64, 0u64), |(m, s), seed| {
-            (m + seed.pool_misses, s + seed.pool_misses_steady)
-        });
     sim_core::sweep::note_pool_misses(misses, steady);
-    reports
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -154,15 +170,16 @@ mod tests {
     use sim_core::time::SimDuration;
 
     fn tiny_config() -> SimConfig {
-        let mut cfg = SimConfig::new(
+        SimConfig::builder(
             DeviceProfile::pixel4(),
             CpuConfig::HighEnd,
             CcKind::Cubic,
             2,
-        );
-        cfg.duration = SimDuration::from_millis(800);
-        cfg.warmup = SimDuration::from_millis(300);
-        cfg
+        )
+        .duration(SimDuration::from_millis(800))
+        .warmup(SimDuration::from_millis(300))
+        .build()
+        .expect("tiny test config is valid")
     }
 
     fn temp_cache(tag: &str) -> std::path::PathBuf {
@@ -180,7 +197,8 @@ mod tests {
                 jobs,
                 ..SweepOptions::default()
             };
-            let swept = run_specs_sweep(std::slice::from_ref(&spec), &opts);
+            let swept = run_specs_sweep(std::slice::from_ref(&spec), &opts)
+                .expect("uncancelled sweep completes");
             assert_eq!(swept.len(), 1);
             assert_eq!(swept[0].goodput_mbps, baseline.goodput_mbps, "jobs={jobs}");
             assert_eq!(swept[0].mean_rtt_ms, baseline.mean_rtt_ms, "jobs={jobs}");
@@ -242,8 +260,8 @@ mod tests {
             cache_dir: Some(dir.clone()),
             ..SweepOptions::default()
         };
-        let cold = run_specs_sweep(std::slice::from_ref(&spec), &opts);
-        let warm = run_specs_sweep(std::slice::from_ref(&spec), &opts);
+        let cold = run_specs_sweep(std::slice::from_ref(&spec), &opts).expect("completes");
+        let warm = run_specs_sweep(std::slice::from_ref(&spec), &opts).expect("completes");
         assert_eq!(cold[0].goodput_mbps, warm[0].goodput_mbps);
         assert_eq!(cold[0].goodput_std, warm[0].goodput_std);
         let _ = std::fs::remove_dir_all(&dir);

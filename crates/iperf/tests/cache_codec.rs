@@ -17,14 +17,16 @@ use std::path::{Path, PathBuf};
 use tcp_sim::SimConfig;
 
 fn tiny_spec(label: &str) -> RunSpec {
-    let mut cfg = SimConfig::new(
+    let cfg = SimConfig::builder(
         DeviceProfile::pixel4(),
         CpuConfig::HighEnd,
         CcKind::Cubic,
         1,
-    );
-    cfg.duration = SimDuration::from_millis(600);
-    cfg.warmup = SimDuration::from_millis(200);
+    )
+    .duration(SimDuration::from_millis(600))
+    .warmup(SimDuration::from_millis(200))
+    .build()
+    .expect("tiny test config is valid");
     RunSpec::new(label, cfg, 1)
 }
 
@@ -51,7 +53,7 @@ fn run_once(dir: &Path, label: &str) -> f64 {
         cache_dir: Some(dir.to_path_buf()),
         ..SweepOptions::default()
     };
-    let reports = run_specs_sweep(&[tiny_spec(label)], &opts);
+    let reports = run_specs_sweep(&[tiny_spec(label)], &opts).expect("uncancelled sweep completes");
     reports[0].goodput_mbps
 }
 

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod checkpoint;
+pub mod error;
 pub mod event;
 pub mod metrics;
 pub mod rng;
@@ -49,9 +51,14 @@ pub mod trace;
 pub mod units;
 
 pub use check::{evaluate, Corpus, NamedOracle, Oracle, Violation};
+pub use checkpoint::CheckpointStore;
+pub use error::{Error, Result};
 pub use event::{EventQueue, ScheduledEvent, TimerToken};
 pub use rng::SimRng;
-pub use sweep::{run_sweep, CellReport, SweepCell, SweepOptions, SweepReport};
+pub use sweep::{
+    run_sweep, run_sweep_streaming, CancelToken, CellReport, SweepCell, SweepOptions, SweepReport,
+    SweepSummary,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceKind, TraceLog, TraceRecord, TraceSink};
 pub use units::{Bandwidth, ByteCount, ByteSize};

@@ -45,6 +45,36 @@
 //! entry; a cache can never poison a sweep. Cells whose execution has side
 //! effects (e.g. pcap capture) opt out via [`SweepCell::cacheable`].
 //!
+//! # Streaming, bounded memory, checkpoint, cancellation (engine v2)
+//!
+//! [`run_sweep_streaming`] is the primary entry point: instead of
+//! collecting every output into a `Vec`, it *releases* outputs to a
+//! consumer callback in **submission order** as they complete, holding at
+//! most [`SweepOptions::max_inflight`] finished-but-unreleased outputs at
+//! any instant. Workers may only claim cell `i` once
+//! `i < released + max_inflight`, so claims form a contiguous in-flight
+//! range `[released, next_claim)` and peak memory is flat in grid size —
+//! a 100k-cell sweep costs the same resident memory as a 100-cell one.
+//! Because release order is submission order, a consumer aggregating
+//! incrementally sees byte-identical input at any `--jobs N`, preserving
+//! the determinism contract above. [`run_sweep`] remains as the
+//! collect-everything wrapper over the same engine.
+//!
+//! With [`SweepOptions::checkpoint`] set, every computed cell is also
+//! appended to a [`crate::checkpoint::CheckpointStore`] (content-addressed
+//! by the same key digest as the cache, crash-safe by construction): an
+//! interrupted sweep re-run with the same checkpoint path serves completed
+//! cells from the file and computes only the remainder, and the resumed
+//! output stream is byte-identical to an uninterrupted run.
+//!
+//! Cancellation is cooperative: a [`CancelToken`] in the options, the
+//! process-global flag ([`request_global_cancel`], wired to Ctrl-C by the
+//! binaries), or the deterministic test hook [`SweepOptions::cancel_after`]
+//! stop the sweep at the next claim point. In-flight cells are **drained**
+//! (computed, checkpointed, and released), the checkpoint is flushed and
+//! synced, and the engine returns [`Error::Interrupted`] — never a panic,
+//! never a torn checkpoint.
+//!
 //! # Progress and timing
 //!
 //! Each finished cell is reported through a [`CellReport`] (label, wall
@@ -52,11 +82,13 @@
 //! [`SweepOptions::progress`] set, a `[k/n] label — time` line is also
 //! printed to stderr as cells complete (completion order, for liveness).
 
+use crate::checkpoint::{CheckpointStore, LoadReport};
+use crate::error::Error;
 use crate::rng::SimRng;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// FNV-1a offset basis (the standard one).
@@ -84,6 +116,70 @@ fn fnv64_from(basis: u64, bytes: &[u8]) -> u64 {
 /// exposed so callers can reproduce a cell's RNG stream out of band.
 pub fn fnv64(bytes: &[u8]) -> u64 {
     fnv64_from(FNV_OFFSET, bytes)
+}
+
+/// The 16-byte content digest of a cell key: two independent FNV-1a
+/// streams, big-endian. Its hex form is the cache file name; the raw bytes
+/// key checkpoint records.
+pub(crate) fn key_digest(key: &[u8]) -> [u8; 16] {
+    let a = fnv64(key);
+    // Second stream: tweaked offset basis, so a collision must hold in two
+    // unrelated hash states at once.
+    let b = fnv64_from(FNV_OFFSET ^ 0x5bd1_e995_9d1b_54a5, key);
+    let mut digest = [0u8; 16];
+    digest[..8].copy_from_slice(&a.to_be_bytes());
+    digest[8..].copy_from_slice(&b.to_be_bytes());
+    digest
+}
+
+/// A shareable cooperative-cancellation handle for one sweep (or a group
+/// of sweeps sharing it via [`SweepOptions::cancel`]).
+///
+/// Cancellation is *cooperative*: the engine checks the token at each
+/// claim point, stops handing out new cells, drains the in-flight range,
+/// flushes the checkpoint, and returns [`Error::Interrupted`]. Cloning
+/// shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Process-global cancellation flag, set by the binaries' Ctrl-C handler.
+///
+/// A signal handler may only do async-signal-safe work; a relaxed atomic
+/// store qualifies, which is why this lives here as a plain flag rather
+/// than a channel. Every sweep (streaming or collecting) observes it.
+static GLOBAL_CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Request cancellation of every running and future sweep in this process.
+/// Async-signal-safe; binaries call this from their SIGINT handler.
+pub fn request_global_cancel() {
+    GLOBAL_CANCEL.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`request_global_cancel`] has been called (and not reset).
+pub fn global_cancel_requested() -> bool {
+    GLOBAL_CANCEL.load(Ordering::SeqCst)
+}
+
+/// Clear the process-global cancellation flag (tests / REPL-style drivers).
+pub fn reset_global_cancel() {
+    GLOBAL_CANCEL.store(false, Ordering::SeqCst);
 }
 
 /// One unit of work in a sweep.
@@ -123,6 +219,18 @@ pub trait SweepCell: Sync {
     fn cacheable(&self) -> bool {
         true
     }
+
+    /// Whether this cell may be recorded in / served from a sweep
+    /// checkpoint ([`SweepOptions::checkpoint`]).
+    ///
+    /// Defaults to [`cacheable`](Self::cacheable) — the same purity
+    /// argument applies. Override to `true` for cells that are pure but
+    /// deliberately kept out of the long-lived run cache (e.g. fuzz cells,
+    /// where a checkpoint scoped to one campaign is wanted but a global
+    /// cache would mask mutants).
+    fn resumable(&self) -> bool {
+        self.cacheable()
+    }
 }
 
 /// Knobs controlling how [`run_sweep`] executes a batch of cells.
@@ -136,6 +244,18 @@ pub struct SweepOptions {
     pub root_seed: u64,
     /// Print a per-cell completion line to stderr.
     pub progress: bool,
+    /// Maximum finished-but-unreleased outputs held at once (the engine's
+    /// memory bound). `0` selects the default, `max(4 × jobs, 16)`.
+    pub max_inflight: usize,
+    /// Checkpoint file recording completed cells for crash-safe resume;
+    /// `None` disables checkpointing. Always loaded if present (entries
+    /// are content-addressed, so stale entries are simply never matched).
+    pub checkpoint: Option<PathBuf>,
+    /// Cooperative cancellation handle for this sweep.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic test hook: behave as if cancelled once this many
+    /// cells have been released.
+    pub cancel_after: Option<u64>,
 }
 
 impl Default for SweepOptions {
@@ -145,6 +265,10 @@ impl Default for SweepOptions {
             cache_dir: None,
             root_seed: 1,
             progress: false,
+            max_inflight: 0,
+            checkpoint: None,
+            cancel: None,
+            cancel_after: None,
         }
     }
 }
@@ -165,6 +289,27 @@ impl SweepOptions {
     pub fn default_cache_dir() -> PathBuf {
         PathBuf::from("target").join("sweep-cache")
     }
+
+    /// The in-flight window [`run_sweep_streaming`] will actually use:
+    /// [`max_inflight`](Self::max_inflight), or `max(4 × jobs, 16)` when
+    /// unset, never below the worker count (a smaller window would idle
+    /// workers for no memory benefit).
+    pub fn effective_inflight(&self) -> usize {
+        let jobs = self.jobs.max(1);
+        if self.max_inflight == 0 {
+            (4 * jobs).max(16)
+        } else {
+            self.max_inflight.max(jobs)
+        }
+    }
+
+    /// Whether cancellation has been requested for this sweep, given the
+    /// number of cells already released (for [`cancel_after`](Self::cancel_after)).
+    fn cancel_requested(&self, released: u64) -> bool {
+        global_cancel_requested()
+            || self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.cancel_after.is_some_and(|n| released >= n)
+    }
 }
 
 /// How the run cache served (or failed to serve) one cell.
@@ -180,6 +325,9 @@ pub enum CacheState {
     MissCorrupt,
     /// The cell opted out of caching, or no cache directory was configured.
     Uncacheable,
+    /// The output was served from a sweep checkpoint (a previous
+    /// interrupted run completed this cell); the simulation was skipped.
+    Checkpoint,
 }
 
 /// Timing record for one finished cell.
@@ -211,6 +359,8 @@ pub struct SweepTotals {
     pub cache_corrupt: u64,
     /// Cells that bypassed the cache entirely.
     pub uncacheable: u64,
+    /// Cells served from a sweep checkpoint on resume.
+    pub checkpoint_hits: u64,
     /// Summed per-cell wall-clock time, nanoseconds (across workers, so it
     /// exceeds elapsed real time under parallelism).
     pub cell_wall_nanos: u64,
@@ -224,13 +374,14 @@ impl SweepTotals {
     /// The one-line cache/pool summary `repro --progress` prints.
     pub fn summary_line(&self) -> String {
         format!(
-            "sweep totals: {} cells in {:.1}s — cache {} hits / {} misses / {} corrupt-recomputed / {} uncacheable; pool misses {} total / {} steady",
+            "sweep totals: {} cells in {:.1}s — cache {} hits / {} misses / {} corrupt-recomputed / {} uncacheable; {} checkpoint-resumed; pool misses {} total / {} steady",
             self.cells,
             self.cell_wall_nanos as f64 / 1e9,
             self.cache_hits,
             self.cache_misses,
             self.cache_corrupt,
             self.uncacheable,
+            self.checkpoint_hits,
             self.pool_misses,
             self.pool_misses_steady,
         )
@@ -242,6 +393,7 @@ static TOTAL_HITS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_MISSES: AtomicU64 = AtomicU64::new(0);
 static TOTAL_CORRUPT: AtomicU64 = AtomicU64::new(0);
 static TOTAL_UNCACHEABLE: AtomicU64 = AtomicU64::new(0);
+static TOTAL_CHECKPOINT: AtomicU64 = AtomicU64::new(0);
 static TOTAL_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 static TOTAL_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 static TOTAL_POOL_MISSES_STEADY: AtomicU64 = AtomicU64::new(0);
@@ -254,6 +406,7 @@ pub fn totals() -> SweepTotals {
         cache_misses: TOTAL_MISSES.load(Ordering::Relaxed),
         cache_corrupt: TOTAL_CORRUPT.load(Ordering::Relaxed),
         uncacheable: TOTAL_UNCACHEABLE.load(Ordering::Relaxed),
+        checkpoint_hits: TOTAL_CHECKPOINT.load(Ordering::Relaxed),
         cell_wall_nanos: TOTAL_WALL_NANOS.load(Ordering::Relaxed),
         pool_misses: TOTAL_POOL_MISSES.load(Ordering::Relaxed),
         pool_misses_steady: TOTAL_POOL_MISSES_STEADY.load(Ordering::Relaxed),
@@ -268,6 +421,7 @@ pub fn reset_totals() {
         &TOTAL_MISSES,
         &TOTAL_CORRUPT,
         &TOTAL_UNCACHEABLE,
+        &TOTAL_CHECKPOINT,
         &TOTAL_WALL_NANOS,
         &TOTAL_POOL_MISSES,
         &TOTAL_POOL_MISSES_STEADY,
@@ -301,14 +455,16 @@ impl<O> SweepReport<O> {
     }
 }
 
-/// Cache file path for a cell key: 32 hex digits from two independent
-/// FNV-1a streams (see module docs).
+/// Cache file path for a cell key: the 32 hex digits of [`key_digest`]
+/// (two independent FNV-1a streams; see module docs).
 fn cache_path(dir: &Path, key: &[u8]) -> PathBuf {
-    let a = fnv64(key);
-    // Second stream: tweaked offset basis, so a collision must hold in two
-    // unrelated hash states at once.
-    let b = fnv64_from(FNV_OFFSET ^ 0x5bd1_e995_9d1b_54a5, key);
-    dir.join(format!("{a:016x}{b:016x}.bin"))
+    let digest = key_digest(key);
+    let mut name = String::with_capacity(36);
+    for byte in digest {
+        name.push_str(&format!("{byte:02x}"));
+    }
+    name.push_str(".bin");
+    dir.join(name)
 }
 
 /// What a cache probe found, distinguishing "never computed" from "entry
@@ -385,9 +541,36 @@ fn cache_write(path: &Path, payload: &[u8]) {
     }
 }
 
-/// Obtain one cell's output: cache probe, else compute (and back-fill).
-fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, CacheState) {
+/// The engine's shared view of an open checkpoint: the store plus the
+/// first append error (appends are best-effort mid-sweep; the first hard
+/// failure is latched here and surfaced when the sweep finishes).
+struct CheckpointShared {
+    store: Mutex<CheckpointStore>,
+    failed: Mutex<Option<Error>>,
+}
+
+/// Obtain one cell's output: checkpoint probe, else cache probe, else
+/// compute (back-filling both stores).
+fn run_cell<C: SweepCell>(
+    cell: &C,
+    opts: &SweepOptions,
+    ckpt: Option<&CheckpointShared>,
+) -> (C::Output, CacheState) {
     let key = cell.key_bytes();
+    let ckpt = match ckpt {
+        Some(shared) if cell.resumable() => Some((shared, key_digest(&key))),
+        _ => None,
+    };
+    // Checkpoint first: it is in-memory after load, and on a resumed
+    // cache-less run it is the only store that has the cell.
+    if let Some((shared, digest)) = &ckpt {
+        if let Some(payload) = shared.store.lock().unwrap().take(digest) {
+            if let Some(output) = C::decode(&payload) {
+                return (output, CacheState::Checkpoint);
+            }
+            // Undecodable record (stale codec): fall through and recompute.
+        }
+    }
     let cache_file = match (&opts.cache_dir, cell.cacheable()) {
         (Some(dir), true) => Some(cache_path(dir, &key)),
         _ => None,
@@ -415,96 +598,263 @@ fn run_cell<C: SweepCell>(cell: &C, opts: &SweepOptions) -> (C::Output, CacheSta
             cache_write(path, &payload);
         }
     }
+    if let Some((shared, digest)) = &ckpt {
+        if let Some(payload) = C::encode(&output) {
+            if let Err(e) = shared.store.lock().unwrap().append(digest, &payload) {
+                let mut failed = shared.failed.lock().unwrap();
+                if failed.is_none() {
+                    *failed = Some(e);
+                }
+            }
+        }
+    }
     (output, state)
 }
 
-/// Run every cell and collect outputs in submission order.
-///
-/// With `opts.jobs > 1` the cells are fanned across that many scoped
-/// worker threads pulling from a shared atomic work queue; see the
-/// [module docs](self) for why the result is nevertheless bit-identical
-/// to `jobs == 1`.
-pub fn run_sweep<C: SweepCell>(cells: &[C], opts: &SweepOptions) -> SweepReport<C::Output> {
-    /// One result slot, filled exactly once by whichever worker ran the cell.
-    type Slot<O> = Mutex<Option<(O, CellReport)>>;
+/// Outcome accounting for one [`run_sweep_streaming`] call.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Cells the sweep was asked to run.
+    pub total: usize,
+    /// Cells released to the consumer (equals `total` on success).
+    pub completed: usize,
+    /// Cells served from the checkpoint (a previous run computed them).
+    pub resumed: usize,
+    /// Total wall-clock time of the sweep.
+    pub elapsed: Duration,
+    /// What checkpoint loading found, when one was configured.
+    pub checkpoint: Option<LoadReport>,
+}
 
+/// Compute one cell and account for it (process totals + progress line).
+// Interactive progress belongs on stderr (stdout carries results).
+#[allow(clippy::print_stderr)]
+fn compute_cell<C: SweepCell>(
+    idx: usize,
+    cells: &[C],
+    opts: &SweepOptions,
+    ckpt: Option<&CheckpointShared>,
+    done: &AtomicUsize,
+    total: usize,
+) -> (C::Output, CellReport) {
+    let cell = &cells[idx];
+    let cell_started = Instant::now();
+    let (output, state) = run_cell(cell, opts, ckpt);
+    let report = CellReport {
+        label: cell.label(),
+        elapsed: cell_started.elapsed(),
+        cache_hit: state == CacheState::Hit,
+        state,
+    };
+    TOTAL_CELLS.fetch_add(1, Ordering::Relaxed);
+    match state {
+        CacheState::Hit => &TOTAL_HITS,
+        CacheState::MissCold => &TOTAL_MISSES,
+        CacheState::MissCorrupt => &TOTAL_CORRUPT,
+        CacheState::Uncacheable => &TOTAL_UNCACHEABLE,
+        CacheState::Checkpoint => &TOTAL_CHECKPOINT,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    TOTAL_WALL_NANOS.fetch_add(report.elapsed.as_nanos() as u64, Ordering::Relaxed);
+    if opts.progress {
+        let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "  [{k}/{total}] {} — {:.1?}{}",
+            report.label,
+            report.elapsed,
+            match state {
+                CacheState::Hit => " (cached)",
+                CacheState::MissCorrupt => " (corrupt entry recomputed)",
+                CacheState::Checkpoint => " (checkpoint)",
+                _ => "",
+            }
+        );
+    }
+    (output, report)
+}
+
+/// Run every cell, releasing outputs to `consume` in **submission order**
+/// as they complete (streaming engine v2 — see the module docs).
+///
+/// `consume(idx, output, report)` is called exactly once per cell, on the
+/// calling thread, with `idx` strictly increasing from 0 — so incremental
+/// aggregation sees byte-identical input at any worker count. At most
+/// [`SweepOptions::effective_inflight`] finished outputs exist at once.
+///
+/// Returns [`Error::Interrupted`] if cancellation stopped the sweep (after
+/// draining in-flight cells and finalizing the checkpoint), or
+/// [`Error::Checkpoint`] if the checkpoint could not be created/written.
+pub fn run_sweep_streaming<C: SweepCell>(
+    cells: &[C],
+    opts: &SweepOptions,
+    mut consume: impl FnMut(usize, C::Output, CellReport),
+) -> Result<SweepSummary, Error> {
     let started = Instant::now();
     let total = cells.len();
     let jobs = opts.jobs.max(1).min(total.max(1));
+    let window = opts.effective_inflight();
     let done = AtomicUsize::new(0);
 
-    let mut slots: Vec<Slot<C::Output>> = Vec::with_capacity(total);
-    slots.resize_with(total, || Mutex::new(None));
-
-    // Interactive progress belongs on stderr (stdout carries results).
-    #[allow(clippy::print_stderr)]
-    let finish_one = |idx: usize, cell: &C| {
-        let cell_started = Instant::now();
-        let (output, state) = run_cell(cell, opts);
-        let report = CellReport {
-            label: cell.label(),
-            elapsed: cell_started.elapsed(),
-            cache_hit: state == CacheState::Hit,
-            state,
-        };
-        TOTAL_CELLS.fetch_add(1, Ordering::Relaxed);
-        match state {
-            CacheState::Hit => &TOTAL_HITS,
-            CacheState::MissCold => &TOTAL_MISSES,
-            CacheState::MissCorrupt => &TOTAL_CORRUPT,
-            CacheState::Uncacheable => &TOTAL_UNCACHEABLE,
-        }
-        .fetch_add(1, Ordering::Relaxed);
-        TOTAL_WALL_NANOS.fetch_add(report.elapsed.as_nanos() as u64, Ordering::Relaxed);
-        if opts.progress {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!(
-                "  [{k}/{total}] {} — {:.1?}{}",
-                report.label,
-                report.elapsed,
-                match state {
-                    CacheState::Hit => " (cached)",
-                    CacheState::MissCorrupt => " (corrupt entry recomputed)",
-                    _ => "",
-                }
-            );
-        }
-        *slots[idx].lock().unwrap() = Some((output, report));
+    let ckpt = match &opts.checkpoint {
+        Some(path) => Some(CheckpointShared {
+            store: Mutex::new(CheckpointStore::open(path, opts.root_seed)?),
+            failed: Mutex::new(None),
+        }),
+        None => None,
     };
+    let load = ckpt.as_ref().map(|c| c.store.lock().unwrap().report);
+
+    let mut completed = 0usize;
+    let mut resumed = 0usize;
+    let mut interrupted = false;
 
     if jobs <= 1 {
-        for (idx, cell) in cells.iter().enumerate() {
-            finish_one(idx, cell);
+        for idx in 0..total {
+            if opts.cancel_requested(completed as u64) {
+                interrupted = true;
+                break;
+            }
+            let (output, report) = compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total);
+            if report.state == CacheState::Checkpoint {
+                resumed += 1;
+            }
+            consume(idx, output, report);
+            completed += 1;
         }
     } else {
-        let next = AtomicUsize::new(0);
+        /// Claim/release cursors. Claims are gated by
+        /// `next_claim < released + window`, so the in-flight range
+        /// `[released, next_claim)` is contiguous and never wider than the
+        /// window; on cancellation `stop_at` latches to `next_claim` and
+        /// the in-flight range drains through the consumer.
+        struct EngineState {
+            next_claim: usize,
+            released: usize,
+            stop_at: usize,
+        }
+        let state = Mutex::new(EngineState {
+            next_claim: 0,
+            released: 0,
+            stop_at: total,
+        });
+        // Workers wait on `work_cv` (window full), the consumer on
+        // `done_cv` (next in-order slot not filled yet).
+        let work_cv = Condvar::new();
+        let done_cv = Condvar::new();
+        #[allow(clippy::type_complexity)]
+        let slots: Vec<Mutex<Option<(C::Output, CellReport)>>> =
+            (0..window).map(|_| Mutex::new(None)).collect();
+
         crossbeam::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
-                        break;
-                    }
-                    finish_one(idx, &cells[idx]);
+                    let idx = {
+                        let mut st = state.lock().unwrap();
+                        loop {
+                            if opts.cancel_requested(st.released as u64)
+                                && st.stop_at > st.next_claim
+                            {
+                                st.stop_at = st.next_claim;
+                                work_cv.notify_all();
+                                done_cv.notify_all();
+                            }
+                            if st.next_claim >= st.stop_at {
+                                return;
+                            }
+                            if st.next_claim < st.released + window {
+                                break;
+                            }
+                            st = work_cv.wait(st).unwrap();
+                        }
+                        let idx = st.next_claim;
+                        st.next_claim += 1;
+                        idx
+                    };
+                    let pair = compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total);
+                    *slots[idx % window].lock().unwrap() = Some(pair);
+                    // Notify under the state lock so the consumer cannot
+                    // check the slot and sleep between our fill and notify.
+                    let _guard = state.lock().unwrap();
+                    done_cv.notify_all();
                 });
+            }
+
+            // Consumer: the calling thread releases outputs in order.
+            loop {
+                let next = {
+                    let mut st = state.lock().unwrap();
+                    loop {
+                        if st.released >= st.stop_at {
+                            interrupted = st.stop_at < total;
+                            break None;
+                        }
+                        let filled = slots[st.released % window].lock().unwrap().take();
+                        if let Some(pair) = filled {
+                            let idx = st.released;
+                            st.released += 1;
+                            work_cv.notify_all();
+                            break Some((idx, pair));
+                        }
+                        st = done_cv.wait(st).unwrap();
+                    }
+                };
+                let Some((idx, (output, report))) = next else {
+                    break;
+                };
+                if report.state == CacheState::Checkpoint {
+                    resumed += 1;
+                }
+                consume(idx, output, report);
+                completed += 1;
             }
         });
     }
 
-    let mut outputs = Vec::with_capacity(total);
-    let mut reports = Vec::with_capacity(total);
-    for slot in slots {
-        let (output, report) = slot
-            .into_inner()
-            .unwrap()
-            .expect("sweep cell left no output");
+    if let Some(shared) = &ckpt {
+        // Surface the first append failure (flushing what we can first);
+        // otherwise flush + sync the final state.
+        let failed = shared.failed.lock().unwrap().take();
+        let finalized = shared.store.lock().unwrap().finalize();
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        finalized?;
+    }
+    if interrupted {
+        return Err(Error::Interrupted {
+            completed: completed as u64,
+            total: total as u64,
+        });
+    }
+    Ok(SweepSummary {
+        total,
+        completed,
+        resumed,
+        elapsed: started.elapsed(),
+        checkpoint: load,
+    })
+}
+
+/// Run every cell and collect outputs in submission order.
+///
+/// A convenience wrapper over [`run_sweep_streaming`] for grids small
+/// enough to hold in memory. It cannot express interruption in its return
+/// type, so it panics if the sweep is cancelled — cancellable or
+/// checkpoint-resumable sweeps must call [`run_sweep_streaming`].
+pub fn run_sweep<C: SweepCell>(cells: &[C], opts: &SweepOptions) -> SweepReport<C::Output> {
+    let mut outputs = Vec::with_capacity(cells.len());
+    let mut reports = Vec::with_capacity(cells.len());
+    let summary = run_sweep_streaming(cells, opts, |_idx, output, report| {
         outputs.push(output);
         reports.push(report);
-    }
+    })
+    .unwrap_or_else(|e| {
+        panic!("run_sweep cannot recover from `{e}`; use run_sweep_streaming for cancellable or checkpointed sweeps")
+    });
     SweepReport {
         outputs,
         cells: reports,
-        elapsed: started.elapsed(),
+        elapsed: summary.elapsed,
     }
 }
 
@@ -814,6 +1164,216 @@ mod tests {
         assert!(line.contains("cells"), "{line}");
         assert!(line.contains("corrupt-recomputed"), "{line}");
         assert!(line.contains("pool misses"), "{line}");
+    }
+
+    #[test]
+    fn streaming_releases_in_submission_order_at_any_job_count() {
+        let cells = toy_cells(32);
+        let collected = run_sweep(&cells, &SweepOptions::serial(9));
+        for jobs in [2, 5, 8] {
+            let opts = SweepOptions {
+                jobs,
+                max_inflight: 4,
+                ..SweepOptions::serial(9)
+            };
+            let mut seen = Vec::new();
+            let mut indices = Vec::new();
+            let summary = run_sweep_streaming(&cells, &opts, |idx, out, _report| {
+                indices.push(idx);
+                seen.push(out);
+            })
+            .unwrap();
+            assert_eq!(summary.completed, 32);
+            assert_eq!(summary.total, 32);
+            assert_eq!(indices, (0..32).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(seen, collected.outputs, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_bounds_unreleased_outputs_by_the_window() {
+        /// Cell that counts computed-but-not-yet-consumed outputs.
+        struct Gauge<'a> {
+            id: u64,
+            computed: &'a AtomicUsize,
+        }
+        impl SweepCell for Gauge<'_> {
+            type Output = u64;
+            fn label(&self) -> String {
+                format!("gauge-{}", self.id)
+            }
+            fn key_bytes(&self) -> Vec<u8> {
+                format!("gauge:{}", self.id).into_bytes()
+            }
+            fn run(&self, mut rng: SimRng) -> u64 {
+                self.computed.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_micros(200));
+                rng.next()
+            }
+            fn encode(_: &u64) -> Option<Vec<u8>> {
+                None
+            }
+            fn decode(_: &[u8]) -> Option<u64> {
+                None
+            }
+            fn cacheable(&self) -> bool {
+                false
+            }
+        }
+
+        let computed = AtomicUsize::new(0);
+        let cells: Vec<Gauge> = (0..64)
+            .map(|id| Gauge {
+                id,
+                computed: &computed,
+            })
+            .collect();
+        let window = 4;
+        let opts = SweepOptions {
+            jobs: 4,
+            max_inflight: window,
+            ..SweepOptions::serial(2)
+        };
+        let mut consumed = 0usize;
+        let mut max_unreleased = 0usize;
+        run_sweep_streaming(&cells, &opts, |_idx, _out, _report| {
+            consumed += 1;
+            let unreleased = computed.load(Ordering::SeqCst) - consumed;
+            max_unreleased = max_unreleased.max(unreleased);
+        })
+        .unwrap();
+        // Claims are gated by `next_claim < released + window`; at the
+        // moment the callback runs, one extra release is already counted,
+        // so the strict bound is the window itself.
+        assert!(
+            max_unreleased <= window,
+            "unreleased outputs peaked at {max_unreleased}, window is {window}"
+        );
+        assert_eq!(consumed, 64);
+    }
+
+    #[test]
+    fn cancel_token_stops_the_sweep_and_reports_interrupted() {
+        let cells = toy_cells(20);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = SweepOptions {
+            jobs: 3,
+            cancel: Some(token),
+            ..SweepOptions::serial(4)
+        };
+        let mut consumed = 0usize;
+        let err = run_sweep_streaming(&cells, &opts, |_i, _o, _r| consumed += 1).unwrap_err();
+        match err {
+            Error::Interrupted { completed, total } => {
+                assert_eq!(total, 20);
+                assert_eq!(completed, consumed as u64);
+                // Cancelled before any claim: nothing should have run,
+                // though a racing worker may legitimately drain a cell.
+                assert!(completed < 20);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cancel_after_interrupts_then_checkpoint_resumes_byte_identically() {
+        for jobs in [1usize, 4] {
+            let dir = temp_dir(&format!("resume-{jobs}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let ck = dir.join("sweep.ckpt");
+            let cells = toy_cells(12);
+            let uninterrupted = run_sweep(&cells, &SweepOptions::serial(6));
+
+            // A tight window so claims cannot outrun the cancel check (at
+            // the default window a 12-cell grid is claimed in one gulp).
+            let opts = SweepOptions {
+                jobs,
+                max_inflight: 2,
+                checkpoint: Some(ck.clone()),
+                cancel_after: Some(5),
+                ..SweepOptions::serial(6)
+            };
+            let err = run_sweep_streaming(&cells, &opts, |_i, _o, _r| {}).unwrap_err();
+            let Error::Interrupted { completed, total } = err else {
+                panic!("expected Interrupted, got {err}");
+            };
+            assert_eq!(total, 12);
+            assert!(completed >= 5, "drained at least the cancel_after cells");
+            assert!(completed < 12, "jobs={jobs}: must actually interrupt");
+
+            // Resume: same checkpoint, no cancellation.
+            let opts = SweepOptions {
+                jobs,
+                checkpoint: Some(ck.clone()),
+                ..SweepOptions::serial(6)
+            };
+            let mut outputs = Vec::new();
+            let summary =
+                run_sweep_streaming(&cells, &opts, |_i, out, _r| outputs.push(out)).unwrap();
+            assert_eq!(summary.completed, 12);
+            assert!(
+                summary.resumed >= 5,
+                "jobs={jobs}: resumed {} cells, expected the checkpointed ones",
+                summary.resumed
+            );
+            assert_eq!(
+                outputs, uninterrupted.outputs,
+                "jobs={jobs}: resumed output diverged"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_recomputes_without_panicking() {
+        let dir = temp_dir("ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("sweep.ckpt");
+        let cells = toy_cells(6);
+        let baseline = run_sweep(&cells, &SweepOptions::serial(8));
+
+        let opts = SweepOptions {
+            checkpoint: Some(ck.clone()),
+            ..SweepOptions::serial(8)
+        };
+        run_sweep_streaming(&cells, &opts, |_i, _o, _r| {}).unwrap();
+
+        // Truncate mid-record, then bit-flip: both must silently recompute.
+        let bytes = std::fs::read(&ck).unwrap();
+        std::fs::write(&ck, &bytes[..bytes.len() - 7]).unwrap();
+        let mut outputs = Vec::new();
+        let summary = run_sweep_streaming(&cells, &opts, |_i, out, _r| outputs.push(out)).unwrap();
+        assert_eq!(outputs, baseline.outputs);
+        assert!(summary.checkpoint.unwrap().discarded);
+
+        let mut bytes = std::fs::read(&ck).unwrap();
+        bytes[20] ^= 0x40;
+        std::fs::write(&ck, &bytes).unwrap();
+        let mut outputs = Vec::new();
+        run_sweep_streaming(&cells, &opts, |_i, out, _r| outputs.push(out)).unwrap();
+        assert_eq!(outputs, baseline.outputs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_hits_are_counted_distinctly_from_cache_hits() {
+        let dir = temp_dir("ckpt-states");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("sweep.ckpt");
+        let cells = toy_cells(3);
+        let opts = SweepOptions {
+            checkpoint: Some(ck),
+            ..SweepOptions::serial(13)
+        };
+        run_sweep_streaming(&cells, &opts, |_i, _o, _r| {}).unwrap();
+        let mut states = Vec::new();
+        run_sweep_streaming(&cells, &opts, |_i, _o, r| states.push(r.state)).unwrap();
+        assert!(
+            states.iter().all(|s| *s == CacheState::Checkpoint),
+            "{states:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

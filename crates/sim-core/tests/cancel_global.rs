@@ -1,0 +1,58 @@
+//! Process-global cancellation (the Ctrl-C path).
+//!
+//! Lives in its own integration-test binary — and therefore its own
+//! process — because the flag is process-wide: raising it next to the
+//! library's other sweep tests would interrupt them at random.
+
+use sim_core::error::Error;
+use sim_core::rng::SimRng;
+use sim_core::sweep::{
+    global_cancel_requested, request_global_cancel, reset_global_cancel, run_sweep_streaming,
+    SweepCell, SweepOptions,
+};
+
+struct Toy(u64);
+
+impl SweepCell for Toy {
+    type Output = u64;
+    fn label(&self) -> String {
+        format!("toy-{}", self.0)
+    }
+    fn key_bytes(&self) -> Vec<u8> {
+        format!("toy:{}", self.0).into_bytes()
+    }
+    fn run(&self, mut rng: SimRng) -> u64 {
+        rng.next()
+    }
+    fn encode(output: &u64) -> Option<Vec<u8>> {
+        Some(output.to_le_bytes().to_vec())
+    }
+    fn decode(bytes: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+#[test]
+fn global_cancel_interrupts_every_sweep_until_reset() {
+    assert!(!global_cancel_requested(), "flag must start clear");
+    request_global_cancel();
+    assert!(global_cancel_requested());
+
+    let cells: Vec<Toy> = (0..8).map(Toy).collect();
+    for jobs in [1usize, 3] {
+        let opts = SweepOptions {
+            jobs,
+            ..SweepOptions::serial(5)
+        };
+        let err = run_sweep_streaming(&cells, &opts, |_i, _o, _r| {}).unwrap_err();
+        assert!(
+            matches!(err, Error::Interrupted { .. }),
+            "jobs={jobs}: expected Interrupted, got {err}"
+        );
+    }
+
+    reset_global_cancel();
+    assert!(!global_cancel_requested());
+    let summary = run_sweep_streaming(&cells, &SweepOptions::serial(5), |_i, _o, _r| {}).unwrap();
+    assert_eq!(summary.completed, 8);
+}

@@ -19,21 +19,20 @@ fn main() {
         Some("cubic") => CcKind::Cubic,
         _ => CcKind::Bbr,
     };
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
-    if let Some(media) = args.get(5) {
-        cfg.path = match media.as_str() {
-            "lte" => netsim::media::MediaProfile::Lte.path_config(),
-            "wifi" => netsim::media::MediaProfile::Wifi.path_config(),
-            _ => cfg.path,
-        };
+    let mut builder = SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+        .duration(SimDuration::from_millis(12000))
+        .warmup(SimDuration::from_millis(500))
+        .pacing(if stride == 0 {
+            PacingConfig::auto()
+        } else {
+            PacingConfig::with_stride(stride)
+        });
+    match args.get(5).map(|s| s.as_str()) {
+        Some("lte") => builder = builder.media(netsim::media::MediaProfile::Lte),
+        Some("wifi") => builder = builder.media(netsim::media::MediaProfile::Wifi),
+        _ => {}
     }
-    cfg.duration = SimDuration::from_millis(12000);
-    cfg.warmup = SimDuration::from_millis(500);
-    cfg.pacing = if stride == 0 {
-        PacingConfig::auto()
-    } else {
-        PacingConfig::with_stride(stride)
-    };
+    let cfg = builder.build().expect("valid config");
     let res = StackSim::new(cfg).run();
     println!(
         "goodput = {:.1} Mbps  (fairness {:.3})",

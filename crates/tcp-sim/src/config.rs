@@ -1,0 +1,390 @@
+//! Validated construction of [`SimConfig`]: the builder-first public API.
+//!
+//! `SimConfig`'s fields are public for one more deprecation cycle, but the
+//! supported construction path is [`SimConfig::builder`] →
+//! [`SimConfigBuilder::build`], which rejects configurations the simulator
+//! would silently mis-run — most notably `warmup >= duration`, which the
+//! old `SimConfig::new` accepted and then reported a zero-length
+//! measurement window as 0 Mbps. Validation returns the workspace-wide
+//! [`sim_core::error::Error::InvalidConfig`] naming the offending field.
+
+use crate::pacing::PacingConfig;
+use crate::sim::SimConfig;
+use congestion::master::MasterConfig;
+use congestion::CcKind;
+use cpu_model::{CostModel, CpuConfig, DeviceProfile};
+use netsim::crosstraffic::CrossTrafficConfig;
+use netsim::media::{MediaProfile, PathConfig};
+use sim_core::error::{Error, Result};
+use sim_core::time::SimDuration;
+
+/// Builder for [`SimConfig`] with validation at [`build`](Self::build).
+///
+/// Starts from the same baseline as the deprecated `SimConfig::new`
+/// (Ethernet path, 6 s duration after 1 s warmup, seed 1), then applies
+/// setters in call order; nothing is checked until `build()`, so setters
+/// can be applied in any order (e.g. `duration` after `warmup`).
+///
+/// ```
+/// use tcp_sim::sim::SimConfig;
+/// use congestion::CcKind;
+/// use cpu_model::{CpuConfig, DeviceProfile};
+///
+/// let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Bbr, 4)
+///     .stride(6)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.connections, 4);
+/// ```
+#[derive(Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfig {
+    /// Start building a configuration: the given CC on the given device
+    /// config, Ethernet path, 6 simulated seconds after 1 s of warmup.
+    pub fn builder(
+        device: DeviceProfile,
+        cpu_config: CpuConfig,
+        cc: CcKind,
+        connections: usize,
+    ) -> SimConfigBuilder {
+        #[allow(deprecated)] // the builder is the one sanctioned caller
+        SimConfigBuilder {
+            cfg: SimConfig::new(device, cpu_config, cc, connections),
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Replace the network path with a medium's default configuration.
+    pub fn media(mut self, media: MediaProfile) -> Self {
+        self.cfg.path = media.path_config();
+        self
+    }
+
+    /// Replace the network path wholesale (custom links/impairments).
+    pub fn path(mut self, path: PathConfig) -> Self {
+        self.cfg.path = path;
+        self
+    }
+
+    /// Replace the stack operation cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Replace the master-module (§5) knobs.
+    pub fn master(mut self, master: MasterConfig) -> Self {
+        self.cfg.master = master;
+        self
+    }
+
+    /// Replace the whole pacing configuration.
+    pub fn pacing(mut self, pacing: PacingConfig) -> Self {
+        self.cfg.pacing = pacing;
+        self
+    }
+
+    /// Set the pacing stride (Eq. 2); 1 is stock kernel behaviour.
+    pub fn stride(mut self, stride: u64) -> Self {
+        self.cfg.pacing.stride = stride;
+        self
+    }
+
+    /// Enable/disable the §7.1.2 online stride controller.
+    pub fn auto_stride(mut self, on: bool) -> Self {
+        self.cfg.pacing.auto_stride = on;
+        self
+    }
+
+    /// Set the number of parallel connections (the paper sweeps 1–20).
+    pub fn connections(mut self, connections: usize) -> Self {
+        self.cfg.connections = connections;
+        self
+    }
+
+    /// Set the total simulated duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.cfg.duration = duration;
+        self
+    }
+
+    /// Set the warmup excluded from goodput measurement.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.cfg.warmup = warmup;
+        self
+    }
+
+    /// Set the RNG seed (netem draws, WiFi variation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the stagger between connection starts.
+    pub fn start_stagger(mut self, stagger: SimDuration) -> Self {
+        self.cfg.start_stagger = stagger;
+        self
+    }
+
+    /// Set the server-side ACK coalescing (GRO) window.
+    pub fn ack_coalesce(mut self, window: SimDuration) -> Self {
+        self.cfg.ack_coalesce = window;
+        self
+    }
+
+    /// Capture every simulated wire packet to a pcap file.
+    pub fn pcap(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.pcap = Some(path.into());
+        self
+    }
+
+    /// Add Poisson cross-traffic sharing the uplink bottleneck.
+    pub fn cross_traffic(mut self, config: CrossTrafficConfig) -> Self {
+        self.cfg.cross_traffic = Some(config);
+        self
+    }
+
+    /// Set the goodput timeline interval (`None` disables the timeline).
+    pub fn sample_interval(mut self, interval: Option<SimDuration>) -> Self {
+        self.cfg.sample_interval = interval;
+        self
+    }
+
+    /// Set the ACK cadence: `None` = GRO-coalescing server, `Some(n)` =
+    /// ACK every `n` segments.
+    pub fn ack_per_segs(mut self, cadence: Option<u64>) -> Self {
+        self.cfg.ack_per_segs = cadence;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// Rejects (as [`Error::InvalidConfig`], naming the field):
+    /// zero connections; a zero duration; `warmup >= duration` (the
+    /// measurement window would be empty and goodput would read 0 Mbps);
+    /// a zero pacing stride or socket-buffer cap; a non-positive or
+    /// non-finite pacing fallback gain; zero-capacity or zero-queue path
+    /// links; a zero ACK cadence; and a zero timeline interval.
+    pub fn build(self) -> Result<SimConfig> {
+        let cfg = self.cfg;
+        if cfg.connections == 0 {
+            return Err(Error::invalid_config(
+                "connections",
+                "at least one connection is required",
+            ));
+        }
+        if cfg.duration.is_zero() {
+            return Err(Error::invalid_config(
+                "duration",
+                "simulated duration must be positive",
+            ));
+        }
+        if cfg.warmup >= cfg.duration {
+            return Err(Error::invalid_config(
+                "warmup",
+                format!(
+                    "warmup {:?} >= duration {:?} leaves an empty measurement window",
+                    cfg.warmup, cfg.duration
+                ),
+            ));
+        }
+        if cfg.pacing.stride == 0 {
+            return Err(Error::invalid_config(
+                "pacing.stride",
+                "stride 0 would divide the pacing rate by zero; use 1 for stock behaviour",
+            ));
+        }
+        if cfg.pacing.skb_cap_bytes == 0 {
+            return Err(Error::invalid_config(
+                "pacing.skb_cap_bytes",
+                "a zero socket-buffer cap cannot carry any payload",
+            ));
+        }
+        if !(cfg.pacing.fallback_gain.is_finite() && cfg.pacing.fallback_gain > 0.0) {
+            return Err(Error::invalid_config(
+                "pacing.fallback_gain",
+                format!(
+                    "fallback gain must be finite and positive, got {}",
+                    cfg.pacing.fallback_gain
+                ),
+            ));
+        }
+        for (field, link) in [
+            ("path.forward", &cfg.path.forward),
+            ("path.reverse", &cfg.path.reverse),
+        ] {
+            if link.rate.is_zero() {
+                return Err(Error::InvalidConfig {
+                    field,
+                    reason: "link rate must be positive".into(),
+                });
+            }
+            if link.queue_packets == 0 {
+                return Err(Error::InvalidConfig {
+                    field,
+                    reason: "queue must hold at least one packet".into(),
+                });
+            }
+        }
+        if cfg.ack_per_segs == Some(0) {
+            return Err(Error::invalid_config(
+                "ack_per_segs",
+                "an ACK every 0 segments would never acknowledge anything; use None for GRO",
+            ));
+        }
+        if matches!(cfg.sample_interval, Some(iv) if iv.is_zero()) {
+            return Err(Error::invalid_config(
+                "sample_interval",
+                "a zero timeline interval would loop forever; use None to disable",
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfigBuilder {
+        SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Bbr, 2)
+    }
+
+    fn field_of(err: Error) -> &'static str {
+        match err {
+            Error::InvalidConfig { field, .. } => field,
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn baseline_builds() {
+        let cfg = base().build().expect("baseline must be valid");
+        assert_eq!(cfg.connections, 2);
+        assert!(cfg.warmup < cfg.duration);
+    }
+
+    #[test]
+    fn rejects_zero_connections() {
+        assert_eq!(
+            field_of(base().connections(0).build().unwrap_err()),
+            "connections"
+        );
+    }
+
+    #[test]
+    fn rejects_empty_measurement_window() {
+        // The regression the builder exists for: SimConfig::new accepted
+        // warmup >= duration and reported 0 Mbps from the empty window.
+        let err = base()
+            .duration(SimDuration::from_secs(2))
+            .warmup(SimDuration::from_secs(5))
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "warmup");
+        let err = base()
+            .duration(SimDuration::from_secs(2))
+            .warmup(SimDuration::from_secs(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "warmup");
+        assert!(base()
+            .duration(SimDuration::from_secs(2))
+            .warmup(SimDuration::from_millis(1999))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_duration() {
+        let err = base()
+            .duration(SimDuration::from_secs(0))
+            .warmup(SimDuration::from_secs(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "duration");
+    }
+
+    #[test]
+    fn rejects_degenerate_pacing() {
+        assert_eq!(
+            field_of(base().stride(0).build().unwrap_err()),
+            "pacing.stride"
+        );
+        let mut pacing = PacingConfig {
+            skb_cap_bytes: 0,
+            ..PacingConfig::default()
+        };
+        assert_eq!(
+            field_of(base().pacing(pacing).build().unwrap_err()),
+            "pacing.skb_cap_bytes"
+        );
+        pacing.skb_cap_bytes = 15_000;
+        pacing.fallback_gain = 0.0;
+        assert_eq!(
+            field_of(base().pacing(pacing).build().unwrap_err()),
+            "pacing.fallback_gain"
+        );
+        pacing.fallback_gain = f64::NAN;
+        assert_eq!(
+            field_of(base().pacing(pacing).build().unwrap_err()),
+            "pacing.fallback_gain"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_capacity_paths() {
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.forward.rate = sim_core::units::Bandwidth::from_bps(0);
+        assert_eq!(
+            field_of(base().path(path).build().unwrap_err()),
+            "path.forward"
+        );
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.reverse.queue_packets = 0;
+        assert_eq!(
+            field_of(base().path(path).build().unwrap_err()),
+            "path.reverse"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_ack_cadence_and_zero_interval() {
+        assert_eq!(
+            field_of(base().ack_per_segs(Some(0)).build().unwrap_err()),
+            "ack_per_segs"
+        );
+        assert_eq!(
+            field_of(
+                base()
+                    .sample_interval(Some(SimDuration::from_secs(0)))
+                    .build()
+                    .unwrap_err()
+            ),
+            "sample_interval"
+        );
+        assert!(base()
+            .ack_per_segs(None)
+            .sample_interval(None)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn setters_compose_in_any_order() {
+        let cfg = base()
+            .warmup(SimDuration::from_secs(3)) // > default duration? no: 6 s
+            .duration(SimDuration::from_secs(10))
+            .media(MediaProfile::Wifi)
+            .seed(42)
+            .build()
+            .expect("ordering must not matter before build()");
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.duration, SimDuration::from_secs(10));
+    }
+}

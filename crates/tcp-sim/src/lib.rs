@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod mutants;
 pub mod pacing;
 pub mod pool;
@@ -44,5 +45,6 @@ pub mod seq;
 pub mod sim;
 pub mod wire;
 
+pub use config::SimConfigBuilder;
 pub use pacing::{Pacer, PacingConfig};
 pub use sim::{ConnStats, SimConfig, SimResult, StackSim};

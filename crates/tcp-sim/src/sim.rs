@@ -55,7 +55,7 @@ const ADAPT_EPOCH: SimDuration = SimDuration::from_millis(300);
 /// Derives `Serialize` so the sweep engine can build a canonical,
 /// content-addressed cache key from the whole configuration (see
 /// `sim_core::sweep`).
-#[derive(Clone, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SimConfig {
     /// The phone being modelled.
     pub device: DeviceProfile,
@@ -104,6 +104,15 @@ pub struct SimConfig {
 impl SimConfig {
     /// A baseline configuration: the given CC on the given device config,
     /// Ethernet path, 5 simulated seconds after 1 s of warmup.
+    ///
+    /// Deprecated: performs no validation (it silently accepts e.g.
+    /// `warmup >= duration`, which reports 0 Mbps from an empty
+    /// measurement window). Use [`SimConfig::builder`], which validates at
+    /// `build()`. The public fields remain for one deprecation cycle.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use SimConfig::builder(..).build() — it validates the configuration"
+    )]
     pub fn new(
         device: DeviceProfile,
         cpu_config: CpuConfig,
@@ -291,9 +300,11 @@ struct Conn {
 /// use sim_core::time::SimDuration;
 /// use tcp_sim::{SimConfig, StackSim};
 ///
-/// let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 2);
-/// cfg.duration = SimDuration::from_millis(400);
-/// cfg.warmup = SimDuration::from_millis(150);
+/// let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 2)
+///     .duration(SimDuration::from_millis(400))
+///     .warmup(SimDuration::from_millis(150))
+///     .build()
+///     .expect("valid config");
 /// let result = StackSim::new(cfg).run();
 /// assert!(result.goodput_mbps() > 0.0);
 /// ```
@@ -1502,10 +1513,11 @@ mod tests {
     use netsim::media::MediaProfile;
 
     fn quick(cc: CcKind, cpu: CpuConfig, conns: usize) -> SimConfig {
-        let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
-        cfg.duration = SimDuration::from_secs(3);
-        cfg.warmup = SimDuration::from_millis(500);
-        cfg
+        SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+            .duration(SimDuration::from_secs(3))
+            .warmup(SimDuration::from_millis(500))
+            .build()
+            .expect("valid config")
     }
 
     #[test]

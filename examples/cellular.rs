@@ -15,10 +15,12 @@ use mobile_bbr::tcp_sim::{SimConfig, StackSim};
 fn main() {
     println!("LTE uplink (≤20 Mbps, ~50 ms RTT), Pixel 6 Low-End, 4 connections:\n");
     for cc in [CcKind::Cubic, CcKind::Bbr] {
-        let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4);
-        cfg.path = MediaProfile::Lte.path_config();
-        cfg.duration = SimDuration::from_secs(30);
-        cfg.warmup = SimDuration::from_secs(5);
+        let cfg = SimConfig::builder(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4)
+            .media(MediaProfile::Lte)
+            .duration(SimDuration::from_secs(30))
+            .warmup(SimDuration::from_secs(5))
+            .build()
+            .expect("valid config");
         let res = StackSim::new(cfg).run();
         println!(
             "  {cc:<6} goodput {:>5.1} Mbps   mean RTT {:>6.1} ms   retransmits {:>5}",

@@ -18,7 +18,9 @@ fn main() {
         "Running the Figure 2 sweep ({} seeds per point)…\n",
         params.seeds
     );
-    let exp = ExperimentId::Fig2.run(&params);
+    let exp = ExperimentId::Fig2
+        .run(&params)
+        .expect("experiment completes");
     println!("{}", exp.render_text());
     if exp.all_pass() {
         println!("All of Figure 2's qualitative claims reproduce.");

@@ -13,10 +13,12 @@ use mobile_bbr::sim_core::units::Bandwidth;
 use mobile_bbr::tcp_sim::{SimConfig, StackSim};
 
 fn run(label: &str, cc: CcKind, master: MasterConfig) -> f64 {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, cc, 20);
-    cfg.duration = SimDuration::from_secs(6);
-    cfg.warmup = SimDuration::from_secs(1);
-    cfg.master = master;
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, cc, 20)
+        .duration(SimDuration::from_secs(6))
+        .warmup(SimDuration::from_secs(1))
+        .master(master)
+        .build()
+        .expect("valid config");
     let res = StackSim::new(cfg).run();
     println!("  {label:<46} {:>6.1} Mbps", res.goodput_mbps());
     res.goodput_mbps()

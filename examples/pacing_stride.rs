@@ -25,15 +25,17 @@ fn main() {
 
     let mut best = (0u64, 0.0f64);
     for stride in [1u64, 2, 5, 10, 20, 50] {
-        let mut cfg = SimConfig::new(
+        let cfg = SimConfig::builder(
             DeviceProfile::pixel4(),
             CpuConfig::LowEnd,
             CcKind::Bbr,
             conns,
-        );
-        cfg.duration = SimDuration::from_secs(6);
-        cfg.warmup = SimDuration::from_secs(1);
-        cfg.pacing = PacingConfig::with_stride(stride);
+        )
+        .duration(SimDuration::from_secs(6))
+        .warmup(SimDuration::from_secs(1))
+        .pacing(PacingConfig::with_stride(stride))
+        .build()
+        .expect("valid config");
         let res = StackSim::new(cfg).run();
         if res.goodput_mbps() > best.1 {
             best = (stride, res.goodput_mbps());

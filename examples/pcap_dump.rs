@@ -16,10 +16,12 @@ use mobile_bbr::tcp_sim::{SimConfig, StackSim};
 
 fn main() {
     let path = std::env::temp_dir().join("bbr_run.pcap");
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 2);
-    cfg.duration = SimDuration::from_millis(300);
-    cfg.warmup = SimDuration::from_millis(100);
-    cfg.pcap = Some(path.clone());
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 2)
+        .duration(SimDuration::from_millis(300))
+        .warmup(SimDuration::from_millis(100))
+        .pcap(path.clone())
+        .build()
+        .expect("valid config");
     let res = StackSim::new(cfg).run();
     println!(
         "simulated 300 ms of 2-connection BBR upload: {:.1} Mbps",

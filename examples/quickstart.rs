@@ -16,9 +16,11 @@ fn main() {
     println!("Pixel 4, Low-End CPU (576 MHz LITTLE), 20 parallel uploads, 1 Gbps Ethernet:\n");
 
     for cc in [CcKind::Cubic, CcKind::Bbr] {
-        let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, cc, 20);
-        cfg.duration = SimDuration::from_secs(6);
-        cfg.warmup = SimDuration::from_secs(1);
+        let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, cc, 20)
+            .duration(SimDuration::from_secs(6))
+            .warmup(SimDuration::from_secs(1))
+            .build()
+            .expect("valid config");
         let res = StackSim::new(cfg).run();
         println!(
             "  {cc:<6} goodput {:>6.1} Mbps   mean RTT {:>5.2} ms   retransmits {:>5}   pacing timer fires {:>7}",

@@ -19,12 +19,14 @@ use mobile_bbr::sim_core::time::SimDuration;
 use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
 
 fn run(label: &str, master: MasterConfig, stride: u64) {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20);
-    cfg.duration = SimDuration::from_secs(6);
-    cfg.warmup = SimDuration::from_secs(1);
-    cfg.master = master;
-    cfg.pacing = PacingConfig::with_stride(stride);
-    cfg.path = MediaProfile::Ethernet.path_config().with_queue_packets(10);
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20)
+        .duration(SimDuration::from_secs(6))
+        .warmup(SimDuration::from_secs(1))
+        .master(master)
+        .pacing(PacingConfig::with_stride(stride))
+        .path(MediaProfile::Ethernet.path_config().with_queue_packets(10))
+        .build()
+        .expect("valid config");
     let res = StackSim::new(cfg).run();
     println!(
         "  {label:<22} goodput {:>6.1} Mbps   retransmits {:>7}   mean RTT {:>5.2} ms",

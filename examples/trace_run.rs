@@ -25,11 +25,13 @@ fn sparkline(series: &[(f64, f64)], max: f64) -> String {
 }
 
 fn run(label: &str, pacing: PacingConfig, max: f64) {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20);
-    cfg.duration = SimDuration::from_secs(12);
-    cfg.warmup = SimDuration::from_secs(1);
-    cfg.pacing = pacing;
-    cfg.sample_interval = Some(SimDuration::from_millis(500));
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20)
+        .duration(SimDuration::from_secs(12))
+        .warmup(SimDuration::from_secs(1))
+        .pacing(pacing)
+        .sample_interval(Some(SimDuration::from_millis(500)))
+        .build()
+        .expect("valid config");
     let res = StackSim::new(cfg).run();
     println!(
         "  {label:<18} {}  {:>6.1} Mbps avg",

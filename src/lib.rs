@@ -30,7 +30,9 @@
 //! ```
 //!
 //! This umbrella crate simply re-exports the member crates so examples and
-//! integration tests can use a single dependency.
+//! integration tests can use a single dependency, plus a [`prelude`] with
+//! the ~10 types almost every program needs and the workspace-wide
+//! [`Error`] type.
 
 pub use congestion;
 pub use cpu_model;
@@ -39,3 +41,31 @@ pub use iperf;
 pub use netsim;
 pub use sim_core;
 pub use tcp_sim;
+
+/// The workspace-wide error type (`sim_core::Error`): configuration
+/// validation, checkpoint/cache I/O, trace decoding, cancellation. Map to
+/// a process exit code with [`Error::exit_code`](sim_core::error::Error::exit_code).
+pub use sim_core::error::{Error, Result};
+
+/// The types almost every program against this workspace touches.
+///
+/// ```
+/// use mobile_bbr::prelude::*;
+///
+/// let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 2)
+///     .duration(SimDuration::from_millis(500))
+///     .warmup(SimDuration::from_millis(200))
+///     .build()
+///     .expect("valid config");
+/// assert!(StackSim::new(cfg).run().goodput_mbps() > 0.0);
+/// ```
+pub mod prelude {
+    pub use congestion::CcKind;
+    pub use cpu_model::{CpuConfig, DeviceProfile};
+    pub use experiments::{ExperimentId, Params};
+    pub use netsim::media::MediaProfile;
+    pub use sim_core::error::{Error, Result};
+    pub use sim_core::sweep::{run_sweep_streaming, CancelToken, SweepOptions};
+    pub use sim_core::time::SimDuration;
+    pub use tcp_sim::{SimConfig, SimConfigBuilder, SimResult, StackSim};
+}

@@ -17,9 +17,11 @@ fn table1_configurations_scale_goodput_monotonically() {
     // More CPU never hurts: Low ≤ Mid ≤ High for both algorithms.
     for cc in [CcKind::Cubic, CcKind::Bbr] {
         let g = |cpu| {
-            let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, 4);
-            cfg.duration = SimDuration::from_millis(2_000);
-            cfg.warmup = SimDuration::from_millis(500);
+            let cfg = SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, 4)
+                .duration(SimDuration::from_millis(2_000))
+                .warmup(SimDuration::from_millis(500))
+                .build()
+                .expect("valid config");
             StackSim::new(cfg).run().goodput_mbps()
         };
         let low = g(CpuConfig::LowEnd);
@@ -38,10 +40,12 @@ fn all_media_profiles_run_all_algorithms() {
         MediaProfile::Lte,
     ] {
         for cc in [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2, CcKind::Reno] {
-            let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::MidEnd, cc, 2);
-            cfg.path = media.path_config();
-            cfg.duration = SimDuration::from_millis(1_500);
-            cfg.warmup = SimDuration::from_millis(500);
+            let cfg = SimConfig::builder(DeviceProfile::pixel6(), CpuConfig::MidEnd, cc, 2)
+                .media(media)
+                .duration(SimDuration::from_millis(1_500))
+                .warmup(SimDuration::from_millis(500))
+                .build()
+                .expect("valid config");
             let res = StackSim::new(cfg).run();
             assert!(
                 res.goodput_mbps() > 0.5,
@@ -85,9 +89,11 @@ fn master_module_knobs_compose() {
 fn custom_cost_model_changes_outcomes() {
     // Free timers (the §7.1.4 hardware-pacing hypothetical) must help
     // paced BBR on a slow core.
-    let mut stock = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20);
-    stock.duration = SimDuration::from_millis(2_500);
-    stock.warmup = SimDuration::from_millis(600);
+    let stock = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 20)
+        .duration(SimDuration::from_millis(2_500))
+        .warmup(SimDuration::from_millis(600))
+        .build()
+        .expect("valid config");
     let mut free = stock.clone();
     free.cost = CostModel::mobile_default().with_free_timers();
     let stock_g = StackSim::new(stock).run().goodput_mbps();
@@ -100,10 +106,12 @@ fn custom_cost_model_changes_outcomes() {
 
 #[test]
 fn stride_config_flows_through_runner() {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 10);
-    cfg.duration = SimDuration::from_millis(1_500);
-    cfg.warmup = SimDuration::from_millis(500);
-    cfg.pacing = PacingConfig::with_stride(10);
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::LowEnd, CcKind::Bbr, 10)
+        .duration(SimDuration::from_millis(1_500))
+        .warmup(SimDuration::from_millis(500))
+        .pacing(PacingConfig::with_stride(10))
+        .build()
+        .expect("valid config");
     let rep = run_averaged(&RunSpec::new("stride10", cfg, 2));
     assert_eq!(rep.seeds.len(), 2);
     assert!(rep.goodput_mbps > 0.0);
@@ -113,7 +121,9 @@ fn stride_config_flows_through_runner() {
 #[test]
 fn experiment_ids_run_from_the_umbrella_crate() {
     // Smoke-run one cheap experiment through the full public pipeline.
-    let exp = ExperimentId::Bbr2Wifi.run(&Params::smoke());
+    let exp = ExperimentId::Bbr2Wifi
+        .run(&Params::smoke())
+        .expect("experiment completes");
     assert_eq!(exp.table.rows.len(), 3);
     let md = exp.render_markdown();
     assert!(md.contains("BBR2"));
@@ -126,15 +136,17 @@ fn fixed_rate_pacing_is_precise_end_to_end() {
     // Closed-form check: 4 flows pinned at 50 Mbps each through an idle
     // gigabit path on an unconstrained CPU must deliver ~200 Mbps — the
     // EDT pacer is exact, so the only slack is warmup/rounding.
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Bbr, 4);
-    cfg.duration = SimDuration::from_secs(3);
-    cfg.warmup = SimDuration::from_secs(1);
-    cfg.master = MasterConfig {
-        fixed_cwnd: Some(500),
-        fixed_pacing_rate: Some(Bandwidth::from_mbps(50).as_bps()),
-        force_pacing: Some(true),
-        disable_model: true,
-    };
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Bbr, 4)
+        .duration(SimDuration::from_secs(3))
+        .warmup(SimDuration::from_secs(1))
+        .master(MasterConfig {
+            fixed_cwnd: Some(500),
+            fixed_pacing_rate: Some(Bandwidth::from_mbps(50).as_bps()),
+            force_pacing: Some(true),
+            disable_model: true,
+        })
+        .build()
+        .expect("valid config");
     let res = StackSim::new(cfg).run();
     let got = res.goodput_mbps();
     assert!(
@@ -147,11 +159,13 @@ fn fixed_rate_pacing_is_precise_end_to_end() {
 #[test]
 fn seeds_vary_results_but_not_structure() {
     let mk = |seed| {
-        let mut cfg = SimConfig::new(DeviceProfile::pixel4(), CpuConfig::MidEnd, CcKind::Bbr, 3);
-        cfg.duration = SimDuration::from_millis(1_500);
-        cfg.warmup = SimDuration::from_millis(500);
-        cfg.seed = seed;
-        cfg.path = MediaProfile::Wifi.path_config(); // seed-sensitive medium
+        let cfg = SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::MidEnd, CcKind::Bbr, 3)
+            .duration(SimDuration::from_millis(1_500))
+            .warmup(SimDuration::from_millis(500))
+            .seed(seed)
+            .media(MediaProfile::Wifi) // seed-sensitive medium
+            .build()
+            .expect("valid config");
         StackSim::new(cfg).run()
     };
     let a = mk(1);

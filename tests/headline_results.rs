@@ -12,10 +12,11 @@ use mobile_bbr::sim_core::time::SimDuration;
 use mobile_bbr::tcp_sim::{PacingConfig, SimConfig, StackSim};
 
 fn base(cc: CcKind, cpu: CpuConfig, conns: usize) -> SimConfig {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
-    cfg.duration = SimDuration::from_millis(3_500);
-    cfg.warmup = SimDuration::from_millis(800);
-    cfg
+    SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+        .duration(SimDuration::from_millis(3_500))
+        .warmup(SimDuration::from_millis(800))
+        .build()
+        .expect("valid config")
 }
 
 fn goodput(cfg: SimConfig) -> f64 {
@@ -162,10 +163,12 @@ fn headline_stride_recovers_goodput() {
 fn headline_lte_parity() {
     let mut results = Vec::new();
     for cc in [CcKind::Cubic, CcKind::Bbr] {
-        let mut cfg = SimConfig::new(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4);
-        cfg.path = MediaProfile::Lte.path_config();
-        cfg.duration = SimDuration::from_secs(25);
-        cfg.warmup = SimDuration::from_secs(5);
+        let cfg = SimConfig::builder(DeviceProfile::pixel6(), CpuConfig::LowEnd, cc, 4)
+            .media(MediaProfile::Lte)
+            .duration(SimDuration::from_secs(25))
+            .warmup(SimDuration::from_secs(5))
+            .build()
+            .expect("valid config");
         results.push(goodput(cfg));
     }
     let ratio = results[1] / results[0];

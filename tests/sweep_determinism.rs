@@ -21,7 +21,10 @@ fn smoke_with_jobs(jobs: usize) -> Params {
 }
 
 fn run_all(params: &Params) -> Vec<Experiment> {
-    ExperimentId::ALL.iter().map(|id| id.run(params)).collect()
+    ExperimentId::ALL
+        .iter()
+        .map(|id| id.run(params).expect("uncancelled experiment completes"))
+        .collect()
 }
 
 /// The exact bytes `repro --json` writes.

@@ -20,12 +20,14 @@ fn run_one(
     stride: u64,
     seed: u64,
 ) -> SimResult {
-    let mut cfg = SimConfig::new(DeviceProfile::pixel4(), cpu, cc, conns);
-    cfg.path = media.path_config();
-    cfg.duration = SimDuration::from_millis(700);
-    cfg.warmup = SimDuration::from_millis(250);
-    cfg.pacing = PacingConfig::with_stride(stride);
-    cfg.seed = seed;
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+        .media(media)
+        .duration(SimDuration::from_millis(700))
+        .warmup(SimDuration::from_millis(250))
+        .pacing(PacingConfig::with_stride(stride))
+        .seed(seed)
+        .build()
+        .expect("valid config");
     StackSim::new(cfg).run()
 }
 

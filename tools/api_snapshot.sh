@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Snapshot the workspace's public API surface into a sorted, diffable
+# golden file, or verify the committed golden is current.
+#
+#   tools/api_snapshot.sh            # rewrite API_SURFACE.txt
+#   tools/api_snapshot.sh --check    # diff against API_SURFACE.txt; exit 1
+#                                    # on drift (the CI api-surface job)
+#
+# The snapshot is every `pub` item line in the library sources (the
+# umbrella crate plus crates/*/src), excluding binaries, benches, and
+# anything after a `#[cfg(test)]` marker in a file (test modules sit at
+# the bottom of files in this repo). `pub(crate)`/`pub(super)` items are
+# not public API and are not matched. This is a textual tripwire, not a
+# semantic API model: any intentional surface change is a one-command
+# regeneration away, while an accidental one fails CI with a readable
+# diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN="API_SURFACE.txt"
+
+snapshot() {
+    find src/lib.rs crates/*/src -name '*.rs' \
+        ! -path '*/bin/*' ! -path '*/benches/*' ! -path '*/tests/*' -print0 |
+        LC_ALL=C sort -z |
+        xargs -0 awk '
+            FNR == 1 { skip = 0 }
+            /#\[cfg\(test\)\]/ { skip = 1 }
+            !skip && /^[[:space:]]*pub (fn|struct|enum|trait|type|const|static|mod|use|macro_rules!) / {
+                line = $0
+                sub(/^[[:space:]]+/, "", line)
+                sub(/[[:space:]]*\{[^}]*$/, "", line)
+                sub(/[[:space:]]+$/, "", line)
+                print FILENAME ": " line
+            }' |
+        LC_ALL=C sort
+}
+
+case "${1:---write}" in
+--write)
+    snapshot >"$GOLDEN"
+    echo "wrote $GOLDEN ($(wc -l <"$GOLDEN") items)"
+    ;;
+--check)
+    if ! snapshot | diff -u "$GOLDEN" - >&2; then
+        echo "error: public API surface drifted from $GOLDEN." >&2
+        echo "If the change is intentional, run tools/api_snapshot.sh and commit the result." >&2
+        exit 1
+    fi
+    echo "$GOLDEN is current"
+    ;;
+*)
+    echo "usage: tools/api_snapshot.sh [--write|--check]" >&2
+    exit 2
+    ;;
+esac
