@@ -132,13 +132,48 @@ fn inspect(path: &str) {
     }
 }
 
+/// The cost-model cycle categories the stack charges
+/// (`cpu_model::Cpu::execute_tagged` call sites in `tcp_sim::sim`), in
+/// trace spelling:
+///
+/// * `timers`    — pacing/delack/RTO timer-fire fixed costs
+/// * `acks`      — per-ACK processing
+/// * `cc-model`  — congestion-control model computation per ACK
+/// * `bytes`     — per-byte transmit work
+/// * `skb-fixed` — per-socket-buffer transmit fixed cost
+/// * `retransmit`— retransmission fixed cost
+/// * `rto`       — RTO recovery processing
+/// * `other`     — untagged `Cpu::execute` charges
+///
+/// `trace top` aggregates by whatever category string a `cpu_span`
+/// carries; anything outside this list is reported under its own name
+/// with a warning (never silently folded into `other`), so a renamed or
+/// new call-site tag is visible instead of vanishing into the bucket.
+const KNOWN_CATEGORIES: [&str; 8] = [
+    "timers",
+    "acks",
+    "cc-model",
+    "bytes",
+    "skb-fixed",
+    "retransmit",
+    "rto",
+    "other",
+];
+
 /// `trace top`: rank CPU cost categories by total modelled cycles.
+///
+/// Categories are the [`KNOWN_CATEGORIES`] cost-model tags; unknown tags
+/// are kept separate and flagged on stderr.
 fn top(path: &str) {
     let trace = load(path);
     // cpu_span: conn = category name, b = cycles.
     let mut cycles: BTreeMap<String, u64> = BTreeMap::new();
+    let mut unknown: Vec<String> = Vec::new();
     for v in trace.lines.iter().filter(|v| kind(v) == "cpu_span") {
         let cat = v.get("conn").and_then(Value::as_str).unwrap_or("?");
+        if !KNOWN_CATEGORIES.contains(&cat) && !unknown.iter().any(|u| u == cat) {
+            unknown.push(cat.to_string());
+        }
         *cycles.entry(cat.to_string()).or_default() += num(v, "b");
     }
     if cycles.is_empty() {
@@ -156,6 +191,24 @@ fn top(path: &str) {
             "  {:>10.1} Mcycles  {:>5.1} %  {cat}",
             c as f64 / 1e6,
             100.0 * c as f64 / total as f64
+        );
+    }
+    if !unknown.is_empty() {
+        unknown.sort();
+        eprintln!(
+            "warning: {} categor{} not in the known cost-model set \
+             ({}): {} — listed under {} own name{}, not folded into \
+             \"other\"; update KNOWN_CATEGORIES if intentional",
+            unknown.len(),
+            if unknown.len() == 1 {
+                "y is"
+            } else {
+                "ies are"
+            },
+            KNOWN_CATEGORIES.join(", "),
+            unknown.join(", "),
+            if unknown.len() == 1 { "its" } else { "their" },
+            if unknown.len() == 1 { "" } else { "s" },
         );
     }
 }

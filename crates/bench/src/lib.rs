@@ -21,6 +21,8 @@
 //!   `simcheck-mutants` feature) proves each intentional mutation in
 //!   `tcp_sim::mutants` is caught.
 
+#![warn(missing_docs)]
+
 pub mod cancel;
 pub mod simcheck;
 

@@ -32,6 +32,8 @@
 //! println!("{}", exp.render_text());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod autostride;
 pub mod bbr2_wifi;
 pub mod checks;

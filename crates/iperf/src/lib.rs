@@ -11,6 +11,8 @@
 //! [`report::RunReport`] with mean ± standard deviation. Determinism means
 //! a report is exactly reproducible from its seed list.
 
+#![warn(missing_docs)]
+
 pub mod report;
 pub mod runner;
 pub mod sweep;

@@ -191,7 +191,7 @@ impl CheckpointStore {
     }
 
     /// Record one completed cell. Buffered; an fsync'd flush happens every
-    /// [`FLUSH_EVERY`] records and at [`finalize`](Self::finalize).
+    /// `FLUSH_EVERY` (32) records and at [`finalize`](Self::finalize).
     pub fn append(&mut self, digest: &[u8; 16], payload: &[u8]) -> Result<(), Error> {
         let mut body = Vec::with_capacity(16 + payload.len());
         body.extend_from_slice(digest);

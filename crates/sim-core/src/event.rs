@@ -15,7 +15,7 @@
 //!
 //! # Implementation: hierarchical timer wheel over a slab
 //!
-//! The queue is a kernel-style hierarchical timer wheel: [`LEVELS`] levels of
+//! The queue is a kernel-style hierarchical timer wheel: `LEVELS` (6) levels of
 //! 64 slots each, covering `SimTime` nanoseconds. An event at absolute time
 //! `at` lives at the level of the highest bit in which `at` differs from the
 //! wheel's `elapsed` cursor (6 bits per level), in the slot given by `at`'s
@@ -35,7 +35,7 @@
 //! act on the cell's next occupant.
 //!
 //! `schedule_at` and `cancel` are O(1); `pop` is O(1) amortised (cascades
-//! touch each event at most [`LEVELS`] times over its lifetime). There is no
+//! touch each event at most `LEVELS` times over its lifetime). There is no
 //! hashing and no per-event allocation anywhere on the hot path.
 //!
 //! ## Why pop order is identical to the old binary heap's
@@ -58,7 +58,29 @@
 //!   empty.
 //!
 //! This contract is enforced by a differential property test against the
-//! retained heap implementation in [`reference`].
+//! retained heap implementation in [`reference`](mod@self::reference).
+//!
+//! # Batched dispatch: same-timestamp runs
+//!
+//! Discrete-event simulators spend their lives in the pop loop, and the
+//! common case is a *run*: several events sharing one timestamp (a burst of
+//! packet arrivals, coincident pacing timers). [`EventQueue::pop_run`] pops
+//! an entire run in one call — one occupancy scan, one slot detach — instead
+//! of re-walking the wheel per event. The events are *staged* rather than
+//! delivered: [`EventQueue::run_next`] hands them out one at a time, and
+//! until a staged event is handed out it can still be cancelled (a handler
+//! early in the run may cancel a timer that shares its timestamp; the cancel
+//! must win, exactly as it does under one-at-a-time `pop`).
+//!
+//! Run order equals `pop` order by construction: a level-0 slot is one exact
+//! nanosecond, its list is appended in schedule order, and `pop_run` stages
+//! the list head→tail. The only semantic difference from repeated `pop` is
+//! that the clock advances to the run's timestamp when the run is popped, so
+//! if *every* staged event is then cancelled the clock still reads the run's
+//! timestamp — which is still monotone and still at most the next pending
+//! event's time. The differential proptest extends over `pop_run` (including
+//! mid-run cancellation) to prove run order equals the heap's `(at, seq)`
+//! order.
 //!
 //! The event payload `E` is chosen by the layer that owns the simulation
 //! (the TCP stack simulator defines an event enum covering timer fires,
@@ -140,6 +162,9 @@ enum Loc {
     Overflow,
     /// In wheel list `level`/`slot`.
     Wheel { level: u8, slot: u8 },
+    /// Popped as part of a run by [`EventQueue::pop_run`] but not yet handed
+    /// out by [`EventQueue::run_next`]: off every list, still cancellable.
+    Staged,
 }
 
 struct Cell<E> {
@@ -186,6 +211,15 @@ pub struct EventQueue<E> {
     /// through cascade block starts internally.
     elapsed: u64,
     now: SimTime,
+    /// The current staged run: `(idx, gen)` of cells popped by
+    /// [`Self::pop_run`] but not yet dispatched by [`Self::run_next`]. A
+    /// staged cell that is cancelled gets its generation bumped, so its
+    /// entry here goes stale and `run_next` skips it.
+    run: Vec<(u32, u32)>,
+    /// Next undispatched entry in `run`.
+    run_cursor: usize,
+    /// Timestamp shared by every event in the current staged run.
+    run_at: SimTime,
     len: usize,
     popped: u64,
     scheduled: u64,
@@ -214,6 +248,9 @@ impl<E> EventQueue<E> {
             ovf_tail: NIL,
             elapsed: 0,
             now: SimTime::ZERO,
+            run: Vec::new(),
+            run_cursor: 0,
+            run_at: SimTime::ZERO,
             len: 0,
             popped: 0,
             scheduled: 0,
@@ -337,7 +374,18 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is empty.
+    ///
+    /// Interoperates with [`Self::pop_run`]: any events still staged from an
+    /// undrained run are delivered first, so mixing the two APIs observes
+    /// the same single stream.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        // Cheap guard first: outside batched dispatch the staged run is
+        // empty and this is a single compare, keeping `pop` itself inlinable.
+        if self.run_cursor < self.run.len() {
+            if let Some(ev) = self.run_next() {
+                return Some(ev);
+            }
+        }
         if self.len == 0 {
             return None;
         }
@@ -408,88 +456,244 @@ impl<E> EventQueue<E> {
                         event: event.expect("pending cell holds a payload"),
                     });
                 }
-                // Enter the earliest block at this level and cascade the whole
-                // slot list down, head→tail so schedule order is preserved.
-                //
-                // The cursor jumps to the *earliest timestamp in the block*,
-                // not the block start: every other pending event lives in a
-                // strictly later block (higher slot at this level, or a higher
-                // level, or overflow), so `elapsed = min_at` keeps the cursor
-                // ≤ every pending event while letting a sparse block's
-                // earliest event re-place directly into level 0 instead of
-                // cascading once per intermediate level. This is what makes
-                // the single-timer rearm pattern (one flow re-arming its
-                // pacing timer) one cascade per pop rather than `level`.
-                let mut min_at = u64::MAX;
-                let mut idx = pair_head(pair);
-                while idx != NIL {
-                    let c = &self.cells[idx as usize];
-                    min_at = min_at.min(c.at.as_nanos());
-                    idx = c.next;
-                }
-                debug_assert!(min_at >= self.elapsed);
-                self.elapsed = min_at;
-                let mut idx = pair_head(pair);
-                self.slots[li] = NIL_PAIR;
-                self.occ[level] &= !(1u64 << slot);
-                if self.occ[level] == 0 {
-                    self.level_occ &= !(1u8 << level);
-                }
-                let mut moved = 0u64;
-                while idx != NIL {
-                    let c = &self.cells[idx as usize];
-                    let (next, at) = (c.next, c.at.as_nanos());
-                    self.place(idx, at);
-                    idx = next;
-                    moved += 1;
-                }
-                self.tracer.record(
-                    SimTime::from_nanos(min_at),
-                    TraceKind::WheelCascade,
-                    0,
-                    level as u64,
-                    moved,
-                );
+                self.cascade(level, slot, pair);
             } else {
-                // Wheel empty but len > 0: everything pending is in overflow.
-                // Jump the cursor to the earliest overflow timestamp (all
-                // pending events are in overflow, so the minimum bounds them
-                // all) and pull that event's wheel-horizon block into the
-                // wheel, preserving schedule order (the overflow list is
-                // appended in schedule order).
-                debug_assert!(self.ovf_head != NIL);
-                let mut min_at = u64::MAX;
-                let mut idx = self.ovf_head;
-                while idx != NIL {
-                    let c = &self.cells[idx as usize];
-                    min_at = min_at.min(c.at.as_nanos());
-                    idx = c.next;
-                }
-                debug_assert!(min_at > self.elapsed);
-                self.elapsed = min_at;
-                let mut idx = self.ovf_head;
-                let mut moved = 0u64;
-                while idx != NIL {
-                    let c = &self.cells[idx as usize];
-                    let (next, at) = (c.next, c.at.as_nanos());
-                    if at >> WHEEL_BITS == min_at >> WHEEL_BITS {
-                        self.unlink(idx);
-                        self.place(idx, at);
-                        moved += 1;
-                    }
-                    idx = next;
-                }
-                // Overflow pulls are cascades from the virtual level above
-                // the wheel.
-                self.tracer.record(
-                    SimTime::from_nanos(min_at),
-                    TraceKind::WheelCascade,
-                    0,
-                    LEVELS as u64,
-                    moved,
-                );
+                self.pull_overflow();
             }
         }
+    }
+
+    /// Pop the entire earliest same-timestamp run in one call, advancing the
+    /// clock to its timestamp. Returns that timestamp, or `None` when the
+    /// queue is empty.
+    ///
+    /// The run's events are *staged*, not delivered: retrieve them in order
+    /// with [`Self::run_next`] (or preview with [`Self::run_peek`]). Until
+    /// an event is handed out it remains cancellable — a handler dispatched
+    /// early in the run may [`Self::cancel`] a later event of the same run
+    /// and the cancel wins, exactly as under one-at-a-time [`Self::pop`].
+    /// Events scheduled *at* the run's timestamp while it drains fire after
+    /// the staged events, matching `pop`'s FIFO tie-break.
+    ///
+    /// Run order is `pop` order: a level-0 slot holds exactly one
+    /// nanosecond's events in schedule order, so one slot detach yields the
+    /// whole run without re-walking the wheel per event.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the previous run has undispatched live
+    /// events — drain with [`Self::run_next`] (or [`Self::pop`]) first.
+    pub fn pop_run(&mut self) -> Option<SimTime> {
+        debug_assert!(
+            !self.run_pending(),
+            "pop_run called with an undispatched staged run"
+        );
+        self.run.clear();
+        self.run_cursor = 0;
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let level = self.level_occ.trailing_zeros() as usize;
+            if level == 0 {
+                // One level-0 slot == one nanosecond == one run: stage the
+                // whole list head→tail (schedule order).
+                let slot = self.occ[0].trailing_zeros() as usize;
+                debug_assert!(slot as u64 >= (self.elapsed & (SLOTS as u64 - 1)));
+                let mut idx = pair_head(self.slots[slot]);
+                let at = self.cells[idx as usize].at;
+                while idx != NIL {
+                    let c = &mut self.cells[idx as usize];
+                    debug_assert_eq!(c.at, at, "level-0 slot mixes timestamps");
+                    c.loc = Loc::Staged;
+                    self.run.push((idx, c.gen));
+                    idx = c.next;
+                }
+                self.slots[slot] = NIL_PAIR;
+                self.occ[0] &= !(1u64 << slot);
+                if self.occ[0] == 0 {
+                    self.level_occ &= !1;
+                }
+                debug_assert!(at >= self.now, "event queue time went backwards");
+                self.now = at;
+                self.elapsed = at.as_nanos();
+                self.run_at = at;
+                return Some(at);
+            } else if level < LEVELS {
+                let slot = self.occ[level].trailing_zeros() as usize;
+                let li = level * SLOTS + slot;
+                // Same sparse fast path as `pop`: a lone cell at the lowest
+                // non-empty level is the global minimum, and same-time
+                // events always share a slot, so it is a run of one. The
+                // cursor stays put, as in `pop`.
+                let pair = self.slots[li];
+                if pair_head(pair) == pair_tail(pair) {
+                    let idx = pair_head(pair);
+                    self.slots[li] = NIL_PAIR;
+                    self.occ[level] &= !(1u64 << slot);
+                    if self.occ[level] == 0 {
+                        self.level_occ &= !(1u8 << level);
+                    }
+                    let c = &mut self.cells[idx as usize];
+                    let at = c.at;
+                    c.loc = Loc::Staged;
+                    self.run.push((idx, c.gen));
+                    debug_assert!(at >= self.now, "event queue time went backwards");
+                    self.now = at;
+                    self.run_at = at;
+                    return Some(at);
+                }
+                self.cascade(level, slot, pair);
+            } else {
+                self.pull_overflow();
+            }
+        }
+    }
+
+    /// Dispatch the next live event of the staged run popped by
+    /// [`Self::pop_run`]. Returns `None` once the run is exhausted (staged
+    /// events cancelled in the meantime are skipped, not delivered).
+    pub fn run_next(&mut self) -> Option<ScheduledEvent<E>> {
+        while self.run_cursor < self.run.len() {
+            let (idx, gen) = self.run[self.run_cursor];
+            self.run_cursor += 1;
+            let c = &self.cells[idx as usize];
+            if c.gen != gen {
+                // Cancelled while staged: `release` bumped the generation,
+                // leaving this entry stale.
+                continue;
+            }
+            debug_assert!(c.loc == Loc::Staged, "live staged entry not staged");
+            let (at, event) = self.release(idx);
+            debug_assert_eq!(at, self.run_at, "staged run mixes timestamps");
+            self.len -= 1;
+            self.popped += 1;
+            let token = TimerToken::new(gen, idx);
+            self.tracer.record(at, TraceKind::WheelPop, 0, token.0, 0);
+            return Some(ScheduledEvent {
+                at,
+                token,
+                event: event.expect("staged cell holds a payload"),
+            });
+        }
+        None
+    }
+
+    /// Preview the event [`Self::run_next`] would dispatch next, without
+    /// consuming it. `None` once the current run is exhausted.
+    ///
+    /// This is what lets a dispatch loop coalesce consecutive same-kind
+    /// events (e.g. a burst of ACK arrivals for one connection) into a
+    /// single batched handler pass: peek, test, then `run_next` to commit.
+    pub fn run_peek(&self) -> Option<&E> {
+        self.run[self.run_cursor..]
+            .iter()
+            .find(|&&(idx, gen)| self.cells[idx as usize].gen == gen)
+            .map(|&(idx, _)| {
+                self.cells[idx as usize]
+                    .event
+                    .as_ref()
+                    .expect("staged cell holds a payload")
+            })
+    }
+
+    /// True if the current staged run still holds undispatched live events.
+    fn run_pending(&self) -> bool {
+        self.run[self.run_cursor..]
+            .iter()
+            .any(|&(idx, gen)| self.cells[idx as usize].gen == gen)
+    }
+
+    /// Cascade wheel slot `level`/`slot` (content `pair`, multi-occupant)
+    /// one or more levels down, advancing the cursor to the earliest
+    /// timestamp in the block.
+    ///
+    /// The cursor jumps to the *earliest timestamp in the block*, not the
+    /// block start: every other pending event lives in a strictly later
+    /// block (higher slot at this level, or a higher level, or overflow),
+    /// so `elapsed = min_at` keeps the cursor ≤ every pending event while
+    /// letting a sparse block's earliest event re-place directly into level
+    /// 0 instead of cascading once per intermediate level. This is what
+    /// makes the single-timer rearm pattern (one flow re-arming its pacing
+    /// timer) one cascade per pop rather than `level`. Re-placement walks
+    /// head→tail so schedule order is preserved.
+    ///
+    /// Inlined into both `pop` and `pop_run`: the cascade is on the pop hot
+    /// path whenever timers live above level 0 (every pacing/RTO re-arm
+    /// pattern), and the out-of-line call costs ~8% on the churn bench.
+    #[inline]
+    fn cascade(&mut self, level: usize, slot: usize, pair: u64) {
+        let li = level * SLOTS + slot;
+        debug_assert_eq!(self.slots[li], pair);
+        let mut min_at = u64::MAX;
+        let mut idx = pair_head(pair);
+        while idx != NIL {
+            let c = &self.cells[idx as usize];
+            min_at = min_at.min(c.at.as_nanos());
+            idx = c.next;
+        }
+        debug_assert!(min_at >= self.elapsed);
+        self.elapsed = min_at;
+        let mut idx = pair_head(pair);
+        self.slots[li] = NIL_PAIR;
+        self.occ[level] &= !(1u64 << slot);
+        if self.occ[level] == 0 {
+            self.level_occ &= !(1u8 << level);
+        }
+        let mut moved = 0u64;
+        while idx != NIL {
+            let c = &self.cells[idx as usize];
+            let (next, at) = (c.next, c.at.as_nanos());
+            self.place(idx, at);
+            idx = next;
+            moved += 1;
+        }
+        self.tracer.record(
+            SimTime::from_nanos(min_at),
+            TraceKind::WheelCascade,
+            0,
+            level as u64,
+            moved,
+        );
+    }
+
+    /// Wheel empty but events pending: everything lives in overflow. Jump
+    /// the cursor to the earliest overflow timestamp (the minimum bounds
+    /// all pending events) and pull that event's wheel-horizon block into
+    /// the wheel, preserving schedule order (the overflow list is appended
+    /// in schedule order).
+    #[inline]
+    fn pull_overflow(&mut self) {
+        debug_assert!(self.ovf_head != NIL);
+        let mut min_at = u64::MAX;
+        let mut idx = self.ovf_head;
+        while idx != NIL {
+            let c = &self.cells[idx as usize];
+            min_at = min_at.min(c.at.as_nanos());
+            idx = c.next;
+        }
+        debug_assert!(min_at > self.elapsed);
+        self.elapsed = min_at;
+        let mut idx = self.ovf_head;
+        let mut moved = 0u64;
+        while idx != NIL {
+            let c = &self.cells[idx as usize];
+            let (next, at) = (c.next, c.at.as_nanos());
+            if at >> WHEEL_BITS == min_at >> WHEEL_BITS {
+                self.unlink(idx);
+                self.place(idx, at);
+                moved += 1;
+            }
+            idx = next;
+        }
+        // Overflow pulls are cascades from the virtual level above the
+        // wheel.
+        self.tracer.record(
+            SimTime::from_nanos(min_at),
+            TraceKind::WheelCascade,
+            0,
+            LEVELS as u64,
+            moved,
+        );
     }
 
     /// Peek at the firing time of the next pending event without popping.
@@ -499,6 +703,10 @@ impl<E> EventQueue<E> {
     /// level-0 block; otherwise a short scan of one slot list (or of the
     /// overflow list when nothing is within the wheel horizon).
     pub fn peek_time(&self) -> Option<SimTime> {
+        // Undispatched staged events fire first, at the run's timestamp.
+        if self.run_pending() {
+            return Some(self.run_at);
+        }
         if self.len == 0 {
             return None;
         }
@@ -658,6 +866,10 @@ impl<E> EventQueue<E> {
                     }
                 }
             }
+            // A staged cell is on no list: its run entry goes stale when the
+            // caller releases the cell (generation bump), so there is
+            // nothing to unlink.
+            Loc::Staged => {}
             Loc::Free => unreachable!("unlink of a free cell"),
         }
     }
@@ -877,6 +1089,166 @@ mod tests {
             "steady-state churn must recycle cells, slab grew to {}",
             q.slab_capacity()
         );
+    }
+
+    #[test]
+    fn pop_run_batches_equal_timestamps() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..5 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(t + SimDuration::from_nanos(1), 100);
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.now(), t);
+        let run: Vec<_> = std::iter::from_fn(|| q.run_next().map(|e| e.event)).collect();
+        assert_eq!(run, vec![0, 1, 2, 3, 4], "run is FIFO within the timestamp");
+        assert_eq!(q.pop_run(), Some(t + SimDuration::from_nanos(1)));
+        assert_eq!(q.run_next().unwrap().event, 100);
+        assert!(q.run_next().is_none());
+        assert_eq!(q.pop_run(), None);
+    }
+
+    #[test]
+    fn pop_run_matches_pop_stream() {
+        // The batched stream must equal the one-at-a-time stream on a
+        // workload mixing runs, singleton higher-level slots, and overflow.
+        let times = [
+            3u64,
+            3,
+            3,
+            64,
+            65,
+            65,
+            40_000_000,
+            40_000_000,
+            200_000_000_000,
+            200_000_000_000,
+        ];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule_at(SimTime::from_nanos(t), i);
+            b.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut from_pop = Vec::new();
+        while let Some(e) = a.pop() {
+            from_pop.push((e.at, e.event));
+        }
+        let mut from_runs = Vec::new();
+        while let Some(at) = b.pop_run() {
+            while let Some(e) = b.run_next() {
+                assert_eq!(e.at, at);
+                from_runs.push((e.at, e.event));
+            }
+        }
+        assert_eq!(from_pop, from_runs);
+        assert_eq!(a.popped(), b.popped());
+    }
+
+    #[test]
+    fn staged_events_remain_cancellable_mid_run() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule_at(t, "first");
+        let victim = q.schedule_at(t, "victim");
+        q.schedule_at(t, "last");
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.run_next().unwrap().event, "first");
+        // A handler early in the run cancels a later same-timestamp event:
+        // the cancel must win, exactly as under one-at-a-time pop.
+        assert!(q.cancel(victim), "staged event must still be cancellable");
+        assert!(!q.cancel(victim), "second cancel is stale");
+        assert_eq!(q.run_next().unwrap().event, "last");
+        assert!(q.run_next().is_none());
+        assert_eq!(q.popped(), 2);
+        assert_eq!(q.cancelled(), 1);
+        assert_eq!(
+            q.scheduled(),
+            q.popped() + q.cancelled() + q.len() as u64,
+            "conservation must hold across staged cancellation"
+        );
+    }
+
+    #[test]
+    fn run_peek_previews_without_consuming() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(2);
+        q.schedule_at(t, 7u32);
+        let victim = q.schedule_at(t, 8u32);
+        q.schedule_at(t, 9u32);
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.run_peek(), Some(&7));
+        assert_eq!(q.run_peek(), Some(&7), "peek must not consume");
+        assert_eq!(q.run_next().unwrap().event, 7);
+        q.cancel(victim);
+        assert_eq!(q.run_peek(), Some(&9), "peek must skip cancelled events");
+        assert_eq!(q.run_next().unwrap().event, 9);
+        assert_eq!(q.run_peek(), None);
+    }
+
+    #[test]
+    fn pop_drains_staged_run_first() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(3);
+        q.schedule_at(t, 1);
+        q.schedule_at(t, 2);
+        q.schedule_at(t + SimDuration::from_millis(1), 3);
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.run_next().unwrap().event, 1);
+        // Mixing APIs: pop() must deliver the rest of the staged run before
+        // touching the wheel.
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn len_and_peek_account_for_staged_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(4);
+        q.schedule_at(t, ());
+        q.schedule_at(t, ());
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.len(), 2, "staged events are still pending");
+        assert_eq!(q.peek_time(), Some(t), "peek must see the staged run");
+        q.run_next();
+        assert_eq!(q.len(), 1);
+        q.run_next();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn schedule_at_run_timestamp_fires_after_staged_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(6);
+        q.schedule_at(t, "a");
+        q.schedule_at(t, "b");
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.run_next().unwrap().event, "a");
+        // A handler schedules a new event at the run's own timestamp: it
+        // must fire after the staged remainder (pop's FIFO tie-break).
+        q.schedule_at(t, "c");
+        assert_eq!(q.run_next().unwrap().event, "b");
+        assert!(q.run_next().is_none(), "new event is not part of the run");
+        assert_eq!(q.pop_run(), Some(t));
+        assert_eq!(q.run_next().unwrap().event, "c");
+    }
+
+    #[test]
+    fn fully_cancelled_run_leaves_clock_at_run_time() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(8);
+        let a = q.schedule_at(t, ());
+        q.schedule_at(SimTime::from_millis(9), ());
+        assert_eq!(q.pop_run(), Some(t));
+        assert!(q.cancel(a));
+        assert!(q.run_next().is_none());
+        // Documented contract: the clock advanced when the run was popped.
+        assert_eq!(q.now(), t);
+        assert_eq!(q.pop_run(), Some(SimTime::from_millis(9)));
+        q.run_next();
     }
 
     proptest! {

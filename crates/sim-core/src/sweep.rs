@@ -684,6 +684,42 @@ fn compute_cell<C: SweepCell>(
 /// Returns [`Error::Interrupted`] if cancellation stopped the sweep (after
 /// draining in-flight cells and finalizing the checkpoint), or
 /// [`Error::Checkpoint`] if the checkpoint could not be created/written.
+///
+/// ```
+/// use sim_core::rng::SimRng;
+/// use sim_core::sweep::{run_sweep_streaming, SweepCell, SweepOptions};
+///
+/// struct Square(u64);
+///
+/// impl SweepCell for Square {
+///     type Output = u64;
+///     fn label(&self) -> String {
+///         format!("square({})", self.0)
+///     }
+///     fn key_bytes(&self) -> Vec<u8> {
+///         self.0.to_le_bytes().to_vec()
+///     }
+///     fn run(&self, _rng: SimRng) -> u64 {
+///         self.0 * self.0
+///     }
+///     fn encode(out: &u64) -> Option<Vec<u8>> {
+///         Some(out.to_le_bytes().to_vec())
+///     }
+///     fn decode(bytes: &[u8]) -> Option<u64> {
+///         Some(u64::from_le_bytes(bytes.try_into().ok()?))
+///     }
+/// }
+///
+/// let cells: Vec<Square> = (0..8).map(Square).collect();
+/// let mut outputs = Vec::new();
+/// let opts = SweepOptions { jobs: 4, ..SweepOptions::serial(1) };
+/// let summary = run_sweep_streaming(&cells, &opts, |idx, out, _report| {
+///     outputs.push((idx, out)); // idx strictly increasing at any job count
+/// })
+/// .expect("sweep completes");
+/// assert_eq!(summary.completed, 8);
+/// assert_eq!(outputs, (0..8).map(|i| (i as usize, i * i)).collect::<Vec<_>>());
+/// ```
 pub fn run_sweep_streaming<C: SweepCell>(
     cells: &[C],
     opts: &SweepOptions,

@@ -7,19 +7,37 @@
 //! makes that a hard assertion rather than a code-review claim.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sim_core::event::EventQueue;
 use sim_core::time::{SimDuration, SimTime};
 
-/// `System` allocator wrapper that counts allocation calls.
+/// `System` allocator wrapper that counts allocation calls — but only on
+/// the thread that opted in via [`COUNTING`]. The test harness runs its
+/// own threads (output capture, panic hooks) whose incidental allocations
+/// would otherwise race the measured window and flake the assertion.
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Set only by the measuring test thread, only around the measured
+    /// phase. Const-initialised `Cell<bool>`: no lazy init, no destructor,
+    /// so reading it inside the allocator never allocates and `try_with`
+    /// stays safe during thread teardown.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -28,7 +46,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -70,11 +90,13 @@ fn steady_state_timer_churn_does_not_allocate() {
     // Measured phase: heavy churn at constant population. The kernel-timer
     // pattern from the paper — re-arm pacing on every send, re-arm RTO on
     // every ACK — is exactly cancel + schedule + pop.
+    COUNTING.with(|c| c.set(true));
     let before = alloc_count();
     for round in 0..50_000usize {
         churn(&mut q, &mut timers, round);
     }
     let after = alloc_count();
+    COUNTING.with(|c| c.set(false));
 
     assert_eq!(
         after - before,

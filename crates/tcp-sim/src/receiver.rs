@@ -13,7 +13,6 @@
 //! [`AckUrgency::Coalesce`] (in-order bulk that can share a delayed ACK).
 
 use crate::seq::PktSeq;
-use std::collections::BTreeSet;
 
 /// How urgently an arrival must be acknowledged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,11 +33,19 @@ pub struct AckInfo {
 }
 
 /// Per-connection receiver state.
+///
+/// Out-of-order data is tracked as maximal runs rather than individual
+/// sequence numbers: a window-sized hole used to make every ACK emission
+/// walk one set entry per buffered packet (quadratic over a loss episode);
+/// with runs, [`Receiver::build_ack_into`] is O(1) and the per-packet
+/// bookkeeping is O(log holes).
 #[derive(Debug, Clone)]
 pub struct Receiver {
     rcv_nxt: u64,
-    /// Sequence numbers received above `rcv_nxt`.
-    ooo: BTreeSet<u64>,
+    /// Maximal disjoint runs `[lo, hi)` of sequences received above
+    /// `rcv_nxt`, sorted ascending and never adjacent (touching runs are
+    /// merged on insert). Exactly the connection's SACK blocks.
+    ooo: Vec<(u64, u64)>,
     total_received: u64,
     duplicates: u64,
 }
@@ -48,9 +55,38 @@ impl Receiver {
     pub fn new() -> Self {
         Receiver {
             rcv_nxt: 0,
-            ooo: BTreeSet::new(),
+            ooo: Vec::new(),
             total_received: 0,
             duplicates: 0,
+        }
+    }
+
+    /// Whether `seq` sits inside one of the buffered out-of-order runs.
+    fn ooo_contains(&self, seq: u64) -> bool {
+        // First run whose end lies beyond `seq`; it contains `seq` iff it
+        // also starts at or below it.
+        let i = self.ooo.partition_point(|&(_, hi)| hi <= seq);
+        self.ooo.get(i).is_some_and(|&(lo, _)| lo <= seq)
+    }
+
+    /// Insert `seq` (known absent and above `rcv_nxt`), merging runs.
+    fn ooo_insert(&mut self, seq: u64) {
+        // First run whose end reaches `seq`: the only append candidate;
+        // the run after it is the only prepend candidate.
+        let i = self.ooo.partition_point(|&(_, hi)| hi < seq);
+        match self.ooo.get(i).copied() {
+            Some((_, hi)) if hi == seq => {
+                self.ooo[i].1 = seq + 1;
+                // Appending may have closed the gap to the next run.
+                if let Some(&(nlo, nhi)) = self.ooo.get(i + 1) {
+                    if nlo == seq + 1 {
+                        self.ooo[i].1 = nhi;
+                        self.ooo.remove(i + 1);
+                    }
+                }
+            }
+            Some((lo, _)) if lo == seq + 1 => self.ooo[i].0 = seq,
+            _ => self.ooo.insert(i, (seq, seq + 1)),
         }
     }
 
@@ -86,7 +122,7 @@ impl Receiver {
         let mut urgency = AckUrgency::Coalesce;
         let arrived_above = !self.ooo.is_empty();
         for seq in lo.0..hi.0 {
-            if seq < self.rcv_nxt || self.ooo.contains(&seq) {
+            if seq < self.rcv_nxt || self.ooo_contains(seq) {
                 self.duplicates += 1;
                 // Duplicate data earns an immediate (dup) ACK too.
                 urgency = AckUrgency::Immediate;
@@ -95,16 +131,20 @@ impl Receiver {
             self.total_received += 1;
             if seq == self.rcv_nxt {
                 self.rcv_nxt += 1;
-                // Drain any buffered continuation.
-                while self.ooo.remove(&self.rcv_nxt) {
-                    self.rcv_nxt += 1;
+                // Drain any buffered continuation: runs are maximal, so at
+                // most the first run continues from `rcv_nxt`.
+                if let Some(&(rlo, rhi)) = self.ooo.first() {
+                    if rlo == self.rcv_nxt {
+                        self.rcv_nxt = rhi;
+                        self.ooo.remove(0);
+                    }
                 }
                 if arrived_above {
                     // We just filled (part of) a hole: tell the sender now.
                     urgency = AckUrgency::Immediate;
                 }
             } else {
-                self.ooo.insert(seq);
+                self.ooo_insert(seq);
                 urgency = AckUrgency::Immediate;
             }
         }
@@ -127,25 +167,9 @@ impl Receiver {
     pub fn build_ack_into(&self, ack: &mut AckInfo) {
         ack.cum = PktSeq(self.rcv_nxt);
         ack.sacks.clear();
-        let mut iter = self.ooo.iter().copied();
-        if let Some(first) = iter.next() {
-            let mut lo = first;
-            let mut hi = first + 1;
-            for s in iter {
-                if s == hi {
-                    hi += 1;
-                } else {
-                    ack.sacks.push((PktSeq(lo), PktSeq(hi)));
-                    lo = s;
-                    hi = s + 1;
-                    if ack.sacks.len() == 3 {
-                        break;
-                    }
-                }
-            }
-            if ack.sacks.len() < 3 {
-                ack.sacks.push((PktSeq(lo), PktSeq(hi)));
-            }
+        // The buffered runs *are* the SACK blocks: report the lowest three.
+        for &(lo, hi) in self.ooo.iter().take(3) {
+            ack.sacks.push((PktSeq(lo), PktSeq(hi)));
         }
     }
 }

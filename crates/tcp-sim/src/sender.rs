@@ -41,6 +41,17 @@ struct SegState {
     last_tx: SimTime,
 }
 
+/// A run of outstanding segments that are neither SACKed nor lost, all
+/// transmitted in the same socket-buffer batch (so they share one
+/// `last_tx` — the property that lets RACK evaluate the whole run at
+/// once).
+#[derive(Debug, Clone, Copy)]
+struct HoleRun {
+    lo: u64,
+    hi: u64,
+    last_tx: SimTime,
+}
+
 /// What one ACK did to the connection — the input for the CC callbacks.
 #[derive(Debug, Clone, Default)]
 pub struct AckOutcome {
@@ -106,6 +117,105 @@ pub struct Sender {
     total_retx: u64,
     /// Highest delivered (acked/sacked) send time, for RACK.
     rack_delivered_tx: SimTime,
+    /// Run index over the scoreboard: merged runs of sequences currently
+    /// marked `sacked`. Lets ACK processing skip already-SACKed spans of a
+    /// reported range (the per-segment flags stay the ground truth).
+    sacked_runs: Vec<(u64, u64)>,
+    /// Run index: outstanding segments that are neither SACKed nor lost,
+    /// grouped by transmission batch ([`HoleRun`]). Loss detection walks
+    /// these runs instead of every segment.
+    hole_runs: Vec<HoleRun>,
+    /// Run index: segments marked lost and not yet retransmitted — the
+    /// retransmission queue [`Sender::plan_send_into`] consumes.
+    retx_runs: Vec<(u64, u64)>,
+}
+
+/// Total sequences covered by a sorted run list.
+fn runs_len(runs: &[(u64, u64)]) -> u64 {
+    runs.iter().map(|&(lo, hi)| hi - lo).sum()
+}
+
+/// Insert `[lo, hi)` into sorted disjoint `runs`, merging overlaps and
+/// adjacency.
+fn runs_insert(runs: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    if lo >= hi {
+        return;
+    }
+    let i = runs.partition_point(|&(_, rhi)| rhi < lo);
+    let (mut nlo, mut nhi) = (lo, hi);
+    let mut j = i;
+    while j < runs.len() && runs[j].0 <= nhi {
+        nlo = nlo.min(runs[j].0);
+        nhi = nhi.max(runs[j].1);
+        j += 1;
+    }
+    runs.splice(i..j, std::iter::once((nlo, nhi)));
+}
+
+/// Remove `[lo, hi)` from sorted disjoint `runs`, splitting as needed.
+fn runs_subtract(runs: &mut Vec<(u64, u64)>, lo: u64, hi: u64) {
+    if lo >= hi {
+        return;
+    }
+    let i = runs.partition_point(|&(_, rhi)| rhi <= lo);
+    let mut j = i;
+    let mut head = None;
+    let mut tail = None;
+    while j < runs.len() && runs[j].0 < hi {
+        let (rlo, rhi) = runs[j];
+        if rlo < lo {
+            head = Some((rlo, lo));
+        }
+        if rhi > hi {
+            tail = Some((hi, rhi));
+        }
+        j += 1;
+    }
+    runs.splice(i..j, head.into_iter().chain(tail));
+}
+
+/// Drop everything below `una` from sorted disjoint `runs`.
+fn runs_trim_below(runs: &mut Vec<(u64, u64)>, una: u64) {
+    let k = runs.partition_point(|&(_, rhi)| rhi <= una);
+    runs.drain(..k);
+    if let Some(first) = runs.first_mut() {
+        if first.0 < una {
+            first.0 = una;
+        }
+    }
+}
+
+/// [`runs_subtract`] for hole runs (clipped pieces keep their `last_tx`).
+fn holes_subtract(runs: &mut Vec<HoleRun>, lo: u64, hi: u64) {
+    if lo >= hi {
+        return;
+    }
+    let i = runs.partition_point(|r| r.hi <= lo);
+    let mut j = i;
+    let mut head = None;
+    let mut tail = None;
+    while j < runs.len() && runs[j].lo < hi {
+        let r = runs[j];
+        if r.lo < lo {
+            head = Some(HoleRun { hi: lo, ..r });
+        }
+        if r.hi > hi {
+            tail = Some(HoleRun { lo: hi, ..r });
+        }
+        j += 1;
+    }
+    runs.splice(i..j, head.into_iter().chain(tail));
+}
+
+/// [`runs_trim_below`] for hole runs.
+fn holes_trim_below(runs: &mut Vec<HoleRun>, una: u64) {
+    let k = runs.partition_point(|r| r.hi <= una);
+    runs.drain(..k);
+    if let Some(first) = runs.first_mut() {
+        if first.lo < una {
+            first.lo = una;
+        }
+    }
 }
 
 impl Sender {
@@ -124,6 +234,9 @@ impl Sender {
             rate: RateSampler::new(mss),
             total_retx: 0,
             rack_delivered_tx: SimTime::ZERO,
+            sacked_runs: Vec::new(),
+            hole_runs: Vec::new(),
+            retx_runs: Vec::new(),
         }
     }
 
@@ -200,22 +313,21 @@ impl Sender {
         }
         let budget = (cwnd - inflight).min(max_pkts);
 
-        // Retransmissions: lost segments not yet retransmitted, in order.
-        let mut count = 0u64;
-        for seg in &self.segs {
-            if count == budget {
-                break;
-            }
-            if seg.lost && seg.last_tx == seg.sent_at {
-                // Lost and never retransmitted since being marked.
-                match plan.runs.last_mut() {
-                    Some((_, hi)) if *hi == seg.seq => *hi = seg.seq.next(),
-                    _ => plan.runs.push((seg.seq, seg.seq.next())),
+        // Retransmissions first: `retx_runs` indexes exactly the segments
+        // that are lost and not yet retransmitted (`lost && last_tx ==
+        // sent_at`), already merged into maximal in-order runs — the same
+        // plan a full scoreboard scan used to produce, without the
+        // O(window) walk.
+        if !self.retx_runs.is_empty() {
+            let mut count = 0u64;
+            for &(lo, hi) in &self.retx_runs {
+                if count == budget {
+                    break;
                 }
-                count += 1;
+                let take = (hi - lo).min(budget - count);
+                plan.runs.push((PktSeq(lo), PktSeq(lo + take)));
+                count += take;
             }
-        }
-        if count > 0 {
             plan.is_retx = true;
             return true;
         }
@@ -230,6 +342,11 @@ impl Sender {
     pub fn on_sent(&mut self, plan: &SendPlan, now: SimTime, pacing_limited: bool) {
         if plan.is_retx {
             for &(lo, hi) in &plan.runs {
+                // The run leaves the retransmission queue; the per-segment
+                // loop below re-inserts the (degenerate) case where the
+                // retransmission shares the original send's timestamp and
+                // the segment therefore stays eligible.
+                runs_subtract(&mut self.retx_runs, lo.0, hi.0);
                 for seq in lo.0..hi.0 {
                     // Re-stamp, as the kernel does on retransmission: a rate
                     // sample taken against the original stamp would span the
@@ -243,8 +360,12 @@ impl Sender {
                     seg.last_tx = now;
                     seg.stamp = stamp;
                     seg.retx_count += 1;
+                    let still_eligible = seg.sent_at == now;
                     self.retrans_out += 1;
                     self.total_retx += 1;
+                    if still_eligible {
+                        runs_insert(&mut self.retx_runs, seq, seq + 1);
+                    }
                 }
             }
             return;
@@ -265,6 +386,15 @@ impl Sender {
                     retx_count: 0,
                     last_tx: now,
                 });
+            }
+            // Fresh data is a hole-run candidate: one batch, one `last_tx`.
+            match self.hole_runs.last_mut() {
+                Some(r) if r.hi == lo.0 && r.last_tx == now => r.hi = hi.0,
+                _ => self.hole_runs.push(HoleRun {
+                    lo: lo.0,
+                    hi: hi.0,
+                    last_tx: now,
+                }),
             }
             self.snd_nxt = hi;
         }
@@ -293,6 +423,7 @@ impl Sender {
 
         // --- Cumulative part: drop segments below ack.cum. ---
         let cum = ack.cum.min(self.snd_nxt); // ignore acks beyond sent data
+        let advanced = self.snd_una < cum;
         while self.snd_una < cum {
             let seg = self
                 .segs
@@ -313,31 +444,60 @@ impl Sender {
             Self::track_newest(&mut newest_delivered, &seg, !seg.sacked);
             self.snd_una = self.snd_una.next();
         }
+        if advanced {
+            runs_trim_below(&mut self.sacked_runs, self.snd_una.0);
+            runs_trim_below(&mut self.retx_runs, self.snd_una.0);
+            holes_trim_below(&mut self.hole_runs, self.snd_una.0);
+        }
 
         // --- Selective part. ---
+        // Everything inside `sacked_runs` was marked on an earlier ACK and
+        // would no-op, so only the gaps of each reported range are visited
+        // — O(newly SACKed) instead of O(range) per ACK.
         for &(lo, hi) in &ack.sacks {
-            let lo = lo.max(self.snd_una);
-            for seq in lo.0..hi.0.min(self.snd_nxt.0) {
-                if let Some(idx) = self.index_of(PktSeq(seq)) {
-                    let seg = &mut self.segs[idx];
-                    if !seg.sacked {
-                        seg.sacked = true;
-                        self.sacked_out += 1;
-                        out.newly_delivered += 1;
-                        if seg.lost {
-                            // A "lost" segment arrived after all (or its
-                            // retransmission did).
-                            seg.lost = false;
-                            self.lost_out -= 1;
-                            if seg.retx_count > 0 {
-                                self.retrans_out = self.retrans_out.saturating_sub(1);
+            let lo = lo.max(self.snd_una).0;
+            let hi = hi.0.min(self.snd_nxt.0);
+            if lo >= hi {
+                continue;
+            }
+            let mut cursor = lo;
+            let mut ri = self.sacked_runs.partition_point(|&(_, rhi)| rhi <= cursor);
+            while cursor < hi {
+                // The gap before the next already-SACKed run (or the tail).
+                let (gap_hi, next_cursor) = match self.sacked_runs.get(ri) {
+                    Some(&(rlo, rhi)) if rlo < hi => (rlo.clamp(cursor, hi), rhi.max(cursor)),
+                    _ => (hi, hi),
+                };
+                ri += 1;
+                for seq in cursor..gap_hi {
+                    if let Some(idx) = self.index_of(PktSeq(seq)) {
+                        let seg = &mut self.segs[idx];
+                        if !seg.sacked {
+                            seg.sacked = true;
+                            self.sacked_out += 1;
+                            out.newly_delivered += 1;
+                            if seg.lost {
+                                // A "lost" segment arrived after all (or its
+                                // retransmission did).
+                                seg.lost = false;
+                                self.lost_out -= 1;
+                                if seg.retx_count > 0 {
+                                    self.retrans_out = self.retrans_out.saturating_sub(1);
+                                }
                             }
+                            let seg = self.segs[idx].clone();
+                            Self::track_newest(&mut newest_delivered, &seg, true);
                         }
-                        let seg = self.segs[idx].clone();
-                        Self::track_newest(&mut newest_delivered, &seg, true);
                     }
                 }
+                if gap_hi > cursor {
+                    // Newly SACKed sequences leave the hole and retx indexes.
+                    holes_subtract(&mut self.hole_runs, cursor, gap_hi);
+                    runs_subtract(&mut self.retx_runs, cursor, gap_hi);
+                }
+                cursor = next_cursor;
             }
+            runs_insert(&mut self.sacked_runs, lo, hi);
         }
 
         out.is_duplicate = out.newly_delivered == 0;
@@ -395,6 +555,11 @@ impl Sender {
     }
 
     /// Scan for holes that the evidence now declares lost.
+    ///
+    /// Walks the hole-run index instead of every segment: a hole run is
+    /// contiguous (no SACKed segment inside) and shares one `last_tx`, so
+    /// both the dup-threshold and the RACK rule decide the whole run at
+    /// once — one pass over O(runs), not O(window).
     fn detect_losses(&mut self, _now: SimTime) -> u64 {
         // Highest sacked seq and count of sacked segments above each hole.
         if self.sacked_out == 0 {
@@ -402,26 +567,40 @@ impl Sender {
         }
         let reo = self.reo_wnd();
         let rack_tx = self.rack_delivered_tx;
-        // Count sacked segments from the tail so each unsacked segment
-        // knows how many deliveries happened above it.
+        // Count sacked segments from the tail (walking the SACKed-run
+        // index in tandem) so each hole run knows how many deliveries
+        // happened above it.
         let mut sacked_above = 0u64;
         let mut newly_lost = 0u64;
-        for i in (0..self.segs.len()).rev() {
-            let seg = &mut self.segs[i];
-            if seg.sacked {
-                sacked_above += 1;
-                continue;
-            }
-            if seg.lost {
-                continue;
+        let mut si = self.sacked_runs.len();
+        let mut any_marked = false;
+        for h in (0..self.hole_runs.len()).rev() {
+            let run = self.hole_runs[h];
+            while si > 0 && self.sacked_runs[si - 1].0 >= run.hi {
+                sacked_above += self.sacked_runs[si - 1].1 - self.sacked_runs[si - 1].0;
+                si -= 1;
             }
             let dup_rule = sacked_above >= DUP_THRESH;
-            let rack_rule = sacked_above > 0 && rack_tx > seg.last_tx + reo;
+            let rack_rule = sacked_above > 0 && rack_tx > run.last_tx + reo;
             if dup_rule || rack_rule {
-                seg.lost = true;
-                self.lost_out += 1;
-                newly_lost += 1;
+                for seq in run.lo..run.hi {
+                    let idx = (seq - self.snd_una.0) as usize;
+                    let seg = &mut self.segs[idx];
+                    debug_assert!(!seg.sacked && !seg.lost, "hole index out of sync");
+                    seg.lost = true;
+                }
+                let len = run.hi - run.lo;
+                self.lost_out += len;
+                newly_lost += len;
+                // Freshly marked holes were never retransmitted, so they
+                // join the retransmission queue wholesale.
+                runs_insert(&mut self.retx_runs, run.lo, run.hi);
+                self.hole_runs[h].hi = self.hole_runs[h].lo; // tombstone
+                any_marked = true;
             }
+        }
+        if any_marked {
+            self.hole_runs.retain(|r| r.hi > r.lo);
         }
         newly_lost
     }
@@ -442,6 +621,21 @@ impl Sender {
             // Allow the retransmission to be re-sent.
             seg.last_tx = seg.sent_at;
         }
+        // Rebuild the run indexes: no holes remain, and every unSACKed
+        // outstanding segment is now lost and eligible for retransmission
+        // (the complement of the SACKed runs over the window).
+        self.hole_runs.clear();
+        self.retx_runs.clear();
+        let mut cursor = self.snd_una.0;
+        for &(slo, shi) in &self.sacked_runs {
+            if cursor < slo {
+                self.retx_runs.push((cursor, slo));
+            }
+            cursor = shi;
+        }
+        if cursor < self.snd_nxt.0 {
+            self.retx_runs.push((cursor, self.snd_nxt.0));
+        }
         self.recovery_point = None;
         self.assert_invariants();
         marked
@@ -451,6 +645,53 @@ impl Sender {
     fn assert_invariants(&self) {
         debug_assert_eq!(self.packets_out() as usize, self.segs.len());
         debug_assert!(self.sacked_out + self.lost_out <= self.packets_out() + self.retrans_out);
+        // Run indexes partition the window: every outstanding segment is
+        // exactly one of SACKed, lost, or a hole.
+        debug_assert_eq!(runs_len(&self.sacked_runs), self.sacked_out);
+        debug_assert_eq!(
+            self.hole_runs.iter().map(|r| r.hi - r.lo).sum::<u64>(),
+            self.packets_out() - self.sacked_out - self.lost_out,
+        );
+        debug_assert!(runs_len(&self.retx_runs) <= self.lost_out);
+        #[cfg(test)]
+        self.check_run_indexes();
+    }
+
+    /// Full reconciliation of the run indexes against the per-segment
+    /// flags — the ground truth. Test builds only: O(window) per ACK.
+    #[cfg(test)]
+    fn check_run_indexes(&self) {
+        let mut sacked = Vec::new();
+        let mut holes: Vec<HoleRun> = Vec::new();
+        let mut retx = Vec::new();
+        for seg in &self.segs {
+            let s = seg.seq.0;
+            if seg.sacked {
+                runs_insert(&mut sacked, s, s + 1);
+            } else if !seg.lost {
+                match holes.last_mut() {
+                    Some(r) if r.hi == s && r.last_tx == seg.last_tx => r.hi = s + 1,
+                    _ => holes.push(HoleRun {
+                        lo: s,
+                        hi: s + 1,
+                        last_tx: seg.last_tx,
+                    }),
+                }
+            }
+            if seg.lost && seg.last_tx == seg.sent_at {
+                runs_insert(&mut retx, s, s + 1);
+            }
+        }
+        assert_eq!(self.sacked_runs, sacked, "sacked_runs out of sync");
+        assert_eq!(self.retx_runs, retx, "retx_runs out of sync");
+        let want: Vec<(u64, u64, SimTime)> =
+            holes.iter().map(|r| (r.lo, r.hi, r.last_tx)).collect();
+        let got: Vec<(u64, u64, SimTime)> = self
+            .hole_runs
+            .iter()
+            .map(|r| (r.lo, r.hi, r.last_tx))
+            .collect();
+        assert_eq!(got, want, "hole_runs out of sync");
     }
 }
 

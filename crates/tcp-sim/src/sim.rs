@@ -329,6 +329,10 @@ pub struct StackSim {
     run_pool: VecPool<(PktSeq, PktSeq)>,
     sack_pool: VecPool<(PktSeq, PktSeq)>,
     plan_scratch: SendPlan,
+    /// Scratch buffer for coalesced same-timestamp ACK runs: the dispatch
+    /// loop collects consecutive `AckArrival`s for one connection here and
+    /// [`StackSim::on_ack_run`] drains it in a single stack pass.
+    ack_batch: Vec<AckInfo>,
     // §7.1.2 host-global auto-stride controller.
     adapt_epochs: u32,
     adapt_prev_busy: SimDuration,
@@ -449,6 +453,7 @@ impl StackSim {
             measure_sack_misses: 0,
             timeline: Vec::new(),
             run_pool: VecPool::new(),
+            ack_batch: Vec::new(),
             sack_pool: VecPool::new(),
             plan_scratch: SendPlan::default(),
             cross: cfg
@@ -545,11 +550,40 @@ impl StackSim {
                 .schedule_at(SimTime::ZERO + interval, Event::StatsSample);
         }
 
-        while let Some(ev) = self.queue.pop() {
-            if ev.at > self.end {
+        // Batched dispatch: pop whole same-timestamp runs off the wheel
+        // (one occupancy scan per run instead of per event), and coalesce
+        // consecutive ACK arrivals for one connection into a single stack
+        // pass. Staged events stay cancellable, so a handler cancelling a
+        // same-timestamp timer (delayed-ACK vs. data arrival) behaves
+        // exactly as under one-at-a-time `pop`.
+        while let Some(at) = self.queue.pop_run() {
+            if at > self.end {
                 break;
             }
-            self.handle(ev.at, ev.event);
+            while let Some(ev) = self.queue.run_next() {
+                match ev.event {
+                    Event::AckArrival { conn, ack } => {
+                        let mut batch = std::mem::take(&mut self.ack_batch);
+                        batch.push(ack);
+                        // `AckArrival`s are never cancelled, so consuming the
+                        // run's consecutive same-connection ACKs up front is
+                        // observationally identical to dispatching them one
+                        // at a time (nothing can fire between them).
+                        while matches!(
+                            self.queue.run_peek(),
+                            Some(Event::AckArrival { conn: c2, .. }) if *c2 == conn
+                        ) {
+                            match self.queue.run_next().map(|e| e.event) {
+                                Some(Event::AckArrival { ack, .. }) => batch.push(ack),
+                                _ => unreachable!("run_peek promised an AckArrival"),
+                            }
+                        }
+                        self.on_ack_run(conn, at, &mut batch);
+                        self.ack_batch = batch;
+                    }
+                    event => self.handle(at, event),
+                }
+            }
         }
     }
 
@@ -684,7 +718,13 @@ impl StackSim {
         // can happen; the new period itself is only *opened* (EDT clock
         // advanced, budget granted) once we know a send will occur, so a
         // cwnd-blocked wakeup never wastes a period.
-        if pacing && conn.burst_remaining == 0 && !conn.pacer.can_send(now) {
+        //
+        // Eligibility is computed branchlessly (bitwise `&` over pure
+        // predicates, no short-circuit jumps): this gate runs once per ACK
+        // and once per timer fire, and its three inputs are near-free loads,
+        // so one well-predicted test beats three data-dependent branches.
+        let gate_closed = pacing & (conn.burst_remaining == 0) & !conn.pacer.can_send(now);
+        if gate_closed {
             if pre_cycles > 0 {
                 self.cpu.execute_tagged(now, pre_cycles, "timers");
             }
@@ -759,7 +799,7 @@ impl StackSim {
         // A send released after the pacer's gate drained the whole flight:
         // the delivery-rate sample bridging that gap measures our own
         // (possibly strided) pacer, not the path.
-        let pacing_limited = pacing && conn.pacer.stride() > 1 && conn.sender.packets_out() == 0;
+        let pacing_limited = pacing & (conn.pacer.stride() > 1) & (conn.sender.packets_out() == 0);
 
         // Charge the CPU by category so reports can show where the cycles
         // went (the whole chunk still serialises as one back-to-back span).
@@ -996,6 +1036,21 @@ impl StackSim {
                 self.queue
                     .schedule_at(arrival, Event::AckArrival { conn: c, ack });
             }
+        }
+    }
+
+    /// Process a coalesced run of same-timestamp ACKs for one connection in
+    /// one stack pass over the pooled batch.
+    ///
+    /// Semantically identical to dispatching each `AckArrival` separately:
+    /// every ACK still pays its own CPU charges (the simcheck accounting
+    /// identities see the same per-ACK costs), drives the CC callbacks in
+    /// order, and is followed by its own send attempt — only the event-loop
+    /// overhead (wheel re-scan, dispatch, scratch hand-off) is paid once per
+    /// run instead of once per ACK.
+    fn on_ack_run(&mut self, c: usize, now: SimTime, batch: &mut Vec<AckInfo>) {
+        for ack in batch.drain(..) {
+            self.on_ack_arrival(c, now, ack);
         }
     }
 

@@ -7,7 +7,7 @@
 //! of that space, in two forms:
 //!
 //! * plain `ALL_*` arrays, for seeded-RNG drawing (simcheck indexes them
-//!   with its own deterministic [`sim_core`-style] PRNG);
+//!   with its own deterministic `sim_core`-style PRNG);
 //! * `arb_*` proptest strategies built on those arrays, for `proptest!`
 //!   blocks.
 //!

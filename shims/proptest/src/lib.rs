@@ -256,7 +256,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`]; converts from `usize` (exact length) and
+    /// Length bounds for [`vec`](fn@crate::collection::vec); converts from `usize` (exact length) and
     /// `Range<usize>` (half-open), like proptest's `SizeRange`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {

@@ -34,6 +34,8 @@
 //! the ~10 types almost every program needs and the workspace-wide
 //! [`Error`] type.
 
+#![warn(missing_docs)]
+
 pub use congestion;
 pub use cpu_model;
 pub use experiments;
