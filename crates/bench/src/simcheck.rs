@@ -6,7 +6,7 @@
 //! the *concrete* pieces that need the full simulator API:
 //!
 //! * [`Scenario`] — a point in the supported configuration space (CC ×
-//!   CPU config × media × 1–20 connections × pacing stride × shallow
+//!   CPU config × media × 1–1024 connections (log-biased) × pacing stride × shallow
 //!   buffers × netem impairments × cross-traffic × ACK cadence), with a
 //!   deterministic [`Scenario::draw`] from a [`SimRng`] and a compact
 //!   `key=value` spec codec so every failure is a one-line repro;
@@ -47,7 +47,8 @@ pub struct Scenario {
     pub cpu: CpuConfig,
     /// Media profile (§3.2 + 5G).
     pub media: MediaProfile,
-    /// Parallel connections, 1–20 (the paper's sweep range).
+    /// Parallel connections, 1–1024: the paper sweeps 1–20; the upper
+    /// decades exercise the flow-state arena at fleet scale.
     pub conns: u64,
     /// Pacing stride (Eq. 2).
     pub stride: u64,
@@ -108,7 +109,14 @@ impl Scenario {
             cc: ALL_CC[rng.below(ALL_CC.len() as u64) as usize],
             cpu: ALL_CPU[rng.below(ALL_CPU.len() as u64) as usize],
             media: ALL_MEDIA[rng.below(ALL_MEDIA.len() as u64) as usize],
-            conns: rng.range_inclusive(1, 20),
+            conns: {
+                // Log-biased over 1–1024: a uniform octave, then a value
+                // within it. Small counts (the paper's 1–20 sweep regime)
+                // stay common while fleet-scale counts that stress the
+                // flow-state arena turn up every few draws.
+                let hi = 1u64 << rng.range_inclusive(0, 10);
+                rng.range_inclusive((hi / 2).max(1), hi)
+            },
             stride: [1, 1, 2, 4, 8, 16, 32][rng.below(7) as usize],
             pacing_off: rng.chance(0.25),
             queue: if rng.chance(0.25) {
@@ -218,7 +226,7 @@ impl Scenario {
                         .find(|m| media_name(**m) == v)
                         .ok_or_else(|| format!("unknown media {v:?}"))?
                 }
-                "conns" => s.conns = int(key, v)?.clamp(1, 20),
+                "conns" => s.conns = int(key, v)?.clamp(1, 1024),
                 "stride" => s.stride = int(key, v)?.max(1),
                 "pacing" => {
                     s.pacing_off = match v {
@@ -363,11 +371,13 @@ pub fn run_scenario(s: &Scenario) -> ScenarioRun {
         None
     };
     // Fig. 7: disabling pacing never meaningfully lowers RTT (it inflates
-    // it — unpaced bursts queue at the bottleneck).
+    // it — unpaced bursts queue at the bottleneck). Only in the paper's
+    // few-flows regime: with hundreds of flows the bottleneck queue is
+    // congestion-limited either way and the relation can invert.
     let unpaced = if s.paced_bbr()
         && s.clean()
         && s.media == MediaProfile::Ethernet
-        && s.conns >= 2
+        && (2..=64).contains(&s.conns)
         && s.window_ms() >= 300
     {
         let mut alt = s.clone();
@@ -439,13 +449,20 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             }
         }),
         o("cpu-busy-bound", |r| {
-            let limit = SimDuration::from_millis(r.scenario.dur_ms + 150);
+            // Booked busy time can exceed the run length by the terminal
+            // backlog: a saturated CPU books work ahead of the clock, and
+            // TSQ caps that backlog at ~2 socket buffers per flow, so the
+            // allowance scales with the connection count (up to ~3 ms of
+            // booked Low-End work per flow was observed; 4 ms/flow keeps
+            // headroom while still catching systematic double-charging).
+            let grace = 150 + 4 * r.scenario.conns;
+            let limit = SimDuration::from_millis(r.scenario.dur_ms + grace);
             if r.result.cpu.busy_time <= limit {
                 Ok(())
             } else {
                 Err(format!(
-                    "CPU busy {:?} exceeds run length {} ms (+150 ms grace)",
-                    r.result.cpu.busy_time, r.scenario.dur_ms
+                    "CPU busy {:?} exceeds run length {} ms (+{} ms grace)",
+                    r.result.cpu.busy_time, r.scenario.dur_ms, grace
                 ))
             }
         }),
@@ -595,6 +612,7 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             for (miss, take, reuse) in [
                 ("pool_run_misses", "pool_run_takes", "pool_run_reuses"),
                 ("pool_sack_misses", "pool_sack_takes", "pool_sack_reuses"),
+                ("pool_slab_misses", "pool_slab_takes", "pool_slab_reuses"),
             ] {
                 if g(miss) != g(take) - g(reuse) {
                     return Err(format!(
@@ -610,9 +628,12 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
         o("conn-progress", |r| {
             // On a clean path with a real measurement window, every
             // paced-BBR connection keeps moving — a silent stall is the
-            // lost-wakeup signature. Catches Mutant::DropPacingArm.
+            // lost-wakeup signature. Catches Mutant::DropPacingArm. Gated
+            // to the few-flows regime: past ~64 flows a connection's fair
+            // share of the link inside the window can legitimately round
+            // to zero delivered packets.
             let s = &r.scenario;
-            if !(s.paced_bbr() && s.clean() && s.window_ms() >= 300) {
+            if !(s.paced_bbr() && s.clean() && s.conns <= 64 && s.window_ms() >= 300) {
                 return Ok(());
             }
             for (i, conn) in r.result.per_conn.iter().enumerate() {
@@ -1011,10 +1032,12 @@ fn bias_for(mutant: Mutant, mut s: Scenario) -> Scenario {
             }
             s.pacing_off = false;
             if mutant == Mutant::DropPacingArm {
-                // conn-progress eligibility: clean path, real window.
+                // conn-progress eligibility: clean path, real window,
+                // few-flows regime.
                 s.loss_ppm = 0;
                 s.cross_mbps = 0;
                 s.queue = None;
+                s.conns = s.conns.min(20);
                 s.dur_ms = s.dur_ms.max(700);
                 s.warmup_ms = s.warmup_ms.min(250);
             }
@@ -1110,13 +1133,21 @@ mod tests {
     fn draw_is_deterministic_and_in_range() {
         let mut a = SimRng::new(42);
         let mut b = SimRng::new(42);
+        let mut small = 0usize;
+        let mut large = 0usize;
         for _ in 0..50 {
             let (sa, sb) = (Scenario::draw(&mut a), Scenario::draw(&mut b));
             assert_eq!(sa, sb);
-            assert!((1..=20).contains(&sa.conns));
+            assert!((1..=1024).contains(&sa.conns));
+            small += usize::from(sa.conns <= 20);
+            large += usize::from(sa.conns > 128);
             assert!(sa.warmup_ms < sa.dur_ms);
             assert!(sa.loss_ppm <= 10_000);
         }
+        // The log bias must keep both regimes in play: the paper's small
+        // sweeps and the fleet-scale counts that stress the flow arena.
+        assert!(small >= 10, "only {small}/50 draws in the paper regime");
+        assert!(large >= 5, "only {large}/50 draws at fleet scale");
     }
 
     #[test]

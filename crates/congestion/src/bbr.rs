@@ -87,6 +87,15 @@ pub struct Bbr {
     prior_cwnd: u64,
     packet_conservation: bool,
     in_recovery: bool,
+    // --- hot-path memos ---
+    /// `(bw_bps, min_rtt_ns, gain bits) -> target_cwnd` memo. The model's
+    /// inputs change once per round at most while the target is recomputed
+    /// on every ACK; entries hold the exact integer result of the same
+    /// 128-bit + float computation, so hits are bit-identical to a recompute.
+    target_memo: (u64, u64, u64, u64),
+    /// `(bw_bps, gain bits) -> paced rate bps` memo for the steady-state
+    /// branch of `set_pacing_rate` (same exactness argument).
+    pace_memo: (u64, u64, u64),
 }
 
 impl Bbr {
@@ -114,6 +123,8 @@ impl Bbr {
             prior_cwnd: 0,
             packet_conservation: false,
             in_recovery: false,
+            target_memo: (u64::MAX, 0, 0, 0),
+            pace_memo: (u64::MAX, 0, 0),
         }
     }
 
@@ -164,13 +175,23 @@ impl Bbr {
     /// on top of the BDP: without it, ack/segment quantization at small
     /// BDPs caps inflight below the pacing rate and the flow wedges below
     /// its fair share.
-    fn target_cwnd(&self, gain: f64) -> u64 {
+    fn target_cwnd(&mut self, gain: f64) -> u64 {
         if self.min_rtt == SimDuration::MAX || self.bw().is_zero() {
             return INIT_CWND;
         }
+        let key = (
+            self.bw_filter.get(),
+            self.min_rtt.as_nanos(),
+            gain.to_bits(),
+        );
+        if (self.target_memo.0, self.target_memo.1, self.target_memo.2) == key {
+            return self.target_memo.3;
+        }
         let bdp_bytes = self.bw().bytes_in(self.min_rtt);
         let packets = (bdp_bytes as f64 * gain / self.mss as f64).ceil() as u64;
-        (packets + 6).max(MIN_CWND)
+        let target = (packets + 6).max(MIN_CWND);
+        self.target_memo = (key.0, key.1, key.2, target);
+        target
     }
 
     fn update_round(&mut self, sample: &AckSample) {
@@ -314,7 +335,14 @@ impl Bbr {
             };
             Bandwidth::from_bytes_over(self.cwnd * self.mss, rtt).mul_f64(gain)
         } else {
-            self.bw().mul_f64(gain)
+            let key = (self.bw_filter.get(), gain.to_bits());
+            if (self.pace_memo.0, self.pace_memo.1) == key {
+                Bandwidth::from_bps(self.pace_memo.2)
+            } else {
+                let rate = self.bw().mul_f64(gain);
+                self.pace_memo = (key.0, key.1, rate.as_bps());
+                rate
+            }
         };
         // Never decrease the rate before the pipe is known full (kernel
         // keeps startup's rate floor until `full_bw_reached`).
@@ -648,6 +676,7 @@ mod tests {
         for i in 0..64 {
             let prior = delivered;
             delivered += 100;
+            let inflight = bbr.target_cwnd(1.3); // enough to satisfy the 1.25 phase
             bbr.on_ack(&AckSample {
                 now: SimTime::from_millis(end + i * 21),
                 rtt: SimDuration::from_millis(20),
@@ -656,7 +685,7 @@ mod tests {
                 prior_delivered: prior,
                 acked: 100,
                 lost: 0,
-                inflight: bbr.target_cwnd(1.3), // enough to satisfy the 1.25 phase
+                inflight,
                 app_limited: false,
                 in_recovery: false,
             });

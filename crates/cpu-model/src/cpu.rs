@@ -44,6 +44,10 @@ pub struct CpuStats {
     pub cycles_by_category: BTreeMap<&'static str, u64>,
 }
 
+/// Size of the cycles→duration memo (power of two; direct-mapped on the
+/// cycle count's low bits).
+const DUR_CACHE_SLOTS: usize = 16;
+
 /// A single modelled core (the one running the phone's network softirq),
 /// with either a pinned or a governed frequency.
 pub struct Cpu {
@@ -64,7 +68,18 @@ pub struct Cpu {
     // freq integral for mean frequency reporting.
     freq_weighted_ns: f64,
     last_freq_change: SimTime,
-    cycles_by_category: BTreeMap<&'static str, u64>,
+    /// Per-category cycle tallies as a linear vec: the category set is a
+    /// handful of static strings, and this accounting runs on every charge
+    /// — a B-tree lookup per packet was a measurable slice of the event
+    /// budget at 1000 flows. [`Cpu::stats`] sorts it into a `BTreeMap`.
+    cat_cycles: Vec<(&'static str, u64)>,
+    /// Memo for [`Cpu::cycles_to_duration`]: `(cycles, duration_ns)` pairs
+    /// valid at the current frequency. The charge mix is a few constants
+    /// (per-ACK, timer fire/arm, fixed skb cost) plus a handful of
+    /// autosized byte totals, so a tiny direct-mapped cache absorbs almost
+    /// every 128-bit division. Entries hold the exact `div_ceil` result —
+    /// hits are bit-identical to recomputation.
+    dur_cache: [(u64, u64); DUR_CACHE_SLOTS],
     // sim-trace: span recording and the windowed Fig. 4/5 profiler. Both are
     // inert (one branch each per execute) unless enabled for a traced run.
     tracer: TraceSink,
@@ -104,7 +119,8 @@ impl Cpu {
             migrations: 0,
             freq_weighted_ns: 0.0,
             last_freq_change: SimTime::ZERO,
-            cycles_by_category: BTreeMap::new(),
+            cat_cycles: Vec::new(),
+            dur_cache: [(0, 0); DUR_CACHE_SLOTS],
             tracer: TraceSink::disabled(),
             profiler: None,
         }
@@ -182,12 +198,28 @@ impl Cpu {
         if cycles == 0 {
             return start;
         }
-        let dur = Self::cycles_to_duration(cycles, self.freq_hz);
+        let dur = self.cycles_to_duration_cached(cycles);
         let end = start + dur;
         self.busy_until = end;
-        self.util.record_busy(start, end);
+        self.util.record_busy(start, end, ready);
         self.total_cycles += cycles;
-        *self.cycles_by_category.entry(category).or_insert(0) += cycles;
+        // Address-compare first: category tags are `&'static str` literals,
+        // so after LTO the same tag is the same pointer and the scan is a
+        // handful of integer compares. The content-compare pass only runs
+        // when a tag was duplicated across compilation units (then both
+        // passes agree on which entry to bump, so totals stay exact).
+        let cat_ptr = category.as_ptr();
+        if let Some((_, v)) = self
+            .cat_cycles
+            .iter_mut()
+            .find(|(k, _)| k.as_ptr() == cat_ptr)
+        {
+            *v += cycles;
+        } else if let Some((_, v)) = self.cat_cycles.iter_mut().find(|(k, _)| *k == category) {
+            *v += cycles;
+        } else {
+            self.cat_cycles.push((category, cycles));
+        }
         self.busy_time += dur;
         if self.tracer.is_enabled() {
             let cat = self.tracer.intern(category);
@@ -211,6 +243,21 @@ impl Cpu {
         SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
     }
 
+    /// [`Cpu::cycles_to_duration`] through the direct-mapped memo. A hit
+    /// returns the stored exact result; a miss computes and overwrites the
+    /// slot. Frequency changes flush the cache (see [`Cpu::governor_tick`]).
+    #[inline]
+    fn cycles_to_duration_cached(&mut self, cycles: u64) -> SimDuration {
+        let slot = (cycles as usize) & (DUR_CACHE_SLOTS - 1);
+        let (key, ns) = self.dur_cache[slot];
+        if key == cycles {
+            return SimDuration::from_nanos(ns);
+        }
+        let dur = Self::cycles_to_duration(cycles, self.freq_hz);
+        self.dur_cache[slot] = (cycles, dur.as_nanos());
+        dur
+    }
+
     /// Trailing-window utilisation at `now` (also what the governor sees).
     pub fn utilization(&mut self, now: SimTime) -> f64 {
         self.util.utilization(now)
@@ -228,9 +275,9 @@ impl Cpu {
 
     /// Live per-category cycle breakdown. The simulator snapshots this at
     /// the start of the measurement period so steady-state attribution can
-    /// exclude warmup.
-    pub fn cycles_by_category(&self) -> &BTreeMap<&'static str, u64> {
-        &self.cycles_by_category
+    /// exclude warmup. Built on demand — the live tally is a linear vec.
+    pub fn cycles_by_category(&self) -> BTreeMap<&'static str, u64> {
+        self.cat_cycles.iter().copied().collect()
     }
 
     /// Governor tick: re-evaluate frequency from trailing utilisation.
@@ -248,6 +295,7 @@ impl Cpu {
             self.last_freq_change = now;
             self.freq_hz = new_freq;
             self.freq_changes += 1;
+            self.dur_cache = [(0, 0); DUR_CACHE_SLOTS];
         }
         if governor.cluster() != old_cluster {
             self.migrations += 1;
@@ -267,7 +315,7 @@ impl Cpu {
             freq_integral / end_time.as_nanos() as f64
         };
         CpuStats {
-            cycles_by_category: self.cycles_by_category.clone(),
+            cycles_by_category: self.cycles_by_category(),
             total_cycles: self.total_cycles,
             busy_time: self.busy_time,
             ops: self.ops,

@@ -116,6 +116,12 @@ pub struct BottleneckLink {
     in_flight: VecDeque<SimTime>,
     last_depart: SimTime,
     stats: LinkStats,
+    /// Serialisation-time memo: `(rate_bps, wire_bytes) -> time_to_send`.
+    /// Almost every packet on a link is the same size (MSS + headers, or a
+    /// bare ACK), so this absorbs the 128-bit division in
+    /// [`Bandwidth::time_to_send`] on the per-packet path. The entry holds
+    /// the exact `div_ceil` result — hits are bit-identical to recomputing.
+    ser_memo: (u64, u64, SimDuration),
 }
 
 impl BottleneckLink {
@@ -131,6 +137,7 @@ impl BottleneckLink {
             in_flight: VecDeque::new(),
             last_depart: SimTime::ZERO,
             stats: LinkStats::default(),
+            ser_memo: (0, 0, SimDuration::ZERO),
         }
     }
 
@@ -211,7 +218,15 @@ impl BottleneckLink {
                 return SendOutcome::Dropped;
             }
         }
-        let departs = start + self.current_rate.time_to_send(wire_bytes);
+        let rate_bps = self.current_rate.as_bps();
+        let ser = if self.ser_memo.0 == rate_bps && self.ser_memo.1 == wire_bytes {
+            self.ser_memo.2
+        } else {
+            let ser = self.current_rate.time_to_send(wire_bytes);
+            self.ser_memo = (rate_bps, wire_bytes, ser);
+            ser
+        };
+        let departs = start + ser;
         self.last_depart = departs;
         self.in_flight.push_back(departs);
         self.stats.accepted += 1;

@@ -549,6 +549,99 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// [`Self::pop_run`] and [`Self::run_next`] fused for the run's head:
+    /// pop the earliest same-timestamp run, deliver its first event
+    /// directly, and stage only the remainder for [`Self::run_next`] /
+    /// [`Self::run_peek`].
+    ///
+    /// Observationally identical to `pop_run` followed by one `run_next` —
+    /// the first event of a run can never be cancelled between those two
+    /// calls (no handler runs in between), so handing it out eagerly skips
+    /// the stage-then-recheck round trip. Singleton runs (the dominant
+    /// shape: one timer alone in its slot) never touch the staging buffer
+    /// at all.
+    pub fn pop_run_first(&mut self) -> Option<ScheduledEvent<E>> {
+        debug_assert!(
+            !self.run_pending(),
+            "pop_run_first called with an undispatched staged run"
+        );
+        self.run.clear();
+        self.run_cursor = 0;
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let level = self.level_occ.trailing_zeros() as usize;
+            if level == 0 {
+                // Deliver the list head, stage the tail (schedule order).
+                let slot = self.occ[0].trailing_zeros() as usize;
+                debug_assert!(slot as u64 >= (self.elapsed & (SLOTS as u64 - 1)));
+                let head = pair_head(self.slots[slot]);
+                let at = self.cells[head as usize].at;
+                let mut idx = self.cells[head as usize].next;
+                while idx != NIL {
+                    let c = &mut self.cells[idx as usize];
+                    debug_assert_eq!(c.at, at, "level-0 slot mixes timestamps");
+                    c.loc = Loc::Staged;
+                    self.run.push((idx, c.gen));
+                    idx = c.next;
+                }
+                self.slots[slot] = NIL_PAIR;
+                self.occ[0] &= !(1u64 << slot);
+                if self.occ[0] == 0 {
+                    self.level_occ &= !1;
+                }
+                debug_assert!(at >= self.now, "event queue time went backwards");
+                self.now = at;
+                self.elapsed = at.as_nanos();
+                self.run_at = at;
+                let gen = self.cells[head as usize].gen;
+                let (_, event) = self.release(head);
+                self.len -= 1;
+                self.popped += 1;
+                let token = TimerToken::new(gen, head);
+                self.tracer.record(at, TraceKind::WheelPop, 0, token.0, 0);
+                return Some(ScheduledEvent {
+                    at,
+                    token,
+                    event: event.expect("pending cell holds a payload"),
+                });
+            } else if level < LEVELS {
+                let slot = self.occ[level].trailing_zeros() as usize;
+                let li = level * SLOTS + slot;
+                // Same sparse fast path as `pop`/`pop_run`: a lone cell at
+                // the lowest non-empty level is the global minimum and a run
+                // of one, so it is delivered without staging anything.
+                let pair = self.slots[li];
+                if pair_head(pair) == pair_tail(pair) {
+                    let idx = pair_head(pair);
+                    self.slots[li] = NIL_PAIR;
+                    self.occ[level] &= !(1u64 << slot);
+                    if self.occ[level] == 0 {
+                        self.level_occ &= !(1u8 << level);
+                    }
+                    let gen = self.cells[idx as usize].gen;
+                    let (at, event) = self.release(idx);
+                    debug_assert!(at >= self.now, "event queue time went backwards");
+                    self.now = at;
+                    self.run_at = at;
+                    self.len -= 1;
+                    self.popped += 1;
+                    let token = TimerToken::new(gen, idx);
+                    self.tracer.record(at, TraceKind::WheelPop, 0, token.0, 0);
+                    return Some(ScheduledEvent {
+                        at,
+                        token,
+                        event: event.expect("pending cell holds a payload"),
+                    });
+                }
+                self.cascade(level, slot, pair);
+            } else {
+                self.pull_overflow();
+            }
+        }
+    }
+
     /// Dispatch the next live event of the staged run popped by
     /// [`Self::pop_run`]. Returns `None` once the run is exhausted (staged
     /// events cancelled in the meantime are skipped, not delivered).
@@ -1144,6 +1237,58 @@ mod tests {
         }
         assert_eq!(from_pop, from_runs);
         assert_eq!(a.popped(), b.popped());
+    }
+
+    #[test]
+    fn pop_run_first_matches_pop_stream() {
+        // The fused head-delivery variant must also equal the one-at-a-time
+        // stream, including cancellation of a still-staged tail event.
+        let times = [
+            3u64,
+            3,
+            3,
+            64,
+            65,
+            65,
+            40_000_000,
+            40_000_000,
+            200_000_000_000,
+            200_000_000_000,
+        ];
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule_at(SimTime::from_nanos(t), i);
+            b.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut from_pop = Vec::new();
+        while let Some(e) = a.pop() {
+            from_pop.push((e.at, e.event));
+        }
+        let mut from_runs = Vec::new();
+        while let Some(first) = b.pop_run_first() {
+            let at = first.at;
+            assert_eq!(b.now(), at);
+            from_runs.push((first.at, first.event));
+            while let Some(e) = b.run_next() {
+                assert_eq!(e.at, at);
+                from_runs.push((e.at, e.event));
+            }
+        }
+        assert_eq!(from_pop, from_runs);
+        assert_eq!(a.popped(), b.popped());
+
+        // Tail events stay cancellable after the head is delivered.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule_at(t, "head");
+        let victim = q.schedule_at(t, "victim");
+        q.schedule_at(t, "tail");
+        assert_eq!(q.pop_run_first().unwrap().event, "head");
+        assert!(q.cancel(victim), "staged tail must still be cancellable");
+        assert_eq!(q.run_next().unwrap().event, "tail");
+        assert!(q.run_next().is_none());
+        assert!(q.pop_run_first().is_none());
     }
 
     #[test]

@@ -234,8 +234,15 @@ impl UtilWindow {
         }
     }
 
-    /// Record that the resource was busy on `[start, end)`.
-    pub fn record_busy(&mut self, start: SimTime, end: SimTime) {
+    /// Record that the resource was busy on `[start, end)`. `now` is the
+    /// current simulation time at the recording site — a lower bound on
+    /// every future `utilization(now)`
+    /// query. The interval itself may extend past `now`: a backlogged CPU
+    /// books work ahead of the clock (`busy_until` in the future), which is
+    /// exactly why aging must key off `now` and not the interval's `end` —
+    /// an interval can be older than `end - window` yet still overlap the
+    /// window of a query issued before `end`.
+    pub fn record_busy(&mut self, start: SimTime, end: SimTime, now: SimTime) {
         if end <= start {
             return;
         }
@@ -250,6 +257,21 @@ impl UtilWindow {
             }
         }
         self.intervals.push_back((start, end));
+        // Age out intervals that can never matter again: every future
+        // `utilization(q)` has `q >= now`, so anything ending at or before
+        // `now - window` is invisible from here on (the same rule
+        // `utilization` itself prunes by). Pruning here (not just in
+        // `utilization`) keeps the deque bounded even when nobody polls
+        // — fixed-frequency runs never tick the governor, and without this
+        // the deque grew for the whole run.
+        let horizon = now - self.window; // SimTime subtraction saturates
+        while let Some(&(_, e)) = self.intervals.front() {
+            if e <= horizon {
+                self.intervals.pop_front();
+            } else {
+                break;
+            }
+        }
     }
 
     /// Fraction of the trailing window that was busy, evaluated at `now`.
@@ -425,7 +447,11 @@ mod tests {
     #[test]
     fn utilwindow_full_busy_is_one() {
         let mut u = UtilWindow::new(SimDuration::from_millis(100));
-        u.record_busy(SimTime::from_millis(0), SimTime::from_millis(200));
+        u.record_busy(
+            SimTime::from_millis(0),
+            SimTime::from_millis(200),
+            SimTime::from_millis(0),
+        );
         let util = u.utilization(SimTime::from_millis(200));
         assert!((util - 1.0).abs() < 1e-9, "util {util}");
     }
@@ -434,7 +460,11 @@ mod tests {
     fn utilwindow_half_busy_is_half() {
         let mut u = UtilWindow::new(SimDuration::from_millis(100));
         // Busy 150..200 within window 100..200.
-        u.record_busy(SimTime::from_millis(150), SimTime::from_millis(200));
+        u.record_busy(
+            SimTime::from_millis(150),
+            SimTime::from_millis(200),
+            SimTime::from_millis(150),
+        );
         let util = u.utilization(SimTime::from_millis(200));
         assert!((util - 0.5).abs() < 1e-9, "util {util}");
     }
@@ -442,7 +472,11 @@ mod tests {
     #[test]
     fn utilwindow_prunes_old_intervals() {
         let mut u = UtilWindow::new(SimDuration::from_millis(10));
-        u.record_busy(SimTime::from_millis(0), SimTime::from_millis(5));
+        u.record_busy(
+            SimTime::from_millis(0),
+            SimTime::from_millis(5),
+            SimTime::from_millis(0),
+        );
         let util = u.utilization(SimTime::from_millis(100));
         assert_eq!(util, 0.0);
     }
@@ -450,8 +484,16 @@ mod tests {
     #[test]
     fn utilwindow_merges_contiguous_busy() {
         let mut u = UtilWindow::new(SimDuration::from_millis(100));
-        u.record_busy(SimTime::from_millis(10), SimTime::from_millis(20));
-        u.record_busy(SimTime::from_millis(20), SimTime::from_millis(30));
+        u.record_busy(
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+            SimTime::from_millis(10),
+        );
+        u.record_busy(
+            SimTime::from_millis(20),
+            SimTime::from_millis(30),
+            SimTime::from_millis(20),
+        );
         let util = u.utilization(SimTime::from_millis(100));
         assert!((util - 0.2).abs() < 1e-9, "util {util}");
     }
@@ -492,7 +534,7 @@ mod tests {
             for (gap, len) in intervals {
                 let start = cursor + gap;
                 let end = start + len;
-                u.record_busy(SimTime::from_millis(start), SimTime::from_millis(end));
+                u.record_busy(SimTime::from_millis(start), SimTime::from_millis(end), SimTime::from_millis(start));
                 cursor = end;
             }
             let util = u.utilization(SimTime::from_millis(cursor + 1));

@@ -18,8 +18,10 @@
 //!   acknowledgement generation, GRO-style coalescing urgency;
 //! * [`wire`] — Ethernet/IPv4/TCP wire codecs (checksums, SACK options)
 //!   backing the pcap export;
-//! * [`pool`] — free-list buffer pools keeping the per-segment hot path
-//!   allocation-free;
+//! * [`pool`] — free-list buffer pools, slot stores and the shared
+//!   segment slab keeping the per-segment hot path allocation-free;
+//! * [`arena`] — the struct-of-arrays flow-state arena: all per-connection
+//!   state in dense parallel arrays indexed by [`arena::FlowId`];
 //! * [`mutants`] — intentional single-line behaviour mutations (feature
 //!   `simcheck-mutants`) that the simcheck fuzzer's oracles must catch;
 //! * [`sim`] — the event loop that binds the stack to the
@@ -33,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod mutants;
 pub mod pacing;
@@ -45,6 +48,7 @@ pub mod seq;
 pub mod sim;
 pub mod wire;
 
+pub use arena::{FlowArena, FlowId};
 pub use config::SimConfigBuilder;
 pub use pacing::{Pacer, PacingConfig};
 pub use sim::{ConnStats, SimConfig, SimResult, StackSim};

@@ -98,6 +98,15 @@ pub struct Pacer {
     last_idle: SimDuration,
     total_idle: SimDuration,
     paced_sends: u64,
+    /// `(rate_bps, autosize_segs)` memo: in steady state the CC's pacing
+    /// rate changes rarely relative to sends, and autosizing does 128-bit
+    /// arithmetic per call. Exact-result cache; `Cell` because the sizing
+    /// queries are `&self`.
+    auto_memo: std::cell::Cell<(u64, u64)>,
+    /// `(rate_bps, bytes, idle)` memo for the Eq. (1) gate advance — the
+    /// per-send `len/rate` division hits the same (rate, chunk size) pair
+    /// almost every time.
+    idle_memo: (u64, u64, SimDuration),
 }
 
 impl Pacer {
@@ -116,6 +125,8 @@ impl Pacer {
             last_idle: SimDuration::ZERO,
             total_idle: SimDuration::ZERO,
             paced_sends: 0,
+            auto_memo: std::cell::Cell::new((u64::MAX, 0)),
+            idle_memo: (u64::MAX, 0, SimDuration::ZERO),
         }
     }
 
@@ -150,9 +161,15 @@ impl Pacer {
         if rate.is_zero() {
             return MIN_TSO_SEGS;
         }
+        let (memo_bps, memo_segs) = self.auto_memo.get();
+        if memo_bps == rate.as_bps() {
+            return memo_segs;
+        }
         let bytes_per_period = rate.bytes_in(AUTOSIZE_PERIOD);
         let segs = bytes_per_period / self.mss;
-        segs.clamp(MIN_TSO_SEGS, self.cap_segs())
+        let segs = segs.clamp(MIN_TSO_SEGS, self.cap_segs());
+        self.auto_memo.set((rate.as_bps(), segs));
+        segs
     }
 
     /// The buffer cap in whole segments.
@@ -212,7 +229,13 @@ impl Pacer {
 
     fn advance(&mut self, now: SimTime, bytes: u64, rate: Bandwidth) -> SimDuration {
         assert!(!rate.is_zero(), "paced send requires a positive rate");
-        let idle = rate.time_to_send(bytes);
+        let idle = if self.idle_memo.0 == rate.as_bps() && self.idle_memo.1 == bytes {
+            self.idle_memo.2
+        } else {
+            let idle = rate.time_to_send(bytes);
+            self.idle_memo = (rate.as_bps(), bytes, idle);
+            idle
+        };
         let base = self.next_release.max(now);
         self.next_release = base + idle;
         self.last_idle = idle;

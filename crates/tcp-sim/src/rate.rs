@@ -14,7 +14,7 @@ use sim_core::time::{SimDuration, SimTime};
 use sim_core::units::Bandwidth;
 
 /// Per-segment stamp recorded at transmission time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TxStamp {
     /// Connection `delivered` count when this segment was sent.
     pub delivered: u64,

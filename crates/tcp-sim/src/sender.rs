@@ -17,19 +17,35 @@
 //! Loss detection combines the classic dup-SACK threshold (3 packets SACKed
 //! above a hole) with a RACK-style time threshold (a hole is lost if a
 //! packet sent `reo_wnd` later has already been delivered).
+//!
+//! Since the flow-arena refactor the scoreboard state is split three ways:
+//!
+//! * [`Scoreboard`] holds the sequence/SACK/loss state for **one** flow and
+//!   borrows whatever it doesn't own per call — segment records from a
+//!   shared [`SegStore`], RTT samples into a caller-owned
+//!   [`RttEstimator`], delivery samples into a caller-owned
+//!   [`RateSampler`]. This is what the [`FlowArena`](crate::arena) stores
+//!   one-per-flow in a dense array.
+//! * [`SegStore`] is the shared chunked slab (see [`crate::pool::SegSlab`])
+//!   that every flow's per-segment records are carved from — the
+//!   "scoreboard-slab" pool category.
+//! * [`Sender`] is the classic single-flow bundle (scoreboard + private
+//!   store + RTT estimator + rate sampler) with the original API. Unit
+//!   tests and the arena-vs-boxed differential test drive it; the
+//!   simulator itself now iterates arena arrays instead.
 
+use crate::pool::{SegSlab, SlabDeque};
 use crate::rate::{RateSampler, TxStamp};
 use crate::receiver::AckInfo;
 use crate::rtt::RttEstimator;
 use crate::seq::PktSeq;
 use sim_core::time::{SimDuration, SimTime};
-use std::collections::VecDeque;
 
 /// Classic fast-retransmit duplicate threshold.
 pub const DUP_THRESH: u64 = 3;
 
 /// One outstanding segment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct SegState {
     seq: PktSeq,
     sent_at: SimTime,
@@ -97,37 +113,44 @@ impl SendPlan {
     }
 }
 
-/// The sender scoreboard.
-pub struct Sender {
-    mss: u64,
-    snd_una: PktSeq,
-    snd_nxt: PktSeq,
-    segs: VecDeque<SegState>,
-    sacked_out: u64,
-    lost_out: u64,
-    retrans_out: u64,
-    /// Fast-recovery high-water mark: recovery ends when snd_una passes it.
-    recovery_point: Option<PktSeq>,
-    /// RTT estimator (Karn-compliant: only clean segments sampled).
-    pub rtt: RttEstimator,
-    /// Delivery-rate sampler.
-    pub rate: RateSampler,
-    /// Total retransmitted packets over the connection (paper's §5.2.3
-    /// shallow-buffer metric).
-    total_retx: u64,
-    /// Highest delivered (acked/sacked) send time, for RACK.
-    rack_delivered_tx: SimTime,
-    /// Run index over the scoreboard: merged runs of sequences currently
-    /// marked `sacked`. Lets ACK processing skip already-SACKed spans of a
-    /// reported range (the per-segment flags stay the ground truth).
-    sacked_runs: Vec<(u64, u64)>,
-    /// Run index: outstanding segments that are neither SACKed nor lost,
-    /// grouped by transmission batch ([`HoleRun`]). Loss detection walks
-    /// these runs instead of every segment.
-    hole_runs: Vec<HoleRun>,
-    /// Run index: segments marked lost and not yet retransmitted — the
-    /// retransmission queue [`Sender::plan_send_into`] consumes.
-    retx_runs: Vec<(u64, u64)>,
+/// The shared segment-record store: one chunked slab that every flow's
+/// scoreboard window is carved from (the "scoreboard-slab" pool category).
+///
+/// A [`Scoreboard`] holds only a chunk-handle window ([`SlabDeque`]) into
+/// this store, so a thousand mostly-idle flows share a few warm chunks
+/// instead of each keeping a cold private ring buffer.
+pub struct SegStore {
+    slab: SegSlab<SegState>,
+}
+
+impl SegStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SegStore {
+            slab: SegSlab::new(),
+        }
+    }
+
+    /// Chunk allocations that had to grow the backing storage (cold).
+    pub fn misses(&self) -> u64 {
+        self.slab.misses()
+    }
+
+    /// Total chunk allocations.
+    pub fn takes(&self) -> u64 {
+        self.slab.takes()
+    }
+
+    /// Chunk allocations served from the free list (warm).
+    pub fn reuses(&self) -> u64 {
+        self.slab.reuses()
+    }
+}
+
+impl Default for SegStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Total sequences covered by a sorted run list.
@@ -218,20 +241,51 @@ fn holes_trim_below(runs: &mut Vec<HoleRun>, una: u64) {
     }
 }
 
-impl Sender {
-    /// A fresh sender for `mss`-byte packets.
+/// Per-flow sequence/SACK/loss state. Owns no segment storage and no
+/// estimators: segment records live in a shared [`SegStore`] and the
+/// RTT/rate state is borrowed per call, so the flow arena can keep each in
+/// its own dense array.
+pub struct Scoreboard {
+    mss: u64,
+    snd_una: PktSeq,
+    snd_nxt: PktSeq,
+    /// Window of outstanding segments, as chunk handles into a [`SegStore`].
+    segs: SlabDeque,
+    sacked_out: u64,
+    lost_out: u64,
+    retrans_out: u64,
+    /// Fast-recovery high-water mark: recovery ends when snd_una passes it.
+    recovery_point: Option<PktSeq>,
+    /// Total retransmitted packets over the connection (paper's §5.2.3
+    /// shallow-buffer metric).
+    total_retx: u64,
+    /// Highest delivered (acked/sacked) send time, for RACK.
+    rack_delivered_tx: SimTime,
+    /// Run index over the scoreboard: merged runs of sequences currently
+    /// marked `sacked`. Lets ACK processing skip already-SACKed spans of a
+    /// reported range (the per-segment flags stay the ground truth).
+    sacked_runs: Vec<(u64, u64)>,
+    /// Run index: outstanding segments that are neither SACKed nor lost,
+    /// grouped by transmission batch ([`HoleRun`]). Loss detection walks
+    /// these runs instead of every segment.
+    hole_runs: Vec<HoleRun>,
+    /// Run index: segments marked lost and not yet retransmitted — the
+    /// retransmission queue [`Scoreboard::plan_send_into`] consumes.
+    retx_runs: Vec<(u64, u64)>,
+}
+
+impl Scoreboard {
+    /// A fresh scoreboard for `mss`-byte packets.
     pub fn new(mss: u64) -> Self {
-        Sender {
+        Scoreboard {
             mss,
             snd_una: PktSeq::ZERO,
             snd_nxt: PktSeq::ZERO,
-            segs: VecDeque::new(),
+            segs: SlabDeque::new(),
             sacked_out: 0,
             lost_out: 0,
             retrans_out: 0,
             recovery_point: None,
-            rtt: RttEstimator::new(),
-            rate: RateSampler::new(mss),
             total_retx: 0,
             rack_delivered_tx: SimTime::ZERO,
             sacked_runs: Vec::new(),
@@ -280,27 +334,12 @@ impl Sender {
         self.total_retx
     }
 
-    /// Cumulative delivered packets (goodput numerator).
-    pub fn delivered_pkts(&self) -> u64 {
-        self.rate.delivered()
-    }
-
-    /// Plan the next transmission: retransmissions first, then new data,
-    /// respecting `cwnd` and at most `max_pkts` in this buffer.
-    /// Returns `None` if nothing can be sent.
-    pub fn plan_send(&self, cwnd: u64, max_pkts: u64) -> Option<SendPlan> {
-        let mut plan = SendPlan {
-            runs: Vec::new(),
-            is_retx: false,
-        };
-        self.plan_send_into(cwnd, max_pkts, &mut plan)
-            .then_some(plan)
-    }
-
-    /// Allocation-free [`Sender::plan_send`]: fill a caller-owned plan
-    /// (reusing its `runs` capacity) and report whether anything can be
-    /// sent. The simulator's hot loop keeps one scratch plan per stack so
-    /// steady-state sends never touch the heap.
+    /// Allocation-free transmission planning: fill a caller-owned plan
+    /// (reusing its `runs` capacity) with retransmissions first, then new
+    /// data, respecting `cwnd` and at most `max_pkts` in this buffer.
+    /// Returns whether anything can be sent. The simulator's hot loop
+    /// keeps one scratch plan per stack so steady-state sends never touch
+    /// the heap.
     pub fn plan_send_into(&self, cwnd: u64, max_pkts: u64, plan: &mut SendPlan) -> bool {
         plan.runs.clear();
         plan.is_retx = false;
@@ -339,7 +378,14 @@ impl Sender {
 
     /// Record that a plan was transmitted at `now`. `pacing_limited` marks
     /// sends released after a pacer-created idle drained the flight.
-    pub fn on_sent(&mut self, plan: &SendPlan, now: SimTime, pacing_limited: bool) {
+    pub fn on_sent(
+        &mut self,
+        store: &mut SegStore,
+        rate: &mut RateSampler,
+        plan: &SendPlan,
+        now: SimTime,
+        pacing_limited: bool,
+    ) {
         if plan.is_retx {
             for &(lo, hi) in &plan.runs {
                 // The run leaves the retransmission queue; the per-segment
@@ -351,11 +397,11 @@ impl Sender {
                     // Re-stamp, as the kernel does on retransmission: a rate
                     // sample taken against the original stamp would span the
                     // whole loss episode and poison the bandwidth filter.
-                    let stamp = self.rate.on_send(now, false, pacing_limited);
+                    let stamp = rate.on_send(now, false, pacing_limited);
                     let idx = self
                         .index_of(PktSeq(seq))
                         .expect("retransmitting unknown segment");
-                    let seg = &mut self.segs[idx];
+                    let seg = self.segs.get_mut(&mut store.slab, idx);
                     assert!(seg.lost, "retransmitting a segment not marked lost");
                     seg.last_tx = now;
                     seg.stamp = stamp;
@@ -374,18 +420,19 @@ impl Sender {
         for &(lo, hi) in &plan.runs {
             assert_eq!(lo, self.snd_nxt, "new data must start at snd_nxt");
             for seq in lo.0..hi.0 {
-                let stamp = self
-                    .rate
-                    .on_send(now, flight_start && seq == lo.0, pacing_limited);
-                self.segs.push_back(SegState {
-                    seq: PktSeq(seq),
-                    sent_at: now,
-                    stamp,
-                    sacked: false,
-                    lost: false,
-                    retx_count: 0,
-                    last_tx: now,
-                });
+                let stamp = rate.on_send(now, flight_start && seq == lo.0, pacing_limited);
+                self.segs.push_back(
+                    &mut store.slab,
+                    SegState {
+                        seq: PktSeq(seq),
+                        sent_at: now,
+                        stamp,
+                        sacked: false,
+                        lost: false,
+                        retx_count: 0,
+                        last_tx: now,
+                    },
+                );
             }
             // Fresh data is a hole-run candidate: one batch, one `last_tx`.
             match self.hole_runs.last_mut() {
@@ -408,41 +455,62 @@ impl Sender {
     }
 
     /// RACK reorder window: a quarter of the smoothed RTT (floor 1 ms).
-    fn reo_wnd(&self) -> SimDuration {
-        self.rtt
-            .srtt()
+    fn reo_wnd(rtt: &RttEstimator) -> SimDuration {
+        rtt.srtt()
             .map(|s| s / 4)
             .unwrap_or(SimDuration::from_millis(1))
             .max(SimDuration::from_millis(1))
     }
 
-    /// Process an acknowledgement at `now`.
-    pub fn on_ack(&mut self, ack: &AckInfo, now: SimTime) -> AckOutcome {
+    /// Process an acknowledgement at `now`, sampling into the flow's RTT
+    /// estimator and rate sampler.
+    pub fn on_ack(
+        &mut self,
+        store: &mut SegStore,
+        rtt: &mut RttEstimator,
+        rate: &mut RateSampler,
+        ack: &AckInfo,
+        now: SimTime,
+    ) -> AckOutcome {
         let mut out = AckOutcome::default();
         let mut newest_delivered: Option<(SimTime, TxStamp, u32)> = None;
 
         // --- Cumulative part: drop segments below ack.cum. ---
         let cum = ack.cum.min(self.snd_nxt); // ignore acks beyond sent data
         let advanced = self.snd_una < cum;
-        while self.snd_una < cum {
-            let seg = self
-                .segs
-                .pop_front()
-                .expect("scoreboard shorter than window");
-            debug_assert_eq!(seg.seq, self.snd_una);
-            if seg.sacked {
-                self.sacked_out -= 1;
-            } else {
-                out.newly_delivered += 1;
+        if advanced {
+            // Read the per-segment flags in place, then retire the whole
+            // prefix with one head bump: a cumulative ACK covers a burst of
+            // segments, and popping them one at a time would move each
+            // record out of the slab just to drop it.
+            debug_assert!(
+                cum.0 - self.snd_una.0 <= self.segs.len() as u64,
+                "scoreboard shorter than window"
+            );
+            let n = (cum.0 - self.snd_una.0) as usize;
+            for i in 0..n {
+                let seg = self.segs.get(&store.slab, i);
+                debug_assert_eq!(seg.seq, PktSeq(self.snd_una.0 + i as u64));
+                if seg.sacked {
+                    self.sacked_out -= 1;
+                } else {
+                    out.newly_delivered += 1;
+                }
+                if seg.lost {
+                    self.lost_out -= 1;
+                }
+                if seg.retx_count > 0 && seg.lost {
+                    self.retrans_out = self.retrans_out.saturating_sub(1);
+                }
+                Self::track_newest(
+                    &mut newest_delivered,
+                    seg.last_tx,
+                    seg.stamp,
+                    seg.retx_count,
+                );
             }
-            if seg.lost {
-                self.lost_out -= 1;
-            }
-            if seg.retx_count > 0 && seg.lost {
-                self.retrans_out = self.retrans_out.saturating_sub(1);
-            }
-            Self::track_newest(&mut newest_delivered, &seg, !seg.sacked);
-            self.snd_una = self.snd_una.next();
+            self.segs.drop_front(&mut store.slab, n);
+            self.snd_una = cum;
         }
         if advanced {
             runs_trim_below(&mut self.sacked_runs, self.snd_una.0);
@@ -471,22 +539,27 @@ impl Sender {
                 ri += 1;
                 for seq in cursor..gap_hi {
                     if let Some(idx) = self.index_of(PktSeq(seq)) {
-                        let seg = &mut self.segs[idx];
+                        let seg = self.segs.get_mut(&mut store.slab, idx);
                         if !seg.sacked {
                             seg.sacked = true;
-                            self.sacked_out += 1;
-                            out.newly_delivered += 1;
-                            if seg.lost {
+                            let was_lost = seg.lost;
+                            if was_lost {
                                 // A "lost" segment arrived after all (or its
                                 // retransmission did).
                                 seg.lost = false;
+                            }
+                            let had_retx = seg.retx_count > 0;
+                            let (last_tx, stamp, retx_count) =
+                                (seg.last_tx, seg.stamp, seg.retx_count);
+                            self.sacked_out += 1;
+                            out.newly_delivered += 1;
+                            if was_lost {
                                 self.lost_out -= 1;
-                                if seg.retx_count > 0 {
+                                if had_retx {
                                     self.retrans_out = self.retrans_out.saturating_sub(1);
                                 }
                             }
-                            let seg = self.segs[idx].clone();
-                            Self::track_newest(&mut newest_delivered, &seg, true);
+                            Self::track_newest(&mut newest_delivered, last_tx, stamp, retx_count);
                         }
                     }
                 }
@@ -506,19 +579,19 @@ impl Sender {
         if let Some((sent_at, stamp, retx)) = newest_delivered {
             if retx == 0 {
                 // Karn's rule: never sample retransmitted segments.
-                let rtt = now.saturating_since(sent_at);
-                self.rtt.sample(rtt);
-                out.rtt_sample = Some(rtt);
+                let sample = now.saturating_since(sent_at);
+                rtt.sample(sample);
+                out.rtt_sample = Some(sample);
             }
             self.rack_delivered_tx = self.rack_delivered_tx.max(sent_at);
             out.prior_delivered = stamp.delivered;
             out.app_limited = stamp.app_limited;
             out.pacing_limited = stamp.pacing_limited;
-            out.rate_sample = self.rate.on_ack(now, out.newly_delivered, &stamp);
+            out.rate_sample = rate.on_ack(now, out.newly_delivered, &stamp);
         }
 
         // --- Loss detection (dup threshold + RACK time threshold). ---
-        out.newly_lost = self.detect_losses(now);
+        out.newly_lost = self.detect_losses(store, rtt);
 
         // --- Recovery state. ---
         match self.recovery_point {
@@ -538,19 +611,19 @@ impl Sender {
             }
         }
 
-        self.assert_invariants();
+        self.assert_invariants(store);
         out
     }
 
     fn track_newest(
         newest: &mut Option<(SimTime, TxStamp, u32)>,
-        seg: &SegState,
-        _delivered: bool,
+        last_tx: SimTime,
+        stamp: TxStamp,
+        retx_count: u32,
     ) {
-        let candidate = (seg.last_tx, seg.stamp, seg.retx_count);
         match newest {
-            Some((t, _, _)) if *t >= seg.last_tx => {}
-            _ => *newest = Some(candidate),
+            Some((t, _, _)) if *t >= last_tx => {}
+            _ => *newest = Some((last_tx, stamp, retx_count)),
         }
     }
 
@@ -560,12 +633,12 @@ impl Sender {
     /// contiguous (no SACKed segment inside) and shares one `last_tx`, so
     /// both the dup-threshold and the RACK rule decide the whole run at
     /// once — one pass over O(runs), not O(window).
-    fn detect_losses(&mut self, _now: SimTime) -> u64 {
+    fn detect_losses(&mut self, store: &mut SegStore, rtt: &RttEstimator) -> u64 {
         // Highest sacked seq and count of sacked segments above each hole.
         if self.sacked_out == 0 {
             return 0;
         }
-        let reo = self.reo_wnd();
+        let reo = Self::reo_wnd(rtt);
         let rack_tx = self.rack_delivered_tx;
         // Count sacked segments from the tail (walking the SACKed-run
         // index in tandem) so each hole run knows how many deliveries
@@ -585,7 +658,7 @@ impl Sender {
             if dup_rule || rack_rule {
                 for seq in run.lo..run.hi {
                     let idx = (seq - self.snd_una.0) as usize;
-                    let seg = &mut self.segs[idx];
+                    let seg = self.segs.get_mut(&mut store.slab, idx);
                     debug_assert!(!seg.sacked && !seg.lost, "hole index out of sync");
                     seg.lost = true;
                 }
@@ -607,9 +680,10 @@ impl Sender {
 
     /// RTO expiry: everything outstanding and unsacked is presumed lost
     /// (`tcp_enter_loss`); retransmission state resets.
-    pub fn on_rto(&mut self) -> u64 {
+    pub fn on_rto(&mut self, store: &mut SegStore) -> u64 {
         let mut marked = 0;
-        for seg in &mut self.segs {
+        for i in 0..self.segs.len() {
+            let seg = self.segs.get_mut(&mut store.slab, i);
             if seg.retx_count > 0 && seg.lost {
                 self.retrans_out = self.retrans_out.saturating_sub(1);
             }
@@ -637,12 +711,12 @@ impl Sender {
             self.retx_runs.push((cursor, self.snd_nxt.0));
         }
         self.recovery_point = None;
-        self.assert_invariants();
+        self.assert_invariants(store);
         marked
     }
 
     #[inline]
-    fn assert_invariants(&self) {
+    fn assert_invariants(&self, _store: &SegStore) {
         debug_assert_eq!(self.packets_out() as usize, self.segs.len());
         debug_assert!(self.sacked_out + self.lost_out <= self.packets_out() + self.retrans_out);
         // Run indexes partition the window: every outstanding segment is
@@ -654,17 +728,18 @@ impl Sender {
         );
         debug_assert!(runs_len(&self.retx_runs) <= self.lost_out);
         #[cfg(test)]
-        self.check_run_indexes();
+        self.check_run_indexes(_store);
     }
 
     /// Full reconciliation of the run indexes against the per-segment
     /// flags — the ground truth. Test builds only: O(window) per ACK.
     #[cfg(test)]
-    fn check_run_indexes(&self) {
+    fn check_run_indexes(&self, store: &SegStore) {
         let mut sacked = Vec::new();
         let mut holes: Vec<HoleRun> = Vec::new();
         let mut retx = Vec::new();
-        for seg in &self.segs {
+        for i in 0..self.segs.len() {
+            let seg = self.segs.get(&store.slab, i);
             let s = seg.seq.0;
             if seg.sacked {
                 runs_insert(&mut sacked, s, s + 1);
@@ -692,6 +767,119 @@ impl Sender {
             .map(|r| (r.lo, r.hi, r.last_tx))
             .collect();
         assert_eq!(got, want, "hole_runs out of sync");
+    }
+}
+
+/// The classic single-flow sender bundle: a [`Scoreboard`] plus its own
+/// private [`SegStore`], RTT estimator, and rate sampler, with the
+/// original one-struct API.
+///
+/// The simulator itself stores these pieces in the
+/// [`FlowArena`](crate::arena)'s dense arrays; this wrapper exists for
+/// unit tests and as the boxed-layout reference the arena differential
+/// test compares against. Both paths execute the same [`Scoreboard`]
+/// code, so equivalence here is a layout statement, not a reimplementation
+/// check.
+pub struct Sender {
+    board: Scoreboard,
+    store: SegStore,
+    /// RTT estimator (Karn-compliant: only clean segments sampled).
+    pub rtt: RttEstimator,
+    /// Delivery-rate sampler.
+    pub rate: RateSampler,
+}
+
+impl Sender {
+    /// A fresh sender for `mss`-byte packets.
+    pub fn new(mss: u64) -> Self {
+        Sender {
+            board: Scoreboard::new(mss),
+            store: SegStore::new(),
+            rtt: RttEstimator::new(),
+            rate: RateSampler::new(mss),
+        }
+    }
+
+    /// Segment size in bytes.
+    pub fn mss(&self) -> u64 {
+        self.board.mss()
+    }
+
+    /// Oldest unacknowledged sequence.
+    pub fn snd_una(&self) -> PktSeq {
+        self.board.snd_una()
+    }
+
+    /// Next fresh sequence.
+    pub fn snd_nxt(&self) -> PktSeq {
+        self.board.snd_nxt()
+    }
+
+    /// Packets currently outstanding (sent, not cumulatively acked).
+    pub fn packets_out(&self) -> u64 {
+        self.board.packets_out()
+    }
+
+    /// The standard inflight estimate.
+    pub fn packets_in_flight(&self) -> u64 {
+        self.board.packets_in_flight()
+    }
+
+    /// Whether any data is outstanding (drives the RTO timer).
+    pub fn has_outstanding(&self) -> bool {
+        self.board.has_outstanding()
+    }
+
+    /// Whether fast recovery is in progress.
+    pub fn in_recovery(&self) -> bool {
+        self.board.in_recovery()
+    }
+
+    /// Lifetime retransmission count.
+    pub fn total_retx(&self) -> u64 {
+        self.board.total_retx()
+    }
+
+    /// Cumulative delivered packets (goodput numerator).
+    pub fn delivered_pkts(&self) -> u64 {
+        self.rate.delivered()
+    }
+
+    /// Plan the next transmission: retransmissions first, then new data,
+    /// respecting `cwnd` and at most `max_pkts` in this buffer.
+    /// Returns `None` if nothing can be sent.
+    pub fn plan_send(&self, cwnd: u64, max_pkts: u64) -> Option<SendPlan> {
+        let mut plan = SendPlan {
+            runs: Vec::new(),
+            is_retx: false,
+        };
+        self.plan_send_into(cwnd, max_pkts, &mut plan)
+            .then_some(plan)
+    }
+
+    /// Allocation-free [`Sender::plan_send`]; see
+    /// [`Scoreboard::plan_send_into`].
+    pub fn plan_send_into(&self, cwnd: u64, max_pkts: u64, plan: &mut SendPlan) -> bool {
+        self.board.plan_send_into(cwnd, max_pkts, plan)
+    }
+
+    /// Record that a plan was transmitted at `now`. `pacing_limited` marks
+    /// sends released after a pacer-created idle drained the flight.
+    pub fn on_sent(&mut self, plan: &SendPlan, now: SimTime, pacing_limited: bool) {
+        self.board
+            .on_sent(&mut self.store, &mut self.rate, plan, now, pacing_limited)
+    }
+
+    /// Process an acknowledgement at `now`.
+    pub fn on_ack(&mut self, ack: &AckInfo, now: SimTime) -> AckOutcome {
+        self.board
+            .on_ack(&mut self.store, &mut self.rtt, &mut self.rate, ack, now)
+    }
+
+    /// RTO expiry: everything outstanding and unsacked is presumed lost
+    /// (`tcp_enter_loss`); retransmission state resets.
+    pub fn on_rto(&mut self) -> u64 {
+        self.board.on_rto(&mut self.store)
     }
 }
 
@@ -868,7 +1056,7 @@ mod tests {
         let check = |s: &Sender| {
             assert_eq!(
                 s.packets_in_flight(),
-                (s.packets_out() + s.retrans_out) - s.sacked_out - s.lost_out
+                (s.packets_out() + s.board.retrans_out) - s.board.sacked_out - s.board.lost_out
             );
         };
         check(&s);
@@ -1008,5 +1196,42 @@ mod tests {
         assert_eq!(s.packets_out(), 0);
         assert_eq!(s.delivered_pkts(), 20);
         assert_eq!(r.total_received(), 20);
+    }
+
+    #[test]
+    fn scoreboard_slab_chunks_recycle_across_flows() {
+        // Two scoreboards sharing one store: when one flow's window
+        // drains, its chunks serve the other flow's growth.
+        let mut store = SegStore::new();
+        let mut rate_a = RateSampler::new(1448);
+        let mut rate_b = RateSampler::new(1448);
+        let mut rtt = RttEstimator::new();
+        let mut a = Scoreboard::new(1448);
+        let mut b = Scoreboard::new(1448);
+        let mut plan = SendPlan::default();
+        // Flow A sends a multi-chunk window, then fully drains it.
+        assert!(a.plan_send_into(u64::MAX, 200, &mut plan));
+        a.on_sent(&mut store, &mut rate_a, &plan, SimTime::ZERO, false);
+        let cold = store.misses();
+        assert!(cold >= 3, "200 packets must span several chunks");
+        a.on_ack(
+            &mut store,
+            &mut rtt,
+            &mut rate_a,
+            &cum_ack(200),
+            SimTime::from_millis(20),
+        );
+        // Flow B's window now reuses A's chunks: no new cold growth.
+        assert!(b.plan_send_into(u64::MAX, 200, &mut plan));
+        b.on_sent(
+            &mut store,
+            &mut rate_b,
+            &plan,
+            SimTime::from_millis(30),
+            false,
+        );
+        assert_eq!(store.misses(), cold, "B must be served from A's chunks");
+        assert!(store.reuses() > 0);
+        assert_eq!(store.misses(), store.takes() - store.reuses());
     }
 }

@@ -25,11 +25,13 @@
 //! and goodput collapses, while the same workload at 2.8 GHz runs at line
 //! rate.
 
+use crate::arena::{CcCache, FlowArena, FlowHot, RTT_RESERVOIR_CAP};
 use crate::mutants::{self, Mutant};
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
-use crate::pool::VecPool;
-use crate::receiver::{AckInfo, AckUrgency, Receiver};
-use crate::sender::{SendPlan, Sender};
+use crate::pool::{SlotStore, VecPool};
+use crate::receiver::{AckInfo, AckUrgency};
+use crate::rtt::RttEstimator;
+use crate::sender::SendPlan;
 use crate::seq::PktSeq;
 use congestion::master::{Master, MasterConfig};
 use congestion::{AckSample, CcKind, CongestionControl, LossEvent};
@@ -39,7 +41,7 @@ use netsim::media::PathConfig;
 use netsim::netem::{Netem, NetemVerdict};
 use netsim::{wire_bytes, MSS};
 use serde::Serialize;
-use sim_core::event::{EventQueue, TimerToken};
+use sim_core::event::EventQueue;
 use sim_core::metrics::{Counters, Reservoir, Summary};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -202,15 +204,18 @@ impl SimResult {
     }
 }
 
+/// Events are deliberately small: a timer-wheel cell moves every time a
+/// slot cascades, so fat payloads (run lists, SACK vectors) ride in
+/// [`SlotStore`]s as `u32` ids and only the id crosses the wheel.
 enum Event {
-    Start(usize),
+    Start(u32),
     SendReady {
-        conn: usize,
+        conn: u32,
         from_timer: bool,
     },
     /// A socket buffer cleared the CPU/device path (TSQ completion).
     DeviceDone {
-        conn: usize,
+        conn: u32,
         bytes: u64,
     },
     /// §7.1.2 auto-stride controller epoch (host-global, like the sysctl
@@ -221,78 +226,111 @@ enum Event {
     /// Periodic timeline sample (iPerf3-style per-interval reporting).
     StatsSample,
     SkbArrival {
-        conn: usize,
-        runs: Vec<(PktSeq, PktSeq)>,
+        conn: u32,
+        /// Run-list slot id ([`StackSim::run_slots`]).
+        runs: u32,
     },
     EmitAck {
-        conn: usize,
+        conn: u32,
     },
     AckArrival {
-        conn: usize,
-        ack: AckInfo,
+        conn: u32,
+        cum: PktSeq,
+        /// SACK-vector slot id ([`StackSim::sack_slots`]).
+        sacks: u32,
     },
     RtoFire {
-        conn: usize,
+        conn: u32,
         epoch: u64,
     },
     GovernorTick,
     MeasureStart,
 }
 
-struct Conn {
-    sender: Sender,
-    receiver: Receiver,
-    cc: Master,
-    pacer: Pacer,
-    started: bool,
-    send_scheduled: bool,
-    pacing_timer_armed: bool,
-    /// Socket buffers currently in the CPU/device path. TCP Small Queues
-    /// (TSQ) caps this at 2: without it, a lossless CPU-limited run lets
-    /// cwnd stuff unbounded data into the device backlog and measured RTT
-    /// grows without bound.
-    device_chunks: u32,
-    /// Bytes currently in the CPU/device path (memory accounting).
-    device_bytes: u64,
-    /// Packets that survived netem + the bottleneck queue and were handed
-    /// to the receiver's arrival event. The rx-conservation oracle checks
-    /// `receiver.total_received() + receiver.duplicates() <=` this (strict
-    /// equality can't hold: arrivals scheduled past the end of the run are
-    /// never delivered).
-    accepted_pkts: u64,
-    /// Peak memory footprint proxy: scoreboard + device backlog bytes
-    /// (§7.1.1's RAM question).
-    mem_peak_bytes: u64,
+/// Hot-path event tallies, kept as plain fields and folded into the
+/// [`Counters`] map once at the end of the run: a B-tree lookup per
+/// packet was a measurable slice of the per-event budget at 1000 flows.
+///
+/// Flushing preserves the exact key-existence semantics of the previous
+/// per-event `inc`/`add` calls: a key appears in the final map iff the
+/// corresponding call would have happened at least once.
+#[derive(Default)]
+struct HotCounters {
+    timer_fires: u64,
+    timer_arms: u64,
+    retx_pkts: u64,
+    skbs_sent: u64,
+    pkts_sent: u64,
+    netem_drops: u64,
+    queue_drops: u64,
+    acks_emitted: u64,
+    sack_incoherent: u64,
+    ack_drops: u64,
+    acks_processed: u64,
+    recovery_entries: u64,
+    recovery_exits: u64,
+    rto_fires: u64,
+    rto_marked_lost: u64,
+    cross_pkts: u64,
+    cross_drops: u64,
+    stride_adaptations: u64,
+    stride_reverts: u64,
+}
 
-    /// Segments still permitted in the current pacing period (a strided
-    /// period releases several autosized chunks, sent as chained events so
-    /// concurrent flows contend for the CPU between chunks).
-    burst_remaining: u64,
-    rto_epoch: u64,
-    rto_armed: bool,
-    rto_backoff: u32,
-    ack_timer: Option<TimerToken>,
-    // Measurement.
-    delivered_at_measure: u64,
-    measuring: bool,
-    rtt_summary: Summary,
-    rtt_reservoir: Reservoir,
-    skb_bytes_sum: u64,
-    skb_count: u64,
-    /// Bytes sent in the current pacing period; finalized into
-    /// `period_bytes_sum` when the next period opens (Table 2's per-period
-    /// "Skbuff Len" statistic).
-    cur_period_bytes: u64,
-    period_bytes_sum: u64,
-    period_count: u64,
-    // sim-trace change detection: only transitions are recorded, so the
-    // last-seen CC outputs are cached here (checked only when tracing).
-    last_cwnd: u64,
-    last_rate_bps: u64,
-    last_phase: &'static str,
+impl HotCounters {
+    fn flush(&self, counters: &mut Counters) {
+        let mut put = |name: &'static str, v: u64| {
+            if v > 0 {
+                counters.add(name, v);
+            }
+        };
+        put("timer_fires", self.timer_fires);
+        put("timer_arms", self.timer_arms);
+        put("retx_pkts", self.retx_pkts);
+        put("skbs_sent", self.skbs_sent);
+        put("pkts_sent", self.pkts_sent);
+        put("netem_drops", self.netem_drops);
+        put("queue_drops", self.queue_drops);
+        put("acks_emitted", self.acks_emitted);
+        put("sack_incoherent", self.sack_incoherent);
+        put("ack_drops", self.ack_drops);
+        put("acks_processed", self.acks_processed);
+        put("recovery_entries", self.recovery_entries);
+        put("recovery_exits", self.recovery_exits);
+        put("rto_fires", self.rto_fires);
+        put("cross_pkts", self.cross_pkts);
+        put("cross_drops", self.cross_drops);
+        put("stride_adaptations", self.stride_adaptations);
+        put("stride_reverts", self.stride_reverts);
+        // `rto_marked_lost` was `add`ed once per RTO fire, possibly with
+        // zero — so its key exists exactly when any RTO fired.
+        if self.rto_fires > 0 {
+            counters.add("rto_marked_lost", self.rto_marked_lost);
+        }
+    }
+}
+
+/// The effective pacing rate for a connection: the CC's rate, else
+/// TCP's internal fallback `1.2 × mss·cwnd/srtt` (§5.2.2), else the
+/// pre-RTT bootstrap (`init_cwnd/1 ms`, as the kernel does).
+fn effective_pacing_rate(cache: &CcCache, rtt: &RttEstimator, pacer: &Pacer) -> Bandwidth {
+    if let Some(rate) = cache.pacing_rate {
+        return rate;
+    }
+    if let Some(srtt) = rtt.srtt() {
+        let fb = pacer.fallback_rate(cache.cwnd, srtt);
+        if !fb.is_zero() {
+            return fb;
+        }
+    }
+    Bandwidth::from_bytes_over(cache.cwnd * MSS, SimDuration::from_millis(1))
+        .mul_f64(congestion::bbr::HIGH_GAIN)
 }
 
 /// The simulation engine.
+///
+/// Per-connection state lives in a [`FlowArena`] — dense parallel arrays
+/// indexed by connection id (see `crate::arena` for the layout contract).
 ///
 /// ```
 /// use congestion::CcKind;
@@ -316,18 +354,21 @@ pub struct StackSim {
     fwd_link: BottleneckLink,
     rev_netem: Netem,
     rev_link: BottleneckLink,
-    conns: Vec<Conn>,
-    counters: Counters,
+    arena: FlowArena,
+    tallies: HotCounters,
     end: SimTime,
     pcap: Option<netsim::pcap::PcapWriter<std::io::BufWriter<std::fs::File>>>,
     cross: Option<netsim::crosstraffic::CrossTraffic>,
     timeline: Vec<(SimTime, u64)>,
     // Hot-path buffer recycling: run lists ride `SkbArrival`, SACK vectors
-    // ride `AckArrival`, and one scratch plan serves every `try_send`.
-    // Together with the slab-backed event queue this keeps the steady-state
-    // send/ack path off the allocator entirely.
+    // ride `AckArrival` — as slot ids, with the buffers parked in the slot
+    // stores — and one scratch plan serves every `try_send`. Together with
+    // the slab-backed event queue this keeps the steady-state send/ack
+    // path off the allocator entirely.
     run_pool: VecPool<(PktSeq, PktSeq)>,
     sack_pool: VecPool<(PktSeq, PktSeq)>,
+    run_slots: SlotStore<(PktSeq, PktSeq)>,
+    sack_slots: SlotStore<(PktSeq, PktSeq)>,
     plan_scratch: SendPlan,
     /// Scratch buffer for coalesced same-timestamp ACK runs: the dispatch
     /// loop collects consecutive `AckArrival`s for one connection here and
@@ -355,6 +396,7 @@ pub struct StackSim {
     measure_cycles_total: u64,
     measure_run_misses: u64,
     measure_sack_misses: u64,
+    measure_slab_misses: u64,
 }
 
 impl StackSim {
@@ -385,45 +427,14 @@ impl StackSim {
         };
         let rev_link = BottleneckLink::new(cfg.path.reverse.clone());
 
-        let conns = (0..cfg.connections)
-            .map(|i| {
-                let inner: Box<dyn CongestionControl> = match cfg.cc {
-                    CcKind::Bbr => Box::new(congestion::bbr::Bbr::new(MSS).with_cycle_offset(i)),
-                    CcKind::Bbr2 => Box::new(congestion::bbr2::Bbr2::new(MSS).with_probe_offset(i)),
-                    other => other.build(MSS),
-                };
-                Conn {
-                    sender: Sender::new(MSS),
-                    receiver: Receiver::new(),
-                    cc: Master::new(inner, cfg.master),
-                    pacer: Pacer::new(cfg.pacing, MSS),
-                    started: false,
-                    send_scheduled: false,
-                    pacing_timer_armed: false,
-                    device_chunks: 0,
-                    device_bytes: 0,
-                    accepted_pkts: 0,
-                    mem_peak_bytes: 0,
-                    burst_remaining: 0,
-                    rto_epoch: 0,
-                    rto_armed: false,
-                    rto_backoff: 0,
-                    ack_timer: None,
-                    delivered_at_measure: 0,
-                    measuring: false,
-                    rtt_summary: Summary::new(),
-                    rtt_reservoir: Reservoir::new(2048),
-                    skb_bytes_sum: 0,
-                    skb_count: 0,
-                    cur_period_bytes: 0,
-                    period_bytes_sum: 0,
-                    period_count: 0,
-                    last_cwnd: 0,
-                    last_rate_bps: 0,
-                    last_phase: "",
-                }
-            })
-            .collect();
+        let arena = FlowArena::new(cfg.connections, MSS, cfg.pacing, |i| {
+            let inner: Box<dyn CongestionControl> = match cfg.cc {
+                CcKind::Bbr => Box::new(congestion::bbr::Bbr::new(MSS).with_cycle_offset(i)),
+                CcKind::Bbr2 => Box::new(congestion::bbr2::Bbr2::new(MSS).with_probe_offset(i)),
+                other => other.build(MSS),
+            };
+            Master::new(inner, cfg.master)
+        });
 
         StackSim {
             end: SimTime::ZERO + cfg.duration,
@@ -433,8 +444,8 @@ impl StackSim {
             rev_link,
             queue: EventQueue::new(),
             cpu,
-            conns,
-            counters: Counters::new(),
+            arena,
+            tallies: HotCounters::default(),
             adapt_epochs: 0,
             adapt_prev_busy: SimDuration::ZERO,
             adapt_prev_delivered: 0,
@@ -451,10 +462,13 @@ impl StackSim {
             measure_cycles_total: 0,
             measure_run_misses: 0,
             measure_sack_misses: 0,
+            measure_slab_misses: 0,
             timeline: Vec::new(),
             run_pool: VecPool::new(),
             ack_batch: Vec::new(),
             sack_pool: VecPool::new(),
+            run_slots: SlotStore::new(),
+            sack_slots: SlotStore::new(),
             plan_scratch: SendPlan::default(),
             cross: cfg
                 .cross_traffic
@@ -529,9 +543,9 @@ impl StackSim {
     }
 
     fn run_to_end(&mut self) {
-        for c in 0..self.conns.len() {
+        for c in 0..self.arena.len() {
             let at = SimTime::ZERO + self.cfg.start_stagger * c as u64;
-            self.queue.schedule_at(at, Event::Start(c));
+            self.queue.schedule_at(at, Event::Start(c as u32));
         }
         self.queue
             .schedule_at(SimTime::ZERO + self.cfg.warmup, Event::MeasureStart);
@@ -553,46 +567,65 @@ impl StackSim {
         // Batched dispatch: pop whole same-timestamp runs off the wheel
         // (one occupancy scan per run instead of per event), and coalesce
         // consecutive ACK arrivals for one connection into a single stack
-        // pass. Staged events stay cancellable, so a handler cancelling a
+        // pass. The run's head is delivered by the pop itself (singleton
+        // runs — the common shape — never touch the staging buffer); tail
+        // events stay staged and cancellable, so a handler cancelling a
         // same-timestamp timer (delayed-ACK vs. data arrival) behaves
         // exactly as under one-at-a-time `pop`.
-        while let Some(at) = self.queue.pop_run() {
+        while let Some(first) = self.queue.pop_run_first() {
+            let at = first.at;
             if at > self.end {
                 break;
             }
+            self.dispatch(at, first.event);
             while let Some(ev) = self.queue.run_next() {
-                match ev.event {
-                    Event::AckArrival { conn, ack } => {
-                        let mut batch = std::mem::take(&mut self.ack_batch);
-                        batch.push(ack);
-                        // `AckArrival`s are never cancelled, so consuming the
-                        // run's consecutive same-connection ACKs up front is
-                        // observationally identical to dispatching them one
-                        // at a time (nothing can fire between them).
-                        while matches!(
-                            self.queue.run_peek(),
-                            Some(Event::AckArrival { conn: c2, .. }) if *c2 == conn
-                        ) {
-                            match self.queue.run_next().map(|e| e.event) {
-                                Some(Event::AckArrival { ack, .. }) => batch.push(ack),
-                                _ => unreachable!("run_peek promised an AckArrival"),
-                            }
-                        }
-                        self.on_ack_run(conn, at, &mut batch);
-                        self.ack_batch = batch;
-                    }
-                    event => self.handle(at, event),
-                }
+                self.dispatch(at, ev.event);
             }
+        }
+    }
+
+    /// Dispatch one event of the current same-timestamp run, coalescing a
+    /// streak of consecutive same-connection [`Event::AckArrival`]s (staged
+    /// behind it in the run) into a single [`StackSim::on_ack_run`] pass.
+    #[inline]
+    fn dispatch(&mut self, at: SimTime, ev: Event) {
+        match ev {
+            Event::AckArrival { conn, cum, sacks } => {
+                let mut batch = std::mem::take(&mut self.ack_batch);
+                batch.push(AckInfo {
+                    cum,
+                    sacks: self.sack_slots.unstash(sacks),
+                });
+                // `AckArrival`s are never cancelled, so consuming the
+                // run's consecutive same-connection ACKs up front is
+                // observationally identical to dispatching them one
+                // at a time (nothing can fire between them).
+                while matches!(
+                    self.queue.run_peek(),
+                    Some(Event::AckArrival { conn: c2, .. }) if *c2 == conn
+                ) {
+                    match self.queue.run_next().map(|e| e.event) {
+                        Some(Event::AckArrival { cum, sacks, .. }) => batch.push(AckInfo {
+                            cum,
+                            sacks: self.sack_slots.unstash(sacks),
+                        }),
+                        _ => unreachable!("run_peek promised an AckArrival"),
+                    }
+                }
+                self.on_ack_run(conn as usize, at, &mut batch);
+                self.ack_batch = batch;
+            }
+            event => self.handle(at, event),
         }
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
         match ev {
             Event::Start(c) => {
-                self.conns[c].started = true;
+                let c = c as usize;
+                self.arena.hot[c].started = true;
                 if self.cfg.pacing.auto_stride
-                    && self.conns[c].cc.wants_pacing()
+                    && self.arena.cc_cache[c].wants_pacing
                     && !self.adapt_armed
                 {
                     self.adapt_armed = true;
@@ -602,22 +635,24 @@ impl StackSim {
                 self.try_send(c, now, false);
             }
             Event::SendReady { conn, from_timer } => {
+                let conn = conn as usize;
                 if from_timer {
-                    self.conns[conn].pacing_timer_armed = false;
+                    self.arena.hot[conn].pacing_timer_armed = false;
                 } else {
-                    self.conns[conn].send_scheduled = false;
+                    self.arena.hot[conn].send_scheduled = false;
                 }
                 self.try_send(conn, now, from_timer);
             }
             Event::DeviceDone { conn, bytes } => {
-                let c = &mut self.conns[conn];
-                c.device_chunks = c.device_chunks.saturating_sub(1);
-                c.device_bytes = c.device_bytes.saturating_sub(bytes);
+                let conn = conn as usize;
+                let hot = &mut self.arena.hot[conn];
+                hot.device_chunks = hot.device_chunks.saturating_sub(1);
+                hot.device_bytes = hot.device_bytes.saturating_sub(bytes);
                 self.try_send(conn, now, false);
             }
             Event::AdaptStride => self.adapt_stride(now),
             Event::StatsSample => {
-                let delivered: u64 = self.conns.iter().map(|c| c.sender.delivered_pkts()).sum();
+                let delivered: u64 = self.arena.rate.iter().map(|r| r.delivered()).sum();
                 self.timeline.push((now, delivered));
                 if let Some(interval) = self.cfg.sample_interval {
                     self.queue.schedule_at(now + interval, Event::StatsSample);
@@ -630,57 +665,51 @@ impl StackSim {
                 // Open-loop: offered straight to the bottleneck queue; drops
                 // are the queue's business.
                 if self.fwd_link.send(now, bytes).is_dropped() {
-                    self.counters.inc("cross_drops");
+                    self.tallies.cross_drops += 1;
                 } else {
-                    self.counters.inc("cross_pkts");
+                    self.tallies.cross_pkts += 1;
                 }
                 let next = self.cross.as_ref().expect("still present").next_arrival();
                 self.queue.schedule_at(next.max(now), Event::CrossArrival);
             }
-            Event::SkbArrival { conn, runs } => self.on_skb_arrival(conn, now, runs),
+            Event::SkbArrival { conn, runs } => {
+                let runs = self.run_slots.unstash(runs);
+                self.on_skb_arrival(conn as usize, now, runs)
+            }
             Event::EmitAck { conn } => {
-                self.conns[conn].ack_timer = None;
+                let conn = conn as usize;
+                self.arena.hot[conn].ack_timer = None;
                 self.emit_ack(conn, now);
             }
-            Event::AckArrival { conn, ack } => self.on_ack_arrival(conn, now, ack),
-            Event::RtoFire { conn, epoch } => self.on_rto(conn, now, epoch),
+            Event::AckArrival { conn, cum, sacks } => {
+                let ack = AckInfo {
+                    cum,
+                    sacks: self.sack_slots.unstash(sacks),
+                };
+                self.on_ack_arrival(conn as usize, now, ack)
+            }
+            Event::RtoFire { conn, epoch } => self.on_rto(conn as usize, now, epoch),
             Event::GovernorTick => {
                 if let Some(next) = self.cpu.governor_tick(now) {
                     self.queue.schedule_at(next, Event::GovernorTick);
                 }
             }
             Event::MeasureStart => {
-                for conn in &mut self.conns {
-                    conn.delivered_at_measure = conn.sender.delivered_pkts();
-                    conn.measuring = true;
-                    conn.rtt_summary = Summary::new();
-                    conn.rtt_reservoir = Reservoir::new(2048);
+                for i in 0..self.arena.len() {
+                    self.arena.cold[i].delivered_at_measure = self.arena.rate[i].delivered();
+                    self.arena.hot[i].measuring = true;
+                    self.arena.cold[i].rtt_summary = Summary::new();
+                    self.arena.cold[i].rtt_reservoir = Reservoir::new(RTT_RESERVOIR_CAP);
                 }
                 // Steady-state attribution baseline: everything charged or
                 // missed after this point is measurement-window work.
-                self.measure_cycles = self.cpu.cycles_by_category().clone();
+                self.measure_cycles = self.cpu.cycles_by_category();
                 self.measure_cycles_total = self.cpu.total_cycles();
                 self.measure_run_misses = self.run_pool.misses();
                 self.measure_sack_misses = self.sack_pool.misses();
+                self.measure_slab_misses = self.arena.store.misses();
             }
         }
-    }
-
-    /// The effective pacing rate for a connection: the CC's rate, else
-    /// TCP's internal fallback `1.2 × mss·cwnd/srtt` (§5.2.2), else the
-    /// pre-RTT bootstrap (`init_cwnd/1 ms`, as the kernel does).
-    fn effective_pacing_rate(conn: &Conn) -> Bandwidth {
-        if let Some(rate) = conn.cc.pacing_rate() {
-            return rate;
-        }
-        if let Some(srtt) = conn.sender.rtt.srtt() {
-            let fb = conn.pacer.fallback_rate(conn.cc.cwnd(), srtt);
-            if !fb.is_zero() {
-                return fb;
-            }
-        }
-        Bandwidth::from_bytes_over(conn.cc.cwnd() * MSS, SimDuration::from_millis(1))
-            .mul_f64(congestion::bbr::HIGH_GAIN)
     }
 
     fn try_send(&mut self, c: usize, now: SimTime, from_timer: bool) {
@@ -694,25 +723,28 @@ impl StackSim {
             if !mutants::is(Mutant::SkipTimerFireCharge) {
                 pre_cycles += self.cfg.cost.timer_fire;
             }
-            self.counters.inc("timer_fires");
+            self.tallies.timer_fires += 1;
             self.trace
                 .record(now, TraceKind::PacingFire, c as u32, 0, 0);
         }
 
-        let conn = &mut self.conns[c];
-        if !conn.started {
+        if !self.arena.hot[c].started {
             return;
         }
         // TSQ: at most 2 buffers per socket in the device path; the
         // DeviceDone completion re-enters this function.
-        if conn.device_chunks >= 2 {
+        if self.arena.hot[c].device_chunks >= 2 {
             if pre_cycles > 0 {
                 self.cpu.execute_tagged(now, pre_cycles, "timers");
             }
             return;
         }
-        let pacing = conn.cc.wants_pacing();
-        let rate = Self::effective_pacing_rate(conn);
+        let pacing = self.arena.cc_cache[c].wants_pacing;
+        let rate = effective_pacing_rate(
+            &self.arena.cc_cache[c],
+            &self.arena.rtt[c],
+            &self.arena.pacer[c],
+        );
 
         // Between pacing periods the gate must be open before anything
         // can happen; the new period itself is only *opened* (EDT clock
@@ -723,20 +755,21 @@ impl StackSim {
         // predicates, no short-circuit jumps): this gate runs once per ACK
         // and once per timer fire, and its three inputs are near-free loads,
         // so one well-predicted test beats three data-dependent branches.
-        let gate_closed = pacing & (conn.burst_remaining == 0) & !conn.pacer.can_send(now);
+        let gate_closed =
+            pacing & (self.arena.hot[c].burst_remaining == 0) & !self.arena.pacer[c].can_send(now);
         if gate_closed {
             if pre_cycles > 0 {
                 self.cpu.execute_tagged(now, pre_cycles, "timers");
             }
-            if !conn.pacing_timer_armed {
-                conn.pacing_timer_armed = true;
-                let at = conn.pacer.next_release().max(now);
+            if !self.arena.hot[c].pacing_timer_armed {
+                self.arena.hot[c].pacing_timer_armed = true;
+                let at = self.arena.pacer[c].next_release().max(now);
                 self.trace
                     .record(now, TraceKind::TimerArm, c as u32, at.as_nanos(), 0);
                 self.queue.schedule_at(
                     at,
                     Event::SendReady {
-                        conn: c,
+                        conn: c as u32,
                         from_timer: true,
                     },
                 );
@@ -748,20 +781,20 @@ impl StackSim {
         // a chained event so concurrent flows contend for the CPU between
         // chunks (as softirq round-robins sockets on a real phone).
         let max_pkts = if pacing {
-            let budget = if conn.burst_remaining > 0 {
-                conn.burst_remaining
+            let budget = if self.arena.hot[c].burst_remaining > 0 {
+                self.arena.hot[c].burst_remaining
             } else {
-                conn.pacer.burst_segs(rate)
+                self.arena.pacer[c].burst_segs(rate)
             };
-            conn.pacer.autosize_segs(rate).min(budget)
+            self.arena.pacer[c].autosize_segs(rate).min(budget)
         } else {
             (GSO_MAX_BYTES / MSS).max(1)
         };
-        let cwnd = conn.cc.cwnd();
+        let cwnd = self.arena.cc_cache[c].cwnd;
         // One scratch plan serves every send: take it out of `self` (so the
-        // borrow of `conn` stays disjoint) and put it back on every exit.
+        // arena borrows stay disjoint) and put it back on every exit.
         let mut plan = std::mem::take(&mut self.plan_scratch);
-        if !conn.sender.plan_send_into(cwnd, max_pkts, &mut plan) {
+        if !self.arena.board[c].plan_send_into(cwnd, max_pkts, &mut plan) {
             // cwnd-limited (or nothing to retransmit): the ACK clock will
             // wake us. Spurious timer fires still cost cycles.
             self.plan_scratch = plan;
@@ -771,21 +804,22 @@ impl StackSim {
             return;
         }
 
-        if pacing && conn.burst_remaining == 0 {
+        if pacing && self.arena.hot[c].burst_remaining == 0 {
             // Open the new pacing period: grant the stride x autosize
             // budget ("more data per pacing period", Sec. 6.2). The EDT
             // gate advances per actual chunk sent, below; if the socket-
             // buffer cap cut the budget, the idle residue is charged now
             // (Eq. 2's full idle applies even to a capped period).
-            conn.burst_remaining = conn.pacer.burst_segs(rate);
-            conn.pacer.charge_cap_deficit(now, rate);
+            self.arena.hot[c].burst_remaining = self.arena.pacer[c].burst_segs(rate);
+            self.arena.pacer[c].charge_cap_deficit(now, rate);
             pre_cycles += self.cfg.cost.timer_arm;
-            self.counters.inc("timer_arms");
+            self.tallies.timer_arms += 1;
             // Table 2 statistics: finalise the previous period's buffer.
-            if conn.cur_period_bytes > 0 {
-                conn.period_bytes_sum += conn.cur_period_bytes;
-                conn.period_count += 1;
-                conn.cur_period_bytes = 0;
+            let cold = &mut self.arena.cold[c];
+            if cold.cur_period_bytes > 0 {
+                cold.period_bytes_sum += cold.cur_period_bytes;
+                cold.period_count += 1;
+                cold.cur_period_bytes = 0;
             }
         }
 
@@ -794,12 +828,13 @@ impl StackSim {
         // Mutant M3: retransmissions silently missing from the counter,
         // which then diverges from the scoreboard's own `total_retx`.
         if plan.is_retx && !mutants::is(Mutant::SkipRetxCount) {
-            self.counters.add("retx_pkts", pkts);
+            self.tallies.retx_pkts += pkts;
         }
         // A send released after the pacer's gate drained the whole flight:
         // the delivery-rate sample bridging that gap measures our own
         // (possibly strided) pacer, not the path.
-        let pacing_limited = pacing & (conn.pacer.stride() > 1) & (conn.sender.packets_out() == 0);
+        let pacing_limited =
+            pacing & (self.arena.pacer[c].stride() > 1) & (self.arena.board[c].packets_out() == 0);
 
         // Charge the CPU by category so reports can show where the cycles
         // went (the whole chunk still serialises as one back-to-back span).
@@ -820,18 +855,28 @@ impl StackSim {
         // before the copy/checksum/driver work completes: a backlogged CPU
         // therefore inflates the RTT TCP measures, which is exactly the
         // Table 2 effect (3.7 ms at 1x falling to ~1.1 ms at good strides).
-        conn.sender.on_sent(&plan, now, pacing_limited);
-        conn.skb_bytes_sum += bytes;
-        conn.skb_count += 1;
-        conn.cur_period_bytes += bytes;
+        self.arena.board[c].on_sent(
+            &mut self.arena.store,
+            &mut self.arena.rate[c],
+            &plan,
+            now,
+            pacing_limited,
+        );
+        {
+            let cold = &mut self.arena.cold[c];
+            cold.skb_bytes_sum += bytes;
+            cold.skb_count += 1;
+            cold.cur_period_bytes += bytes;
+        }
         if pacing {
             // Advance the EDT gate by the bytes actually sent (Eq. 1 x
             // Eq. 2): a cwnd-clipped chunk charges only its own length.
-            conn.pacer.on_send(now, bytes, rate);
-            conn.burst_remaining = conn.burst_remaining.saturating_sub(pkts);
+            self.arena.pacer[c].on_send(now, bytes, rate);
+            self.arena.hot[c].burst_remaining =
+                self.arena.hot[c].burst_remaining.saturating_sub(pkts);
         }
-        self.counters.inc("skbs_sent");
-        self.counters.add("pkts_sent", pkts);
+        self.tallies.skbs_sent += 1;
+        self.tallies.pkts_sent += pkts;
         let tx_kind = if plan.is_retx {
             TraceKind::SegRetx
         } else {
@@ -853,14 +898,14 @@ impl StackSim {
                 let wire = wire_bytes(MSS);
                 let release = match self.fwd_netem.process(done, wire) {
                     NetemVerdict::Drop => {
-                        self.counters.inc("netem_drops");
+                        self.tallies.netem_drops += 1;
                         continue;
                     }
                     NetemVerdict::Pass { release } => release,
                 };
                 match self.fwd_link.send(release, wire) {
                     SendOutcome::Dropped => {
-                        self.counters.inc("queue_drops");
+                        self.tallies.queue_drops += 1;
                     }
                     SendOutcome::Accepted { arrival, .. } => {
                         last_arrival = last_arrival.max(arrival);
@@ -879,66 +924,88 @@ impl StackSim {
         if accepted_runs.is_empty() {
             self.run_pool.put(accepted_runs);
         } else {
+            let runs = self.run_slots.stash(accepted_runs);
             self.queue.schedule_at(
                 last_arrival,
                 Event::SkbArrival {
-                    conn: c,
-                    runs: accepted_runs,
+                    conn: c as u32,
+                    runs,
                 },
             );
         }
         self.plan_scratch = plan;
 
-        let conn = &mut self.conns[c];
-        conn.accepted_pkts += accepted_pkts;
+        self.arena.hot[c].accepted_pkts += accepted_pkts;
         // Arm/refresh the RTO.
-        if !conn.rto_armed {
-            Self::arm_rto(&mut self.queue, conn, c, done);
+        if !self.arena.hot[c].rto_armed {
+            Self::arm_rto(
+                &mut self.queue,
+                &mut self.arena.hot[c],
+                &self.arena.rtt[c],
+                c,
+                done,
+            );
         }
 
         // The buffer occupies the device path until `done`; its completion
         // (TSQ) drives burst continuation and unpaced window draining.
-        conn.device_chunks += 1;
-        conn.device_bytes += bytes;
-        self.queue
-            .schedule_at(done, Event::DeviceDone { conn: c, bytes });
+        self.arena.hot[c].device_chunks += 1;
+        self.arena.hot[c].device_bytes += bytes;
+        self.queue.schedule_at(
+            done,
+            Event::DeviceDone {
+                conn: c as u32,
+                bytes,
+            },
+        );
         // §7.1.1 memory proxy: retransmission scoreboard + device backlog.
-        let mem = conn.sender.packets_out() * MSS + conn.device_bytes;
-        conn.mem_peak_bytes = conn.mem_peak_bytes.max(mem);
+        let mem = self.arena.board[c].packets_out() * MSS + self.arena.hot[c].device_bytes;
+        let hot = &mut self.arena.hot[c];
+        hot.mem_peak_bytes = hot.mem_peak_bytes.max(mem);
 
-        if pacing && conn.burst_remaining == 0 && !conn.pacing_timer_armed {
-            conn.pacing_timer_armed = true;
+        if pacing && hot.burst_remaining == 0 && !hot.pacing_timer_armed {
+            hot.pacing_timer_armed = true;
             // Mutant M4: every 64th arm is silently lost — the flow
             // believes a timer is pending but none ever fires (the
             // lost-wakeup bug class; only the ACK clock can revive it).
             if mutants::is(Mutant::DropPacingArm) && mutants::drop_this_arm() {
                 return;
             }
-            let at = conn.pacer.next_release().max(done);
+            let at = self.arena.pacer[c].next_release().max(done);
             self.trace
                 .record(now, TraceKind::TimerArm, c as u32, at.as_nanos(), 0);
             self.queue.schedule_at(
                 at,
                 Event::SendReady {
-                    conn: c,
+                    conn: c as u32,
                     from_timer: true,
                 },
             );
         }
     }
 
-    fn arm_rto(queue: &mut EventQueue<Event>, conn: &mut Conn, c: usize, now: SimTime) {
-        conn.rto_epoch += 1;
-        conn.rto_armed = true;
-        let backoff = 1u64 << conn.rto_backoff.min(6);
-        let rto = conn.sender.rtt.rto() * backoff;
-        queue.schedule_at(
+    fn arm_rto(
+        queue: &mut EventQueue<Event>,
+        hot: &mut FlowHot,
+        rtt: &RttEstimator,
+        c: usize,
+        now: SimTime,
+    ) {
+        hot.rto_epoch += 1;
+        hot.rto_armed = true;
+        if let Some(tok) = hot.rto_timer.take() {
+            queue.cancel(tok);
+        }
+        let backoff = 1u64 << hot.rto_backoff.min(6);
+        let rto = rtt.rto() * backoff;
+        let tok = queue.schedule_at(
             now + rto,
             Event::RtoFire {
-                conn: c,
-                epoch: conn.rto_epoch,
+                conn: c as u32,
+                epoch: hot.rto_epoch,
             },
         );
+        hot.rto_timer = Some(tok);
     }
 
     fn on_skb_arrival(&mut self, c: usize, now: SimTime, runs: Vec<(PktSeq, PktSeq)>) {
@@ -947,12 +1014,12 @@ impl StackSim {
         if let Some(n) = self.cfg.ack_per_segs {
             let mut pending = 0u64;
             {
-                let conn = &mut self.conns[c];
+                let receiver = &mut self.arena.receiver[c];
                 for &(lo, hi) in &runs {
                     let mut seg = lo;
                     while seg < hi {
                         let end = PktSeq((seg.0 + n).min(hi.0));
-                        conn.receiver.on_data(seg, end);
+                        receiver.on_data(seg, end);
                         pending += 1;
                         seg = end;
                     }
@@ -967,9 +1034,9 @@ impl StackSim {
 
         let mut urgency = AckUrgency::Coalesce;
         {
-            let conn = &mut self.conns[c];
+            let receiver = &mut self.arena.receiver[c];
             for &(lo, hi) in &runs {
-                if conn.receiver.on_data(lo, hi) == AckUrgency::Immediate {
+                if receiver.on_data(lo, hi) == AckUrgency::Immediate {
                     urgency = AckUrgency::Immediate;
                 }
             }
@@ -977,17 +1044,18 @@ impl StackSim {
         self.run_pool.put(runs);
         match urgency {
             AckUrgency::Immediate => {
-                if let Some(tok) = self.conns[c].ack_timer.take() {
+                if let Some(tok) = self.arena.hot[c].ack_timer.take() {
                     self.queue.cancel(tok);
                 }
                 self.emit_ack(c, now);
             }
             AckUrgency::Coalesce => {
-                if self.conns[c].ack_timer.is_none() {
-                    let tok = self
-                        .queue
-                        .schedule_at(now + self.cfg.ack_coalesce, Event::EmitAck { conn: c });
-                    self.conns[c].ack_timer = Some(tok);
+                if self.arena.hot[c].ack_timer.is_none() {
+                    let tok = self.queue.schedule_at(
+                        now + self.cfg.ack_coalesce,
+                        Event::EmitAck { conn: c as u32 },
+                    );
+                    self.arena.hot[c].ack_timer = Some(tok);
                 }
             }
         }
@@ -998,7 +1066,7 @@ impl StackSim {
             cum: PktSeq(0),
             sacks: self.sack_pool.take(),
         };
-        self.conns[c].receiver.build_ack_into(&mut ack);
+        self.arena.receiver[c].build_ack_into(&mut ack);
         // SACK coherence check on every emitted ACK: blocks must sit
         // strictly above the cumulative point, be non-empty, and be
         // strictly increasing and disjoint (adjacent blocks would mean the
@@ -1008,17 +1076,17 @@ impl StackSim {
         let mut prev_hi = ack.cum;
         for &(lo, hi) in &ack.sacks {
             if lo <= prev_hi || hi <= lo {
-                self.counters.inc("sack_incoherent");
+                self.tallies.sack_incoherent += 1;
             }
             prev_hi = hi;
         }
-        self.counters.inc("acks_emitted");
+        self.tallies.acks_emitted += 1;
         // Reverse path: netem + link (the server's NIC is never the
         // bottleneck, but serialisation and propagation still apply).
         let wire = wire_bytes(0);
         let release = match self.rev_netem.process(now, wire) {
             NetemVerdict::Drop => {
-                self.counters.inc("ack_drops");
+                self.tallies.ack_drops += 1;
                 self.sack_pool.put(ack.sacks);
                 return; // lost ACK; a later one supersedes it
             }
@@ -1026,15 +1094,22 @@ impl StackSim {
         };
         match self.rev_link.send(release, wire) {
             SendOutcome::Dropped => {
-                self.counters.inc("ack_drops");
+                self.tallies.ack_drops += 1;
                 self.sack_pool.put(ack.sacks);
             }
             SendOutcome::Accepted { arrival, .. } => {
                 if let Some(pcap) = self.pcap.as_mut() {
                     Self::capture_ack(pcap, c, now, &ack);
                 }
-                self.queue
-                    .schedule_at(arrival, Event::AckArrival { conn: c, ack });
+                let sacks = self.sack_slots.stash(ack.sacks);
+                self.queue.schedule_at(
+                    arrival,
+                    Event::AckArrival {
+                        conn: c as u32,
+                        cum: ack.cum,
+                        sacks,
+                    },
+                );
             }
         }
     }
@@ -1060,11 +1135,16 @@ impl StackSim {
             .execute_tagged(now, self.cfg.cost.ack_process, "acks");
         let done = self
             .cpu
-            .execute_tagged(now, self.conns[c].cc.model_cost_cycles(), "cc-model");
-        self.counters.inc("acks_processed");
+            .execute_tagged(now, self.arena.cc_cache[c].model_cost, "cc-model");
+        self.tallies.acks_processed += 1;
 
-        let conn = &mut self.conns[c];
-        let outcome = conn.sender.on_ack(&ack, done);
+        let outcome = self.arena.board[c].on_ack(
+            &mut self.arena.store,
+            &mut self.arena.rtt[c],
+            &mut self.arena.rate[c],
+            &ack,
+            done,
+        );
         if self.trace.is_enabled() {
             let rtt_ns = outcome.rtt_sample.map(SimDuration::as_nanos).unwrap_or(0);
             self.trace.record(
@@ -1077,19 +1157,25 @@ impl StackSim {
         }
 
         if let Some(rtt) = outcome.rtt_sample {
-            if conn.measuring {
-                conn.rtt_summary.record(rtt.as_millis_f64());
-                conn.rtt_reservoir.record(rtt.as_millis_f64());
+            if self.arena.hot[c].measuring {
+                let cold = &mut self.arena.cold[c];
+                cold.rtt_summary.record(rtt.as_millis_f64());
+                cold.rtt_reservoir.record(rtt.as_millis_f64());
             }
         }
 
+        // The CC's cached outputs are refreshed once after all of this
+        // ACK's mutations (loss event, ack sample, recovery exit).
+        let mut cc_touched = false;
+
         if outcome.recovery_entered {
-            conn.cc.on_loss_event(&LossEvent {
+            self.arena.cc[c].on_loss_event(&LossEvent {
                 now: done,
-                inflight: conn.sender.packets_in_flight(),
+                inflight: self.arena.board[c].packets_in_flight(),
                 lost: outcome.newly_lost,
             });
-            self.counters.inc("recovery_entries");
+            cc_touched = true;
+            self.tallies.recovery_entries += 1;
         }
 
         if outcome.newly_delivered > 0 {
@@ -1097,60 +1183,79 @@ impl StackSim {
                 now: done,
                 rtt: outcome
                     .rtt_sample
-                    .or(conn.sender.rtt.latest())
+                    .or(self.arena.rtt[c].latest())
                     .unwrap_or(SimDuration::ZERO),
                 delivery_rate: outcome
                     .rate_sample
                     .map(|r| r.rate)
                     .unwrap_or(Bandwidth::ZERO),
-                delivered: conn.sender.delivered_pkts(),
+                delivered: self.arena.rate[c].delivered(),
                 prior_delivered: outcome.prior_delivered,
                 acked: outcome.newly_delivered,
                 lost: outcome.newly_lost,
-                inflight: conn.sender.packets_in_flight(),
+                inflight: self.arena.board[c].packets_in_flight(),
                 app_limited: outcome.app_limited || outcome.pacing_limited,
-                in_recovery: conn.sender.in_recovery(),
+                in_recovery: self.arena.board[c].in_recovery(),
             };
-            conn.cc.on_ack(&sample);
-            conn.rto_backoff = 0;
+            self.arena.cc[c].on_ack(&sample);
+            cc_touched = true;
+            self.arena.hot[c].rto_backoff = 0;
         }
 
         if outcome.recovery_exited {
-            conn.cc.on_recovery_exit(done);
-            self.counters.inc("recovery_exits");
+            self.arena.cc[c].on_recovery_exit(done);
+            cc_touched = true;
+            self.tallies.recovery_exits += 1;
+        }
+
+        if cc_touched {
+            self.arena.refresh_cc(c);
         }
 
         // Flight-recorder view of the CC's outputs: record transitions
         // only, so a converged model costs nothing but the comparisons.
         if self.trace.is_enabled() {
-            let cwnd = conn.cc.cwnd();
-            if cwnd != conn.last_cwnd {
-                conn.last_cwnd = cwnd;
+            let cwnd = self.arena.cc_cache[c].cwnd;
+            if cwnd != self.arena.cold[c].last_cwnd {
+                self.arena.cold[c].last_cwnd = cwnd;
                 self.trace
                     .record(done, TraceKind::CwndUpdate, c as u32, cwnd, 0);
             }
-            let rate = conn.cc.pacing_rate().map(|r| r.as_bps()).unwrap_or(0);
-            if rate != conn.last_rate_bps {
-                conn.last_rate_bps = rate;
+            let rate = self.arena.cc_cache[c]
+                .pacing_rate
+                .map(|r| r.as_bps())
+                .unwrap_or(0);
+            if rate != self.arena.cold[c].last_rate_bps {
+                self.arena.cold[c].last_rate_bps = rate;
                 self.trace
                     .record(done, TraceKind::PacingRate, c as u32, rate, 0);
             }
-            let phase = conn.cc.phase();
-            if phase != conn.last_phase {
-                let from = self.trace.intern(conn.last_phase);
+            let phase = self.arena.cc[c].phase();
+            if phase != self.arena.cold[c].last_phase {
+                let from = self.trace.intern(self.arena.cold[c].last_phase);
                 let to = self.trace.intern(phase);
-                conn.last_phase = phase;
+                self.arena.cold[c].last_phase = phase;
                 self.trace
                     .record(done, TraceKind::CcPhase, c as u32, from, to);
             }
         }
 
         // Re-arm (or disarm) the RTO from this ACK.
-        if conn.sender.has_outstanding() {
-            Self::arm_rto(&mut self.queue, conn, c, done);
+        if self.arena.board[c].has_outstanding() {
+            Self::arm_rto(
+                &mut self.queue,
+                &mut self.arena.hot[c],
+                &self.arena.rtt[c],
+                c,
+                done,
+            );
         } else {
-            conn.rto_epoch += 1; // invalidate pending fire
-            conn.rto_armed = false;
+            let hot = &mut self.arena.hot[c];
+            hot.rto_epoch += 1; // invalidate pending fire
+            hot.rto_armed = false;
+            if let Some(tok) = hot.rto_timer.take() {
+                self.queue.cancel(tok);
+            }
         }
 
         self.sack_pool.put(ack.sacks);
@@ -1159,10 +1264,15 @@ impl StackSim {
 
     fn on_rto(&mut self, c: usize, now: SimTime, epoch: u64) {
         {
-            let conn = &mut self.conns[c];
-            if epoch != conn.rto_epoch || !conn.sender.has_outstanding() {
-                if epoch == conn.rto_epoch {
-                    conn.rto_armed = false;
+            let has_outstanding = self.arena.board[c].has_outstanding();
+            let hot = &mut self.arena.hot[c];
+            if epoch == hot.rto_epoch {
+                // This fire consumed the pending timer.
+                hot.rto_timer = None;
+            }
+            if epoch != hot.rto_epoch || !has_outstanding {
+                if epoch == hot.rto_epoch {
+                    hot.rto_armed = false;
                 }
                 return;
             }
@@ -1170,21 +1280,27 @@ impl StackSim {
         let done = self
             .cpu
             .execute_tagged(now, self.cfg.cost.rto_process, "rto");
-        self.counters.inc("rto_fires");
-        let conn = &mut self.conns[c];
-        let marked = conn.sender.on_rto();
-        self.counters.add("rto_marked_lost", marked);
-        let inflight = conn.sender.packets_in_flight();
-        conn.cc.on_rto(done, inflight);
-        conn.rto_backoff += 1;
+        self.tallies.rto_fires += 1;
+        let marked = self.arena.board[c].on_rto(&mut self.arena.store);
+        self.tallies.rto_marked_lost += marked;
+        let inflight = self.arena.board[c].packets_in_flight();
+        self.arena.cc[c].on_rto(done, inflight);
+        self.arena.refresh_cc(c);
+        self.arena.hot[c].rto_backoff += 1;
         self.trace.record(
             done,
             TraceKind::RtoFire,
             c as u32,
-            u64::from(conn.rto_backoff),
+            u64::from(self.arena.hot[c].rto_backoff),
             0,
         );
-        Self::arm_rto(&mut self.queue, conn, c, done);
+        Self::arm_rto(
+            &mut self.queue,
+            &mut self.arena.hot[c],
+            &self.arena.rtt[c],
+            c,
+            done,
+        );
         self.try_send(c, done, false);
     }
 
@@ -1209,7 +1325,7 @@ impl StackSim {
         let busy = self.cpu.busy_time();
         let util = (busy.saturating_sub(self.adapt_prev_busy)) / ADAPT_EPOCH;
         self.adapt_prev_busy = busy;
-        let delivered: u64 = self.conns.iter().map(|c| c.sender.delivered_pkts()).sum();
+        let delivered: u64 = self.arena.rate.iter().map(|r| r.delivered()).sum();
         let epoch_rate = (delivered - self.adapt_prev_delivered) as f64;
         self.adapt_prev_delivered = delivered;
 
@@ -1225,7 +1341,7 @@ impl StackSim {
             return;
         }
 
-        let cur = self.conns[0].pacer.stride();
+        let cur = self.arena.pacer[0].stride();
         if self.adapt_pending_eval {
             self.adapt_pending_eval = false;
             // An up-move was justified by CPU saturation, so it must *pay*
@@ -1255,7 +1371,7 @@ impl StackSim {
                     self.adapt_pre_change_stride,
                 );
                 self.adapt_hold = 12;
-                self.counters.inc("stride_reverts");
+                self.tallies.stride_reverts += 1;
                 self.adapt_cooldown = 2;
                 self.queue
                     .schedule_at(now + ADAPT_EPOCH, Event::AdaptStride);
@@ -1283,7 +1399,7 @@ impl StackSim {
             self.adapt_pre_change_stride = cur;
             self.adapt_pending_eval = true;
             self.adapt_cooldown = 3;
-            self.counters.inc("stride_adaptations");
+            self.tallies.stride_adaptations += 1;
             self.trace.record(now, TraceKind::StrideAdapt, 0, cur, next);
         }
         self.queue
@@ -1360,14 +1476,14 @@ impl StackSim {
     }
 
     fn set_all_strides(&mut self, stride: u64) {
-        for conn in &mut self.conns {
-            conn.pacer.set_stride(stride);
+        for pacer in &mut self.arena.pacer {
+            pacer.set_stride(stride);
         }
     }
 
     fn finish(self) -> SimResult {
         let window = self.cfg.duration - self.cfg.warmup;
-        let mut per_conn = Vec::with_capacity(self.conns.len());
+        let mut per_conn = Vec::with_capacity(self.arena.len());
         let mut total_goodput = Bandwidth::ZERO;
         let mut rtt_all = Summary::new();
         let mut p95_sum = 0.0;
@@ -1384,78 +1500,87 @@ impl StackSim {
         let mut seq_regressions = 0u64;
         let mut snd_nxt_total = 0u64;
 
-        for conn in &self.conns {
-            peak_mem += conn.mem_peak_bytes;
-            rx_received += conn.receiver.total_received();
-            rx_duplicates += conn.receiver.duplicates();
-            rx_accepted += conn.accepted_pkts;
-            snd_nxt_total += conn.sender.snd_nxt().0;
+        for i in 0..self.arena.len() {
+            let board = &self.arena.board[i];
+            let hot = &self.arena.hot[i];
+            let cold = &self.arena.cold[i];
+            let receiver = &self.arena.receiver[i];
+            let pacer = &self.arena.pacer[i];
+            peak_mem += hot.mem_peak_bytes;
+            rx_received += receiver.total_received();
+            rx_duplicates += receiver.duplicates();
+            rx_accepted += hot.accepted_pkts;
+            snd_nxt_total += board.snd_nxt().0;
             // Terminal sequence sanity: the unacknowledged edge never
             // overtakes the send edge, and the receiver never claims data
             // the sender has not produced.
-            if conn.sender.snd_una() > conn.sender.snd_nxt() {
+            if board.snd_una() > board.snd_nxt() {
                 seq_regressions += 1;
             }
-            if conn.receiver.rcv_nxt() > conn.sender.snd_nxt() {
+            if receiver.rcv_nxt() > board.snd_nxt() {
                 seq_regressions += 1;
             }
-            let delivered = conn.sender.delivered_pkts() - conn.delivered_at_measure;
+            let delivered = self.arena.rate[i].delivered() - cold.delivered_at_measure;
             let goodput = Bandwidth::from_bytes_over(delivered * MSS, window);
             total_goodput = total_goodput.saturating_add(goodput);
-            total_retx += conn.sender.total_retx();
-            rtt_all.merge(&conn.rtt_summary);
-            let p95 = conn.rtt_reservoir.quantile(0.95).unwrap_or(0.0);
-            if conn.rtt_reservoir.seen() > 0 {
+            total_retx += board.total_retx();
+            rtt_all.merge(&cold.rtt_summary);
+            let p95 = cold.rtt_reservoir.quantile(0.95).unwrap_or(0.0);
+            if cold.rtt_reservoir.seen() > 0 {
                 p95_sum += p95;
                 p95_n += 1;
             }
             // Table 2 semantics: buffer length and idle time are per pacing
             // *period* (one timer fire releases one period's buffer).
-            let (mean_skb, mean_idle_ms) = if conn.period_count > 0 {
+            let (mean_skb, mean_idle_ms) = if cold.period_count > 0 {
                 (
-                    conn.period_bytes_sum as f64 / conn.period_count as f64,
-                    conn.pacer.total_idle().as_millis_f64() / conn.period_count as f64,
+                    cold.period_bytes_sum as f64 / cold.period_count as f64,
+                    pacer.total_idle().as_millis_f64() / cold.period_count as f64,
                 )
-            } else if conn.skb_count > 0 {
-                (conn.skb_bytes_sum as f64 / conn.skb_count as f64, 0.0)
+            } else if cold.skb_count > 0 {
+                (cold.skb_bytes_sum as f64 / cold.skb_count as f64, 0.0)
             } else {
                 (0.0, 0.0)
             };
-            skb_sum += conn.period_bytes_sum.max(conn.skb_bytes_sum);
-            skb_cnt += conn.period_count.max(if conn.period_count == 0 {
-                conn.skb_count
+            skb_sum += cold.period_bytes_sum.max(cold.skb_bytes_sum);
+            skb_cnt += cold.period_count.max(if cold.period_count == 0 {
+                cold.skb_count
             } else {
                 0
             });
-            if conn.pacer.paced_sends() > 0 {
+            if pacer.paced_sends() > 0 {
                 idle_ms_sum += mean_idle_ms;
                 idle_n += 1;
             }
             per_conn.push(ConnStats {
                 delivered_pkts: delivered,
                 goodput,
-                retx_pkts: conn.sender.total_retx(),
-                rtt_mean_ms: conn.rtt_summary.mean(),
+                retx_pkts: board.total_retx(),
+                rtt_mean_ms: cold.rtt_summary.mean(),
                 rtt_p95_ms: p95,
-                skbs_sent: conn.skb_count,
+                skbs_sent: cold.skb_count,
                 mean_skb_bytes: mean_skb,
                 mean_idle_ms,
-                srtt_ms: conn
-                    .sender
-                    .rtt
+                srtt_ms: self.arena.rtt[i]
                     .srtt()
                     .map(|s| s.as_millis_f64())
                     .unwrap_or(0.0),
             });
         }
 
+        // Fold the hot-path tallies into the counter map, then the
+        // end-of-run accounting counters below.
+        let cpu_stats = self.cpu.stats(self.end);
+        let mut counters = Counters::new();
+        self.tallies.flush(&mut counters);
+
         // Pool health: in steady state misses stay at the cold-start count
         // (bounded by events in flight), making regressions visible in
         // counter dumps without touching the serialized scorecard. The
         // `_steady` variants count only measurement-window misses, which a
-        // healthy run keeps at exactly zero.
-        let cpu_stats = self.cpu.stats(self.end);
-        let mut counters = self.counters;
+        // healthy run keeps at exactly zero. Categories are reported
+        // separately — segment-run lists, SACK vectors, and the shared
+        // scoreboard slab have independent populations and failure modes.
         counters.add("pool_run_misses", self.run_pool.misses());
         counters.add("pool_sack_misses", self.sack_pool.misses());
         counters.add(
@@ -1472,6 +1597,15 @@ impl StackSim {
         counters.add("pool_run_reuses", self.run_pool.reuses());
         counters.add("pool_sack_takes", self.sack_pool.takes());
         counters.add("pool_sack_reuses", self.sack_pool.reuses());
+        // The scoreboard-slab category (shared segment chunks).
+        let (slab_takes, slab_reuses, slab_misses) = self.arena.store_stats();
+        counters.add("pool_slab_takes", slab_takes);
+        counters.add("pool_slab_reuses", slab_reuses);
+        counters.add("pool_slab_misses", slab_misses);
+        counters.add(
+            "pool_slab_misses_steady",
+            slab_misses - self.measure_slab_misses,
+        );
 
         // Timer-wheel conservation: every scheduled token is eventually
         // popped, cancelled, or still pending — nothing duplicated, nothing
@@ -1890,6 +2024,11 @@ mod tests {
         assert_eq!(
             g("pool_sack_misses"),
             g("pool_sack_takes") - g("pool_sack_reuses")
+        );
+        assert!(g("pool_slab_takes") > 0, "slab must see traffic");
+        assert_eq!(
+            g("pool_slab_misses"),
+            g("pool_slab_takes") - g("pool_slab_reuses")
         );
         assert_eq!(
             g("wheel_scheduled"),
