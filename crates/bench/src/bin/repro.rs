@@ -36,6 +36,17 @@
 //! cargo run --release -p mobile-bbr-bench --bin repro -- \
 //!     --trace trace.json --trace-format chrome
 //! ```
+//!
+//! `--report DIR` switches to report mode: it runs the canonical
+//! telemetry run plus the Fig. 2 / Fig. 7 grids and writes flight data
+//! (`flight.jsonl`, `flows.csv`, `queue.csv`) and one self-contained
+//! `report.html` (inline SVG, no JavaScript, no network) under DIR.
+//! Output is byte-identical at any `--jobs N`:
+//!
+//! ```bash
+//! cargo run --release -p mobile-bbr-bench --bin repro -- \
+//!     --report out/report --quick --jobs 4
+//! ```
 
 use experiments::{Experiment, ExperimentId, Params};
 
@@ -48,6 +59,7 @@ struct Args {
     csv: Option<String>,
     trace: Option<String>,
     trace_chrome: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
     let mut progress = false;
     let mut trace: Option<String> = None;
     let mut trace_chrome = false;
+    let mut report: Option<String> = None;
     let mut checkpoint: Option<String> = None;
     let mut resume = false;
     let mut max_inflight: usize = 0;
@@ -165,6 +178,10 @@ fn parse_args() -> Result<Args, String> {
                 trace = Some(argv.get(i + 1).ok_or("--trace needs a path")?.clone());
                 i += 2;
             }
+            "--report" => {
+                report = Some(argv.get(i + 1).ok_or("--report needs a directory")?.clone());
+                i += 2;
+            }
             "--trace-format" => {
                 let fmt = argv.get(i + 1).ok_or("--trace-format needs a value")?;
                 trace_chrome = match fmt.as_str() {
@@ -210,7 +227,21 @@ fn parse_args() -> Result<Args, String> {
         csv,
         trace,
         trace_chrome,
+        report,
     })
+}
+
+/// Report mode: flight data + self-contained HTML under `dir`.
+fn write_report(params: &Params, dir: &str) -> Result<(), sim_core::Error> {
+    let files = experiments::report::generate(params, std::path::Path::new(dir))?;
+    for path in files.all() {
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "open {} in a browser (fully offline: inline SVG, no scripts)",
+        files.html.display()
+    );
+    Ok(())
 }
 
 /// Flight-recorder mode: record the paper's worst case — Low-End, 20 BBR
@@ -254,7 +285,7 @@ fn main() {
         Err(e) => {
             let e = sim_core::Error::Cli(e);
             eprintln!("error: {e}");
-            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--checkpoint PATH [--resume]] [--max-inflight N] [--cancel-after N] [--markdown PATH] [--json PATH] [--csv PATH] [--trace PATH [--trace-format jsonl|chrome]]");
+            eprintln!("usage: repro [--exp <name|all>]... [--quick|--smoke] [--seeds N] [--jobs N] [--no-cache] [--cache-dir PATH] [--progress] [--checkpoint PATH [--resume]] [--max-inflight N] [--cancel-after N] [--markdown PATH] [--json PATH] [--csv PATH] [--trace PATH [--trace-format jsonl|chrome]] [--report DIR]");
             std::process::exit(e.exit_code());
         }
     };
@@ -263,6 +294,14 @@ fn main() {
         if let Err(e) = record_trace(&args.params, path, args.trace_chrome) {
             eprintln!("error: {e}");
             std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(dir) = &args.report {
+        if let Err(e) = write_report(&args.params, dir) {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
         return;
     }

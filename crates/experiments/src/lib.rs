@@ -51,6 +51,7 @@ pub mod fiveg;
 pub mod memory;
 pub mod params;
 pub mod profile;
+pub mod report;
 pub mod sec51;
 pub mod shallow;
 pub mod summary;

@@ -31,11 +31,16 @@
 //! `simcheck` scenario fuzzer (the concrete oracle library is in the
 //! bench crate, which can see the full simulator API).
 //!
-//! Observability lives in [`trace`] (`sim-trace`): flight-recorder ring
-//! buffers fed by tracepoints in the hot paths, merged into a deterministic
+//! Observability lives in [`trace`] (`sim-trace`) and [`telemetry`]:
+//! `trace` is a flight recorder for *events* — ring buffers fed by
+//! tracepoints in the hot paths, merged into a deterministic
 //! [`trace::TraceLog`] and exported as JSONL or Chrome/Perfetto trace
-//! events. Tracing is statically zero-cost when the `trace` cargo feature
-//! (on by default) is disabled.
+//! events — while `telemetry` is a strip chart for *state*, sampling
+//! per-flow cwnd/rate/RTT and bottleneck queue depth at a fixed sim-time
+//! interval for the `repro --report` flight-data pipeline. Both are
+//! statically zero-cost when their cargo feature (`trace` / `telemetry`,
+//! on by default) is disabled, and neither perturbs simulation results
+//! when enabled.
 
 #![warn(missing_docs)]
 
@@ -46,6 +51,7 @@ pub mod event;
 pub mod metrics;
 pub mod rng;
 pub mod sweep;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;
@@ -59,6 +65,7 @@ pub use sweep::{
     run_sweep, run_sweep_streaming, CancelToken, CellReport, SweepCell, SweepOptions, SweepReport,
     SweepSummary,
 };
+pub use telemetry::{FlowSample, QueueSample, TelemetryLog, TelemetrySink};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceKind, TraceLog, TraceRecord, TraceSink};
 pub use units::{Bandwidth, ByteCount, ByteSize};

@@ -1,9 +1,29 @@
-//! Measurement plumbing: counters, streaming summaries, time series, and
-//! utilization windows.
+//! Measurement plumbing: counters, streaming summaries, histograms, time
+//! series, and utilization windows.
 //!
 //! Every number the paper reports is a statistic over a run — average
 //! goodput, mean RTT, retransmission counts, p95s over repeats — so the
 //! simulator records into these structures rather than ad-hoc fields.
+//!
+//! # Choosing a percentile structure
+//!
+//! Two structures answer quantile queries and they are not interchangeable:
+//!
+//! - [`Histogram`] buckets samples on *fixed, global* log-spaced boundaries.
+//!   Every sample lands in a bucket determined only by its value, so the
+//!   result is independent of arrival order, merging two histograms is exact
+//!   (bucket counts add), and a quantile computed from a merged histogram is
+//!   bit-identical to one computed from a single histogram fed the union of
+//!   the streams. Scorecard checks (the Fig. 7 RTT p95) use this.
+//! - [`Reservoir`] keeps a bounded uniform subsample (Vitter's algorithm R).
+//!   Once the stream exceeds the cap, `quantile` is computed over whichever
+//!   samples survived replacement — a quantity that depends on the cap *and*
+//!   on arrival order (the internal xorshift consumes one draw per
+//!   post-cap record, so reordering the stream changes which samples are
+//!   retained). Use it only where an approximate, non-mergeable percentile
+//!   is acceptable; never for values that feed a determinism-sensitive
+//!   check. `reservoir_quantile_depends_on_arrival_order` in this module's
+//!   tests demonstrates the effect.
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -95,9 +115,200 @@ impl Summary {
     }
 }
 
+/// Sub-bucket resolution for [`Histogram`]: each power-of-two range (octave)
+/// is split into `2^HIST_SUB_BITS` log-spaced buckets, giving a relative
+/// bucket width of `2^(1/64) − 1 ≈ 1.1%`.
+const HIST_SUB_BITS: u32 = 6;
+/// Right-shift applied to an `f64` bit pattern to obtain its bucket index:
+/// drops the mantissa bits below the top `HIST_SUB_BITS`, keeping the
+/// exponent plus the leading mantissa bits.
+const HIST_INDEX_SHIFT: u32 = 52 - HIST_SUB_BITS;
+
+/// A deterministic, mergeable log-bucketed histogram for percentile queries.
+///
+/// Bucket boundaries are *fixed globally* (not adapted to the data): a
+/// positive finite sample maps to the bucket holding its IEEE-754 exponent
+/// and top `HIST_SUB_BITS` mantissa bits, so boundaries are exact powers of
+/// `2^(1/64)` times a power of two and every bucket spans ≈1.1% of its
+/// value. Consequences:
+///
+/// - **Order-independent**: the histogram built from a stream depends only
+///   on the multiset of values, never their order.
+/// - **Exact merge**: [`Histogram::merge`] adds bucket counts; a merged
+///   histogram is identical to one fed the concatenated streams, so
+///   quantiles are bit-identical either way.
+/// - **Bounded error**: a quantile is interpolated inside its bucket and is
+///   within ±1.1% (one bucket width) of the exact sample quantile, and
+///   always clamped to the observed `[min, max]`.
+///
+/// Non-positive samples collapse into a single underflow bucket spanning
+/// `[min(0, observed min), 0]`; NaN samples are ignored. Memory is sparse:
+/// only touched buckets are stored (a `BTreeMap`, so iteration order — and
+/// thus serialization — is deterministic).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Samples ≤ 0 (log buckets cover only positive values).
+    zero_count: u64,
+    /// Sparse bucket counts keyed by index (`bits >> HIST_INDEX_SHIFT`).
+    buckets: std::collections::BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            zero_count: 0,
+            buckets: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Bucket index for a positive finite `x`.
+    #[inline]
+    fn bucket_index(x: f64) -> u32 {
+        (x.to_bits() >> HIST_INDEX_SHIFT) as u32
+    }
+
+    /// Inclusive lower edge of bucket `idx`.
+    #[inline]
+    fn bucket_low(idx: u32) -> f64 {
+        f64::from_bits((idx as u64) << HIST_INDEX_SHIFT)
+    }
+
+    /// Exclusive upper edge of bucket `idx`.
+    #[inline]
+    fn bucket_high(idx: u32) -> f64 {
+        f64::from_bits(((idx as u64) + 1) << HIST_INDEX_SHIFT)
+    }
+
+    /// Record one observation. NaN is ignored.
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x <= 0.0 {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(Self::bucket_index(x)).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (0 if empty). Unlike the bucket counts, the sum
+    /// is a floating-point accumulation, so `mean` of a merged histogram can
+    /// differ from the sequential mean in the last ulps.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another histogram into this one. Exact: bucket counts add, so
+    /// the result is indistinguishable (for quantile queries) from a single
+    /// histogram fed both streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zero_count += other.zero_count;
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), linearly interpolated inside the
+    /// containing bucket and clamped to the observed `[min, max]`. Returns
+    /// `None` if empty.
+    ///
+    /// The target rank is `q · (count − 1)` (the same convention as
+    /// [`Reservoir::quantile`]'s nearest-rank, before rounding): `q = 0`
+    /// names the minimum and `q = 1` the maximum.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        // Underflow bucket first: it spans [min(0, min), 0].
+        if self.zero_count > 0 {
+            if target < self.zero_count as f64 {
+                let lo = self.min.min(0.0);
+                let frac = (target - cum as f64) / self.zero_count as f64;
+                return Some((lo + (0.0 - lo) * frac).clamp(self.min, self.max));
+            }
+            cum = self.zero_count;
+        }
+        for (&idx, &c) in &self.buckets {
+            if target < (cum + c) as f64 {
+                let lo = Self::bucket_low(idx);
+                let hi = Self::bucket_high(idx);
+                let frac = (target - cum as f64) / c as f64;
+                return Some((lo + (hi - lo) * frac).clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        // target == count − 1 exactly (q = 1): the maximum.
+        Some(self.max)
+    }
+
+    /// Median convenience.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+}
+
 /// A reservoir of samples for percentile queries. Keeps all samples up to a
 /// cap, then switches to uniform reservoir sampling (Vitter's algorithm R)
-/// so long runs stay bounded in memory. RTT percentiles (Fig. 7) use this.
+/// so long runs stay bounded in memory.
+///
+/// # Caveat: quantiles are cap- and order-dependent
+///
+/// Past the cap the reservoir *subsamples*: each new sample evicts a random
+/// retained one with probability `cap / seen`. [`Reservoir::quantile`] then
+/// answers from the retained subset, so its value depends on the cap and on
+/// the order samples arrived (the replacement RNG is consumed per record).
+/// Two reservoirs fed the same multiset in different orders generally
+/// disagree, and there is no exact way to merge two reservoirs. Percentiles
+/// that feed scorecard checks use [`Histogram`] instead, which has fixed
+/// bucket boundaries and exact merge; the Fig. 7 RTT p95 was ported off this
+/// type for that reason.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Reservoir {
     cap: usize,
@@ -496,6 +707,253 @@ mod tests {
         );
         let util = u.utilization(SimTime::from_millis(100));
         assert!((util - 0.2).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_bracket_samples() {
+        // Every positive sample must fall inside its bucket's [low, high)
+        // range, and the bucket must be narrow (≈1.1% relative width).
+        for &x in &[1e-6, 0.37, 1.0, 1.5, 42.0, 999.9, 1e9] {
+            let idx = Histogram::bucket_index(x);
+            let lo = Histogram::bucket_low(idx);
+            let hi = Histogram::bucket_high(idx);
+            assert!(lo <= x && x < hi, "{x} not in [{lo}, {hi})");
+            assert!((hi - lo) / lo < 0.02, "bucket too wide at {x}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_accurate() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(10_000.0));
+        for (q, expect) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.999, 9_990.0)] {
+            let got = h.quantile(q).unwrap();
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.012, "q{q}: got {got}, expect {expect}");
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10_000.0));
+    }
+
+    #[test]
+    fn histogram_is_order_independent() {
+        let mut asc = Histogram::new();
+        let mut desc = Histogram::new();
+        for i in 0..5_000 {
+            asc.record(1.0 + i as f64);
+            desc.record(1.0 + (4_999 - i) as f64);
+        }
+        for q in [0.1, 0.5, 0.9, 0.95, 0.999] {
+            assert_eq!(asc.quantile(q), desc.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let xs: Vec<f64> = (0..3_000).map(|i| 0.5 + (i as f64) * 1.37).collect();
+        let mut whole = Histogram::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &x in &xs[..1_000] {
+            left.record(x);
+        }
+        for &x in &xs[1_000..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.999, 1.0] {
+            // Bit-identical, not just close: counts are integers and the
+            // interpolation sees identical inputs either way.
+            assert_eq!(left.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_and_zero_handling() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut z = Histogram::new();
+        z.record(0.0);
+        z.record(0.0);
+        z.record(f64::NAN); // ignored
+        assert_eq!(z.count(), 2);
+        assert_eq!(z.quantile(0.5), Some(0.0));
+
+        let mut mixed = Histogram::new();
+        mixed.record(-2.0);
+        mixed.record(10.0);
+        assert_eq!(mixed.quantile(0.0), Some(-2.0));
+        assert_eq!(mixed.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_serialization_is_deterministic_and_well_formed() {
+        let mut h = Histogram::new();
+        for i in 1..200 {
+            h.record(i as f64 * 0.73);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        // Two renders of the same state are byte-identical (BTreeMap bucket
+        // order is deterministic), and the output parses back as JSON with
+        // the expected scalar fields intact.
+        assert_eq!(json, serde_json::to_string(&h).unwrap());
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v.get("count").and_then(|c| c.as_u64()), Some(199));
+        let buckets = v.get("buckets").expect("buckets field");
+        let n: u64 = match buckets {
+            serde_json::Value::Object(fields) => fields
+                .iter()
+                .map(|(_, c)| c.as_u64().expect("bucket count"))
+                .sum(),
+            other => panic!("buckets not an object: {other:?}"),
+        };
+        assert_eq!(n, 199);
+    }
+
+    #[test]
+    fn reservoir_quantile_depends_on_arrival_order() {
+        // Same multiset, two arrival orders, a cap forcing subsampling:
+        // the retained subsets differ, so the quantiles differ. This is the
+        // documented reason scorecard percentiles use Histogram instead.
+        let cap = 64;
+        let mut asc = Reservoir::new(cap);
+        let mut desc = Reservoir::new(cap);
+        for i in 0..10_000 {
+            asc.record(i as f64);
+            desc.record((9_999 - i) as f64);
+        }
+        assert_eq!(asc.seen(), desc.seen());
+        let (pa, pd) = (asc.quantile(0.95).unwrap(), desc.quantile(0.95).unwrap());
+        assert_ne!(pa, pd, "expected order-dependent p95, both {pa}");
+        // A histogram fed the same two streams agrees with itself exactly.
+        let mut ha = Histogram::new();
+        let mut hd = Histogram::new();
+        for i in 0..10_000 {
+            ha.record(i as f64);
+            hd.record((9_999 - i) as f64);
+        }
+        assert_eq!(ha.quantile(0.95), hd.quantile(0.95));
+    }
+
+    #[test]
+    fn timeseries_point_at_exactly_min_gap_starts_new_point() {
+        // The coalescing window is half-open: a point whose distance from
+        // the last *kept* point equals min_gap is NOT coalesced.
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10));
+        ts.record(SimTime::from_millis(0), 1.0);
+        ts.record(SimTime::from_millis(10), 2.0); // == min_gap: new point
+        assert_eq!(ts.points().len(), 2);
+        assert_eq!(ts.points()[0], (SimTime::from_millis(0), 1.0));
+        assert_eq!(ts.points()[1], (SimTime::from_millis(10), 2.0));
+    }
+
+    #[test]
+    fn timeseries_coalescing_is_last_writer_wins_keeping_first_timestamp() {
+        let mut ts = TimeSeries::new(SimDuration::from_millis(10));
+        ts.record(SimTime::from_millis(0), 1.0);
+        ts.record(SimTime::from_millis(3), 2.0);
+        ts.record(SimTime::from_millis(6), 3.0);
+        ts.record(SimTime::from_millis(9), 4.0);
+        // All four collapse to one point: the first timestamp, last value.
+        assert_eq!(ts.points(), &[(SimTime::from_millis(0), 4.0)]);
+        // The gap is measured from the *kept* point (t=0), not the last
+        // write: t=10 is exactly min_gap away and starts a new point even
+        // though the previous write was at t=9.
+        ts.record(SimTime::from_millis(10), 5.0);
+        assert_eq!(ts.points().len(), 2);
+        assert_eq!(ts.points()[1], (SimTime::from_millis(10), 5.0));
+    }
+
+    #[test]
+    fn utilwindow_busy_interval_extending_past_now_counts_only_up_to_now() {
+        // A backlogged CPU books work ahead of the clock: the interval end
+        // may exceed `now`. Utilization must clamp the overlap at `now`.
+        let mut u = UtilWindow::new(SimDuration::from_millis(100));
+        u.record_busy(
+            SimTime::from_millis(100),
+            SimTime::from_millis(300), // 200ms booked ahead
+            SimTime::from_millis(100),
+        );
+        // At now=150, window is 50..150; busy overlap is 100..150 = 50ms.
+        let util = u.utilization(SimTime::from_millis(150));
+        assert!((util - 0.5).abs() < 1e-9, "util {util}");
+        // The same interval still counts in a later query window: at
+        // now=250 the window is 150..250, fully inside 100..300.
+        let util = u.utilization(SimTime::from_millis(250));
+        assert!((util - 1.0).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn utilwindow_wraps_around_time_zero() {
+        // Early in a run `now < window`: window_start saturates at 0 and
+        // the denominator is `now`, not the full window, so a fully-busy
+        // young run reads 1.0 rather than now/window.
+        let mut u = UtilWindow::new(SimDuration::from_millis(100));
+        u.record_busy(
+            SimTime::from_millis(0),
+            SimTime::from_millis(30),
+            SimTime::from_millis(0),
+        );
+        let util = u.utilization(SimTime::from_millis(30));
+        assert!((util - 1.0).abs() < 1e-9, "util {util}");
+        // And an idle tail dilutes against the saturated span (0..60).
+        let util = u.utilization(SimTime::from_millis(60));
+        assert!((util - 0.5).abs() < 1e-9, "util {util}");
+        // At now == 0 the span is zero: defined as 0.0, no division blowup.
+        let mut v = UtilWindow::new(SimDuration::from_millis(100));
+        assert_eq!(v.utilization(SimTime::ZERO), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_histogram_quantile_within_min_max(
+            xs in proptest::collection::vec(0.001f64..1e6, 1..300),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut h = Histogram::new();
+            for &x in &xs {
+                h.record(x);
+            }
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+        }
+
+        #[test]
+        fn prop_histogram_merge_matches_whole(
+            xs in proptest::collection::vec(0.001f64..1e6, 2..200),
+            split in 1usize..100,
+        ) {
+            let split = split % (xs.len() - 1) + 1;
+            let mut whole = Histogram::new();
+            for &x in &xs {
+                whole.record(x);
+            }
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for &x in &xs[..split] {
+                a.record(x);
+            }
+            for &x in &xs[split..] {
+                b.record(x);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+            prop_assert_eq!(a.quantile(0.95), whole.quantile(0.95));
+        }
     }
 
     #[test]

@@ -371,12 +371,21 @@ pub struct SweepTotals {
 }
 
 impl SweepTotals {
+    /// Per-worker throughput over the whole session: cells divided by
+    /// summed per-cell wall time. `None` until any wall time accrues.
+    pub fn cells_per_sec(&self) -> Option<f64> {
+        (self.cell_wall_nanos > 0).then(|| self.cells as f64 / (self.cell_wall_nanos as f64 / 1e9))
+    }
+
     /// The one-line cache/pool summary `repro --progress` prints.
     pub fn summary_line(&self) -> String {
         format!(
-            "sweep totals: {} cells in {:.1}s — cache {} hits / {} misses / {} corrupt-recomputed / {} uncacheable; {} checkpoint-resumed; pool misses {} total / {} steady",
+            "sweep totals: {} cells in {:.1}s{} — cache {} hits / {} misses / {} corrupt-recomputed / {} uncacheable; {} checkpoint-resumed; pool misses {} total / {} steady",
             self.cells,
             self.cell_wall_nanos as f64 / 1e9,
+            self.cells_per_sec()
+                .map(|r| format!(" ({r:.1} cells/s per worker)"))
+                .unwrap_or_default(),
             self.cache_hits,
             self.cache_misses,
             self.cache_corrupt,
@@ -626,6 +635,20 @@ pub struct SweepSummary {
     pub checkpoint: Option<LoadReport>,
 }
 
+/// Throughput/ETA suffix for the `--progress` per-cell line: observed
+/// completion rate since the sweep started (all workers combined, cache
+/// hits included) and the projected time to finish the remaining cells
+/// at that rate. Empty until a rate is measurable.
+fn progress_rate_eta(completed: usize, total: usize, elapsed: Duration) -> String {
+    let secs = elapsed.as_secs_f64();
+    if completed == 0 || secs <= 0.0 {
+        return String::new();
+    }
+    let rate = completed as f64 / secs;
+    let eta = (total.saturating_sub(completed)) as f64 / rate;
+    format!(" | {rate:.1} cells/s, ETA {eta:.1}s")
+}
+
 /// Compute one cell and account for it (process totals + progress line).
 // Interactive progress belongs on stderr (stdout carries results).
 #[allow(clippy::print_stderr)]
@@ -636,6 +659,7 @@ fn compute_cell<C: SweepCell>(
     ckpt: Option<&CheckpointShared>,
     done: &AtomicUsize,
     total: usize,
+    started: Instant,
 ) -> (C::Output, CellReport) {
     let cell = &cells[idx];
     let cell_started = Instant::now();
@@ -659,7 +683,7 @@ fn compute_cell<C: SweepCell>(
     if opts.progress {
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "  [{k}/{total}] {} — {:.1?}{}",
+            "  [{k}/{total}] {} — {:.1?}{}{}",
             report.label,
             report.elapsed,
             match state {
@@ -667,7 +691,8 @@ fn compute_cell<C: SweepCell>(
                 CacheState::MissCorrupt => " (corrupt entry recomputed)",
                 CacheState::Checkpoint => " (checkpoint)",
                 _ => "",
-            }
+            },
+            progress_rate_eta(k, total, started.elapsed()),
         );
     }
     (output, report)
@@ -750,7 +775,8 @@ pub fn run_sweep_streaming<C: SweepCell>(
                 interrupted = true;
                 break;
             }
-            let (output, report) = compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total);
+            let (output, report) =
+                compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total, started);
             if report.state == CacheState::Checkpoint {
                 resumed += 1;
             }
@@ -806,7 +832,7 @@ pub fn run_sweep_streaming<C: SweepCell>(
                         st.next_claim += 1;
                         idx
                     };
-                    let pair = compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total);
+                    let pair = compute_cell(idx, cells, opts, ckpt.as_ref(), &done, total, started);
                     *slots[idx % window].lock().unwrap() = Some(pair);
                     // Notify under the state lock so the consumer cannot
                     // check the slot and sleep between our fill and notify.
@@ -1200,6 +1226,24 @@ mod tests {
         assert!(line.contains("cells"), "{line}");
         assert!(line.contains("corrupt-recomputed"), "{line}");
         assert!(line.contains("pool misses"), "{line}");
+        assert!(line.contains("cells/s per worker"), "{line}");
+    }
+
+    #[test]
+    fn progress_rate_eta_projects_remaining_time() {
+        // No completions or no elapsed time: nothing to project yet.
+        assert_eq!(progress_rate_eta(0, 10, Duration::from_secs(1)), "");
+        assert_eq!(progress_rate_eta(3, 10, Duration::ZERO), "");
+        // 5 cells in 5s → 1.0 cells/s, 5 remaining → 5s to go.
+        assert_eq!(
+            progress_rate_eta(5, 10, Duration::from_secs(5)),
+            " | 1.0 cells/s, ETA 5.0s"
+        );
+        // Finished sweep: rate still reported, ETA collapses to zero.
+        assert_eq!(
+            progress_rate_eta(10, 10, Duration::from_secs(2)),
+            " | 5.0 cells/s, ETA 0.0s"
+        );
     }
 
     #[test]

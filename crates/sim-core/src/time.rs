@@ -50,6 +50,13 @@ impl SimTime {
         self.0
     }
 
+    /// Whole microseconds since simulation start (truncating). Telemetry
+    /// rows are stamped in microseconds: every sampling interval in use is
+    /// ≥ 1 µs, and integer stamps keep flight-data output byte-stable.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// Seconds since simulation start, as a float (for reporting only).
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9

@@ -48,12 +48,9 @@ use crate::sender::{AckOutcome, Scoreboard, SegStore, SendPlan};
 use congestion::master::Master;
 use congestion::CongestionControl;
 use sim_core::event::TimerToken;
-use sim_core::metrics::{Reservoir, Summary};
+use sim_core::metrics::{Histogram, Summary};
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::units::Bandwidth;
-
-/// Capacity of each flow's RTT reservoir (p95 estimation).
-pub(crate) const RTT_RESERVOIR_CAP: usize = 2048;
 
 /// Dense index of one flow in a [`FlowArena`]. Ids are assigned at
 /// construction (`0..len`), never move, and index every parallel array.
@@ -154,7 +151,11 @@ pub(crate) struct CcCache {
 pub(crate) struct FlowCold {
     pub delivered_at_measure: u64,
     pub rtt_summary: Summary,
-    pub rtt_reservoir: Reservoir,
+    /// RTT samples bucketed for percentile queries (Fig. 7's p95). A
+    /// log-bucketed histogram, not a reservoir: fixed bucket boundaries
+    /// make the p95 independent of sample order and exact under merge,
+    /// which the scorecard's determinism contract requires.
+    pub rtt_hist: Histogram,
     pub skb_bytes_sum: u64,
     pub skb_count: u64,
     /// Bytes sent in the current pacing period; finalized into
@@ -175,7 +176,7 @@ impl FlowCold {
         FlowCold {
             delivered_at_measure: 0,
             rtt_summary: Summary::new(),
-            rtt_reservoir: Reservoir::new(RTT_RESERVOIR_CAP),
+            rtt_hist: Histogram::new(),
             skb_bytes_sum: 0,
             skb_count: 0,
             cur_period_bytes: 0,

@@ -162,6 +162,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enable flight-data telemetry sampling at the given sim-time
+    /// interval (see [`sim_core::telemetry`]). Like `pcap`, a
+    /// telemetry-carrying config is never sweep-cached.
+    pub fn telemetry(mut self, interval: SimDuration) -> Self {
+        self.cfg.telemetry = Some(interval);
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// Rejects (as [`Error::InvalidConfig`], naming the field):
@@ -169,7 +177,8 @@ impl SimConfigBuilder {
     /// measurement window would be empty and goodput would read 0 Mbps);
     /// a zero pacing stride or socket-buffer cap; a non-positive or
     /// non-finite pacing fallback gain; zero-capacity or zero-queue path
-    /// links; a zero ACK cadence; and a zero timeline interval.
+    /// links; a zero ACK cadence; a zero timeline interval; and a zero
+    /// telemetry interval.
     pub fn build(self) -> Result<SimConfig> {
         let cfg = self.cfg;
         if cfg.connections == 0 {
@@ -241,6 +250,12 @@ impl SimConfigBuilder {
             return Err(Error::invalid_config(
                 "sample_interval",
                 "a zero timeline interval would loop forever; use None to disable",
+            ));
+        }
+        if matches!(cfg.telemetry, Some(iv) if iv.is_zero()) {
+            return Err(Error::invalid_config(
+                "telemetry",
+                "a zero telemetry interval would sample forever; use None to disable",
             ));
         }
         Ok(cfg)

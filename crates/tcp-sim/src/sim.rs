@@ -25,7 +25,7 @@
 //! and goodput collapses, while the same workload at 2.8 GHz runs at line
 //! rate.
 
-use crate::arena::{CcCache, FlowArena, FlowHot, RTT_RESERVOIR_CAP};
+use crate::arena::{CcCache, FlowArena, FlowHot};
 use crate::mutants::{self, Mutant};
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
 use crate::pool::{SlotStore, VecPool};
@@ -42,8 +42,9 @@ use netsim::netem::{Netem, NetemVerdict};
 use netsim::{wire_bytes, MSS};
 use serde::Serialize;
 use sim_core::event::EventQueue;
-use sim_core::metrics::{Counters, Reservoir, Summary};
+use sim_core::metrics::{Counters, Histogram, Summary};
 use sim_core::rng::SimRng;
+use sim_core::telemetry::{FlowSample, QueueSample, TelemetryLog, TelemetrySink};
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::trace::{TraceKind, TraceLog, TraceSink};
 use sim_core::units::Bandwidth;
@@ -96,6 +97,16 @@ pub struct SimConfig {
     /// Interval for the goodput timeline (iPerf3's per-interval lines);
     /// `None` disables timeline collection.
     pub sample_interval: Option<SimDuration>,
+    /// Flight-data telemetry sampling interval; `None` (the default)
+    /// disables sampling. When set, the run snapshots per-flow cwnd,
+    /// inflight, pacing rate, srtt, delivery rate, and CC phase plus the
+    /// bottleneck queue at this sim-time interval
+    /// (see [`sim_core::telemetry`]); retrieve the log with
+    /// [`StackSim::run_with_telemetry`]. Sampling observes state without
+    /// scheduling events, so the [`SimResult`] is byte-identical with it on
+    /// or off — but, like `pcap`, a telemetry-carrying config is a
+    /// side-effectful run and is never sweep-cached.
+    pub telemetry: Option<SimDuration>,
     /// ACK generation granularity: `None` models a GRO-coalescing server
     /// (one ACK per aggregated buffer — modern reality); `Some(n)` acks
     /// every `n` segments (classic delayed-ACK behaviour), multiplying the
@@ -138,6 +149,7 @@ impl SimConfig {
             pcap: None,
             cross_traffic: None,
             sample_interval: Some(SimDuration::from_millis(500)),
+            telemetry: None,
             ack_per_segs: None,
         }
     }
@@ -389,6 +401,14 @@ pub struct StackSim {
     // sim-trace: the stack's own tracepoint sink (the timer wheel and the
     // CPU model carry their own; `collect_trace` merges all three).
     trace: TraceSink,
+    // Flight-data telemetry: fixed-interval state sampling, polled by the
+    // dispatch loop (never scheduled on the wheel, so enabling it cannot
+    // perturb event ordering or counters).
+    telemetry: TelemetrySink,
+    // Per-flow cumulative delivered packets as of the previous telemetry
+    // sample, for the windowed delivery-rate column. Empty when telemetry
+    // is off.
+    telemetry_prev_delivered: Vec<u64>,
     // MeasureStart snapshots for steady-state attribution: cycle and
     // pool-miss totals as of the end of warmup, so `finish` can report
     // measurement-window deltas.
@@ -436,6 +456,13 @@ impl StackSim {
             Master::new(inner, cfg.master)
         });
 
+        let mut telemetry = TelemetrySink::disabled();
+        let mut telemetry_prev_delivered = Vec::new();
+        if let Some(interval) = cfg.telemetry {
+            telemetry.enable(interval, sim_core::telemetry::DEFAULT_MAX_SAMPLES);
+            telemetry_prev_delivered = vec![0u64; cfg.connections];
+        }
+
         StackSim {
             end: SimTime::ZERO + cfg.duration,
             fwd_netem: Netem::new(cfg.path.forward_netem.clone(), rng.split(2)),
@@ -458,6 +485,8 @@ impl StackSim {
             adapt_floor: 1,
             adapt_armed: false,
             trace: TraceSink::disabled(),
+            telemetry,
+            telemetry_prev_delivered,
             measure_cycles: BTreeMap::new(),
             measure_cycles_total: 0,
             measure_run_misses: 0,
@@ -521,6 +550,71 @@ impl StackSim {
         (self.finish(), log)
     }
 
+    /// Run to completion, returning the result and the flight-data
+    /// telemetry collected along the way.
+    ///
+    /// Sampling is configured by [`SimConfig::telemetry`]; the log is empty
+    /// (`None`) when the config carries no interval or `sim-core` was built
+    /// without the `telemetry` feature. The [`SimResult`] is byte-identical
+    /// to [`StackSim::run`]'s — sampling only observes.
+    pub fn run_with_telemetry(mut self) -> (SimResult, Option<TelemetryLog>) {
+        self.run_to_end();
+        let log = self.telemetry.take();
+        (self.finish(), log)
+    }
+
+    /// Snapshot every started flow and the bottleneck queue, stamped with
+    /// the nominal instant `at`. Read-only with respect to simulation
+    /// state (the `occupancy` call only prunes already-departed packets,
+    /// which `send` would prune anyway).
+    fn sample_telemetry(&mut self, at: SimTime) {
+        for c in 0..self.arena.len() {
+            if !self.arena.hot[c].started {
+                continue;
+            }
+            let cache = &self.arena.cc_cache[c];
+            let delivered = self.arena.rate[c].delivered();
+            let prev = std::mem::replace(&mut self.telemetry_prev_delivered[c], delivered);
+            let delta_pkts = delivered.saturating_sub(prev);
+            let delivery_rate_bps = match self.cfg.telemetry {
+                Some(interval) if !interval.is_zero() => {
+                    (delta_pkts * MSS * 8) as f64 / interval.as_secs_f64()
+                }
+                _ => 0.0,
+            } as u64;
+            self.telemetry.flow(FlowSample {
+                at,
+                conn: c as u32,
+                cwnd: cache.cwnd.min(u32::MAX as u64) as u32,
+                inflight: self.arena.board[c].packets_in_flight().min(u32::MAX as u64) as u32,
+                pacing_rate_bps: cache.pacing_rate.map(|r| r.as_bps()).unwrap_or(0),
+                srtt_us: self.arena.rtt[c].srtt().map(|d| d.as_micros()).unwrap_or(0),
+                delivery_rate_bps,
+                phase: self.arena.cc[c].phase(),
+            });
+        }
+        let depth = self.fwd_link.occupancy(at);
+        self.telemetry.queue(QueueSample {
+            at,
+            depth_pkts: depth.min(u32::MAX as usize) as u32,
+            dropped: self.fwd_link.stats().dropped,
+        });
+    }
+
+    /// Emit any telemetry samples whose nominal instant is `<= upto`. The
+    /// state observed is exactly the state at each nominal instant: no
+    /// event fired between the previous batch and `upto`.
+    #[inline]
+    fn pump_telemetry(&mut self, upto: SimTime) {
+        while let Some(due) = self.telemetry.next_due() {
+            if due > upto {
+                break;
+            }
+            self.sample_telemetry(due);
+            self.telemetry.advance();
+        }
+    }
+
     /// Drain the per-domain rings into one chronologically merged log.
     /// Buffer order (wheel, CPU, stack) is fixed — it is the deterministic
     /// tie-break for records carrying the same timestamp.
@@ -577,10 +671,23 @@ impl StackSim {
             if at > self.end {
                 break;
             }
+            if self.telemetry.is_enabled() {
+                // Sample every nominal instant up to (and including) this
+                // batch's timestamp *before* its events run: the state seen
+                // is the state at those instants, since nothing fired in
+                // between.
+                self.pump_telemetry(at);
+            }
             self.dispatch(at, first.event);
             while let Some(ev) = self.queue.run_next() {
                 self.dispatch(at, ev.event);
             }
+        }
+        if self.telemetry.is_enabled() {
+            // Fill the tail: instants between the last dispatched batch and
+            // the end of the run (including a possibly event-free tail).
+            let end = self.end;
+            self.pump_telemetry(end);
         }
     }
 
@@ -699,7 +806,7 @@ impl StackSim {
                     self.arena.cold[i].delivered_at_measure = self.arena.rate[i].delivered();
                     self.arena.hot[i].measuring = true;
                     self.arena.cold[i].rtt_summary = Summary::new();
-                    self.arena.cold[i].rtt_reservoir = Reservoir::new(RTT_RESERVOIR_CAP);
+                    self.arena.cold[i].rtt_hist = Histogram::new();
                 }
                 // Steady-state attribution baseline: everything charged or
                 // missed after this point is measurement-window work.
@@ -1160,7 +1267,7 @@ impl StackSim {
             if self.arena.hot[c].measuring {
                 let cold = &mut self.arena.cold[c];
                 cold.rtt_summary.record(rtt.as_millis_f64());
-                cold.rtt_reservoir.record(rtt.as_millis_f64());
+                cold.rtt_hist.record(rtt.as_millis_f64());
             }
         }
 
@@ -1525,8 +1632,8 @@ impl StackSim {
             total_goodput = total_goodput.saturating_add(goodput);
             total_retx += board.total_retx();
             rtt_all.merge(&cold.rtt_summary);
-            let p95 = cold.rtt_reservoir.quantile(0.95).unwrap_or(0.0);
-            if cold.rtt_reservoir.seen() > 0 {
+            let p95 = cold.rtt_hist.quantile(0.95).unwrap_or(0.0);
+            if cold.rtt_hist.count() > 0 {
                 p95_sum += p95;
                 p95_n += 1;
             }
@@ -1707,6 +1814,63 @@ mod tests {
             .warmup(SimDuration::from_millis(500))
             .build()
             .expect("valid config")
+    }
+
+    #[test]
+    fn telemetry_sampling_does_not_change_results() {
+        // The determinism contract for flight-data telemetry: sampling only
+        // observes, so a sampled run's SimResult is byte-identical to an
+        // unsampled one (serialize both to canonical JSON and compare).
+        let plain = StackSim::new(quick(CcKind::Bbr, CpuConfig::LowEnd, 3)).run();
+        let mut cfg = quick(CcKind::Bbr, CpuConfig::LowEnd, 3);
+        cfg.telemetry = Some(SimDuration::from_millis(10));
+        let (sampled, log) = StackSim::new(cfg).run_with_telemetry();
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&sampled).unwrap(),
+            "telemetry sampling must not perturb any result byte"
+        );
+        // `log` is `Some` whenever sim-core was built with its default
+        // `telemetry` feature (the workspace default); `None` only under
+        // `--no-default-features`, where the sink is compiled out.
+        if let Some(log) = log {
+            assert!(!log.flows.is_empty(), "flow samples collected");
+            assert!(!log.queues.is_empty(), "queue samples collected");
+            assert_eq!(log.dropped_rows, 0);
+            // Rows are time-major and, within an instant, connection-minor.
+            for w in log.flows.windows(2) {
+                assert!(
+                    w[0].at < w[1].at || (w[0].at == w[1].at && w[0].conn < w[1].conn),
+                    "flow rows out of order: {:?} then {:?}",
+                    (w[0].at, w[0].conn),
+                    (w[1].at, w[1].conn),
+                );
+            }
+            // One queue row per sampled instant, covering the whole run.
+            for w in log.queues.windows(2) {
+                assert_eq!(
+                    w[1].at.saturating_since(w[0].at),
+                    SimDuration::from_millis(10)
+                );
+            }
+            // Phase strings come from the live CC objects.
+            assert!(log.flows.iter().all(|f| !f.phase.is_empty()));
+        }
+    }
+
+    #[test]
+    fn telemetry_log_is_deterministic_across_runs() {
+        let run = || {
+            let mut cfg = quick(CcKind::Bbr, CpuConfig::LowEnd, 2);
+            cfg.telemetry = Some(SimDuration::from_millis(20));
+            let (_, log) = StackSim::new(cfg).run_with_telemetry();
+            let mut out = Vec::new();
+            if let Some(log) = log {
+                sim_core::telemetry::write_jsonl(&log, &mut out).unwrap();
+            }
+            out
+        };
+        assert_eq!(run(), run(), "flight data must be byte-identical");
     }
 
     #[test]
