@@ -13,7 +13,7 @@
 //! perf --full                  # time fig2 at full parameters (slow)
 //! ```
 //!
-//! Five measurements, mirroring the simulator's real load profile:
+//! Six measurements, mirroring the simulator's real load profile:
 //!
 //! 1. **Timer churn** — a burst of schedule→cancel→reschedule re-arm
 //!    cycles (pacing + RTO timers) followed by one pop, at 1/20/200
@@ -30,7 +30,12 @@
 //!    [`MANY_FLOWS_SPEEDUP_FLOORS`] for why wall, not events/sec) and
 //!    the 20% events/sec regression budget against the committed
 //!    measurement.
-//! 5. **Streaming memory bound** — a 10,000-cell synthetic sweep with a
+//! 5. **Fleet cells** — one `StackSim` running the canonical mixed fleet
+//!    (100/500/1000 devices, one connection each) through a shared CoDel
+//!    PoP uplink: per-device access paths, shared-hop arbitration, and
+//!    fleet metrics assembly all on the measured path. `--check` enforces
+//!    the same noise-calibrated events/sec budget as the many-flows cells.
+//! 6. **Streaming memory bound** — a 10,000-cell synthetic sweep with a
 //!    fat (256 KiB) output per cell, run after a quarter-size warm-up
 //!    grid has set the high-water mark. The streaming engine holds at
 //!    most `max_inflight` unreleased outputs, so the 4× grid must leave
@@ -183,6 +188,72 @@ const MANY_FLOWS_SPEEDUP_FLOORS: [(usize, f64); 2] = [(200, 1.30), (1000, 1.10)]
 /// re-baselining.
 const MANY_FLOWS_BOXED_WALL_SECONDS: [(usize, f64); 3] =
     [(20, 0.0134), (200, 0.0165), (1000, 0.0181)];
+
+/// Device counts for the fleet bench cells: the mixed-tier population
+/// competing through one shared CoDel uplink, the regime the FLEET
+/// experiment runs at PoP scale. 1000 approaches the arena's 1024-flow
+/// ceiling with one connection per device.
+const FLEET_SIZES: [usize; 3] = [100, 500, 1000];
+/// Shared-uplink provisioning per fleet device, Mbps (matches the FLEET
+/// experiment's [`experiments::fleet::SHARE_MBPS`]).
+const FLEET_SHARE_MBPS: u64 = 20;
+/// Timed repetitions per fleet cell; the minimum is reported. Fewer than
+/// the many-flows cells because a 1000-device fleet cell runs an order of
+/// magnitude longer, which also makes it less noise-sensitive.
+const FLEET_REPS: usize = 3;
+
+/// One fleet bench cell: the canonical mixed fleet through a CoDel PoP
+/// uplink — per-device access paths, shared-hop arbitration, and the
+/// fleet metrics assembly all on the measured path.
+fn fleet_config(devices: usize) -> SimConfig {
+    let fleet = tcp_sim::FleetConfig::mixed(devices).with_shared(tcp_sim::FleetConfig::pop_uplink(
+        sim_core::units::Bandwidth::from_mbps(FLEET_SHARE_MBPS * devices as u64),
+        netsim::Qdisc::Codel,
+    ));
+    SimConfig::builder(DeviceProfile::pixel4(), CpuConfig::HighEnd, CcKind::Bbr, 1)
+        .fleet(fleet)
+        .duration(SimDuration::from_millis(MANY_FLOWS_DUR_MS))
+        .warmup(SimDuration::from_millis(MANY_FLOWS_WARMUP_MS))
+        .start_stagger(SimDuration::from_micros(100))
+        .sample_interval(None)
+        .seed(11)
+        .build()
+        .expect("fleet bench config is valid")
+}
+
+/// Measured numbers for one fleet cell.
+struct FleetPoint {
+    devices: usize,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+}
+
+fn measure_fleet(devices: usize) -> FleetPoint {
+    let events = StackSim::new(fleet_config(devices))
+        .run()
+        .counters
+        .get("wheel_popped");
+    let mut best = f64::INFINITY;
+    for _ in 0..FLEET_REPS {
+        let sim = StackSim::new(fleet_config(devices));
+        let t0 = Instant::now();
+        let res = sim.run();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            res.counters.get("wheel_popped"),
+            events,
+            "fleet cell must be deterministic"
+        );
+        best = best.min(wall);
+    }
+    FleetPoint {
+        devices,
+        events,
+        wall_seconds: best,
+        events_per_sec: events as f64 / best,
+    }
+}
 
 /// One many-flows goodput-sim cell: BBR over Ethernet on the High-End
 /// Pixel 4 — maximum packet rate, so per-flow dispatch (not the modelled
@@ -404,6 +475,7 @@ fn check_against(
     fig2_params: &str,
     fig2_wall_seconds: f64,
     many: &[ManyFlowsPoint],
+    fleet: &[FleetPoint],
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
@@ -495,6 +567,30 @@ fn check_against(
             if p.events_per_sec < base * MANY_FLOWS_CHECK_FLOOR {
                 failures.push(format!(
                     "many-flows at {conns} conns: {:.2e} events/s < {:.0}% of baseline {:.2e}",
+                    p.events_per_sec,
+                    MANY_FLOWS_CHECK_FLOOR * 100.0,
+                    base
+                ));
+            }
+        }
+    }
+    // Fleet gate: no events/sec regression beyond the noise-calibrated
+    // budget vs the committed fleet cells (same rationale as many-flows
+    // gate (b); absent from pre-fleet baseline files, which simply skips
+    // the gate until the next --record).
+    if let Some(Value::Array(cells)) =
+        json_field(&root, "fleet").and_then(|m| json_field(m, "cells"))
+    {
+        for cell in cells {
+            let devices = json_f64(cell, "devices").ok_or("fleet cell missing devices")? as usize;
+            let base =
+                json_f64(cell, "events_per_sec").ok_or("fleet cell missing events_per_sec")?;
+            let Some(p) = fleet.iter().find(|p| p.devices == devices) else {
+                continue;
+            };
+            if p.events_per_sec < base * MANY_FLOWS_CHECK_FLOOR {
+                failures.push(format!(
+                    "fleet at {devices} devices: {:.2e} events/s < {:.0}% of baseline {:.2e}",
                     p.events_per_sec,
                     MANY_FLOWS_CHECK_FLOOR * 100.0,
                     base
@@ -628,6 +724,20 @@ fn main() {
         })
         .collect();
 
+    // 3c. Fleet cells: the mixed-tier population through one shared CoDel
+    //     uplink at 100/500/1000 devices.
+    let fleet: Vec<FleetPoint> = FLEET_SIZES
+        .iter()
+        .map(|&devices| {
+            let p = measure_fleet(devices);
+            println!(
+                "fleet {:>4} devices: {:>9} events in {:.3}s | {:>11.0} events/s",
+                p.devices, p.events, p.wall_seconds, p.events_per_sec,
+            );
+            p
+        })
+        .collect();
+
     // 4. Streaming memory bound. `VmHWM` is monotonic: the quarter grid
     //    sets the mark, then a flat engine leaves the 4x grid's growth
     //    near zero while unbounded buffering would add gigabytes.
@@ -715,6 +825,20 @@ fn main() {
                         .collect(),
                 ),
             ),
+            (
+                "fleet_events_per_sec".into(),
+                Value::Array(
+                    fleet
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("devices".into(), Value::UInt(p.devices as u64)),
+                                ("events_per_sec".into(), Value::Float(p.events_per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]));
     }
 
@@ -759,6 +883,33 @@ fn main() {
                                         "rss_per_flow_bytes".into(),
                                         Value::UInt(p.rss_bytes / p.conns as u64),
                                     ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "fleet".into(),
+            Value::Object(vec![
+                ("dur_ms".into(), Value::UInt(MANY_FLOWS_DUR_MS)),
+                ("warmup_ms".into(), Value::UInt(MANY_FLOWS_WARMUP_MS)),
+                (
+                    "share_mbps_per_device".into(),
+                    Value::UInt(FLEET_SHARE_MBPS),
+                ),
+                (
+                    "cells".into(),
+                    Value::Array(
+                        fleet
+                            .iter()
+                            .map(|p| {
+                                Value::Object(vec![
+                                    ("devices".into(), Value::UInt(p.devices as u64)),
+                                    ("events".into(), Value::UInt(p.events)),
+                                    ("wall_seconds".into(), Value::Float(p.wall_seconds)),
+                                    ("events_per_sec".into(), Value::Float(p.events_per_sec)),
                                 ])
                             })
                             .collect(),
@@ -838,6 +989,7 @@ fn main() {
             params_name,
             fig2_wall.as_secs_f64(),
             &many,
+            &fleet,
         ) {
             // Re-baselining (--record) is the sanctioned way out of a
             // regressed or machine-drifted baseline, so a failed check

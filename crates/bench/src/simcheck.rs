@@ -7,13 +7,16 @@
 //!
 //! * [`Scenario`] — a point in the supported configuration space (CC ×
 //!   CPU config × media × 1–1024 connections (log-biased) × pacing stride × shallow
-//!   buffers × netem impairments × cross-traffic × ACK cadence), with a
+//!   buffers × netem impairments × cross-traffic × ACK cadence × the fleet
+//!   axis: device count, uniform-vs-mixed tier/CC population, shared
+//!   bottleneck rate and qdisc), with a
 //!   deterministic [`Scenario::draw`] from a [`SimRng`] and a compact
 //!   `key=value` spec codec so every failure is a one-line repro;
 //! * [`oracles`] — the invariant library: physical conservation, protocol
-//!   sanity, counter identities, and paper-derived metamorphic relations
+//!   sanity, counter identities, paper-derived metamorphic relations
 //!   (Eq. 2 / Table 2 stride envelope, CPU-frequency monotonicity, Fig. 7 pacing
-//!   RTT inflation);
+//!   RTT inflation), and the fleet oracles (shared-bottleneck
+//!   conservation, Jain-index bounds + permutation invariance);
 //! * [`fuzz`] — the batch driver, built on `sim_core::sweep::run_sweep_streaming`
 //!   so results are bit-identical for any `--jobs` value;
 //! * [`shrink_scenario`] — bisection over the numeric axes plus greedy
@@ -26,13 +29,15 @@ use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::{CostModel, CpuConfig, DeviceProfile};
 use netsim::media::MediaProfile;
+use netsim::Qdisc;
 use sim_core::check::{evaluate, shrink, shrink_u64, NamedOracle, Violation};
 use sim_core::rng::SimRng;
 use sim_core::sweep::{run_sweep_streaming, SweepCell, SweepOptions};
 use sim_core::time::SimDuration;
 use sim_core::units::Bandwidth;
+use tcp_sim::fleet::DeviceSpec;
 use tcp_sim::mutants::{self, Mutant};
-use tcp_sim::{PacingConfig, SimConfig, SimResult, StackSim};
+use tcp_sim::{FleetConfig, PacingConfig, SimConfig, SimResult, StackSim};
 use test_support::{ALL_CC, ALL_CPU, ALL_MEDIA};
 
 /// One point in the supported configuration space.
@@ -70,6 +75,18 @@ pub struct Scenario {
     pub warmup_ms: u64,
     /// Simulation seed (netem draws, WiFi variation).
     pub seed: u64,
+    /// Fleet device count; 0 disables fleet mode (the default, so every
+    /// pre-fleet corpus line parses unchanged). When > 0, `conns` is
+    /// normalised to one connection per device.
+    pub fleet: u64,
+    /// Fleet population: 0 = uniform (every device uses this scenario's
+    /// cc/cpu/media), 1 = the canonical mixed tier/CC/media population.
+    pub fmix: u64,
+    /// Shared-bottleneck rate in Mbps; 0 = no shared hop (the degenerate
+    /// fleet the differential tests pin down).
+    pub fshared: u64,
+    /// Queue discipline at the shared bottleneck.
+    pub fqdisc: Qdisc,
 }
 
 fn cc_name(cc: CcKind) -> &'static str {
@@ -105,7 +122,7 @@ impl Scenario {
     /// path and the metamorphic oracles (which need clean runs) fire often.
     pub fn draw(rng: &mut SimRng) -> Scenario {
         let dur_ms = rng.range_inclusive(400, 900);
-        Scenario {
+        let mut s = Scenario {
             cc: ALL_CC[rng.below(ALL_CC.len() as u64) as usize],
             cpu: ALL_CPU[rng.below(ALL_CPU.len() as u64) as usize],
             media: ALL_MEDIA[rng.below(ALL_MEDIA.len() as u64) as usize],
@@ -147,13 +164,32 @@ impl Scenario {
             dur_ms,
             warmup_ms: rng.range_inclusive(150, 300),
             seed: rng.range_inclusive(1, 999_999),
+            fleet: 0,
+            fmix: 0,
+            fshared: 0,
+            fqdisc: Qdisc::Fifo,
+        };
+        // Fleet axis on ~1 draw in 5: single-device scenarios stay the bulk
+        // of the stream while shared-bottleneck arbitration, heterogeneous
+        // populations and both qdiscs all turn up every few draws.
+        if rng.chance(0.2) {
+            s.fleet = rng.range_inclusive(2, 12);
+            s.fmix = u64::from(rng.chance(0.5));
+            if rng.chance(0.7) {
+                s.fshared = rng.range_inclusive(20, 300);
+            }
+            if rng.chance(0.5) {
+                s.fqdisc = Qdisc::Codel;
+            }
+            s.conns = s.fleet;
         }
+        s
     }
 
     /// Compact one-line spec: comma-separated `key=value` pairs, the exact
     /// input `simcheck --scenario` accepts and the corpus stores.
     pub fn spec_string(&self) -> String {
-        format!(
+        let mut spec = format!(
             "cc={},cpu={},media={},conns={},stride={},pacing={},queue={},loss={},jitter={},cross={},acks={},dur={},warmup={},seed={}",
             cc_name(self.cc),
             cpu_name(self.cpu),
@@ -169,7 +205,22 @@ impl Scenario {
             self.dur_ms,
             self.warmup_ms,
             self.seed,
-        )
+        );
+        // Fleet keys appear only when the axis is active, so non-fleet
+        // specs stay byte-identical to the pre-fleet format.
+        if self.fleet > 0 {
+            spec.push_str(&format!(
+                ",fleet={},fmix={},fshared={},fqdisc={}",
+                self.fleet,
+                self.fmix,
+                self.fshared,
+                match self.fqdisc {
+                    Qdisc::Fifo => "fifo",
+                    Qdisc::Codel => "codel",
+                },
+            ));
+        }
+        spec
     }
 
     /// Parse a [`Scenario::spec_string`] back. Unknown keys, malformed
@@ -190,6 +241,10 @@ impl Scenario {
             dur_ms: 600,
             warmup_ms: 200,
             seed: 1,
+            fleet: 0,
+            fmix: 0,
+            fshared: 0,
+            fqdisc: Qdisc::Fifo,
         };
         fn int(key: &str, v: &str) -> Result<u64, String> {
             v.parse::<u64>()
@@ -243,6 +298,16 @@ impl Scenario {
                 "dur" => s.dur_ms = int(key, v)?.max(50),
                 "warmup" => s.warmup_ms = int(key, v)?,
                 "seed" => s.seed = int(key, v)?,
+                "fleet" => s.fleet = int(key, v)?.min(64),
+                "fmix" => s.fmix = int(key, v)?.min(1),
+                "fshared" => s.fshared = int(key, v)?.min(10_000),
+                "fqdisc" => {
+                    s.fqdisc = match v {
+                        "fifo" => Qdisc::Fifo,
+                        "codel" => Qdisc::Codel,
+                        other => return Err(format!("fqdisc: expected fifo/codel, got {other:?}")),
+                    }
+                }
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -251,6 +316,11 @@ impl Scenario {
                 "warmup {} must be shorter than dur {}",
                 s.warmup_ms, s.dur_ms
             ));
+        }
+        if s.fleet > 0 {
+            // One connection per device keeps `conns` and the fleet axis
+            // coherent without a second degree of freedom in the spec.
+            s.conns = s.fleet;
         }
         Ok(s)
     }
@@ -291,6 +361,9 @@ impl Scenario {
                 Bandwidth::from_mbps(self.cross_mbps),
             ));
         }
+        if let Some(fc) = self.fleet_config() {
+            builder = builder.fleet(fc);
+        }
         // Parsing, drawing, and shrinking all maintain warmup < dur,
         // stride >= 1, conns >= 1, queue >= 1, so a Scenario is always a
         // valid configuration.
@@ -299,13 +372,41 @@ impl Scenario {
             .expect("scenario invariants guarantee a valid config")
     }
 
+    /// The fleet this scenario runs, if the axis is active — the single
+    /// source of truth shared by `to_config` and the fleet oracles.
+    fn fleet_config(&self) -> Option<FleetConfig> {
+        if self.fleet == 0 {
+            return None;
+        }
+        let mut fc = if self.fmix == 1 {
+            FleetConfig::mixed(self.fleet as usize)
+        } else {
+            FleetConfig::uniform(
+                self.fleet as usize,
+                DeviceSpec::new(self.cpu, self.cc, self.media),
+            )
+        };
+        if self.fshared > 0 {
+            fc = fc.with_shared(FleetConfig::pop_uplink(
+                Bandwidth::from_mbps(self.fshared),
+                self.fqdisc,
+            ));
+        }
+        Some(fc)
+    }
+
     /// No impairments: loss, cross traffic, and shallow buffers absent.
     fn clean(&self) -> bool {
         self.loss_ppm == 0 && self.cross_mbps == 0 && self.queue.is_none()
     }
 
     /// A controller that actually paces (BBR family with pacing enabled).
+    /// The canonical mixed fleet always contains BBR-family devices, so a
+    /// mixed-fleet run paces whenever the master module doesn't forbid it.
     fn paced_bbr(&self) -> bool {
+        if self.fleet > 0 && self.fmix == 1 {
+            return !self.pacing_off;
+        }
         matches!(self.cc, CcKind::Bbr | CcKind::Bbr2) && !self.pacing_off
     }
 
@@ -347,7 +448,8 @@ pub fn run_scenario(s: &Scenario) -> ScenarioRun {
     // Eq. 2 stride envelope: stride stretches idle time, so goodput is
     // bounded by stride 1 above and by the 1/stride law (Table 2's
     // post-plateau regime) below.
-    let stride_one = if s.stride > 1
+    let stride_one = if s.fleet == 0
+        && s.stride > 1
         && s.paced_bbr()
         && s.clean()
         && s.media == MediaProfile::Ethernet
@@ -363,18 +465,22 @@ pub fn run_scenario(s: &Scenario) -> ScenarioRun {
     // Goodput is monotone non-decreasing in CPU frequency (the paper's
     // whole mechanism: more cycles, never less goodput) — checked on
     // clean paths from the Low-End config.
-    let cpu_high = if s.cpu == CpuConfig::LowEnd && s.clean() && s.window_ms() >= 300 {
-        let mut alt = s.clone();
-        alt.cpu = CpuConfig::HighEnd;
-        Some(StackSim::new(alt.to_config()).run())
-    } else {
-        None
-    };
+    // Fleet runs take their CPUs/strides/pacing from the device specs, so
+    // the single-device metamorphic companions don't apply there.
+    let cpu_high =
+        if s.fleet == 0 && s.cpu == CpuConfig::LowEnd && s.clean() && s.window_ms() >= 300 {
+            let mut alt = s.clone();
+            alt.cpu = CpuConfig::HighEnd;
+            Some(StackSim::new(alt.to_config()).run())
+        } else {
+            None
+        };
     // Fig. 7: disabling pacing never meaningfully lowers RTT (it inflates
     // it — unpaced bursts queue at the bottleneck). Only in the paper's
     // few-flows regime: with hundreds of flows the bottleneck queue is
     // congestion-limited either way and the relation can invert.
-    let unpaced = if s.paced_bbr()
+    let unpaced = if s.fleet == 0
+        && s.paced_bbr()
         && s.clean()
         && s.media == MediaProfile::Ethernet
         && (2..=64).contains(&s.conns)
@@ -411,16 +517,35 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
     vec![
         o("goodput-line-rate", |r| {
             // Physical conservation: goodput cannot exceed the uplink's
-            // hard rate ceiling (envelope top for variable media).
-            let ceiling = r.scenario.media.path_config().max_forward_rate();
-            let bound = ceiling.as_mbps_f64() * 1.1 + 1.0;
+            // hard rate ceiling (envelope top for variable media). A fleet
+            // is bounded by its devices' summed access ceilings, tightened
+            // by the shared bottleneck when one exists.
+            let ceiling = match r.scenario.fleet_config() {
+                Some(fc) => {
+                    let access: f64 = fc
+                        .devices
+                        .iter()
+                        .map(|d| d.media.path_config().max_forward_rate().as_mbps_f64())
+                        .sum();
+                    match &fc.shared {
+                        Some(link) => access.min(link.rate.as_mbps_f64()),
+                        None => access,
+                    }
+                }
+                None => r
+                    .scenario
+                    .media
+                    .path_config()
+                    .max_forward_rate()
+                    .as_mbps_f64(),
+            };
+            let bound = ceiling * 1.1 + 1.0;
             if r.result.goodput_mbps() <= bound {
                 Ok(())
             } else {
                 Err(format!(
-                    "goodput {:.1} Mbps exceeds line-rate bound {:.1}",
+                    "goodput {:.1} Mbps exceeds line-rate bound {bound:.1}",
                     r.result.goodput_mbps(),
-                    bound
                 ))
             }
         }),
@@ -438,7 +563,16 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             if r.result.mean_rtt_ms <= 0.0 {
                 return Ok(());
             }
-            let base = r.scenario.media.path_config().base_rtt().as_millis_f64();
+            // Mixed fleets span media: only the *shortest* device path
+            // bounds the population mean from below.
+            let base = match r.scenario.fleet_config() {
+                Some(fc) => fc
+                    .devices
+                    .iter()
+                    .map(|d| d.media.path_config().base_rtt().as_millis_f64())
+                    .fold(f64::INFINITY, f64::min),
+                None => r.scenario.media.path_config().base_rtt().as_millis_f64(),
+            };
             if r.result.mean_rtt_ms >= base * 0.9 {
                 Ok(())
             } else {
@@ -636,6 +770,12 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             if !(s.paced_bbr() && s.clean() && s.conns <= 64 && s.window_ms() >= 300) {
                 return Ok(());
             }
+            // A contended shared bottleneck can legitimately starve one
+            // cohort inside a short window; progress is only guaranteed on
+            // private paths (including degenerate shared-less fleets).
+            if s.fleet > 0 && s.fshared > 0 {
+                return Ok(());
+            }
             for (i, conn) in r.result.per_conn.iter().enumerate() {
                 if conn.delivered_pkts == 0 {
                     return Err(format!(
@@ -700,6 +840,101 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
                     unpaced.mean_rtt_ms, r.result.mean_rtt_ms
                 ))
             }
+        }),
+        o("fleet-conservation", |r| {
+            // Shared-bottleneck conservation, two clauses. (a) Exact
+            // admission accounting: every data packet leaving an access
+            // link is offered to the shared hop, so
+            //   pkts_sent == netem_drops + queue_drops
+            //             + shared_drops + shared_pkts
+            // — any hole here (Mutant::FleetSharedBypass) means packets
+            // teleported past the arbiter. (b) Capacity: payload delivered
+            // across the fleet cannot exceed capacity x run length.
+            let s = &r.scenario;
+            let Some(f) = &r.result.fleet else {
+                return if s.fleet > 0 {
+                    Err("fleet scenario reported no fleet metrics".into())
+                } else {
+                    Ok(())
+                };
+            };
+            if s.fshared == 0 {
+                return Ok(()); // degenerate fleet: no shared hop to conserve
+            }
+            let g = |n| r.result.counters.get(n);
+            let offered = g("shared_pkts") + g("shared_drops");
+            let accounted = g("netem_drops") + g("queue_drops") + offered;
+            if g("pkts_sent") != accounted {
+                return Err(format!(
+                    "pkts_sent {} != drops+shared admissions {} — {} packets \
+                     bypassed the shared bottleneck",
+                    g("pkts_sent"),
+                    accounted,
+                    g("pkts_sent").saturating_sub(accounted)
+                ));
+            }
+            let cap_bytes = s.fshared as f64 * 1e6 / 8.0 * (s.dur_ms as f64 / 1e3);
+            if f.delivered_bytes as f64 <= cap_bytes {
+                Ok(())
+            } else {
+                Err(format!(
+                    "fleet delivered {} bytes but the shared link carries at most {:.0}",
+                    f.delivered_bytes, cap_bytes
+                ))
+            }
+        }),
+        o("fleet-jain-bounds", |r| {
+            // Jain's index lives in [1/n, 1] and is permutation-invariant.
+            // Scenario fleets run one connection per device, so per-device
+            // rates can be recomputed straight from per_conn — catching a
+            // reported index that drifts from the definition
+            // (Mutant::FleetJainMiscount) and any order dependence.
+            let Some(f) = &r.result.fleet else {
+                return Ok(());
+            };
+            let eps = 1e-9;
+            let n = f.devices as f64;
+            if !(1.0 / n - eps..=1.0 + eps).contains(&f.jain_devices) {
+                return Err(format!(
+                    "device Jain {} outside [{:.4}, 1]",
+                    f.jain_devices,
+                    1.0 / n
+                ));
+            }
+            for grp in &f.cc_groups {
+                let m = grp.devices as f64;
+                if !(1.0 / m - eps..=1.0 + eps).contains(&grp.jain) {
+                    return Err(format!(
+                        "{} cohort Jain {} outside [{:.4}, 1]",
+                        grp.cc,
+                        grp.jain,
+                        1.0 / m
+                    ));
+                }
+            }
+            if r.result.per_conn.len() == f.devices as usize {
+                let rates: Vec<f64> = r
+                    .result
+                    .per_conn
+                    .iter()
+                    .map(|c| c.goodput.as_mbps_f64())
+                    .collect();
+                let recomputed = sim_core::metrics::jain(&rates);
+                let permuted: Vec<f64> = rates.iter().rev().copied().collect();
+                let jain_rev = sim_core::metrics::jain(&permuted);
+                if (recomputed - f.jain_devices).abs() > 1e-6 {
+                    return Err(format!(
+                        "reported device Jain {} != recomputed {recomputed}",
+                        f.jain_devices
+                    ));
+                }
+                if (recomputed - jain_rev).abs() > 1e-6 {
+                    return Err(format!(
+                        "Jain not permutation-invariant: {recomputed} vs reversed {jain_rev}"
+                    ));
+                }
+            }
+            Ok(())
         }),
         o("determinism-rerun", |r| {
             let Some(again) = &r.rerun else {
@@ -1049,6 +1284,25 @@ fn bias_for(mutant: Mutant, mut s: Scenario) -> Scenario {
             }
         }
         Mutant::SackClaimExtra => {}
+        Mutant::FleetSharedBypass => {
+            // The bypass only exists where a shared bottleneck does; the
+            // admission identity then catches a single teleported packet.
+            if s.fleet < 2 {
+                s.fleet = 4;
+            }
+            if s.fshared == 0 {
+                s.fshared = 50;
+            }
+            s.conns = s.fleet;
+        }
+        Mutant::FleetJainMiscount => {
+            // The n/(n-1) drift needs a population to miscount.
+            if s.fleet < 2 {
+                s.fleet = 4;
+            }
+            s.fshared = 0; // keep runs cheap: compute() runs regardless
+            s.conns = s.fleet;
+        }
     }
     s
 }

@@ -1,0 +1,107 @@
+//! Per-algorithm share accounting for multi-CC fleets.
+//!
+//! When heterogeneous congestion controls compete on one bottleneck
+//! (*Should BBR be the default TCP Congestion Control Protocol?* frames CC
+//! choice as exactly this population question), "is the outcome fair?" has
+//! to be asked twice: within each algorithm's cohort, and between cohorts.
+//! [`GroupShares`] collects per-member rates keyed by [`CcKind`] and hands
+//! them back in a fixed algorithm order, so fairness indices computed over
+//! the groups are independent of the order devices were recorded in.
+
+use crate::CcKind;
+
+/// Fixed reporting order for CC groups — matches the declaration order of
+/// [`CcKind`] so group output is stable no matter how a fleet is shuffled.
+pub const GROUP_ORDER: [CcKind; 4] = [CcKind::Reno, CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2];
+
+/// Accumulates one rate per fleet member, grouped by congestion control.
+///
+/// ```
+/// use congestion::group::GroupShares;
+/// use congestion::CcKind;
+///
+/// let mut shares = GroupShares::new();
+/// shares.record(CcKind::Bbr, 10.0);
+/// shares.record(CcKind::Cubic, 4.0);
+/// shares.record(CcKind::Bbr, 12.0);
+/// let groups: Vec<_> = shares.groups().collect();
+/// assert_eq!(groups[0].0, CcKind::Cubic); // fixed order, not insertion
+/// assert_eq!(groups[1].1, &[10.0, 12.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GroupShares {
+    buckets: [Vec<f64>; GROUP_ORDER.len()],
+}
+
+impl GroupShares {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one member's rate under its algorithm's group.
+    pub fn record(&mut self, cc: CcKind, rate: f64) {
+        self.buckets[Self::slot(cc)].push(rate);
+    }
+
+    /// Iterate non-empty groups in [`GROUP_ORDER`]; within a group, rates
+    /// keep their recording order (per-device order in fleet runs).
+    pub fn groups(&self) -> impl Iterator<Item = (CcKind, &[f64])> + '_ {
+        GROUP_ORDER
+            .iter()
+            .zip(&self.buckets)
+            .filter(|(_, rates)| !rates.is_empty())
+            .map(|(&cc, rates)| (cc, rates.as_slice()))
+    }
+
+    /// Members recorded across all groups.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    fn slot(cc: CcKind) -> usize {
+        GROUP_ORDER
+            .iter()
+            .position(|&k| k == cc)
+            .expect("GROUP_ORDER covers every CcKind")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_come_back_in_fixed_order() {
+        let mut shares = GroupShares::new();
+        shares.record(CcKind::Bbr2, 1.0);
+        shares.record(CcKind::Reno, 2.0);
+        shares.record(CcKind::Bbr2, 3.0);
+        let kinds: Vec<CcKind> = shares.groups().map(|(cc, _)| cc).collect();
+        assert_eq!(kinds, vec![CcKind::Reno, CcKind::Bbr2]);
+        assert_eq!(shares.len(), 3);
+    }
+
+    #[test]
+    fn insertion_order_within_group_is_preserved() {
+        let mut shares = GroupShares::new();
+        for (i, rate) in [5.0, 1.0, 9.0].into_iter().enumerate() {
+            shares.record(CcKind::Cubic, rate);
+            assert_eq!(shares.len(), i + 1);
+        }
+        let (_, rates) = shares.groups().next().expect("one group");
+        assert_eq!(rates, &[5.0, 1.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_reports_no_groups() {
+        let shares = GroupShares::new();
+        assert!(shares.is_empty());
+        assert_eq!(shares.groups().count(), 0);
+    }
+}

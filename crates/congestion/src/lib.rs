@@ -40,6 +40,7 @@
 pub mod bbr;
 pub mod bbr2;
 pub mod cubic;
+pub mod group;
 pub mod master;
 pub mod minmax;
 pub mod reno;

@@ -22,6 +22,7 @@
 //! | [`table2`] | Table 2 — per-stride skb length / idle / expected vs actual / RTT |
 //! | [`fig9`] | Fig. 9 / A.1 — LTE: BBR ≈ Cubic |
 //! | [`fairness`] | §7.1.3 — Jain fairness under stride (future-work probe) |
+//! | [`fleet`] | PoP-scale extension — heterogeneous fleet through one shared bottleneck |
 //! | [`profile`] | §5 root cause — steady-state CPU cycle attribution, Low-End 20 conns |
 //!
 //! ```no_run
@@ -48,6 +49,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fiveg;
+pub mod fleet;
 pub mod memory;
 pub mod params;
 pub mod profile;
@@ -139,6 +141,8 @@ pub enum ExperimentId {
     Fig9,
     /// §7.1.3 fairness probe (extension).
     Fairness,
+    /// PoP-scale fleet through one shared bottleneck (extension).
+    Fleet,
     /// Forward-looking 5G prediction (extension of §4/A.1).
     FiveG,
     /// §7.1.1 memory-usage probe.
@@ -155,7 +159,7 @@ pub enum ExperimentId {
 impl ExperimentId {
     /// All experiments in paper order (paper artifacts first, then the
     /// future-work extensions).
-    pub const ALL: [ExperimentId; 18] = [
+    pub const ALL: [ExperimentId; 19] = [
         ExperimentId::Fig2,
         ExperimentId::Fig3,
         ExperimentId::Bbr2Wifi,
@@ -169,6 +173,7 @@ impl ExperimentId {
         ExperimentId::Table2,
         ExperimentId::Fig9,
         ExperimentId::Fairness,
+        ExperimentId::Fleet,
         ExperimentId::FiveG,
         ExperimentId::Memory,
         ExperimentId::AutoStride,
@@ -192,6 +197,7 @@ impl ExperimentId {
             ExperimentId::Table2 => "table2",
             ExperimentId::Fig9 => "fig9",
             ExperimentId::Fairness => "fairness",
+            ExperimentId::Fleet => "fleet",
             ExperimentId::FiveG => "5g",
             ExperimentId::Memory => "memory",
             ExperimentId::AutoStride => "autostride",
@@ -225,6 +231,7 @@ impl ExperimentId {
             ExperimentId::Table2 => table2::run(params),
             ExperimentId::Fig9 => fig9::run(params),
             ExperimentId::Fairness => fairness::run(params),
+            ExperimentId::Fleet => fleet::run(params),
             ExperimentId::FiveG => fiveg::run(params),
             ExperimentId::Memory => memory::run(params),
             ExperimentId::AutoStride => autostride::run(params),
@@ -258,9 +265,10 @@ mod tests {
 
     #[test]
     fn all_covers_every_paper_artifact() {
-        // Figures 2–9 and Table 2, plus §4.2, §5.1, §5.2.3, the four
-        // §7 future-work extensions (fairness, 5G, memory, auto-stride,
-        // devices), and the cycle-attribution profile: 18 experiments.
-        assert_eq!(ExperimentId::ALL.len(), 18);
+        // Figures 2–9 and Table 2, plus §4.2, §5.1, §5.2.3, the §7
+        // future-work extensions (fairness, fleet, 5G, memory,
+        // auto-stride, devices), and the cycle-attribution profile:
+        // 19 experiments.
+        assert_eq!(ExperimentId::ALL.len(), 19);
     }
 }

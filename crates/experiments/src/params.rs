@@ -6,7 +6,7 @@ use cpu_model::{CpuConfig, DeviceProfile};
 use netsim::media::MediaProfile;
 use serde::Serialize;
 use sim_core::time::SimDuration;
-use tcp_sim::{PacingConfig, SimConfig, SimConfigBuilder};
+use tcp_sim::{FleetConfig, PacingConfig, SimConfig, SimConfigBuilder};
 
 /// The connection counts the paper sweeps.
 pub const CONN_SWEEP: [usize; 4] = [1, 5, 10, 20];
@@ -43,6 +43,10 @@ pub struct Params {
     /// many cells have been released (exercises checkpoint/resume without
     /// signal timing).
     pub cancel_after: Option<u64>,
+    /// Devices per fleet in the FLEET experiment and the report's fleet
+    /// panel. A multiple of [`tcp_sim::fleet::TIER_MIX`]'s length keeps the
+    /// mixed population perfectly balanced across tiers.
+    pub fleet_devices: usize,
 }
 
 impl Params {
@@ -59,6 +63,7 @@ impl Params {
             checkpoint: None,
             max_inflight: 0,
             cancel_after: None,
+            fleet_devices: 12,
         }
     }
 
@@ -74,6 +79,7 @@ impl Params {
             checkpoint: None,
             max_inflight: 0,
             cancel_after: None,
+            fleet_devices: 36,
         }
     }
 
@@ -90,6 +96,7 @@ impl Params {
             checkpoint: None,
             max_inflight: 0,
             cancel_after: None,
+            fleet_devices: 504,
         }
     }
 
@@ -164,6 +171,22 @@ impl Params {
             .pacing(PacingConfig::with_stride(stride))
             .build()
             .expect("experiment strides are valid by construction")
+    }
+
+    /// A fleet run on the Pixel 4 host profile: per-device CPU tiers,
+    /// algorithms and media come from the fleet's
+    /// [`tcp_sim::fleet::DeviceSpec`]s, so the builder's base arguments
+    /// only name the host profile and seed the non-fleet defaults.
+    pub fn fleet(&self, fleet: FleetConfig) -> SimConfig {
+        self.builder(
+            DeviceProfile::pixel4(),
+            CpuConfig::HighEnd,
+            CcKind::Bbr,
+            fleet.total_connections(),
+        )
+        .fleet(fleet)
+        .build()
+        .expect("experiment fleet presets are valid by construction")
     }
 
     /// Pixel 6 config on a given medium.

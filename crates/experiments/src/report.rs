@@ -24,11 +24,14 @@ use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use iperf::{RunReport, RunSpec};
+use netsim::Qdisc;
 use sim_core::telemetry::{self, TelemetryLog};
 use sim_core::time::SimDuration;
+use sim_core::units::Bandwidth;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use tcp_sim::StackSim;
+use tcp_sim::fleet::FleetResult;
+use tcp_sim::{FleetConfig, StackSim};
 
 /// Sample interval for the canonical telemetry run: 10 ms keeps the
 /// flight data comfortably under the sink's sample cap at full-preset
@@ -98,7 +101,21 @@ pub fn generate(params: &Params, dir: &Path) -> Result<ReportFiles, sim_core::Er
     let fig2 = run_specs(params, fig2_specs(params))?;
     let fig7 = run_specs(params, fig7_specs(params))?;
 
-    let html = render_html(params, result.goodput_mbps(), &log, &fig2, &fig7);
+    // Canonical fleet run: the mixed population through a CoDel PoP
+    // uplink, inline like the telemetry run (one simulation, thread-count
+    // independent by construction).
+    let fleet_cfg = params.fleet(FleetConfig::mixed(params.fleet_devices).with_shared(
+        FleetConfig::pop_uplink(
+            Bandwidth::from_mbps(crate::fleet::SHARE_MBPS * params.fleet_devices as u64),
+            Qdisc::Codel,
+        ),
+    ));
+    let fleet = StackSim::new(fleet_cfg)
+        .run()
+        .fleet
+        .expect("fleet config yields fleet metrics");
+
+    let html = render_html(params, result.goodput_mbps(), &log, &fig2, &fig7, &fleet);
     std::fs::write(&files.html, html)
         .map_err(|e| sim_core::Error::io(format!("write {}", files.html.display()), e))?;
     Ok(files)
@@ -583,12 +600,37 @@ fn fig7_panel(reports: &[RunReport]) -> String {
     )
 }
 
+/// Fleet panel: per-tier goodput distribution (p10/p50/p90 across each
+/// tier's devices) from the canonical mixed-fleet run.
+fn fleet_panel(fleet: &FleetResult) -> String {
+    let groups: Vec<(String, Vec<f64>)> = fleet
+        .tiers
+        .iter()
+        .map(|t| {
+            (
+                t.tier.clone(),
+                vec![t.goodput_p10_mbps, t.goodput_p50_mbps, t.goodput_p90_mbps],
+            )
+        })
+        .collect();
+    bar_chart(
+        &format!(
+            "Per-device goodput by CPU tier ({} devices, CoDel uplink)",
+            fleet.devices
+        ),
+        "goodput (Mbps)",
+        &groups,
+        &["p10", "p50", "p90"],
+    )
+}
+
 fn render_html(
     params: &Params,
     goodput_mbps: f64,
     log: &TelemetryLog,
     fig2: &[RunReport],
     fig7: &[RunReport],
+    fleet: &FleetResult,
 ) -> String {
     let mut html = String::new();
     html.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">");
@@ -623,6 +665,21 @@ fn render_html(
          pacing, line-rate bursts fill the bottleneck queue and p95 RTT inflates.</p>",
     );
     html.push_str(&fig7_panel(fig7));
+
+    html.push_str("<h2>Fleet mode</h2>");
+    let _ = write!(
+        html,
+        "<p>The canonical mixed fleet (PoP-scale extension): {} heterogeneous \
+         devices competing through one CoDel-managed shared uplink. Aggregate \
+         goodput {} Mbps, Jain's index across devices {}, pacing-penalty \
+         fraction {}, {} shared-queue drops.</p>",
+        fleet.devices,
+        fmt_num(fleet.aggregate_goodput_mbps),
+        fmt_num(fleet.jain_devices),
+        fmt_num(fleet.pacing_penalty_fraction),
+        fleet.shared_drops,
+    );
+    html.push_str(&fleet_panel(fleet));
 
     html.push_str("<h2>Per-flow timelines (canonical run)</h2>");
     html.push_str(
@@ -703,8 +760,8 @@ mod tests {
         assert!(html.trim_end().ends_with("</html>"));
         assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
         assert!(
-            html.matches("<svg").count() >= 7,
-            "fig2 (2) + fig7 (1) + timelines (4)"
+            html.matches("<svg").count() >= 8,
+            "fig2 (2) + fig7 (1) + fleet (1) + timelines (4)"
         );
         assert!(
             !html.contains("<script"),

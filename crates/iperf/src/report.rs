@@ -45,6 +45,15 @@ pub struct SeedResult {
     pub cycles_data: u64,
     /// Remaining measurement-window cycles (retransmit, RTO, misc).
     pub cycles_other: u64,
+    /// Devices in the fleet (0 for non-fleet runs; every `fleet_*` field
+    /// below is then 0 too).
+    pub fleet_devices: u64,
+    /// Jain's fairness index over per-device goodput.
+    pub fleet_jain: f64,
+    /// Fraction of devices in the pacing-penalty regime.
+    pub fleet_penalty_fraction: f64,
+    /// Packets dropped at the shared bottleneck's queue.
+    pub fleet_shared_drops: u64,
 }
 
 impl SeedResult {
@@ -70,6 +79,13 @@ impl SeedResult {
             cycles_cc: res.counters.get("cycles_steady_cc_model"),
             cycles_data: res.counters.get("cycles_steady_data"),
             cycles_other: res.counters.get("cycles_steady_other"),
+            fleet_devices: res.fleet.as_ref().map_or(0, |f| f.devices),
+            fleet_jain: res.fleet.as_ref().map_or(0.0, |f| f.jain_devices),
+            fleet_penalty_fraction: res
+                .fleet
+                .as_ref()
+                .map_or(0.0, |f| f.pacing_penalty_fraction),
+            fleet_shared_drops: res.fleet.as_ref().map_or(0, |f| f.shared_drops),
         }
     }
 }
@@ -97,6 +113,12 @@ pub struct RunReport {
     pub mean_skb_bytes: f64,
     /// Mean pacing idle, ms.
     pub mean_idle_ms: f64,
+    /// Mean per-device Jain index across seeds (0.0 for non-fleet specs).
+    pub fleet_jain: f64,
+    /// Mean pacing-penalty fraction across seeds (0.0 for non-fleet specs).
+    pub fleet_penalty_fraction: f64,
+    /// Mean shared-bottleneck drops across seeds (0.0 for non-fleet specs).
+    pub fleet_shared_drops: f64,
 }
 
 impl RunReport {
@@ -110,6 +132,9 @@ impl RunReport {
         let mut fair = Summary::new();
         let mut skb = Summary::new();
         let mut idle = Summary::new();
+        let mut fleet_jain = Summary::new();
+        let mut fleet_penalty = Summary::new();
+        let mut fleet_drops = Summary::new();
         for s in &seeds {
             goodput.record(s.goodput_mbps);
             rtt.record(s.mean_rtt_ms);
@@ -118,6 +143,9 @@ impl RunReport {
             fair.record(s.fairness);
             skb.record(s.mean_skb_bytes);
             idle.record(s.mean_idle_ms);
+            fleet_jain.record(s.fleet_jain);
+            fleet_penalty.record(s.fleet_penalty_fraction);
+            fleet_drops.record(s.fleet_shared_drops as f64);
         }
         RunReport {
             label: label.into(),
@@ -129,6 +157,9 @@ impl RunReport {
             fairness: fair.mean(),
             mean_skb_bytes: skb.mean(),
             mean_idle_ms: idle.mean(),
+            fleet_jain: fleet_jain.mean(),
+            fleet_penalty_fraction: fleet_penalty.mean(),
+            fleet_shared_drops: fleet_drops.mean(),
             seeds,
         }
     }
@@ -208,6 +239,10 @@ mod tests {
             cycles_cc: 150_000,
             cycles_data: 250_000,
             cycles_other: 100_000,
+            fleet_devices: 0,
+            fleet_jain: 0.0,
+            fleet_penalty_fraction: 0.0,
+            fleet_shared_drops: 0,
         }
     }
 

@@ -54,10 +54,10 @@ impl SweepCell for SeedCell {
     }
 
     fn encode(output: &SeedResult) -> Option<Vec<u8>> {
-        // 18 × 8-byte little-endian words. Bumping the width invalidates
+        // 22 × 8-byte little-endian words. Bumping the width invalidates
         // cache entries written by older binaries: `decode` rejects them by
         // length and the engine recomputes — a safe, silent migration.
-        let mut buf = Vec::with_capacity(144);
+        let mut buf = Vec::with_capacity(176);
         buf.extend_from_slice(&output.seed.to_le_bytes());
         buf.extend_from_slice(&output.goodput_mbps.to_le_bytes());
         buf.extend_from_slice(&output.mean_rtt_ms.to_le_bytes());
@@ -76,11 +76,15 @@ impl SweepCell for SeedCell {
         buf.extend_from_slice(&output.cycles_cc.to_le_bytes());
         buf.extend_from_slice(&output.cycles_data.to_le_bytes());
         buf.extend_from_slice(&output.cycles_other.to_le_bytes());
+        buf.extend_from_slice(&output.fleet_devices.to_le_bytes());
+        buf.extend_from_slice(&output.fleet_jain.to_le_bytes());
+        buf.extend_from_slice(&output.fleet_penalty_fraction.to_le_bytes());
+        buf.extend_from_slice(&output.fleet_shared_drops.to_le_bytes());
         Some(buf)
     }
 
     fn decode(bytes: &[u8]) -> Option<SeedResult> {
-        if bytes.len() != 144 {
+        if bytes.len() != 176 {
             return None;
         }
         let u = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
@@ -104,6 +108,10 @@ impl SweepCell for SeedCell {
             cycles_cc: u(15),
             cycles_data: u(16),
             cycles_other: u(17),
+            fleet_devices: u(18),
+            fleet_jain: f(19),
+            fleet_penalty_fraction: f(20),
+            fleet_shared_drops: u(21),
         })
     }
 
@@ -231,9 +239,13 @@ mod tests {
             cycles_cc: 1_500_000_000,
             cycles_data: 2_000_000_000,
             cycles_other: 376_543_210,
+            fleet_devices: 512,
+            fleet_jain: 0.8125,
+            fleet_penalty_fraction: 0.375,
+            fleet_shared_drops: 4242,
         };
         let bytes = SeedCell::encode(&original).unwrap();
-        assert_eq!(bytes.len(), 144);
+        assert_eq!(bytes.len(), 176);
         let decoded = SeedCell::decode(&bytes).unwrap();
         assert_eq!(decoded.seed, original.seed);
         assert_eq!(
@@ -246,12 +258,15 @@ mod tests {
         assert_eq!(decoded.pool_misses_steady, original.pool_misses_steady);
         assert_eq!(decoded.cycles_total, original.cycles_total);
         assert_eq!(decoded.cycles_other, original.cycles_other);
+        assert_eq!(decoded.fleet_devices, original.fleet_devices);
+        assert_eq!(decoded.fleet_jain.to_bits(), original.fleet_jain.to_bits());
+        assert_eq!(decoded.fleet_shared_drops, original.fleet_shared_drops);
         assert!(
-            SeedCell::decode(&bytes[..143]).is_none(),
+            SeedCell::decode(&bytes[..175]).is_none(),
             "short buffer rejected"
         );
         assert!(
-            SeedCell::decode(&bytes[..80]).is_none(),
+            SeedCell::decode(&bytes[..144]).is_none(),
             "pre-extension cache entries rejected (engine recomputes)"
         );
     }

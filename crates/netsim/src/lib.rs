@@ -35,7 +35,7 @@ pub mod netem;
 pub mod pcap;
 
 pub use codel::{Codel, CodelConfig};
-pub use link::{BottleneckLink, LinkConfig, SendOutcome, VariableRate};
+pub use link::{BottleneckLink, LinkConfig, Qdisc, SendOutcome, VariableRate};
 pub use media::{MediaProfile, PathConfig};
 pub use netem::{Netem, NetemConfig, NetemVerdict};
 

@@ -80,6 +80,46 @@ impl LinkConfig {
         self.codel = Some(codel);
         self
     }
+
+    /// Apply a named queue discipline: the fleet-mode shared bottleneck
+    /// selects FIFO vs CoDel by enum rather than by hand-rolled
+    /// `CodelConfig`s, so every caller (experiments, simcheck, benches)
+    /// gets the same AQM parameters.
+    pub fn with_qdisc(mut self, qdisc: Qdisc) -> Self {
+        self.codel = match qdisc {
+            Qdisc::Fifo => None,
+            Qdisc::Codel => Some(CodelConfig::default()),
+        };
+        self
+    }
+
+    /// Which queue discipline this link runs.
+    pub fn qdisc(&self) -> Qdisc {
+        if self.codel.is_some() {
+            Qdisc::Codel
+        } else {
+            Qdisc::Fifo
+        }
+    }
+}
+
+/// Queue-discipline selector for a shared bottleneck: plain droptail FIFO
+/// or CoDel with the RFC 8289 defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Qdisc {
+    /// Droptail FIFO (the default on every path link).
+    Fifo,
+    /// CoDel AQM ([`CodelConfig::default`] parameters).
+    Codel,
+}
+
+impl std::fmt::Display for Qdisc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Qdisc::Fifo => write!(f, "FIFO"),
+            Qdisc::Codel => write!(f, "CoDel"),
+        }
+    }
 }
 
 /// Optional time-varying rate (WiFi): the effective rate is re-sampled

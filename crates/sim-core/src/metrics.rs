@@ -549,10 +549,74 @@ impl Counters {
     }
 }
 
+/// Jain's fairness index over a set of non-negative rates:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`.
+///
+/// The index lives in `[1/n, 1]`: it is `1.0` when every participant gets
+/// an equal share and `1/n` when one participant takes everything. The
+/// degenerate all-zero set (no traffic at all) is defined as perfectly
+/// fair, matching the run-scorecard convention.
+///
+/// Summation is plain left-to-right in input order — callers that need
+/// bit-identical results across runs must present rates in a deterministic
+/// order (per-conn results already are).
+pub fn jain(rates: &[f64]) -> f64 {
+    let sum: f64 = rates.iter().sum();
+    let sumsq: f64 = rates.iter().map(|r| r * r).sum();
+    if sumsq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (rates.len() as f64 * sumsq)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn jain_equal_shares_is_one() {
+        assert_eq!(jain(&[5.0; 7]), 1.0);
+        assert_eq!(jain(&[1.0]), 1.0);
+        // All-zero (idle fleet) is defined as fair.
+        assert_eq!(jain(&[0.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_lower_bound_is_one_over_n() {
+        // One hog, n-1 starved flows: the textbook worst case.
+        for n in [2usize, 10, 64, 1000] {
+            let mut rates = vec![0.0; n];
+            rates[0] = 123.0;
+            let idx = jain(&rates);
+            assert!((idx - 1.0 / n as f64).abs() < 1e-12, "n={n} idx={idx}");
+        }
+    }
+
+    #[test]
+    fn jain_bounds_and_merge_order_independence() {
+        // The index must land in [1/n, 1] for any non-negative input and
+        // (up to fp tolerance) not care how the rates are ordered —
+        // grouping/merging device shares in a different order must not
+        // change the verdict.
+        let rates = [3.0, 0.5, 9.25, 9.25, 0.0, 120.0, 7.5];
+        let idx = jain(&rates);
+        assert!(idx >= 1.0 / rates.len() as f64 - 1e-12);
+        assert!(idx <= 1.0 + 1e-12);
+        let mut rev = rates;
+        rev.reverse();
+        assert!((jain(&rev) - idx).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn jain_in_bounds_for_any_rates(xs in proptest::collection::vec(0.0f64..1e9, 1..64)) {
+            let idx = jain(&xs);
+            prop_assert!(idx >= 1.0 / xs.len() as f64 - 1e-9);
+            prop_assert!(idx <= 1.0 + 1e-9);
+        }
+    }
 
     #[test]
     fn summary_basic_moments() {

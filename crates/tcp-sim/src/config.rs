@@ -8,6 +8,7 @@
 //! measurement window as 0 Mbps. Validation returns the workspace-wide
 //! [`sim_core::error::Error::InvalidConfig`] naming the offending field.
 
+use crate::fleet::FleetConfig;
 use crate::pacing::PacingConfig;
 use crate::sim::SimConfig;
 use congestion::master::MasterConfig;
@@ -170,6 +171,17 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Run a multi-device fleet (see [`crate::fleet`]). The builder sets
+    /// `connections` to the fleet's total, so the top-level connection
+    /// count never disagrees with the population; per-device CPU/CC/media
+    /// come from the fleet specs and the top-level `cpu_config`/`cc`/
+    /// `path` apply only to non-fleet runs.
+    pub fn fleet(mut self, fleet: FleetConfig) -> Self {
+        self.cfg.connections = fleet.total_connections();
+        self.cfg.fleet = Some(fleet);
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// Rejects (as [`Error::InvalidConfig`], naming the field):
@@ -257,6 +269,52 @@ impl SimConfigBuilder {
                 "telemetry",
                 "a zero telemetry interval would sample forever; use None to disable",
             ));
+        }
+        if let Some(fleet) = &cfg.fleet {
+            if fleet.devices.is_empty() {
+                return Err(Error::invalid_config(
+                    "fleet.devices",
+                    "a fleet needs at least one device",
+                ));
+            }
+            if let Some(idx) = fleet.devices.iter().position(|d| d.connections == 0) {
+                return Err(Error::invalid_config(
+                    "fleet.devices",
+                    format!("device {idx} has zero connections"),
+                ));
+            }
+            if cfg.connections != fleet.total_connections() {
+                return Err(Error::invalid_config(
+                    "connections",
+                    format!(
+                        "connections {} != fleet total {} (use .fleet() last or leave \
+                         connections to the builder)",
+                        cfg.connections,
+                        fleet.total_connections()
+                    ),
+                ));
+            }
+            if let Some(shared) = &fleet.shared {
+                if shared.rate.is_zero() {
+                    return Err(Error::invalid_config(
+                        "fleet.shared",
+                        "shared link rate must be positive",
+                    ));
+                }
+                if shared.queue_packets == 0 {
+                    return Err(Error::invalid_config(
+                        "fleet.shared",
+                        "shared queue must hold at least one packet",
+                    ));
+                }
+            }
+            if cfg.pacing.auto_stride {
+                return Err(Error::invalid_config(
+                    "pacing.auto_stride",
+                    "the online stride controller adapts one host CPU and cannot \
+                     steer a heterogeneous fleet; set per-run strides instead",
+                ));
+            }
         }
         Ok(cfg)
     }
@@ -388,6 +446,63 @@ mod tests {
             .sample_interval(None)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn fleet_sets_connections_and_validates() {
+        use crate::fleet::{DeviceSpec, FleetConfig};
+        use netsim::Qdisc;
+
+        let spec =
+            DeviceSpec::new(CpuConfig::MidEnd, CcKind::Bbr, MediaProfile::Wifi).with_connections(3);
+        let cfg = base()
+            .fleet(FleetConfig::uniform(4, spec.clone()))
+            .build()
+            .expect("valid fleet");
+        assert_eq!(cfg.connections, 12, "builder adopts the fleet total");
+
+        // Overriding connections after .fleet() must be caught.
+        let err = base()
+            .fleet(FleetConfig::uniform(4, spec.clone()))
+            .connections(5)
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "connections");
+
+        // Degenerate populations.
+        let err = base()
+            .fleet(FleetConfig {
+                devices: vec![],
+                shared: None,
+            })
+            .connections(1)
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "fleet.devices");
+        let err = base()
+            .fleet(FleetConfig::uniform(2, spec.clone().with_connections(0)))
+            .connections(1)
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "fleet.devices");
+
+        // Broken shared links.
+        let mut shared =
+            FleetConfig::pop_uplink(sim_core::units::Bandwidth::from_mbps(100), Qdisc::Fifo);
+        shared.rate = sim_core::units::Bandwidth::from_bps(0);
+        let err = base()
+            .fleet(FleetConfig::uniform(2, spec.clone()).with_shared(shared))
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "fleet.shared");
+
+        // The stride controller is host-global; fleets must reject it.
+        let err = base()
+            .fleet(FleetConfig::uniform(2, spec))
+            .auto_stride(true)
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "pacing.auto_stride");
     }
 
     #[test]

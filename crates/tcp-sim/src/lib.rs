@@ -22,6 +22,10 @@
 //!   segment slab keeping the per-segment hot path allocation-free;
 //! * [`arena`] — the struct-of-arrays flow-state arena: all per-connection
 //!   state in dense parallel arrays indexed by [`arena::FlowId`];
+//! * [`fleet`] — fleet mode: heterogeneous multi-device populations whose
+//!   uplinks compete through one shared bottleneck, plus the fleet-level
+//!   metrics (per-tier distributions, per-CC fairness, pacing-penalty
+//!   fraction) the population question needs;
 //! * [`mutants`] — intentional single-line behaviour mutations (feature
 //!   `simcheck-mutants`) that the simcheck fuzzer's oracles must catch;
 //! * [`sim`] — the event loop that binds the stack to the
@@ -37,6 +41,7 @@
 
 pub mod arena;
 pub mod config;
+pub mod fleet;
 pub mod mutants;
 pub mod pacing;
 pub mod pool;
@@ -50,5 +55,6 @@ pub mod wire;
 
 pub use arena::{FlowArena, FlowId};
 pub use config::SimConfigBuilder;
+pub use fleet::{DeviceSpec, FleetConfig, FleetResult};
 pub use pacing::{Pacer, PacingConfig};
 pub use sim::{ConnStats, SimConfig, SimResult, StackSim};

@@ -18,6 +18,8 @@
 //! | `SackClaimExtra` | `Receiver::on_data` | off-by-one claims a phantom packet | `rx-conservation` |
 //! | `SkipRetxCount` | `StackSim::try_send` | retransmit accounting drift | `retx-accounting` |
 //! | `DropPacingArm` | `StackSim::try_send` | lost timer arm wedges a flow | `conn-progress` |
+//! | `FleetSharedBypass` | `StackSim::try_send` | shared bottleneck not enforced | `fleet-conservation` |
+//! | `FleetJainMiscount` | `FleetResult::compute` | fairness divisor off-by-one | `fleet-jain-bounds` |
 
 #[cfg(feature = "simcheck-mutants")]
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -44,14 +46,25 @@ pub enum Mutant {
     /// a timer is pending (`pacing_timer_armed` stays set) but none ever
     /// fires, wedging the connection — the lost-wakeup bug class.
     DropPacingArm = 4,
+    /// Every 64th packet admitted by a device's access link skips the
+    /// shared fleet bottleneck and arrives as if the common hop were free
+    /// — an arbitration-enforcement hole. The fleet delivers more than the
+    /// shared capacity permits, breaking shared-bottleneck conservation.
+    FleetSharedBypass = 5,
+    /// `FleetResult::compute` divides Jain's index by `n − 1` instead of
+    /// `n` — a fairness-accounting off-by-one. Equal shares then score
+    /// `n/(n−1) > 1`, violating the index's `[1/n, 1]` bounds.
+    FleetJainMiscount = 6,
 }
 
 /// Every built-in mutant, in id order (the `--mutant-check` iteration).
-pub const ALL: [Mutant; 4] = [
+pub const ALL: [Mutant; 6] = [
     Mutant::SkipTimerFireCharge,
     Mutant::SackClaimExtra,
     Mutant::SkipRetxCount,
     Mutant::DropPacingArm,
+    Mutant::FleetSharedBypass,
+    Mutant::FleetJainMiscount,
 ];
 
 impl Mutant {
@@ -62,6 +75,8 @@ impl Mutant {
             Mutant::SackClaimExtra => "sack-claim-extra",
             Mutant::SkipRetxCount => "skip-retx-count",
             Mutant::DropPacingArm => "drop-pacing-arm",
+            Mutant::FleetSharedBypass => "fleet-shared-bypass",
+            Mutant::FleetJainMiscount => "fleet-jain-miscount",
         }
     }
 
@@ -86,6 +101,8 @@ pub const fn enabled() -> bool {
 static ACTIVE: AtomicU8 = AtomicU8::new(0);
 #[cfg(feature = "simcheck-mutants")]
 static ARM_TICK: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "simcheck-mutants")]
+static SHARED_TICK: AtomicU64 = AtomicU64::new(0);
 
 /// Activate `mutant` (or deactivate all with `None`) process-wide.
 ///
@@ -97,6 +114,7 @@ pub fn set_active(mutant: Option<Mutant>) -> bool {
     {
         ACTIVE.store(mutant.map(|m| m as u8).unwrap_or(0), Ordering::SeqCst);
         ARM_TICK.store(0, Ordering::SeqCst);
+        SHARED_TICK.store(0, Ordering::SeqCst);
         true
     }
     #[cfg(not(feature = "simcheck-mutants"))]
@@ -146,6 +164,22 @@ pub fn drop_this_arm() -> bool {
 /// is false, but keeps call sites cfg-free.
 #[cfg(not(feature = "simcheck-mutants"))]
 pub fn drop_this_arm() -> bool {
+    false
+}
+
+/// [`Mutant::FleetSharedBypass`]'s trigger: true on every 64th packet
+/// offered to the shared fleet bottleneck since activation, so the
+/// overshoot is intermittent (a realistic enforcement hole, not a
+/// wholesale removal of the link).
+#[cfg(feature = "simcheck-mutants")]
+pub fn bypass_this_shared_pkt() -> bool {
+    SHARED_TICK.fetch_add(1, Ordering::Relaxed) % 64 == 63
+}
+
+/// Feature-off stub of [`bypass_this_shared_pkt`]; never taken because
+/// [`is`] is false, but keeps call sites cfg-free.
+#[cfg(not(feature = "simcheck-mutants"))]
+pub fn bypass_this_shared_pkt() -> bool {
     false
 }
 

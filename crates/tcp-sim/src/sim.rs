@@ -26,6 +26,7 @@
 //! rate.
 
 use crate::arena::{CcCache, FlowArena, FlowHot};
+use crate::fleet::{DeviceOutcome, FleetConfig, FleetResult};
 use crate::mutants::{self, Mutant};
 use crate::pacing::{Pacer, PacingConfig, GSO_MAX_BYTES};
 use crate::pool::{SlotStore, VecPool};
@@ -112,6 +113,14 @@ pub struct SimConfig {
     /// every `n` segments (classic delayed-ACK behaviour), multiplying the
     /// phone's per-ACK CPU load — the ack-frequency ablation's knob.
     pub ack_per_segs: Option<u64>,
+    /// Fleet mode (`None` = the classic single-device testbed). When set,
+    /// each [`crate::fleet::DeviceSpec`] brings its own CPU tier, CC, and
+    /// access path; `connections` must equal the fleet's total and the
+    /// top-level `cpu_config`/`cc`/`path` serve only as the non-fleet
+    /// defaults. Skipped in serialization when absent so every existing
+    /// single-device sweep-cache key keeps its exact bytes.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fleet: Option<FleetConfig>,
 }
 
 impl SimConfig {
@@ -151,6 +160,7 @@ impl SimConfig {
             sample_interval: Some(SimDuration::from_millis(500)),
             telemetry: None,
             ack_per_segs: None,
+            fleet: None,
         }
     }
 }
@@ -207,6 +217,11 @@ pub struct SimResult {
     /// Per-interval goodput timeline `(seconds, Mbps)` — iPerf3's
     /// per-interval lines (empty if sampling was disabled).
     pub timeline: Vec<(f64, f64)>,
+    /// Fleet-level metrics (`Some` exactly when the run carried a
+    /// [`SimConfig::fleet`]); skipped in serialization when absent so
+    /// single-device scorecards keep their exact bytes.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fleet: Option<FleetResult>,
 }
 
 impl SimResult {
@@ -255,7 +270,11 @@ enum Event {
         conn: u32,
         epoch: u64,
     },
-    GovernorTick,
+    /// Frequency-governor epoch for one device's CPU (one tick stream per
+    /// dynamic-governor device in the fleet).
+    GovernorTick {
+        dev: u32,
+    },
     MeasureStart,
 }
 
@@ -287,6 +306,8 @@ struct HotCounters {
     cross_drops: u64,
     stride_adaptations: u64,
     stride_reverts: u64,
+    shared_pkts: u64,
+    shared_drops: u64,
 }
 
 impl HotCounters {
@@ -314,6 +335,8 @@ impl HotCounters {
         put("cross_drops", self.cross_drops);
         put("stride_adaptations", self.stride_adaptations);
         put("stride_reverts", self.stride_reverts);
+        put("shared_pkts", self.shared_pkts);
+        put("shared_drops", self.shared_drops);
         // `rto_marked_lost` was `add`ed once per RTO fire, possibly with
         // zero — so its key exists exactly when any RTO fired.
         if self.rto_fires > 0 {
@@ -361,11 +384,20 @@ fn effective_pacing_rate(cache: &CcCache, rtt: &RttEstimator, pacer: &Pacer) -> 
 pub struct StackSim {
     cfg: std::sync::Arc<SimConfig>,
     queue: EventQueue<Event>,
-    cpu: Cpu,
-    fwd_netem: Netem,
-    fwd_link: BottleneckLink,
-    rev_netem: Netem,
-    rev_link: BottleneckLink,
+    // Per-device state, indexed by device id (one entry each in the
+    // classic single-device mode, one per `DeviceSpec` in fleet mode).
+    // `device_of` maps connection id → device id; it is all-zeros without
+    // a fleet, so the indexing compiles to the historical single-device
+    // behaviour bit-for-bit.
+    cpus: Vec<Cpu>,
+    fwd_netems: Vec<Netem>,
+    fwd_links: Vec<BottleneckLink>,
+    rev_netems: Vec<Netem>,
+    rev_links: Vec<BottleneckLink>,
+    device_of: Vec<u32>,
+    /// The fleet's common bottleneck; every device's accepted uplink
+    /// packet is offered here at its access-link arrival instant.
+    shared_link: Option<BottleneckLink>,
     arena: FlowArena,
     tallies: HotCounters,
     end: SimTime,
@@ -434,21 +466,69 @@ impl StackSim {
         assert!(cfg.connections >= 1, "need at least one connection");
         assert!(cfg.warmup < cfg.duration, "warmup must precede the end");
         let rng = SimRng::new(cfg.seed);
-        let policy = cfg.device.policy(cfg.cpu_config);
-        let cpu = Cpu::new(cfg.device.topology.clone(), policy);
 
-        let fwd_link = match &cfg.path.forward_var {
-            Some(var) => BottleneckLink::with_variable_rate(
-                cfg.path.forward.clone(),
-                var.clone(),
-                rng.split(1),
-            ),
-            None => BottleneckLink::new(cfg.path.forward.clone()),
-        };
-        let rev_link = BottleneckLink::new(cfg.path.reverse.clone());
+        // Device table: one row per `DeviceSpec` in fleet mode, one row
+        // synthesized from the top-level config otherwise. RNG streams are
+        // per-device at `split(1 + 4d)`/`(2 + 4d)`/`(3 + 4d)` — device 0
+        // draws from exactly the historical splits 1/2/3, and no device
+        // ever collides with cross-traffic's `split(4)` (4d+{1,2,3} is
+        // never ≡ 0 mod 4).
+        let n_devices = cfg.fleet.as_ref().map_or(1, |f| f.devices.len());
+        let mut cpus = Vec::with_capacity(n_devices);
+        let mut fwd_netems = Vec::with_capacity(n_devices);
+        let mut fwd_links = Vec::with_capacity(n_devices);
+        let mut rev_netems = Vec::with_capacity(n_devices);
+        let mut rev_links = Vec::with_capacity(n_devices);
+        let mut device_of = Vec::with_capacity(cfg.connections);
+        for d in 0..n_devices {
+            let (cpu_config, path, conns) = match &cfg.fleet {
+                Some(fleet) => {
+                    let spec = &fleet.devices[d];
+                    (spec.cpu, spec.media.path_config(), spec.connections)
+                }
+                None => (cfg.cpu_config, cfg.path.clone(), cfg.connections),
+            };
+            let d64 = d as u64;
+            fwd_links.push(match &path.forward_var {
+                Some(var) => BottleneckLink::with_variable_rate(
+                    path.forward.clone(),
+                    var.clone(),
+                    rng.split(1 + 4 * d64),
+                ),
+                None => BottleneckLink::new(path.forward.clone()),
+            });
+            fwd_netems.push(Netem::new(
+                path.forward_netem.clone(),
+                rng.split(2 + 4 * d64),
+            ));
+            rev_netems.push(Netem::new(
+                path.reverse_netem.clone(),
+                rng.split(3 + 4 * d64),
+            ));
+            rev_links.push(BottleneckLink::new(path.reverse.clone()));
+            cpus.push(Cpu::new(
+                cfg.device.topology.clone(),
+                cfg.device.policy(cpu_config),
+            ));
+            device_of.extend(std::iter::repeat_n(d as u32, conns));
+        }
+        assert_eq!(
+            device_of.len(),
+            cfg.connections,
+            "fleet device connections must sum to cfg.connections"
+        );
+        let shared_link = cfg
+            .fleet
+            .as_ref()
+            .and_then(|f| f.shared.clone())
+            .map(BottleneckLink::new);
 
         let arena = FlowArena::new(cfg.connections, MSS, cfg.pacing, |i| {
-            let inner: Box<dyn CongestionControl> = match cfg.cc {
+            let kind = match &cfg.fleet {
+                Some(fleet) => fleet.devices[device_of[i] as usize].cc,
+                None => cfg.cc,
+            };
+            let inner: Box<dyn CongestionControl> = match kind {
                 CcKind::Bbr => Box::new(congestion::bbr::Bbr::new(MSS).with_cycle_offset(i)),
                 CcKind::Bbr2 => Box::new(congestion::bbr2::Bbr2::new(MSS).with_probe_offset(i)),
                 other => other.build(MSS),
@@ -465,12 +545,14 @@ impl StackSim {
 
         StackSim {
             end: SimTime::ZERO + cfg.duration,
-            fwd_netem: Netem::new(cfg.path.forward_netem.clone(), rng.split(2)),
-            rev_netem: Netem::new(cfg.path.reverse_netem.clone(), rng.split(3)),
-            fwd_link,
-            rev_link,
+            fwd_netems,
+            rev_netems,
+            fwd_links,
+            rev_links,
+            device_of,
+            shared_link,
             queue: EventQueue::new(),
-            cpu,
+            cpus,
             arena,
             tallies: HotCounters::default(),
             adapt_epochs: 0,
@@ -523,8 +605,10 @@ impl StackSim {
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.trace.enable(capacity);
         self.queue.set_tracer(capacity);
-        self.cpu.set_tracer(capacity);
-        self.cpu.enable_profiler(cpu_model::profile::DEFAULT_WINDOW);
+        for cpu in &mut self.cpus {
+            cpu.set_tracer(capacity);
+            cpu.enable_profiler(cpu_model::profile::DEFAULT_WINDOW);
+        }
     }
 
     /// Run to completion and report.
@@ -593,11 +677,17 @@ impl StackSim {
                 phase: self.arena.cc[c].phase(),
             });
         }
-        let depth = self.fwd_link.occupancy(at);
+        // Queue telemetry watches the binding constraint: the shared
+        // bottleneck in fleet mode, device 0's uplink otherwise.
+        let link = match self.shared_link.as_mut() {
+            Some(shared) => shared,
+            None => &mut self.fwd_links[0],
+        };
+        let depth = link.occupancy(at);
         self.telemetry.queue(QueueSample {
             at,
             depth_pkts: depth.min(u32::MAX as usize) as u32,
-            dropped: self.fwd_link.stats().dropped,
+            dropped: link.stats().dropped,
         });
     }
 
@@ -623,15 +713,19 @@ impl StackSim {
         if let Some(b) = self.queue.take_tracer() {
             buffers.push(b);
         }
-        if let Some(b) = self.cpu.take_tracer() {
-            buffers.push(b);
+        for cpu in &mut self.cpus {
+            if let Some(b) = cpu.take_tracer() {
+                buffers.push(b);
+            }
         }
         if let Some(b) = self.trace.take() {
             buffers.push(b);
         }
         let mut log = TraceLog::merge(buffers);
-        if let Some(profile) = self.cpu.take_profile() {
-            log.counters.extend(profile.to_series());
+        for cpu in &mut self.cpus {
+            if let Some(profile) = cpu.take_profile() {
+                log.counters.extend(profile.to_series());
+            }
         }
         log
     }
@@ -643,11 +737,13 @@ impl StackSim {
         }
         self.queue
             .schedule_at(SimTime::ZERO + self.cfg.warmup, Event::MeasureStart);
-        if self.cpu.is_dynamic() {
-            self.queue.schedule_at(
-                SimTime::ZERO + SimDuration::from_millis(10),
-                Event::GovernorTick,
-            );
+        for d in 0..self.cpus.len() {
+            if self.cpus[d].is_dynamic() {
+                self.queue.schedule_at(
+                    SimTime::ZERO + SimDuration::from_millis(10),
+                    Event::GovernorTick { dev: d as u32 },
+                );
+            }
         }
         if let Some(cross) = &self.cross {
             self.queue
@@ -769,9 +865,14 @@ impl StackSim {
                 let cross = self.cross.as_mut().expect("cross event without source");
                 let bytes = cross.pkt_bytes();
                 cross.pop();
-                // Open-loop: offered straight to the bottleneck queue; drops
-                // are the queue's business.
-                if self.fwd_link.send(now, bytes).is_dropped() {
+                // Open-loop: offered straight to the bottleneck queue (the
+                // shared link in fleet mode — cross traffic competes where
+                // the fleet competes); drops are the queue's business.
+                let link = match self.shared_link.as_mut() {
+                    Some(shared) => shared,
+                    None => &mut self.fwd_links[0],
+                };
+                if link.send(now, bytes).is_dropped() {
                     self.tallies.cross_drops += 1;
                 } else {
                     self.tallies.cross_pkts += 1;
@@ -796,9 +897,9 @@ impl StackSim {
                 self.on_ack_arrival(conn as usize, now, ack)
             }
             Event::RtoFire { conn, epoch } => self.on_rto(conn as usize, now, epoch),
-            Event::GovernorTick => {
-                if let Some(next) = self.cpu.governor_tick(now) {
-                    self.queue.schedule_at(next, Event::GovernorTick);
+            Event::GovernorTick { dev } => {
+                if let Some(next) = self.cpus[dev as usize].governor_tick(now) {
+                    self.queue.schedule_at(next, Event::GovernorTick { dev });
                 }
             }
             Event::MeasureStart => {
@@ -809,9 +910,10 @@ impl StackSim {
                     self.arena.cold[i].rtt_hist = Histogram::new();
                 }
                 // Steady-state attribution baseline: everything charged or
-                // missed after this point is measurement-window work.
-                self.measure_cycles = self.cpu.cycles_by_category();
-                self.measure_cycles_total = self.cpu.total_cycles();
+                // missed after this point is measurement-window work
+                // (summed over all device CPUs in fleet mode).
+                self.measure_cycles = Self::cycles_by_category_all(&self.cpus);
+                self.measure_cycles_total = self.cpus.iter().map(Cpu::total_cycles).sum();
                 self.measure_run_misses = self.run_pool.misses();
                 self.measure_sack_misses = self.sack_pool.misses();
                 self.measure_slab_misses = self.arena.store.misses();
@@ -820,6 +922,7 @@ impl StackSim {
     }
 
     fn try_send(&mut self, c: usize, now: SimTime, from_timer: bool) {
+        let dev = self.device_of[c] as usize;
         // Timer expiration costs CPU whether or not data flows (§6.1: the
         // callbacks "continually reschedule connections to be processed").
         let mut pre_cycles = 0u64;
@@ -842,7 +945,7 @@ impl StackSim {
         // DeviceDone completion re-enters this function.
         if self.arena.hot[c].device_chunks >= 2 {
             if pre_cycles > 0 {
-                self.cpu.execute_tagged(now, pre_cycles, "timers");
+                self.cpus[dev].execute_tagged(now, pre_cycles, "timers");
             }
             return;
         }
@@ -866,7 +969,7 @@ impl StackSim {
             pacing & (self.arena.hot[c].burst_remaining == 0) & !self.arena.pacer[c].can_send(now);
         if gate_closed {
             if pre_cycles > 0 {
-                self.cpu.execute_tagged(now, pre_cycles, "timers");
+                self.cpus[dev].execute_tagged(now, pre_cycles, "timers");
             }
             if !self.arena.hot[c].pacing_timer_armed {
                 self.arena.hot[c].pacing_timer_armed = true;
@@ -906,7 +1009,7 @@ impl StackSim {
             // wake us. Spurious timer fires still cost cycles.
             self.plan_scratch = plan;
             if pre_cycles > 0 {
-                self.cpu.execute_tagged(now, pre_cycles, "timers");
+                self.cpus[dev].execute_tagged(now, pre_cycles, "timers");
             }
             return;
         }
@@ -946,17 +1049,13 @@ impl StackSim {
         // Charge the CPU by category so reports can show where the cycles
         // went (the whole chunk still serialises as one back-to-back span).
         if pre_cycles > 0 {
-            self.cpu.execute_tagged(now, pre_cycles, "timers");
+            self.cpus[dev].execute_tagged(now, pre_cycles, "timers");
         }
         if plan.is_retx {
-            self.cpu
-                .execute_tagged(now, self.cfg.cost.retransmit_fixed, "retransmit");
+            self.cpus[dev].execute_tagged(now, self.cfg.cost.retransmit_fixed, "retransmit");
         }
-        self.cpu
-            .execute_tagged(now, self.cfg.cost.skb_xmit_fixed, "skb-fixed");
-        let done = self
-            .cpu
-            .execute_tagged(now, self.cfg.cost.per_byte * bytes, "bytes");
+        self.cpus[dev].execute_tagged(now, self.cfg.cost.skb_xmit_fixed, "skb-fixed");
+        let done = self.cpus[dev].execute_tagged(now, self.cfg.cost.per_byte * bytes, "bytes");
 
         // TCP stamps the segment when it is *built* (`tcp_transmit_skb`),
         // before the copy/checksum/driver work completes: a backlogged CPU
@@ -1003,18 +1102,49 @@ impl StackSim {
         for &(lo, hi) in &plan.runs {
             for seq in lo.0..hi.0 {
                 let wire = wire_bytes(MSS);
-                let release = match self.fwd_netem.process(done, wire) {
+                let release = match self.fwd_netems[dev].process(done, wire) {
                     NetemVerdict::Drop => {
                         self.tallies.netem_drops += 1;
                         continue;
                     }
                     NetemVerdict::Pass { release } => release,
                 };
-                match self.fwd_link.send(release, wire) {
+                match self.fwd_links[dev].send(release, wire) {
                     SendOutcome::Dropped => {
                         self.tallies.queue_drops += 1;
                     }
                     SendOutcome::Accepted { arrival, .. } => {
+                        // Fleet mode: the access-link egress feeds the
+                        // shared bottleneck, admission stamped at the
+                        // access arrival instant. A shared-queue drop
+                        // loses the packet exactly like an access drop.
+                        let arrival = match self.shared_link.as_mut() {
+                            Some(shared) => {
+                                // Mutant M5: every 64th packet teleports
+                                // past the shared bottleneck — no
+                                // serialisation, no queueing, no drop
+                                // accounting. Fleet throughput can then
+                                // exceed the shared capacity, which the
+                                // fleet-conservation oracle must flag.
+                                if mutants::is(Mutant::FleetSharedBypass)
+                                    && mutants::bypass_this_shared_pkt()
+                                {
+                                    arrival
+                                } else {
+                                    match shared.send(arrival, wire) {
+                                        SendOutcome::Dropped => {
+                                            self.tallies.shared_drops += 1;
+                                            continue;
+                                        }
+                                        SendOutcome::Accepted { arrival, .. } => {
+                                            self.tallies.shared_pkts += 1;
+                                            arrival
+                                        }
+                                    }
+                                }
+                            }
+                            None => arrival,
+                        };
                         last_arrival = last_arrival.max(arrival);
                         accepted_pkts += 1;
                         match accepted_runs.last_mut() {
@@ -1169,6 +1299,7 @@ impl StackSim {
     }
 
     fn emit_ack(&mut self, c: usize, now: SimTime) {
+        let dev = self.device_of[c] as usize;
         let mut ack = AckInfo {
             cum: PktSeq(0),
             sacks: self.sack_pool.take(),
@@ -1190,8 +1321,10 @@ impl StackSim {
         self.tallies.acks_emitted += 1;
         // Reverse path: netem + link (the server's NIC is never the
         // bottleneck, but serialisation and propagation still apply).
+        // ACKs ride each device's private reverse path — the download
+        // direction never traverses the fleet's shared uplink bottleneck.
         let wire = wire_bytes(0);
-        let release = match self.rev_netem.process(now, wire) {
+        let release = match self.rev_netems[dev].process(now, wire) {
             NetemVerdict::Drop => {
                 self.tallies.ack_drops += 1;
                 self.sack_pool.put(ack.sacks);
@@ -1199,7 +1332,7 @@ impl StackSim {
             }
             NetemVerdict::Pass { release } => release,
         };
-        match self.rev_link.send(release, wire) {
+        match self.rev_links[dev].send(release, wire) {
             SendOutcome::Dropped => {
                 self.tallies.ack_drops += 1;
                 self.sack_pool.put(ack.sacks);
@@ -1237,12 +1370,11 @@ impl StackSim {
     }
 
     fn on_ack_arrival(&mut self, c: usize, now: SimTime, ack: AckInfo) {
+        let dev = self.device_of[c] as usize;
         // Phone-side ACK processing cost: generic path + the CC's model.
-        self.cpu
-            .execute_tagged(now, self.cfg.cost.ack_process, "acks");
-        let done = self
-            .cpu
-            .execute_tagged(now, self.arena.cc_cache[c].model_cost, "cc-model");
+        self.cpus[dev].execute_tagged(now, self.cfg.cost.ack_process, "acks");
+        let done =
+            self.cpus[dev].execute_tagged(now, self.arena.cc_cache[c].model_cost, "cc-model");
         self.tallies.acks_processed += 1;
 
         let outcome = self.arena.board[c].on_ack(
@@ -1384,9 +1516,11 @@ impl StackSim {
                 return;
             }
         }
-        let done = self
-            .cpu
-            .execute_tagged(now, self.cfg.cost.rto_process, "rto");
+        let done = self.cpus[self.device_of[c] as usize].execute_tagged(
+            now,
+            self.cfg.cost.rto_process,
+            "rto",
+        );
         self.tallies.rto_fires += 1;
         let marked = self.arena.board[c].on_rto(&mut self.arena.store);
         self.tallies.rto_marked_lost += marked;
@@ -1428,8 +1562,9 @@ impl StackSim {
     fn adapt_stride(&mut self, now: SimTime) {
         self.adapt_epochs += 1;
         // Epoch-level utilisation: trailing-window snapshots are far too
-        // noisy under bursty pacing.
-        let busy = self.cpu.busy_time();
+        // noisy under bursty pacing. Host-global by design — the builder
+        // rejects auto-stride in fleet mode, so device 0 is the host.
+        let busy = self.cpus[0].busy_time();
         let util = (busy.saturating_sub(self.adapt_prev_busy)) / ADAPT_EPOCH;
         self.adapt_prev_busy = busy;
         let delivered: u64 = self.arena.rate.iter().map(|r| r.delivered()).sum();
@@ -1588,6 +1723,59 @@ impl StackSim {
         }
     }
 
+    /// Key-wise sum of every device CPU's per-category cycle counters
+    /// (identical to the single CPU's map when there is only one device).
+    fn cycles_by_category_all(cpus: &[Cpu]) -> BTreeMap<&'static str, u64> {
+        let mut all = BTreeMap::new();
+        for cpu in cpus {
+            for (k, v) in cpu.cycles_by_category() {
+                *all.entry(k).or_insert(0) += v;
+            }
+        }
+        all
+    }
+
+    /// Fleet aggregate of per-device CPU statistics: cycle/op counts and
+    /// queue delay sum across devices, `busy_time` reports the busiest
+    /// device (keeping "busy ≤ wall clock" a per-core invariant), and the
+    /// mean frequency is cycle-weighted.
+    fn aggregate_cpu_stats(cpus: &[Cpu], end: SimTime) -> CpuStats {
+        let stats: Vec<CpuStats> = cpus.iter().map(|c| c.stats(end)).collect();
+        let total_cycles = stats.iter().map(|s| s.total_cycles).sum::<u64>();
+        let mean_freq_hz = if total_cycles == 0 {
+            stats.iter().map(|s| s.mean_freq_hz).sum::<f64>() / stats.len().max(1) as f64
+        } else {
+            stats
+                .iter()
+                .map(|s| s.mean_freq_hz * s.total_cycles as f64)
+                .sum::<f64>()
+                / total_cycles as f64
+        };
+        let mut cycles_by_category = BTreeMap::new();
+        for s in &stats {
+            for (&k, &v) in &s.cycles_by_category {
+                *cycles_by_category.entry(k).or_insert(0) += v;
+            }
+        }
+        CpuStats {
+            total_cycles,
+            busy_time: stats
+                .iter()
+                .map(|s| s.busy_time)
+                .max()
+                .unwrap_or(SimDuration::ZERO),
+            ops: stats.iter().map(|s| s.ops).sum(),
+            queued_ops: stats.iter().map(|s| s.queued_ops).sum(),
+            queue_delay: stats
+                .iter()
+                .fold(SimDuration::ZERO, |acc, s| acc + s.queue_delay),
+            freq_changes: stats.iter().map(|s| s.freq_changes).sum(),
+            migrations: stats.iter().map(|s| s.migrations).sum(),
+            mean_freq_hz,
+            cycles_by_category,
+        }
+    }
+
     fn finish(self) -> SimResult {
         let window = self.cfg.duration - self.cfg.warmup;
         let mut per_conn = Vec::with_capacity(self.arena.len());
@@ -1676,8 +1864,14 @@ impl StackSim {
         }
 
         // Fold the hot-path tallies into the counter map, then the
-        // end-of-run accounting counters below.
-        let cpu_stats = self.cpu.stats(self.end);
+        // end-of-run accounting counters below. With one device the stats
+        // come straight from its CPU (byte-identical to pre-fleet output);
+        // fleets aggregate across device CPUs.
+        let cpu_stats = if self.cpus.len() == 1 {
+            self.cpus[0].stats(self.end)
+        } else {
+            Self::aggregate_cpu_stats(&self.cpus, self.end)
+        };
         let mut counters = Counters::new();
         self.tallies.flush(&mut counters);
 
@@ -1756,13 +1950,40 @@ impl StackSim {
 
         // Jain fairness over per-connection goodput.
         let rates: Vec<f64> = per_conn.iter().map(|c| c.goodput.as_bps() as f64).collect();
-        let sum: f64 = rates.iter().sum();
-        let sumsq: f64 = rates.iter().map(|r| r * r).sum();
-        let fairness = if sumsq == 0.0 {
-            1.0
-        } else {
-            sum * sum / (rates.len() as f64 * sumsq)
-        };
+        let fairness = sim_core::metrics::jain(&rates);
+
+        // Fleet metrics: connections were assigned to devices contiguously
+        // in `from_arc`, so a running cursor over `per_conn` recovers each
+        // device's share. Delivered bytes cover the whole run (not just the
+        // measurement window) because the conservation oracle compares them
+        // against capacity × full duration.
+        let fleet = self.cfg.fleet.as_ref().map(|fleet| {
+            let mut outcomes = Vec::with_capacity(fleet.devices.len());
+            let mut delivered_bytes = 0u64;
+            let mut conn = 0usize;
+            for (d, spec) in fleet.devices.iter().enumerate() {
+                let mut goodput = Bandwidth::ZERO;
+                let mut wants_pacing = false;
+                for _ in 0..spec.connections {
+                    goodput = goodput.saturating_add(per_conn[conn].goodput);
+                    wants_pacing |= self.arena.cc_cache[conn].wants_pacing;
+                    delivered_bytes += self.arena.rate[conn].delivered() * MSS;
+                    conn += 1;
+                }
+                outcomes.push(DeviceOutcome {
+                    goodput_mbps: goodput.as_mbps_f64(),
+                    wants_pacing,
+                    busy_fraction: self.cpus[d].busy_time() / self.cfg.duration,
+                });
+            }
+            FleetResult::compute(
+                fleet,
+                &outcomes,
+                self.tallies.shared_pkts,
+                self.tallies.shared_drops,
+                delivered_bytes,
+            )
+        });
 
         SimResult {
             total_goodput,
@@ -1787,6 +2008,7 @@ impl StackSim {
             counters,
             per_conn,
             fairness,
+            fleet,
             peak_mem_bytes: peak_mem,
             timeline: {
                 let mut out = Vec::new();
@@ -1871,6 +2093,65 @@ mod tests {
             out
         };
         assert_eq!(run(), run(), "flight data must be byte-identical");
+    }
+
+    #[test]
+    fn mixed_fleet_competes_through_the_shared_bottleneck() {
+        use crate::fleet::FleetConfig;
+        use netsim::Qdisc;
+
+        let rate = Bandwidth::from_mbps(150);
+        let fleet = FleetConfig::mixed(6).with_shared(FleetConfig::pop_uplink(rate, Qdisc::Codel));
+        let cfg = SimConfig::builder(
+            DeviceProfile::pixel4(),
+            CpuConfig::MidEnd,
+            CcKind::Cubic,
+            1, // overwritten by .fleet()
+        )
+        .fleet(fleet)
+        .duration(SimDuration::from_secs(3))
+        .warmup(SimDuration::from_millis(500))
+        .build()
+        .expect("valid fleet config");
+        let res = StackSim::new(cfg.clone()).run();
+        let f = res.fleet.as_ref().expect("fleet runs report fleet metrics");
+        assert_eq!(f.devices, 6);
+        assert!(f.shared_pkts > 0, "traffic crossed the shared hop");
+        assert!(f.aggregate_goodput_mbps > 0.0);
+        assert!(
+            f.aggregate_goodput_mbps <= rate.as_mbps_f64() * 1.05,
+            "fleet goodput {} cannot exceed the shared bottleneck {}",
+            f.aggregate_goodput_mbps,
+            rate.as_mbps_f64()
+        );
+        assert!((1.0 / f.devices as f64..=1.0 + 1e-12).contains(&f.jain_devices));
+        assert!(!f.cc_groups.is_empty() && !f.tiers.is_empty());
+        // Conservation over the whole run: the shared link cannot carry
+        // more payload than capacity × duration.
+        let cap_bytes = (rate.as_bps() as f64 / 8.0) * cfg.duration.as_secs_f64();
+        assert!(
+            (f.delivered_bytes as f64) <= cap_bytes,
+            "delivered {} > capacity {}",
+            f.delivered_bytes,
+            cap_bytes
+        );
+        // Determinism: the same fleet config reproduces byte-identically.
+        let again = StackSim::new(cfg).run();
+        assert_eq!(
+            serde_json::to_string(&res).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_fleet_results_omit_the_fleet_field() {
+        let res = StackSim::new(quick(CcKind::Cubic, CpuConfig::HighEnd, 1)).run();
+        assert!(res.fleet.is_none());
+        let json = serde_json::to_string(&res).unwrap();
+        assert!(
+            !json.contains("\"fleet\""),
+            "serialized non-fleet results must not grow a fleet key"
+        );
     }
 
     #[test]

@@ -19,7 +19,15 @@
 use congestion::CcKind;
 use cpu_model::CpuConfig;
 use netsim::media::MediaProfile;
+use netsim::Qdisc;
 use proptest::prelude::*;
+use sim_core::units::Bandwidth;
+use tcp_sim::fleet::DeviceSpec;
+use tcp_sim::FleetConfig;
+
+/// The canonical heterogeneous device population, re-exported so fleet
+/// tests and fuzzers draw tiers from the same table the simulator ships.
+pub use tcp_sim::fleet::TIER_MIX;
 
 /// Every congestion controller the simulator supports.
 pub const ALL_CC: [CcKind; 4] = [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2, CcKind::Reno];
@@ -70,6 +78,43 @@ pub fn arb_media() -> impl Strategy<Value = MediaProfile> {
     ]
 }
 
+/// One random fleet device: any supported CPU tier × controller × medium,
+/// carrying 1–3 upload connections.
+pub fn arb_device_spec() -> impl Strategy<Value = DeviceSpec> {
+    (arb_cpu(), arb_cc(), arb_media(), 1usize..=3)
+        .prop_map(|(cpu, cc, media, conns)| DeviceSpec::new(cpu, cc, media).with_connections(conns))
+}
+
+/// A random fleet: 1–8 independently drawn devices, optionally contending
+/// through a shared PoP uplink (FIFO or CoDel) provisioned at a random
+/// per-device rate. Every value this emits passes
+/// `SimConfigBuilder::fleet` validation by construction.
+pub fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
+    let devices = proptest::collection::vec(arb_device_spec(), 1..=8);
+    let shared = prop_oneof![
+        Just(None).boxed(),
+        (
+            5u64..=50,
+            prop_oneof![Just(Qdisc::Fifo), Just(Qdisc::Codel)]
+        )
+            .prop_map(Some)
+            .boxed(),
+    ];
+    (devices, shared).prop_map(|(devices, shared)| {
+        let fleet = FleetConfig {
+            devices,
+            shared: None,
+        };
+        match shared {
+            Some((mbps_per_device, qdisc)) => {
+                let rate = Bandwidth::from_mbps(mbps_per_device * fleet.devices.len() as u64);
+                fleet.with_shared(FleetConfig::pop_uplink(rate, qdisc))
+            }
+            None => fleet,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +144,35 @@ mod tests {
             assert!(ALL_CC.contains(&arb_cc().generate(&mut rng)));
             assert!(ALL_CPU.contains(&arb_cpu().generate(&mut rng)));
             assert!(ALL_MEDIA.contains(&arb_media().generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn tier_mix_stays_inside_the_supported_space() {
+        for (cpu, cc, media) in TIER_MIX {
+            assert!(ALL_CPU.contains(&cpu));
+            assert!(ALL_CC.contains(&cc));
+            assert!(ALL_MEDIA.contains(&media));
+        }
+    }
+
+    #[test]
+    fn fleet_strategy_emits_valid_configs() {
+        let mut rng = TestRng::for_test("test-support::fleet");
+        for _ in 0..64 {
+            let fleet = arb_fleet().generate(&mut rng);
+            assert!(!fleet.devices.is_empty(), "a fleet has at least one device");
+            assert!(fleet.total_connections() >= fleet.devices.len());
+            for spec in &fleet.devices {
+                assert!((1..=3).contains(&spec.connections));
+                assert!(ALL_CPU.contains(&spec.cpu));
+                assert!(ALL_CC.contains(&spec.cc));
+                assert!(ALL_MEDIA.contains(&spec.media));
+            }
+            if let Some(shared) = &fleet.shared {
+                assert!(!shared.rate.is_zero(), "shared uplink rate is positive");
+                assert!(shared.queue_packets > 0, "shared queue holds packets");
+            }
         }
     }
 }

@@ -4,8 +4,10 @@
 //! unreachable). Supports exactly the type shapes the workspace derives:
 //! non-generic named-field structs, tuple structs, unit structs, and enums
 //! with unit/tuple/struct variants, plus the container-level
-//! `#[serde(untagged)]` attribute. Anything else panics at compile time
-//! with a clear message rather than silently mis-serializing.
+//! `#[serde(untagged)]` attribute and the field-level
+//! `#[serde(skip_serializing_if = "path")]` attribute. Anything else
+//! panics at compile time with a clear message rather than silently
+//! mis-serializing.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -25,10 +27,17 @@ pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
+struct Field {
+    name: String,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`: when
+    /// it returns true for the field's value, the key is omitted entirely.
+    skip_if: Option<String>,
+}
+
 enum Fields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -80,6 +89,51 @@ fn skip_attrs(tokens: &[TokenTree], idx: &mut usize) -> bool {
     untagged
 }
 
+/// Skip a run of field-level attributes; return the predicate path if one
+/// of them was `#[serde(skip_serializing_if = "path")]`.
+fn skip_field_attrs(tokens: &[TokenTree], idx: &mut usize) -> Option<String> {
+    let mut skip_if = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*idx) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*idx + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        skip_if = Some(parse_skip_serializing_if(args.stream()));
+                    }
+                }
+            }
+            *idx += 2;
+        } else {
+            break;
+        }
+    }
+    skip_if
+}
+
+/// Parse `skip_serializing_if = "path"` — the only field-level serde
+/// attribute the shim implements — and return the bare predicate path.
+fn parse_skip_serializing_if(stream: TokenStream) -> String {
+    let args: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (args.first(), args.get(1), args.get(2), args.len()) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(path)),
+            3,
+        ) if key.to_string() == "skip_serializing_if" && eq.as_char() == '=' => {
+            path.to_string().trim_matches('"').to_string()
+        }
+        _ => panic!(
+            "serde_derive shim: unsupported field #[serde(...)] attribute (only \
+             `skip_serializing_if = \"...\"` is implemented): {stream}"
+        ),
+    }
+}
+
 /// Skip an optional `pub` / `pub(crate)` visibility.
 fn skip_vis(tokens: &[TokenTree], idx: &mut usize) {
     if matches!(tokens.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
@@ -117,13 +171,14 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     fields
 }
 
-/// Parse the names of named fields from a brace-group body.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Parse the names (and per-field serde attributes) of named fields from
+/// a brace-group body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut idx = 0;
     let mut names = Vec::new();
     while idx < tokens.len() {
-        skip_attrs(&tokens, &mut idx);
+        let skip_if = skip_field_attrs(&tokens, &mut idx);
         skip_vis(&tokens, &mut idx);
         let name = match tokens.get(idx) {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -151,7 +206,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             idx += 1;
         }
         idx += 1; // the comma (or past-the-end)
-        names.push(name);
+        names.push(Field { name, skip_if });
     }
     names
 }
@@ -254,6 +309,43 @@ fn array_literal(items: &[String]) -> String {
     )
 }
 
+/// Render a named-field object. `prefix` is how a field is reached
+/// (`"&self."` for structs, `""` for enum-variant bindings, which are
+/// already references under match ergonomics). Fields without `skip_if`
+/// use the flat literal; any skipping field switches to a push-based
+/// builder so omitted keys never appear.
+fn named_object(fields: &[Field], prefix: &str) -> String {
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let pairs: Vec<(String, String)> = fields
+            .iter()
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    format!("::serde::Serialize::to_value({prefix}{})", f.name),
+                )
+            })
+            .collect();
+        return object_literal(&pairs);
+    }
+    let mut stmts = Vec::new();
+    for f in fields {
+        let name = &f.name;
+        let push = format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value({prefix}{name})));"
+        );
+        match &f.skip_if {
+            Some(pred) => stmts.push(format!("if !{pred}({prefix}{name}) {{ {push} }}")),
+            None => stmts.push(push),
+        }
+    }
+    format!(
+        "{{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new(); {} ::serde::Value::Object(__fields) }}",
+        stmts.join(" ")
+    )
+}
+
 fn render_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
@@ -266,18 +358,7 @@ fn render_serialize(item: &Item) -> String {
                     .collect();
                 array_literal(&items)
             }
-            Fields::Named(names) => {
-                let pairs: Vec<(String, String)> = names
-                    .iter()
-                    .map(|f| {
-                        (
-                            f.clone(),
-                            format!("::serde::Serialize::to_value(&self.{f})"),
-                        )
-                    })
-                    .collect();
-                object_literal(&pairs)
-            }
+            Fields::Named(fields) => named_object(fields, "&self."),
         },
         Shape::Enum(variants) => {
             let mut arms = Vec::new();
@@ -312,12 +393,9 @@ fn render_serialize(item: &Item) -> String {
                         (pattern, value)
                     }
                     Fields::Named(fields) => {
-                        let pattern = format!("{name}::{vname} {{ {} }}", fields.join(", "));
-                        let pairs: Vec<(String, String)> = fields
-                            .iter()
-                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
-                            .collect();
-                        let inner = object_literal(&pairs);
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pattern = format!("{name}::{vname} {{ {} }}", binds.join(", "));
+                        let inner = named_object(fields, "");
                         let value = if item.untagged {
                             inner
                         } else {

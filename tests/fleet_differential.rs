@@ -1,0 +1,85 @@
+//! Differential equivalence: a degenerate one-device fleet (no shared
+//! uplink) must reduce *byte-identically* to the classic single-device
+//! path, for any supported device tier × controller × medium × connection
+//! count.
+//!
+//! Fleet mode reroutes everything the event loop touches — per-device CPU
+//! models, per-device access links, per-device RNG splits, fleet-aware CC
+//! construction, and the end-of-run aggregation. This test pins the
+//! reduction argument those reroutes rely on: with one device and no
+//! shared hop, every `match &cfg.fleet` arm must select exactly the
+//! historical single-device code path (device 0 draws RNG splits 1/2/3,
+//! CPU stats come straight from the one CPU, per-conn stats are
+//! untouched). The only permitted difference in the output is the
+//! `fleet` metrics block itself — strip it and the serialized
+//! [`SimResult`]s must match byte for byte.
+
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::tcp_sim::fleet::DeviceSpec;
+use mobile_bbr::tcp_sim::{FleetConfig, SimConfig, SimConfigBuilder, StackSim};
+use proptest::prelude::*;
+use test_support::{arb_cc, arb_cpu, arb_media};
+
+/// The shared knobs of both runs; only `.fleet()` differs between them.
+fn base(
+    cpu: CpuConfig,
+    cc: CcKind,
+    media: MediaProfile,
+    conns: usize,
+    seed: u64,
+) -> SimConfigBuilder {
+    SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+        .media(media)
+        .duration(SimDuration::from_millis(700))
+        .warmup(SimDuration::from_millis(250))
+        .seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// One-device fleet == plain run, modulo the `fleet` block.
+    #[test]
+    fn one_device_fleet_reduces_to_single_device(
+        cc in arb_cc(),
+        cpu in arb_cpu(),
+        media in arb_media(),
+        conns in 1usize..6,
+        seed in 1u64..1_000,
+    ) {
+        let plain_cfg = base(cpu, cc, media, conns, seed)
+            .build()
+            .expect("plain config is valid");
+        let fleet_cfg = base(cpu, cc, media, conns, seed)
+            .fleet(FleetConfig::uniform(
+                1,
+                DeviceSpec::new(cpu, cc, media).with_connections(conns),
+            ))
+            .build()
+            .expect("degenerate fleet config is valid");
+
+        let plain = StackSim::new(plain_cfg).run();
+        let mut fleet = StackSim::new(fleet_cfg).run();
+
+        // The fleet run must actually report fleet metrics, and they must
+        // agree with the plain run's totals before being stripped.
+        let block = fleet.fleet.take().expect("fleet config yields fleet metrics");
+        prop_assert_eq!(block.devices, 1);
+        prop_assert!(
+            (block.aggregate_goodput_mbps - plain.goodput_mbps()).abs() < 1e-9,
+            "aggregate {} vs plain {}",
+            block.aggregate_goodput_mbps,
+            plain.goodput_mbps()
+        );
+
+        // Everything else is byte-identical: `fleet` is serialized only
+        // when present, so after the strip both results must serialize to
+        // exactly the same JSON.
+        let plain_json = serde_json::to_string(&plain).expect("plain serializes");
+        let fleet_json = serde_json::to_string(&fleet).expect("fleet serializes");
+        prop_assert_eq!(plain_json, fleet_json);
+    }
+}
