@@ -133,8 +133,8 @@ fn governor_comparison(p: &Params) -> Result<(), sim_core::Error> {
 
 fn aqm_comparison(p: &Params) -> Result<(), sim_core::Error> {
     use congestion::master::MasterConfig;
-    use netsim::codel::CodelConfig;
     use netsim::media::MediaProfile;
+    use netsim::Qdisc;
 
     println!("== ABLATION 4: fq_codel-style AQM vs the droptail story ==");
     println!("   (on CPU-limited configs the RTT penalty is device-side and no");
@@ -158,7 +158,7 @@ fn aqm_comparison(p: &Params) -> Result<(), sim_core::Error> {
         }
         if codel {
             let mut path = MediaProfile::Ethernet.path_config();
-            path.forward = path.forward.with_codel(CodelConfig::default());
+            path.forward = path.forward.with_qdisc(Qdisc::Codel);
             cfg.path = path;
         }
         let rep = run(p, RunSpec::new(label, cfg, p.seeds))?;

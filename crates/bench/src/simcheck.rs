@@ -7,7 +7,8 @@
 //!
 //! * [`Scenario`] — a point in the supported configuration space (CC ×
 //!   CPU config × media × 1–1024 connections (log-biased) × pacing stride × shallow
-//!   buffers × netem impairments × cross-traffic × ACK cadence × the fleet
+//!   buffers × netem impairments × cross-traffic × ACK cadence × uplink
+//!   qdisc (FIFO/CoDel/FQ-CoDel) × the fleet
 //!   axis: device count, uniform-vs-mixed tier/CC population, shared
 //!   bottleneck rate and qdisc), with a
 //!   deterministic [`Scenario::draw`] from a [`SimRng`] and a compact
@@ -87,6 +88,9 @@ pub struct Scenario {
     pub fshared: u64,
     /// Queue discipline at the shared bottleneck.
     pub fqdisc: Qdisc,
+    /// Queue discipline at the single-device uplink bottleneck (ignored
+    /// by fleet runs, whose access links come from the device specs).
+    pub qdisc: Qdisc,
 }
 
 fn cc_name(cc: CcKind) -> &'static str {
@@ -94,7 +98,25 @@ fn cc_name(cc: CcKind) -> &'static str {
         CcKind::Cubic => "cubic",
         CcKind::Bbr => "bbr",
         CcKind::Bbr2 => "bbr2",
+        CcKind::Bbr3 => "bbr3",
         CcKind::Reno => "reno",
+    }
+}
+
+fn qdisc_name(q: Qdisc) -> &'static str {
+    match q {
+        Qdisc::Fifo => "fifo",
+        Qdisc::Codel => "codel",
+        Qdisc::FqCodel => "fqcodel",
+    }
+}
+
+fn parse_qdisc(key: &str, v: &str) -> Result<Qdisc, String> {
+    match v {
+        "fifo" => Ok(Qdisc::Fifo),
+        "codel" => Ok(Qdisc::Codel),
+        "fqcodel" => Ok(Qdisc::FqCodel),
+        other => Err(format!("{key}: expected fifo/codel/fqcodel, got {other:?}")),
     }
 }
 
@@ -168,10 +190,17 @@ impl Scenario {
             fmix: 0,
             fshared: 0,
             fqdisc: Qdisc::Fifo,
+            qdisc: if rng.chance(0.3) {
+                // AQM on the uplink bottleneck: both CoDel and FQ-CoDel
+                // turn up every few draws.
+                [Qdisc::Codel, Qdisc::FqCodel][rng.below(2) as usize]
+            } else {
+                Qdisc::Fifo
+            },
         };
         // Fleet axis on ~1 draw in 5: single-device scenarios stay the bulk
         // of the stream while shared-bottleneck arbitration, heterogeneous
-        // populations and both qdiscs all turn up every few draws.
+        // populations and all three qdiscs turn up every few draws.
         if rng.chance(0.2) {
             s.fleet = rng.range_inclusive(2, 12);
             s.fmix = u64::from(rng.chance(0.5));
@@ -179,7 +208,7 @@ impl Scenario {
                 s.fshared = rng.range_inclusive(20, 300);
             }
             if rng.chance(0.5) {
-                s.fqdisc = Qdisc::Codel;
+                s.fqdisc = [Qdisc::Codel, Qdisc::FqCodel][rng.below(2) as usize];
             }
             s.conns = s.fleet;
         }
@@ -206,18 +235,19 @@ impl Scenario {
             self.warmup_ms,
             self.seed,
         );
-        // Fleet keys appear only when the axis is active, so non-fleet
-        // specs stay byte-identical to the pre-fleet format.
+        // Conditional keys appear only when their axis is active, so older
+        // specs (and the corpus they live in) stay byte-identical: qdisc
+        // only when the uplink runs AQM, fleet keys only in fleet mode.
+        if self.qdisc != Qdisc::Fifo {
+            spec.push_str(&format!(",qdisc={}", qdisc_name(self.qdisc)));
+        }
         if self.fleet > 0 {
             spec.push_str(&format!(
                 ",fleet={},fmix={},fshared={},fqdisc={}",
                 self.fleet,
                 self.fmix,
                 self.fshared,
-                match self.fqdisc {
-                    Qdisc::Fifo => "fifo",
-                    Qdisc::Codel => "codel",
-                },
+                qdisc_name(self.fqdisc),
             ));
         }
         spec
@@ -245,6 +275,7 @@ impl Scenario {
             fmix: 0,
             fshared: 0,
             fqdisc: Qdisc::Fifo,
+            qdisc: Qdisc::Fifo,
         };
         fn int(key: &str, v: &str) -> Result<u64, String> {
             v.parse::<u64>()
@@ -301,13 +332,8 @@ impl Scenario {
                 "fleet" => s.fleet = int(key, v)?.min(64),
                 "fmix" => s.fmix = int(key, v)?.min(1),
                 "fshared" => s.fshared = int(key, v)?.min(10_000),
-                "fqdisc" => {
-                    s.fqdisc = match v {
-                        "fifo" => Qdisc::Fifo,
-                        "codel" => Qdisc::Codel,
-                        other => return Err(format!("fqdisc: expected fifo/codel, got {other:?}")),
-                    }
-                }
+                "fqdisc" => s.fqdisc = parse_qdisc(key, v)?,
+                "qdisc" => s.qdisc = parse_qdisc(key, v)?,
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -347,6 +373,7 @@ impl Scenario {
             self.conns as usize,
         )
         .path(path)
+        .qdisc(self.qdisc)
         .pacing(PacingConfig::with_stride(self.stride))
         .ack_per_segs(self.ack_per_segs)
         .duration(SimDuration::from_millis(self.dur_ms))
@@ -395,9 +422,14 @@ impl Scenario {
         Some(fc)
     }
 
-    /// No impairments: loss, cross traffic, and shallow buffers absent.
+    /// No impairments: loss, cross traffic, shallow buffers, and AQM
+    /// absent (CoDel's deliberate drops move the metamorphic relations
+    /// off the terrain the paper establishes them on).
     fn clean(&self) -> bool {
-        self.loss_ppm == 0 && self.cross_mbps == 0 && self.queue.is_none()
+        self.loss_ppm == 0
+            && self.cross_mbps == 0
+            && self.queue.is_none()
+            && self.qdisc == Qdisc::Fifo
     }
 
     /// A controller that actually paces (BBR family with pacing enabled).
@@ -407,7 +439,7 @@ impl Scenario {
         if self.fleet > 0 && self.fmix == 1 {
             return !self.pacing_off;
         }
-        matches!(self.cc, CcKind::Bbr | CcKind::Bbr2) && !self.pacing_off
+        matches!(self.cc, CcKind::Bbr | CcKind::Bbr2 | CcKind::Bbr3) && !self.pacing_off
     }
 
     /// Length of the measurement window in milliseconds.
@@ -478,9 +510,14 @@ pub fn run_scenario(s: &Scenario) -> ScenarioRun {
     // Fig. 7: disabling pacing never meaningfully lowers RTT (it inflates
     // it — unpaced bursts queue at the bottleneck). Only in the paper's
     // few-flows regime: with hundreds of flows the bottleneck queue is
-    // congestion-limited either way and the relation can invert.
+    // congestion-limited either way and the relation can invert. And only
+    // for BBR v1, the variant Fig. 7 measures: v2/v3's inflight_hi loss
+    // response clamps the unpaced flood as soon as its bursts overflow
+    // the buffer, which can leave the unpaced queue *shallower* than the
+    // paced one.
     let unpaced = if s.fleet == 0
-        && s.paced_bbr()
+        && s.cc == CcKind::Bbr
+        && !s.pacing_off
         && s.clean()
         && s.media == MediaProfile::Ethernet
         && (2..=64).contains(&s.conns)
@@ -763,11 +800,20 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             // On a clean path with a real measurement window, every
             // paced-BBR connection keeps moving — a silent stall is the
             // lost-wakeup signature. Catches Mutant::DropPacingArm. Gated
-            // to the few-flows regime: past ~64 flows a connection's fair
-            // share of the link inside the window can legitimately round
-            // to zero delivered packets.
+            // to the regime where progress is actually guaranteed: each
+            // connection's fair share of the medium inside the window must
+            // cover a comfortable packet budget. On slow media (LTE at
+            // ~18 Mbps) a large flock can legitimately starve one member
+            // for a whole short window — 38 flows there leave under a
+            // dozen fair-share packets each, well inside startup jitter.
             let s = &r.scenario;
             if !(s.paced_bbr() && s.clean() && s.conns <= 64 && s.window_ms() >= 300) {
+                return Ok(());
+            }
+            let window = SimDuration::from_millis(s.window_ms());
+            let fair_share_pkts =
+                s.media.path_config().forward.rate.bytes_in(window) / (s.conns * 1500);
+            if fair_share_pkts < 64 {
                 return Ok(());
             }
             // A contended shared bottleneck can legitimately starve one
@@ -936,6 +982,41 @@ pub fn oracles() -> Vec<NamedOracle<ScenarioRun>> {
             }
             Ok(())
         }),
+        o("aqm-accounting", |r| {
+            // Per-qdisc drop attribution: the stack-side `aqm_drops` tally
+            // and the links' own `LinkStats::aqm_drops` are counted
+            // independently at every drop site and must agree exactly
+            // (both keys are absent on FIFO-only paths). Catches
+            // Mutant::AqmDropMiscount.
+            let stack = r.result.counters.get("aqm_drops");
+            let links = r.result.counters.get("link_aqm_drops");
+            if stack == links {
+                Ok(())
+            } else {
+                Err(format!(
+                    "stack counted {stack} AQM drops but the links recorded {links}"
+                ))
+            }
+        }),
+        o("paced-cc-arms-timers", |r| {
+            // A paced controller that moves real traffic must arm pacing
+            // timers: zero arms with nonzero sends means the controller's
+            // pacing request was lost between the CC and the stack — the
+            // "new variant missed a dispatch site" hole
+            // Mutant::Bbr3PacingDisarm drills into the CC output cache.
+            if !r.scenario.paced_bbr() {
+                return Ok(());
+            }
+            let sent = r.result.counters.get("pkts_sent");
+            let arms = r.result.counters.get("timer_arms");
+            if sent > 100 && arms == 0 {
+                Err(format!(
+                    "paced run sent {sent} pkts without arming a single pacing timer"
+                ))
+            } else {
+                Ok(())
+            }
+        }),
         o("determinism-rerun", |r| {
             let Some(again) = &r.rerun else {
                 return Ok(());
@@ -1028,6 +1109,7 @@ pub fn shrink_scenario(failing: &Scenario, violations: &[Violation]) -> Scenario
         push(&|t| t.ack_per_segs = None);
         push(&|t| t.media = MediaProfile::Ethernet);
         push(&|t| t.pacing_off = false);
+        push(&|t| t.qdisc = Qdisc::Fifo);
         out
     };
     shrink(s, candidates, |t| still_fails(t, &names), 24)
@@ -1302,6 +1384,33 @@ fn bias_for(mutant: Mutant, mut s: Scenario) -> Scenario {
             }
             s.fshared = 0; // keep runs cheap: compute() runs regardless
             s.conns = s.fleet;
+        }
+        Mutant::AqmDropMiscount => {
+            // The tally can only drift where AQM drops happen: a
+            // queue-filling controller against a CoDel'd uplink with
+            // enough flows and time for the standing queue to cross the
+            // target and the control law to start shedding.
+            s.fleet = 0;
+            if s.qdisc == Qdisc::Fifo {
+                s.qdisc = Qdisc::Codel;
+            }
+            if s.cc == CcKind::Reno {
+                s.cc = CcKind::Cubic;
+            }
+            s.queue = None;
+            s.conns = s.conns.clamp(4, 32);
+            s.dur_ms = s.dur_ms.max(800);
+            s.warmup_ms = s.warmup_ms.min(250);
+        }
+        Mutant::Bbr3PacingDisarm => {
+            // The disarm only bites BBRv3 flows with pacing on and enough
+            // traffic for the paced-cc-arms-timers threshold.
+            s.cc = CcKind::Bbr3;
+            s.fleet = 0;
+            s.pacing_off = false;
+            s.conns = s.conns.clamp(1, 20);
+            s.dur_ms = s.dur_ms.max(700);
+            s.warmup_ms = s.warmup_ms.min(250);
         }
     }
     s

@@ -1,0 +1,890 @@
+//! BBR v3, per the IETF-117/119 iccrg updates — the revision Google
+//! upstreamed as the successor of the `tcp_bbr2` alpha the paper's authors
+//! backported (§3.1). Not part of the paper's measurement matrix (see
+//! [`crate::CcKind::PAPER`]); it extends the reproduction toward the
+//! follow-up question the related AQM/WiFi studies ask: does v3 fix v2's
+//! rough edges against Cubic and under FQ-CoDel?
+//!
+//! v3 keeps v2's model (windowed-max bandwidth, windowed-min RTT, loss as a
+//! bounding signal) and adjusts the knobs that measurement found to be
+//! mis-tuned:
+//!
+//! * **shallower DOWN probe** — pacing gain 0.9 instead of 0.75: v2 drained
+//!   far more than one round's worth of queue, giving away throughput on
+//!   every cycle;
+//! * **higher ProbeBW cwnd gain** — 2.25 instead of 2.0, letting the probe
+//!   actually fill the raised ceiling it is testing;
+//! * **bounded cruise** — CRUISE also ends after `CRUISE_MAX_ROUNDS` (62)
+//!   rounds (not only on wall-clock), so short-RTT flows re-probe on a
+//!   round timescale comparable to Reno/Cubic's and coexist instead of
+//!   camping on a stale share;
+//! * **measured loss response** — one ceiling adjustment per recovery
+//!   episode, anchored at the inflight actually observed at the loss
+//!   (`hi ← min(hi, max(measured, β·hi))`) rather than v2's unconditional
+//!   β-cut on every loss event, which compounded within a single episode.
+//!
+//! Phase names are reported in v3's spelling (`probe_bw_down`, …), which is
+//! how flight-data samples distinguish the variants.
+
+use crate::minmax::MaxFilter;
+use crate::{AckSample, CongestionControl, LossEvent, INIT_CWND, MIN_CWND};
+use sim_core::time::{SimDuration, SimTime};
+use sim_core::units::Bandwidth;
+
+/// STARTUP pacing gain (unchanged from v2).
+const STARTUP_GAIN: f64 = 2.77;
+/// Loss rate that bounds a probe (2 %).
+const LOSS_THRESH: f64 = 0.02;
+/// Multiplicative floor of a per-episode ceiling adjustment.
+const BETA: f64 = 0.7;
+/// Fraction of `inflight_hi` used while cruising.
+const HEADROOM: f64 = 0.85;
+/// Bandwidth filter window, in rounds.
+const BW_WINDOW_ROUNDS: u64 = 10;
+/// Min-RTT window.
+const MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(5);
+/// PROBE_RTT dwell.
+const PROBE_RTT_DURATION: SimDuration = SimDuration::from_millis(200);
+/// Time between bandwidth probes while cruising.
+const BW_PROBE_WAIT_BASE: SimDuration = SimDuration::from_secs(2);
+/// STARTUP: rounds of ≥ LOSS_THRESH loss that force an exit.
+const STARTUP_LOSS_ROUNDS: u32 = 3;
+/// Cap on the UP phase, in rounds.
+const PROBE_UP_ROUNDS: u64 = 4;
+/// v3: CRUISE also ends after this many rounds, so short-RTT flows
+/// re-probe on a Reno-comparable timescale (`bbr_bw_probe_max_rounds`).
+const CRUISE_MAX_ROUNDS: u64 = 62;
+/// v3's shallower DOWN probe.
+const PROBE_DOWN_GAIN: f64 = 0.9;
+/// v3's ProbeBW cwnd gain.
+const PROBE_BW_CWND_GAIN: f64 = 2.25;
+
+/// v3 state machine modes (same shape as v2's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Exponential search.
+    Startup,
+    /// Queue drain after startup.
+    Drain,
+    /// Pull inflight below the estimated BDP/ceiling.
+    ProbeDown,
+    /// Steady cruising with headroom.
+    ProbeCruise,
+    /// Refill the pipe at 1.0 gain before probing up.
+    ProbeRefill,
+    /// Probe for more bandwidth at 1.25 gain.
+    ProbeUp,
+    /// Re-measure propagation delay.
+    ProbeRtt,
+}
+
+/// BBR v3.
+pub struct Bbr3 {
+    mss: u64,
+    mode: Mode,
+    // Model.
+    bw_filter: MaxFilter,
+    round_count: u64,
+    next_rtt_delivered: u64,
+    round_start: bool,
+    min_rtt: SimDuration,
+    min_rtt_stamp: SimTime,
+    // Startup.
+    full_bw: u64,
+    full_bw_cnt: u32,
+    full_bw_reached: bool,
+    startup_loss_rounds: u32,
+    // Loss bounds.
+    inflight_hi: u64,
+    /// v3: has the ceiling already been adjusted in this recovery episode?
+    loss_in_episode: bool,
+    // Per-round loss accounting.
+    round_lost: u64,
+    round_delivered: u64,
+    // Probe scheduling.
+    phase_stamp: SimTime,
+    probe_wait: SimDuration,
+    probe_up_rounds: u64,
+    /// Round count at CRUISE entry (for the round-bounded cruise exit).
+    cruise_round_mark: u64,
+    // Probe RTT.
+    probe_rtt_done_stamp: Option<SimTime>,
+    // Outputs.
+    pacing_rate: Bandwidth,
+    cwnd: u64,
+    prior_cwnd: u64,
+    in_recovery: bool,
+    packet_conservation: bool,
+}
+
+impl Bbr3 {
+    /// A fresh BBR3 instance for `mss`-byte segments.
+    pub fn new(mss: u64) -> Self {
+        assert!(mss > 0, "mss must be positive");
+        Bbr3 {
+            mss,
+            mode: Mode::Startup,
+            bw_filter: MaxFilter::new(BW_WINDOW_ROUNDS),
+            round_count: 0,
+            next_rtt_delivered: 0,
+            round_start: false,
+            min_rtt: SimDuration::MAX,
+            min_rtt_stamp: SimTime::ZERO,
+            full_bw: 0,
+            full_bw_cnt: 0,
+            full_bw_reached: false,
+            startup_loss_rounds: 0,
+            inflight_hi: u64::MAX,
+            loss_in_episode: false,
+            round_lost: 0,
+            round_delivered: 0,
+            phase_stamp: SimTime::ZERO,
+            probe_wait: BW_PROBE_WAIT_BASE,
+            probe_up_rounds: 0,
+            cruise_round_mark: 0,
+            probe_rtt_done_stamp: None,
+            pacing_rate: Bandwidth::ZERO,
+            cwnd: INIT_CWND,
+            prior_cwnd: 0,
+            in_recovery: false,
+            packet_conservation: false,
+        }
+    }
+
+    /// Stagger the probe schedule across flows (deterministic analogue of
+    /// the kernel's randomised 2–3 s wait).
+    pub fn with_probe_offset(mut self, offset: usize) -> Self {
+        let jitter_ms = (offset as u64 % 16) * 64; // 0..1024 ms
+        self.probe_wait = BW_PROBE_WAIT_BASE + SimDuration::from_millis(jitter_ms);
+        self
+    }
+
+    /// Current mode, for instrumentation and tests.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Loss-learned inflight ceiling (`None` until a probe hits loss).
+    pub fn inflight_hi(&self) -> Option<u64> {
+        (self.inflight_hi != u64::MAX).then_some(self.inflight_hi)
+    }
+
+    fn bw(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.bw_filter.get())
+    }
+
+    fn pacing_gain(&self) -> f64 {
+        match self.mode {
+            Mode::Startup => STARTUP_GAIN,
+            Mode::Drain => 1.0 / STARTUP_GAIN,
+            Mode::ProbeDown => PROBE_DOWN_GAIN,
+            Mode::ProbeCruise | Mode::ProbeRefill => 1.0,
+            Mode::ProbeUp => 1.25,
+            Mode::ProbeRtt => 1.0,
+        }
+    }
+
+    fn cwnd_gain(&self) -> f64 {
+        match self.mode {
+            Mode::Startup | Mode::Drain => 2.0,
+            Mode::ProbeRtt => 0.5,
+            // v3: ProbeBW runs the higher 2.25 gain so an UP probe can
+            // actually fill the ceiling it raises.
+            _ => PROBE_BW_CWND_GAIN,
+        }
+    }
+
+    /// BDP target with the kernel's 3 × TSO-goal quantization slack (see
+    /// `bbr::Bbr::target_cwnd`).
+    fn bdp_packets(&self, gain: f64) -> u64 {
+        if self.min_rtt == SimDuration::MAX || self.bw().is_zero() {
+            return INIT_CWND;
+        }
+        let bdp_bytes = self.bw().bytes_in(self.min_rtt);
+        ((bdp_bytes as f64 * gain / self.mss as f64).ceil() as u64 + 6).max(MIN_CWND)
+    }
+
+    fn update_round(&mut self, sample: &AckSample) {
+        self.round_lost += sample.lost;
+        self.round_delivered += sample.acked;
+        if sample.prior_delivered >= self.next_rtt_delivered {
+            self.next_rtt_delivered = sample.delivered;
+            self.round_count += 1;
+            self.round_start = true;
+            self.packet_conservation = false;
+        } else {
+            self.round_start = false;
+        }
+    }
+
+    /// Loss rate of the just-completed round, evaluated at round start.
+    fn round_loss_rate(&self) -> f64 {
+        let total = self.round_lost + self.round_delivered;
+        if total == 0 {
+            0.0
+        } else {
+            self.round_lost as f64 / total as f64
+        }
+    }
+
+    fn reset_round_loss(&mut self) {
+        self.round_lost = 0;
+        self.round_delivered = 0;
+    }
+
+    fn update_bw(&mut self, sample: &AckSample) {
+        if !sample.app_limited || sample.delivery_rate.as_bps() >= self.bw_filter.get() {
+            self.bw_filter
+                .update(self.round_count, sample.delivery_rate.as_bps());
+        }
+    }
+
+    fn check_startup_done(&mut self, sample: &AckSample) {
+        if self.full_bw_reached || self.mode != Mode::Startup {
+            return;
+        }
+        if self.round_start && !sample.app_limited {
+            // Bandwidth-plateau exit, as v1/v2.
+            let thresh = (self.full_bw as f64 * 1.25) as u64;
+            if self.bw_filter.get() >= thresh {
+                self.full_bw = self.bw_filter.get();
+                self.full_bw_cnt = 0;
+            } else {
+                self.full_bw_cnt += 1;
+            }
+            // Persistent-loss exit.
+            if self.round_loss_rate() >= LOSS_THRESH {
+                self.startup_loss_rounds += 1;
+            } else {
+                self.startup_loss_rounds = 0;
+            }
+            if self.full_bw_cnt >= 3 || self.startup_loss_rounds >= STARTUP_LOSS_ROUNDS {
+                self.full_bw_reached = true;
+                if self.startup_loss_rounds >= STARTUP_LOSS_ROUNDS {
+                    // Loss-bounded exit also seeds the inflight ceiling.
+                    self.inflight_hi = self.inflight_hi.min(sample.inflight.max(MIN_CWND));
+                }
+            }
+        }
+    }
+
+    fn advance_state(&mut self, sample: &AckSample) {
+        let now = sample.now;
+        match self.mode {
+            Mode::Startup => {
+                if self.full_bw_reached {
+                    self.mode = Mode::Drain;
+                    self.phase_stamp = now;
+                }
+            }
+            Mode::Drain => {
+                if sample.inflight <= self.bdp_packets(1.0) {
+                    self.enter_phase(Mode::ProbeDown, now);
+                }
+            }
+            Mode::ProbeDown => {
+                let target = self.cruise_cap();
+                if sample.inflight <= target {
+                    self.enter_phase(Mode::ProbeCruise, now);
+                    self.cruise_round_mark = self.round_count;
+                }
+            }
+            Mode::ProbeCruise => {
+                // v3: re-probe on wall-clock *or* after 62 rounds, so a
+                // short-RTT flow competing with Reno/Cubic probes on a
+                // comparable round timescale.
+                if now.saturating_since(self.phase_stamp) >= self.probe_wait
+                    || self.round_count >= self.cruise_round_mark + CRUISE_MAX_ROUNDS
+                {
+                    self.enter_phase(Mode::ProbeRefill, now);
+                    self.probe_up_rounds = self.round_count;
+                }
+            }
+            Mode::ProbeRefill => {
+                if self.round_start && self.round_count > self.probe_up_rounds {
+                    self.enter_phase(Mode::ProbeUp, now);
+                    self.probe_up_rounds = self.round_count;
+                    // A new probe may raise the ceiling: allow growth.
+                    self.reset_round_loss();
+                }
+            }
+            Mode::ProbeUp => {
+                if self.round_start {
+                    if self.round_loss_rate() >= LOSS_THRESH {
+                        // Loss bounded the probe: learn the ceiling and back off.
+                        self.inflight_hi = sample.inflight.max(MIN_CWND);
+                        self.enter_phase(Mode::ProbeDown, now);
+                    } else if self.round_count >= self.probe_up_rounds + PROBE_UP_ROUNDS {
+                        // Probe long enough without loss: raise the ceiling.
+                        if self.inflight_hi != u64::MAX {
+                            self.inflight_hi = ((self.inflight_hi as f64) * 1.25).ceil() as u64;
+                        }
+                        self.enter_phase(Mode::ProbeDown, now);
+                    }
+                }
+            }
+            Mode::ProbeRtt => { /* handled in check_probe_rtt */ }
+        }
+    }
+
+    fn enter_phase(&mut self, mode: Mode, now: SimTime) {
+        self.mode = mode;
+        self.phase_stamp = now;
+        if mode == Mode::ProbeDown || mode == Mode::ProbeUp {
+            self.reset_round_loss();
+        }
+    }
+
+    /// The inflight cap while cruising: 15 % headroom below the ceiling.
+    fn cruise_cap(&self) -> u64 {
+        if self.inflight_hi == u64::MAX {
+            self.bdp_packets(1.0)
+        } else {
+            (((self.inflight_hi as f64) * HEADROOM) as u64).max(MIN_CWND)
+        }
+    }
+
+    /// As in v1/v2 (and the kernel): the expiry decision is taken once,
+    /// before the filter refresh, and drives both the refresh and
+    /// PROBE_RTT entry.
+    fn update_min_rtt_and_probe_rtt(&mut self, sample: &AckSample) {
+        let expired = sample.now.saturating_since(self.min_rtt_stamp) > MIN_RTT_WINDOW;
+        if !sample.rtt.is_zero() && (sample.rtt <= self.min_rtt || expired) {
+            self.min_rtt = sample.rtt;
+            self.min_rtt_stamp = sample.now;
+        }
+        self.check_probe_rtt(sample, expired);
+    }
+
+    fn check_probe_rtt(&mut self, sample: &AckSample, expired: bool) {
+        if self.mode != Mode::ProbeRtt && expired {
+            self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+            self.mode = Mode::ProbeRtt;
+            self.probe_rtt_done_stamp = None;
+        }
+        if self.mode == Mode::ProbeRtt {
+            let clamp = self.bdp_packets(0.5);
+            match self.probe_rtt_done_stamp {
+                None => {
+                    if sample.inflight <= clamp {
+                        self.probe_rtt_done_stamp = Some(sample.now + PROBE_RTT_DURATION);
+                    }
+                }
+                Some(done) => {
+                    if sample.now > done {
+                        self.min_rtt_stamp = sample.now;
+                        self.cwnd = self.cwnd.max(self.prior_cwnd);
+                        self.enter_phase(Mode::ProbeDown, sample.now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_pacing_rate(&mut self, sample: &AckSample) {
+        let gain = self.pacing_gain();
+        let rate = if self.bw().is_zero() {
+            let rtt = if sample.rtt.is_zero() {
+                SimDuration::from_millis(1)
+            } else {
+                sample.rtt
+            };
+            Bandwidth::from_bytes_over(self.cwnd * self.mss, rtt).mul_f64(gain)
+        } else {
+            self.bw().mul_f64(gain)
+        };
+        if self.full_bw_reached || rate > self.pacing_rate {
+            self.pacing_rate = rate;
+        }
+    }
+
+    fn set_cwnd(&mut self, sample: &AckSample) {
+        let mut target = self.bdp_packets(self.cwnd_gain());
+        // Loss-learned ceiling applies everywhere except the UP probe
+        // itself (which is how the ceiling gets re-tested).
+        let cap = match self.mode {
+            Mode::ProbeUp | Mode::ProbeRefill => self.inflight_hi,
+            Mode::ProbeRtt => self.bdp_packets(0.5),
+            _ => self.cruise_cap().max(MIN_CWND),
+        };
+        if self.inflight_hi != u64::MAX || self.mode == Mode::ProbeRtt {
+            target = target.min(cap);
+        }
+        if self.packet_conservation {
+            self.cwnd = self.cwnd.max(sample.inflight + sample.acked);
+        } else if self.full_bw_reached {
+            self.cwnd = (self.cwnd + sample.acked).min(target);
+        } else if self.cwnd < target || sample.delivered < INIT_CWND {
+            self.cwnd += sample.acked;
+        }
+        self.cwnd = self.cwnd.max(MIN_CWND);
+        if self.mode == Mode::ProbeRtt {
+            self.cwnd = self.cwnd.min(self.bdp_packets(0.5));
+        }
+    }
+}
+
+impl CongestionControl for Bbr3 {
+    fn name(&self) -> &'static str {
+        "bbr3"
+    }
+
+    fn phase(&self) -> &'static str {
+        match self.mode {
+            Mode::Startup => "startup",
+            Mode::Drain => "drain",
+            Mode::ProbeDown => "probe_bw_down",
+            Mode::ProbeCruise => "probe_bw_cruise",
+            Mode::ProbeRefill => "probe_bw_refill",
+            Mode::ProbeUp => "probe_bw_up",
+            Mode::ProbeRtt => "probe_rtt",
+        }
+    }
+
+    fn on_ack(&mut self, sample: &AckSample) {
+        self.update_round(sample);
+        self.update_bw(sample);
+        self.check_startup_done(sample);
+        self.advance_state(sample);
+        self.update_min_rtt_and_probe_rtt(sample);
+        self.set_pacing_rate(sample);
+        self.set_cwnd(sample);
+        if self.round_start {
+            self.reset_round_loss();
+        }
+    }
+
+    fn on_loss_event(&mut self, event: &LossEvent) {
+        if !self.in_recovery {
+            self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+            self.in_recovery = true;
+            self.packet_conservation = true;
+            self.loss_in_episode = false;
+            self.cwnd = (event.inflight + 1).max(MIN_CWND);
+        }
+        // v3 loss response: one ceiling adjustment per recovery episode,
+        // anchored at the inflight actually measured at the loss. v2's
+        // per-event β-cut compounded within an episode and routinely
+        // undershot the real ceiling.
+        if !self.loss_in_episode && self.full_bw_reached {
+            let measured = event.inflight.max(MIN_CWND);
+            self.inflight_hi = if self.inflight_hi == u64::MAX {
+                measured
+            } else {
+                self.inflight_hi
+                    .min(measured.max(((self.inflight_hi as f64) * BETA) as u64))
+                    .max(MIN_CWND)
+            };
+            self.loss_in_episode = true;
+        }
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        if self.in_recovery {
+            self.in_recovery = false;
+            self.packet_conservation = false;
+            self.loss_in_episode = false;
+            self.cwnd = self
+                .cwnd
+                .max(self.prior_cwnd)
+                .min(if self.inflight_hi == u64::MAX {
+                    u64::MAX
+                } else {
+                    self.inflight_hi
+                });
+        }
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _inflight: u64) {
+        self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        self.cwnd = MIN_CWND;
+        self.packet_conservation = false;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn wants_pacing(&self) -> bool {
+        true
+    }
+
+    fn pacing_rate(&self) -> Option<Bandwidth> {
+        (!self.pacing_rate.is_zero()).then_some(self.pacing_rate)
+    }
+
+    fn model_cost_cycles(&self) -> u64 {
+        // v3 adds episode tracking and the round-bounded cruise check on
+        // top of v2's 4500-cycle model.
+        4_800
+    }
+
+    fn bandwidth_estimate(&self) -> Option<Bandwidth> {
+        (!self.bw().is_zero()).then_some(self.bw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AckSample;
+
+    #[allow(clippy::too_many_arguments)]
+    fn pipe_sample(
+        now_ms: u64,
+        rtt_ms: u64,
+        rate_mbps: u64,
+        delivered: u64,
+        prior: u64,
+        acked: u64,
+        lost: u64,
+        inflight: u64,
+    ) -> AckSample {
+        AckSample {
+            now: SimTime::from_millis(now_ms),
+            rtt: SimDuration::from_millis(rtt_ms),
+            delivery_rate: Bandwidth::from_mbps(rate_mbps),
+            delivered,
+            prior_delivered: prior,
+            acked,
+            lost,
+            inflight,
+            app_limited: false,
+            in_recovery: false,
+        }
+    }
+
+    fn drive(b: &mut Bbr3, bw_mbps: u64, rtt_ms: u64, rounds: u64, start_ms: u64) -> (u64, u64) {
+        let mut delivered = 0u64;
+        let mut now = start_ms;
+        for _ in 0..rounds {
+            let w = b.cwnd();
+            let prior = delivered;
+            delivered += w;
+            let offered = Bandwidth::from_bytes_over(w * 1448, SimDuration::from_millis(rtt_ms));
+            let rate = offered.as_bps().min(Bandwidth::from_mbps(bw_mbps).as_bps()) / 1_000_000;
+            b.on_ack(&pipe_sample(
+                now,
+                rtt_ms,
+                rate.max(1),
+                delivered,
+                prior,
+                w,
+                0,
+                0,
+            ));
+            now += rtt_ms;
+        }
+        (delivered, now)
+    }
+
+    #[test]
+    fn startup_exits_on_plateau() {
+        let mut b = Bbr3::new(1448);
+        assert_eq!(b.mode(), Mode::Startup);
+        drive(&mut b, 100, 20, 30, 0);
+        assert_ne!(b.mode(), Mode::Startup);
+        assert!(b.full_bw_reached);
+    }
+
+    #[test]
+    fn converges_to_pipe_bandwidth() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        let est = b.bandwidth_estimate().unwrap().as_mbps_f64();
+        assert!((70.0..140.0).contains(&est), "estimate {est} Mbps");
+    }
+
+    #[test]
+    fn v3_phase_names_are_reported() {
+        let mut b = Bbr3::new(1448);
+        assert_eq!(b.phase(), "startup");
+        drive(&mut b, 100, 20, 40, 0);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut delivered = 1_000_000u64;
+        for i in 0..400 {
+            let w = b.cwnd();
+            let prior = delivered;
+            delivered += w;
+            b.on_ack(&pipe_sample(
+                1_000 + i * 20,
+                20,
+                100,
+                delivered,
+                prior,
+                w,
+                0,
+                w / 2,
+            ));
+            seen.insert(b.phase());
+        }
+        for phase in [
+            "probe_bw_down",
+            "probe_bw_cruise",
+            "probe_bw_refill",
+            "probe_bw_up",
+        ] {
+            assert!(
+                seen.contains(phase),
+                "ProbeBW cycle must visit {phase}: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_response_anchors_at_measured_inflight() {
+        // The defining v3 change: two separate recovery episodes with
+        // losses at inflight 200 then 180 leave the ceiling at 180 — v2's
+        // per-event β-cut would have compounded it down to 140.
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        assert_eq!(b.inflight_hi(), None);
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 5,
+        });
+        assert_eq!(
+            b.inflight_hi(),
+            Some(200),
+            "first episode seeds at measured"
+        );
+        b.on_recovery_exit(SimTime::from_secs(2));
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(3),
+            inflight: 180,
+            lost: 5,
+        });
+        assert_eq!(
+            b.inflight_hi(),
+            Some(180),
+            "second episode anchors at measured inflight, not β-compounded"
+        );
+    }
+
+    #[test]
+    fn loss_response_is_once_per_episode_and_beta_bounded() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 5,
+        });
+        // More losses within the same episode must not move the ceiling.
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(2_010),
+            inflight: 100,
+            lost: 5,
+        });
+        assert_eq!(b.inflight_hi(), Some(200), "one adjustment per episode");
+        b.on_recovery_exit(SimTime::from_millis(2_020));
+        // A collapse to tiny inflight in the next episode is floored at
+        // β × hi, not taken at face value.
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(3),
+            inflight: 10,
+            lost: 5,
+        });
+        assert_eq!(
+            b.inflight_hi(),
+            Some(140),
+            "cut floored at β=0.7 per episode"
+        );
+    }
+
+    #[test]
+    fn cruise_ends_after_round_cap_even_when_wall_clock_is_short() {
+        // 1 ms RTT: 62 rounds elapse in 62 ms, far below the 2 s
+        // wall-clock probe wait — only the v3 round cap can end CRUISE.
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 1, 40, 0);
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_millis(50),
+            inflight: 200,
+            lost: 2,
+        });
+        b.on_recovery_exit(SimTime::from_millis(51));
+        let mut saw_refill_at = None;
+        let mut delivered = 1_000_000u64;
+        let mut streak = 0u64;
+        let mut longest_cruise = 0u64;
+        for i in 0..200u64 {
+            let w = b.cwnd();
+            let prior = delivered;
+            delivered += w;
+            b.on_ack(&pipe_sample(60 + i, 1, 100, delivered, prior, w, 0, w / 2));
+            if b.mode() == Mode::ProbeCruise {
+                streak += 1;
+                longest_cruise = longest_cruise.max(streak);
+            } else {
+                streak = 0;
+            }
+            if b.mode() == Mode::ProbeRefill && saw_refill_at.is_none() {
+                saw_refill_at = Some(i);
+            }
+        }
+        assert!(
+            saw_refill_at.is_some(),
+            "round-capped cruise must hand over to REFILL within 200 ms"
+        );
+        assert!(
+            longest_cruise <= CRUISE_MAX_ROUNDS + 2,
+            "one cruise held for {longest_cruise} rounds, cap is {CRUISE_MAX_ROUNDS}"
+        );
+    }
+
+    #[test]
+    fn probe_down_is_shallower_than_v2() {
+        // Walk into ProbeBW and check the DOWN pacing gain: 0.9 × bw, where
+        // v2 paces 0.75 × bw.
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        let mut delivered = 1_000_000u64;
+        for i in 0..400 {
+            let w = b.cwnd();
+            let prior = delivered;
+            delivered += w;
+            b.on_ack(&pipe_sample(
+                1_000 + i * 20,
+                20,
+                100,
+                delivered,
+                prior,
+                w,
+                0,
+                w,
+            ));
+            if b.mode() == Mode::ProbeDown {
+                break;
+            }
+        }
+        assert_eq!(b.mode(), Mode::ProbeDown, "must reach the DOWN probe");
+        let bw = b.bandwidth_estimate().unwrap().as_bps() as f64;
+        let pace = b.pacing_rate().unwrap().as_bps() as f64;
+        let gain = pace / bw;
+        assert!(
+            (0.88..=0.92).contains(&gain),
+            "v3 DOWN gain must be ~0.9, got {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn cruise_keeps_headroom_below_ceiling() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 5,
+        });
+        b.on_recovery_exit(SimTime::from_secs(2));
+        assert_eq!(b.cruise_cap(), 170, "85% of 200");
+        drive(&mut b, 100, 20, 20, 3_000);
+        if matches!(b.mode(), Mode::ProbeCruise | Mode::ProbeDown) {
+            assert!(b.cwnd() <= 170, "cwnd {} must respect cruise cap", b.cwnd());
+        }
+    }
+
+    #[test]
+    fn probe_cycle_reaches_up_phase_and_raises_ceiling() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        b.on_loss_event(&LossEvent {
+            now: SimTime::from_secs(2),
+            inflight: 200,
+            lost: 2,
+        });
+        b.on_recovery_exit(SimTime::from_secs(2));
+        let hi_before = b.inflight_hi().unwrap();
+        let mut saw_up = false;
+        let mut delivered = 1_000_000u64;
+        for i in 0..400 {
+            let w = b.cwnd();
+            let prior = delivered;
+            delivered += w;
+            b.on_ack(&pipe_sample(
+                2_100 + i * 20,
+                20,
+                100,
+                delivered,
+                prior,
+                w,
+                0,
+                w / 2,
+            ));
+            if b.mode() == Mode::ProbeUp {
+                saw_up = true;
+            }
+        }
+        assert!(saw_up, "should have probed up within 8 s of cruising");
+        assert!(
+            b.inflight_hi().unwrap() > hi_before,
+            "lossless UP probe should raise the ceiling: {:?} vs {hi_before}",
+            b.inflight_hi()
+        );
+    }
+
+    #[test]
+    fn probe_rtt_visits_every_five_seconds() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        let mut saw = false;
+        let mut delivered = 1_000_000u64;
+        for i in 0..400 {
+            let prior = delivered;
+            delivered += 10;
+            b.on_ack(&pipe_sample(
+                1_000 + i * 25,
+                25,
+                100,
+                delivered,
+                prior,
+                10,
+                0,
+                2,
+            ));
+            if b.mode() == Mode::ProbeRtt {
+                saw = true;
+            }
+        }
+        assert!(
+            saw,
+            "min-RTT window is 5 s; a 10 s run must visit PROBE_RTT"
+        );
+    }
+
+    #[test]
+    fn ceiling_never_falls_below_min_cwnd() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        for i in 0..50 {
+            b.on_loss_event(&LossEvent {
+                now: SimTime::from_millis(3_000 + i),
+                inflight: 1,
+                lost: 2,
+            });
+            b.on_recovery_exit(SimTime::from_millis(3_001 + i));
+        }
+        assert!(
+            b.inflight_hi().unwrap() >= MIN_CWND,
+            "episode cuts floor at MIN_CWND"
+        );
+        assert!(b.cwnd() >= MIN_CWND);
+    }
+
+    #[test]
+    fn paces_and_costs_more_than_v2() {
+        let b = Bbr3::new(1448);
+        assert!(b.wants_pacing());
+        assert!(b.model_cost_cycles() > crate::bbr2::Bbr2::new(1448).model_cost_cycles());
+    }
+
+    #[test]
+    fn rto_floors_cwnd() {
+        let mut b = Bbr3::new(1448);
+        drive(&mut b, 100, 20, 40, 0);
+        b.on_rto(SimTime::from_secs(2), 50);
+        assert_eq!(b.cwnd(), MIN_CWND);
+    }
+}

@@ -10,9 +10,10 @@
 
 use crate::CcKind;
 
-/// Fixed reporting order for CC groups — matches the declaration order of
-/// [`CcKind`] so group output is stable no matter how a fleet is shuffled.
-pub const GROUP_ORDER: [CcKind; 4] = [CcKind::Reno, CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2];
+/// Fixed reporting order for CC groups — [`CcKind::ALL`], the declaration
+/// order, so group output is stable no matter how a fleet is shuffled and
+/// new controllers join the accounting automatically.
+pub const GROUP_ORDER: [CcKind; 5] = CcKind::ALL;
 
 /// Accumulates one rate per fleet member, grouped by congestion control.
 ///

@@ -11,7 +11,7 @@
 //! * a pacing decision ([`CongestionControl::wants_pacing`] +
 //!   [`CongestionControl::pacing_rate`]).
 //!
-//! Four algorithms are provided:
+//! Five algorithms are provided:
 //!
 //! * [`reno::Reno`] — classic AIMD, as the simplest baseline;
 //! * [`cubic::Cubic`] — RFC 8312 Cubic with HyStart, Android's default
@@ -23,7 +23,11 @@
 //!   min-RTT filter, and pacing at `gain × btl_bw`;
 //! * [`bbr2::Bbr2`] — BBR v2 per the IETF-104/105/106 iccrg decks the paper
 //!   cites: adds loss-bounded `inflight_hi`/`inflight_lo` and the
-//!   DOWN/CRUISE/REFILL/UP probing cycle.
+//!   DOWN/CRUISE/REFILL/UP probing cycle;
+//! * [`bbr3::Bbr3`] — BBR v3 per the IETF-117/119 iccrg updates: shallower
+//!   DOWN probe, round-bounded cruise, and a per-episode loss response
+//!   anchored at measured inflight. Not in the paper's matrix (see
+//!   [`CcKind::PAPER`]); it serves the AQM/fairness follow-up experiments.
 //!
 //! [`master::Master`] wraps any of them with the paper's §5 "master BBR
 //! kernel module" knobs: disable the model computation, fix the cwnd, fix
@@ -39,6 +43,7 @@
 
 pub mod bbr;
 pub mod bbr2;
+pub mod bbr3;
 pub mod cubic;
 pub mod group;
 pub mod master;
@@ -170,12 +175,26 @@ pub enum CcKind {
     Bbr,
     /// BBR v2.
     Bbr2,
+    /// BBR v3.
+    Bbr3,
 }
 
 impl CcKind {
-    /// All algorithms the paper measures (Reno excluded: it is our extra
-    /// baseline, not part of the paper's matrix).
+    /// All algorithms the paper measures. Reno is excluded (our extra
+    /// baseline, not part of the paper's matrix) and so is BBRv3 (it
+    /// post-dates the paper; the fairness/AQM follow-up experiments use it
+    /// via [`CcKind::ALL`]).
     pub const PAPER: [CcKind; 3] = [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2];
+
+    /// Every implemented algorithm — the single source of truth for code
+    /// that enumerates the CC axis (re-exported as `test_support::ALL_CC`).
+    pub const ALL: [CcKind; 5] = [
+        CcKind::Reno,
+        CcKind::Cubic,
+        CcKind::Bbr,
+        CcKind::Bbr2,
+        CcKind::Bbr3,
+    ];
 
     /// Instantiate the algorithm with `mss`-byte segments.
     pub fn build(self, mss: u64) -> Box<dyn CongestionControl> {
@@ -184,6 +203,7 @@ impl CcKind {
             CcKind::Cubic => Box::new(cubic::Cubic::new()),
             CcKind::Bbr => Box::new(bbr::Bbr::new(mss)),
             CcKind::Bbr2 => Box::new(bbr2::Bbr2::new(mss)),
+            CcKind::Bbr3 => Box::new(bbr3::Bbr3::new(mss)),
         }
     }
 }
@@ -195,6 +215,7 @@ impl std::fmt::Display for CcKind {
             CcKind::Cubic => write!(f, "Cubic"),
             CcKind::Bbr => write!(f, "BBR"),
             CcKind::Bbr2 => write!(f, "BBR2"),
+            CcKind::Bbr3 => write!(f, "BBR3"),
         }
     }
 }
@@ -228,11 +249,20 @@ mod tests {
 
     #[test]
     fn all_kinds_build() {
-        for kind in [CcKind::Reno, CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2] {
+        for kind in CcKind::ALL {
             let cc = kind.build(1448);
             assert!(cc.cwnd() >= MIN_CWND);
             assert!(!cc.name().is_empty());
         }
+    }
+
+    #[test]
+    fn paper_matrix_is_a_strict_subset_of_all() {
+        for kind in CcKind::PAPER {
+            assert!(CcKind::ALL.contains(&kind));
+        }
+        assert!(!CcKind::PAPER.contains(&CcKind::Reno));
+        assert!(!CcKind::PAPER.contains(&CcKind::Bbr3));
     }
 
     #[test]
@@ -241,6 +271,7 @@ mod tests {
         // packet pacing by default."
         assert!(CcKind::Bbr.build(1448).wants_pacing());
         assert!(CcKind::Bbr2.build(1448).wants_pacing());
+        assert!(CcKind::Bbr3.build(1448).wants_pacing());
         assert!(!CcKind::Cubic.build(1448).wants_pacing());
         assert!(!CcKind::Reno.build(1448).wants_pacing());
     }
@@ -261,6 +292,7 @@ mod tests {
         assert_eq!(CcKind::Bbr.to_string(), "BBR");
         assert_eq!(CcKind::Cubic.to_string(), "Cubic");
         assert_eq!(CcKind::Bbr2.to_string(), "BBR2");
+        assert_eq!(CcKind::Bbr3.to_string(), "BBR3");
         assert_eq!(CcKind::Reno.to_string(), "Reno");
     }
 }

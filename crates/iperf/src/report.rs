@@ -54,6 +54,10 @@ pub struct SeedResult {
     pub fleet_penalty_fraction: f64,
     /// Packets dropped at the shared bottleneck's queue.
     pub fleet_shared_drops: u64,
+    /// Device 0's fraction of aggregate fleet goodput (0.0 for non-fleet
+    /// runs). In the FAIRNESS experiment's two-device duels device 0 is
+    /// the BBR-variant contender, so this is its bandwidth share.
+    pub fleet_dev0_share: f64,
 }
 
 impl SeedResult {
@@ -86,6 +90,7 @@ impl SeedResult {
                 .as_ref()
                 .map_or(0.0, |f| f.pacing_penalty_fraction),
             fleet_shared_drops: res.fleet.as_ref().map_or(0, |f| f.shared_drops),
+            fleet_dev0_share: res.fleet.as_ref().map_or(0.0, |f| f.dev0_share),
         }
     }
 }
@@ -119,6 +124,8 @@ pub struct RunReport {
     pub fleet_penalty_fraction: f64,
     /// Mean shared-bottleneck drops across seeds (0.0 for non-fleet specs).
     pub fleet_shared_drops: f64,
+    /// Mean device-0 goodput share across seeds (0.0 for non-fleet specs).
+    pub fleet_dev0_share: f64,
 }
 
 impl RunReport {
@@ -135,6 +142,7 @@ impl RunReport {
         let mut fleet_jain = Summary::new();
         let mut fleet_penalty = Summary::new();
         let mut fleet_drops = Summary::new();
+        let mut fleet_dev0 = Summary::new();
         for s in &seeds {
             goodput.record(s.goodput_mbps);
             rtt.record(s.mean_rtt_ms);
@@ -146,6 +154,7 @@ impl RunReport {
             fleet_jain.record(s.fleet_jain);
             fleet_penalty.record(s.fleet_penalty_fraction);
             fleet_drops.record(s.fleet_shared_drops as f64);
+            fleet_dev0.record(s.fleet_dev0_share);
         }
         RunReport {
             label: label.into(),
@@ -160,6 +169,7 @@ impl RunReport {
             fleet_jain: fleet_jain.mean(),
             fleet_penalty_fraction: fleet_penalty.mean(),
             fleet_shared_drops: fleet_drops.mean(),
+            fleet_dev0_share: fleet_dev0.mean(),
             seeds,
         }
     }
@@ -243,6 +253,7 @@ mod tests {
             fleet_jain: 0.0,
             fleet_penalty_fraction: 0.0,
             fleet_shared_drops: 0,
+            fleet_dev0_share: 0.0,
         }
     }
 

@@ -54,10 +54,10 @@ impl SweepCell for SeedCell {
     }
 
     fn encode(output: &SeedResult) -> Option<Vec<u8>> {
-        // 22 × 8-byte little-endian words. Bumping the width invalidates
+        // 23 × 8-byte little-endian words. Bumping the width invalidates
         // cache entries written by older binaries: `decode` rejects them by
         // length and the engine recomputes — a safe, silent migration.
-        let mut buf = Vec::with_capacity(176);
+        let mut buf = Vec::with_capacity(184);
         buf.extend_from_slice(&output.seed.to_le_bytes());
         buf.extend_from_slice(&output.goodput_mbps.to_le_bytes());
         buf.extend_from_slice(&output.mean_rtt_ms.to_le_bytes());
@@ -80,11 +80,12 @@ impl SweepCell for SeedCell {
         buf.extend_from_slice(&output.fleet_jain.to_le_bytes());
         buf.extend_from_slice(&output.fleet_penalty_fraction.to_le_bytes());
         buf.extend_from_slice(&output.fleet_shared_drops.to_le_bytes());
+        buf.extend_from_slice(&output.fleet_dev0_share.to_le_bytes());
         Some(buf)
     }
 
     fn decode(bytes: &[u8]) -> Option<SeedResult> {
-        if bytes.len() != 176 {
+        if bytes.len() != 184 {
             return None;
         }
         let u = |i: usize| u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
@@ -112,6 +113,7 @@ impl SweepCell for SeedCell {
             fleet_jain: f(19),
             fleet_penalty_fraction: f(20),
             fleet_shared_drops: u(21),
+            fleet_dev0_share: f(22),
         })
     }
 
@@ -243,9 +245,10 @@ mod tests {
             fleet_jain: 0.8125,
             fleet_penalty_fraction: 0.375,
             fleet_shared_drops: 4242,
+            fleet_dev0_share: 0.6875,
         };
         let bytes = SeedCell::encode(&original).unwrap();
-        assert_eq!(bytes.len(), 176);
+        assert_eq!(bytes.len(), 184);
         let decoded = SeedCell::decode(&bytes).unwrap();
         assert_eq!(decoded.seed, original.seed);
         assert_eq!(
@@ -261,12 +264,16 @@ mod tests {
         assert_eq!(decoded.fleet_devices, original.fleet_devices);
         assert_eq!(decoded.fleet_jain.to_bits(), original.fleet_jain.to_bits());
         assert_eq!(decoded.fleet_shared_drops, original.fleet_shared_drops);
+        assert_eq!(
+            decoded.fleet_dev0_share.to_bits(),
+            original.fleet_dev0_share.to_bits()
+        );
         assert!(
-            SeedCell::decode(&bytes[..175]).is_none(),
+            SeedCell::decode(&bytes[..183]).is_none(),
             "short buffer rejected"
         );
         assert!(
-            SeedCell::decode(&bytes[..144]).is_none(),
+            SeedCell::decode(&bytes[..176]).is_none(),
             "pre-extension cache entries rejected (engine recomputes)"
         );
     }

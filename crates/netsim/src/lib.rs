@@ -17,7 +17,9 @@
 //! * [`netem`] — `tc netem`-style impairments: i.i.d. loss, extra
 //!   delay/jitter, a rate limiter (the paper shapes with `tc` on the
 //!   router), and simple reordering.
-//! * [`codel`] — CoDel AQM (RFC 8289), for fq_codel-style ablations.
+//! * [`codel`] — CoDel AQM (RFC 8289), the building block for AQM links.
+//! * [`fq_codel`] — FQ-CoDel (RFC 8290): per-flow CoDel buckets with a
+//!   DRR fair-share sojourn model, the Android/OpenWRT default qdisc.
 //! * [`pcap`] — classic-format pcap capture of simulated wire traffic.
 //! * [`crosstraffic`] — Poisson background load for competition ablations.
 //! * [`media`] — the three media of the paper: Ethernet LAN (1 Gbps line
@@ -29,12 +31,14 @@
 
 pub mod codel;
 pub mod crosstraffic;
+pub mod fq_codel;
 pub mod link;
 pub mod media;
 pub mod netem;
 pub mod pcap;
 
 pub use codel::{Codel, CodelConfig};
+pub use fq_codel::FqCodel;
 pub use link::{BottleneckLink, LinkConfig, Qdisc, SendOutcome, VariableRate};
 pub use media::{MediaProfile, PathConfig};
 pub use netem::{Netem, NetemConfig, NetemVerdict};

@@ -13,6 +13,7 @@
 //! "increased variability due to WiFi artifacts" the paper notes in §3.2.
 
 use crate::codel::{Codel, CodelConfig};
+use crate::fq_codel::FqCodel;
 use serde::{Deserialize, Serialize};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -29,8 +30,13 @@ pub enum SendOutcome {
         /// When the packet arrives at the far end (departs + propagation).
         arrival: SimTime,
     },
-    /// Queue full: droptail.
-    Dropped,
+    /// Packet dropped.
+    Dropped {
+        /// `true` when the AQM (CoDel / FQ-CoDel) took the packet, `false`
+        /// for a droptail overflow — the distinction the per-qdisc drop
+        /// accounting (and its simcheck oracle) rests on.
+        aqm: bool,
+    },
 }
 
 impl SendOutcome {
@@ -38,17 +44,24 @@ impl SendOutcome {
     pub fn arrival(&self) -> Option<SimTime> {
         match self {
             SendOutcome::Accepted { arrival, .. } => Some(*arrival),
-            SendOutcome::Dropped => None,
+            SendOutcome::Dropped { .. } => None,
         }
     }
 
     /// True if the packet was dropped.
     pub fn is_dropped(&self) -> bool {
-        matches!(self, SendOutcome::Dropped)
+        matches!(self, SendOutcome::Dropped { .. })
     }
 }
 
 /// Static configuration of a link.
+///
+/// The queue discipline is a first-class axis ([`LinkConfig::qdisc`]):
+/// every path link — not just the fleet's shared uplink — can run FIFO,
+/// CoDel, or FQ-CoDel. The legacy `codel: Option<CodelConfig>` field is
+/// kept as the serialized representation of the CoDel parameters (and for
+/// back-compat with configs that set it directly); [`LinkConfig::qdisc()`]
+/// resolves both encodings to one verdict.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Serialisation rate.
@@ -57,13 +70,19 @@ pub struct LinkConfig {
     pub propagation: SimDuration,
     /// Droptail queue capacity in packets (slots not yet fully serialised).
     pub queue_packets: usize,
-    /// Optional CoDel AQM in front of the droptail limit (fq_codel-style
-    /// deployments on Android/OpenWRT).
+    /// AQM parameters (`Some` for CoDel and FQ-CoDel, `None` for FIFO).
+    /// Prefer [`LinkConfig::with_qdisc`]; setting this directly is the
+    /// deprecated back-door and means plain CoDel.
     pub codel: Option<CodelConfig>,
+    /// Queue-discipline selector. Serialized only for [`Qdisc::FqCodel`]:
+    /// FIFO and CoDel are fully determined by `codel`, so every
+    /// pre-existing sweep-cache key keeps its exact bytes.
+    #[serde(skip_serializing_if = "Qdisc::is_classic")]
+    pub qdisc: Qdisc,
 }
 
 impl LinkConfig {
-    /// A link with the given rate, delay and queue depth.
+    /// A link with the given rate, delay and queue depth (FIFO droptail).
     pub fn new(rate: Bandwidth, propagation: SimDuration, queue_packets: usize) -> Self {
         assert!(!rate.is_zero(), "link rate must be positive");
         assert!(queue_packets >= 1, "queue must hold at least one packet");
@@ -72,45 +91,73 @@ impl LinkConfig {
             propagation,
             queue_packets,
             codel: None,
+            qdisc: Qdisc::Fifo,
         }
     }
 
     /// Enable CoDel AQM on this link.
-    pub fn with_codel(mut self, codel: CodelConfig) -> Self {
+    #[deprecated(
+        since = "0.3.0",
+        note = "use with_qdisc(Qdisc::Codel) — the qdisc is a first-class axis; \
+                with_codel_config if you need non-default parameters"
+    )]
+    pub fn with_codel(self, codel: CodelConfig) -> Self {
+        self.with_codel_config(codel)
+    }
+
+    /// Run CoDel with explicit (non-default) parameters. The common path is
+    /// [`LinkConfig::with_qdisc`], which applies the RFC 8289 defaults.
+    pub fn with_codel_config(mut self, codel: CodelConfig) -> Self {
         self.codel = Some(codel);
+        self.qdisc = Qdisc::Codel;
         self
     }
 
-    /// Apply a named queue discipline: the fleet-mode shared bottleneck
-    /// selects FIFO vs CoDel by enum rather than by hand-rolled
-    /// `CodelConfig`s, so every caller (experiments, simcheck, benches)
-    /// gets the same AQM parameters.
+    /// Apply a named queue discipline with its default AQM parameters, so
+    /// every caller (experiments, simcheck, benches) gets the same AQM
+    /// configuration.
     pub fn with_qdisc(mut self, qdisc: Qdisc) -> Self {
         self.codel = match qdisc {
             Qdisc::Fifo => None,
-            Qdisc::Codel => Some(CodelConfig::default()),
+            Qdisc::Codel | Qdisc::FqCodel => Some(CodelConfig::default()),
         };
+        self.qdisc = qdisc;
         self
     }
 
-    /// Which queue discipline this link runs.
+    /// Which queue discipline this link runs, resolving the legacy
+    /// encoding: a config whose `codel` field was set directly (with the
+    /// `qdisc` field left at FIFO) runs plain CoDel, exactly as it did
+    /// before the qdisc became first-class.
     pub fn qdisc(&self) -> Qdisc {
-        if self.codel.is_some() {
-            Qdisc::Codel
-        } else {
-            Qdisc::Fifo
+        match (self.qdisc, self.codel.is_some()) {
+            (Qdisc::FqCodel, _) => Qdisc::FqCodel,
+            (_, true) => Qdisc::Codel,
+            (_, false) => Qdisc::Fifo,
         }
     }
 }
 
-/// Queue-discipline selector for a shared bottleneck: plain droptail FIFO
-/// or CoDel with the RFC 8289 defaults.
+/// Queue-discipline selector: plain droptail FIFO, CoDel, or flow-queued
+/// CoDel with the RFC 8289 defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Qdisc {
     /// Droptail FIFO (the default on every path link).
     Fifo,
     /// CoDel AQM ([`CodelConfig::default`] parameters).
     Codel,
+    /// FQ-CoDel: per-flow CoDel buckets with DRR-approximate fair sharing
+    /// (see [`crate::fq_codel`]), Android/OpenWRT's default qdisc.
+    FqCodel,
+}
+
+impl Qdisc {
+    /// True for the disciplines that predate the first-class `qdisc` field
+    /// (FIFO/CoDel, fully determined by `LinkConfig::codel`). Used as the
+    /// serialization skip predicate so legacy cache keys stay byte-stable.
+    pub fn is_classic(&self) -> bool {
+        !matches!(self, Qdisc::FqCodel)
+    }
 }
 
 impl std::fmt::Display for Qdisc {
@@ -118,6 +165,7 @@ impl std::fmt::Display for Qdisc {
         match self {
             Qdisc::Fifo => write!(f, "FIFO"),
             Qdisc::Codel => write!(f, "CoDel"),
+            Qdisc::FqCodel => write!(f, "FQ-CoDel"),
         }
     }
 }
@@ -139,8 +187,12 @@ pub struct VariableRate {
 pub struct LinkStats {
     /// Packets accepted.
     pub accepted: u64,
-    /// Packets dropped by the droptail queue.
+    /// Packets dropped, droptail and AQM combined.
     pub dropped: u64,
+    /// Packets dropped by the AQM specifically (subset of `dropped`) —
+    /// the link-side ground truth the `aqm-accounting` oracle compares
+    /// against the stack's own tally.
+    pub aqm_drops: u64,
     /// Bytes accepted (wire bytes).
     pub bytes: u64,
 }
@@ -149,6 +201,7 @@ pub struct LinkStats {
 pub struct BottleneckLink {
     config: LinkConfig,
     codel: Option<Codel>,
+    fq: Option<FqCodel>,
     variable: Option<(VariableRate, SimRng)>,
     current_rate: Bandwidth,
     next_resample: SimTime,
@@ -168,8 +221,14 @@ impl BottleneckLink {
     /// A fixed-rate link.
     pub fn new(config: LinkConfig) -> Self {
         let rate = config.rate;
+        let (codel, fq) = match config.qdisc() {
+            Qdisc::Fifo => (None, None),
+            Qdisc::Codel => (config.codel.map(Codel::new), None),
+            Qdisc::FqCodel => (None, Some(FqCodel::new(config.codel.unwrap_or_default()))),
+        };
         BottleneckLink {
-            codel: config.codel.map(Codel::new),
+            codel,
+            fq,
             config,
             variable: None,
             current_rate: rate,
@@ -237,12 +296,21 @@ impl BottleneckLink {
         self.last_depart.saturating_since(now)
     }
 
-    /// Offer one wire packet of `wire_bytes` to the link at `now`.
+    /// Offer one wire packet of `wire_bytes` to the link at `now`,
+    /// attributed to flow 0 (see [`BottleneckLink::send_flow`]).
     pub fn send(&mut self, now: SimTime, wire_bytes: u64) -> SendOutcome {
+        self.send_flow(now, wire_bytes, 0)
+    }
+
+    /// Offer one wire packet of `wire_bytes` to the link at `now` on
+    /// behalf of `flow`. The flow id selects the FQ-CoDel bucket; FIFO and
+    /// plain CoDel links ignore it, so [`BottleneckLink::send`] (flow 0)
+    /// remains bit-identical to the pre-FQ behaviour on those links.
+    pub fn send_flow(&mut self, now: SimTime, wire_bytes: u64, flow: u64) -> SendOutcome {
         self.maybe_resample(now);
         if self.occupancy(now) >= self.config.queue_packets {
             self.stats.dropped += 1;
-            return SendOutcome::Dropped;
+            return SendOutcome::Dropped { aqm: false };
         }
         let start = if self.last_depart > now {
             self.last_depart
@@ -255,7 +323,18 @@ impl BottleneckLink {
             let sojourn = start.saturating_since(now);
             if codel.should_drop(now, sojourn) {
                 self.stats.dropped += 1;
-                return SendOutcome::Dropped;
+                self.stats.aqm_drops += 1;
+                return SendOutcome::Dropped { aqm: true };
+            }
+        }
+        // FQ-CoDel evaluates the flow's *fair-share* sojourn estimate
+        // against its own bucket's CoDel instance (sparse flows see an
+        // empty bucket and sail through).
+        if let Some(fq) = self.fq.as_mut() {
+            if fq.should_drop(now, flow, start.saturating_since(now), self.current_rate) {
+                self.stats.dropped += 1;
+                self.stats.aqm_drops += 1;
+                return SendOutcome::Dropped { aqm: true };
             }
         }
         let rate_bps = self.current_rate.as_bps();
@@ -269,6 +348,9 @@ impl BottleneckLink {
         let departs = start + ser;
         self.last_depart = departs;
         self.in_flight.push_back(departs);
+        if let Some(fq) = self.fq.as_mut() {
+            fq.on_enqueue(now, self.current_rate, flow, wire_bytes);
+        }
         self.stats.accepted += 1;
         self.stats.bytes += wire_bytes;
         SendOutcome::Accepted {
@@ -300,7 +382,7 @@ mod tests {
                 assert_eq!(departs, SimTime::from_nanos(12_112)); // 1514B @ 1Gbps
                 assert_eq!(arrival, departs + SimDuration::from_micros(200));
             }
-            SendOutcome::Dropped => panic!("idle link must accept"),
+            SendOutcome::Dropped { .. } => panic!("idle link must accept"),
         }
     }
 
@@ -402,6 +484,52 @@ mod tests {
                 "rate {r}"
             );
         }
+    }
+
+    #[test]
+    fn qdisc_resolution_covers_both_encodings() {
+        let base = LinkConfig::new(Bandwidth::from_mbps(100), SimDuration::ZERO, 100);
+        assert_eq!(base.qdisc(), Qdisc::Fifo);
+        assert_eq!(base.clone().with_qdisc(Qdisc::Codel).qdisc(), Qdisc::Codel);
+        assert_eq!(
+            base.clone().with_qdisc(Qdisc::FqCodel).qdisc(),
+            Qdisc::FqCodel
+        );
+        // Legacy back-door: setting `codel` directly (qdisc left at Fifo)
+        // still means plain CoDel.
+        let mut legacy = base;
+        legacy.codel = Some(CodelConfig::default());
+        assert_eq!(legacy.qdisc(), Qdisc::Codel);
+        // Round-tripping through with_qdisc(Fifo) clears the AQM again.
+        assert_eq!(legacy.with_qdisc(Qdisc::Fifo).qdisc(), Qdisc::Fifo);
+    }
+
+    #[test]
+    fn classic_configs_serialize_without_a_qdisc_key() {
+        // Sweep-cache keys are the canonical JSON of the whole SimConfig, so
+        // FIFO and CoDel links must keep their pre-qdisc-field shape
+        // byte-for-byte: same field names, no `qdisc` key.
+        use serde::Serialize;
+        let base = LinkConfig::new(Bandwidth::from_mbps(100), SimDuration::ZERO, 100);
+        for cfg in [base.clone(), base.clone().with_qdisc(Qdisc::Codel)] {
+            let val = cfg.to_value();
+            let serde::Value::Object(fields) = &val else {
+                panic!("LinkConfig must serialize to an object");
+            };
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                keys,
+                ["rate", "propagation", "queue_packets", "codel"],
+                "legacy field set must stay exact for cache-key stability"
+            );
+        }
+        // FQ-CoDel is new, so it (and only it) carries the qdisc key.
+        let fq = base.with_qdisc(Qdisc::FqCodel).to_value();
+        assert_eq!(
+            fq.get("qdisc").and_then(|v| v.as_str()),
+            Some("FqCodel"),
+            "FqCodel must be visible in the cache key"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! — and the arena-vs-boxed differential test — are the enforcement
 //! mechanisms, not an aspiration.
 
+use crate::mutants::{self, Mutant};
 use crate::pacing::{Pacer, PacingConfig};
 use crate::rate::RateSampler;
 use crate::receiver::{AckInfo, Receiver};
@@ -144,6 +145,20 @@ pub(crate) struct CcCache {
     pub wants_pacing: bool,
 }
 
+/// Snapshot one controller's outputs into the hot cache. Mutant M8
+/// ([`Mutant::Bbr3PacingDisarm`]) models a "new CC variant missed a
+/// dispatch site" bug here: the cache reports `wants_pacing == false`
+/// for BBRv3 flows even though the controller asks for pacing.
+fn snapshot_cc(m: &Master) -> CcCache {
+    let disarmed = mutants::is(Mutant::Bbr3PacingDisarm) && m.name() == "bbr3";
+    CcCache {
+        cwnd: m.cwnd(),
+        pacing_rate: m.pacing_rate(),
+        model_cost: m.model_cost_cycles(),
+        wants_pacing: m.wants_pacing() && !disarmed,
+    }
+}
+
 /// Cold per-flow state: measurement-window statistics and trace caches
 /// that no steady-state decision reads. Kept in a side table so they
 /// never share a cache line with [`FlowHot`].
@@ -222,15 +237,7 @@ impl FlowArena {
         mut make_cc: impl FnMut(usize) -> Master,
     ) -> Self {
         let cc: Vec<Master> = (0..count).map(&mut make_cc).collect();
-        let cc_cache = cc
-            .iter()
-            .map(|m| CcCache {
-                cwnd: m.cwnd(),
-                pacing_rate: m.pacing_rate(),
-                model_cost: m.model_cost_cycles(),
-                wants_pacing: m.wants_pacing(),
-            })
-            .collect();
+        let cc_cache = cc.iter().map(snapshot_cc).collect();
         FlowArena {
             store: SegStore::new(),
             board: (0..count).map(|_| Scoreboard::new(mss)).collect(),
@@ -259,13 +266,7 @@ impl FlowArena {
     /// every CC mutation; see [`CcCache`].
     #[inline]
     pub(crate) fn refresh_cc(&mut self, i: usize) {
-        let m = &self.cc[i];
-        self.cc_cache[i] = CcCache {
-            cwnd: m.cwnd(),
-            pacing_rate: m.pacing_rate(),
-            model_cost: m.model_cost_cycles(),
-            wants_pacing: m.wants_pacing(),
-        };
+        self.cc_cache[i] = snapshot_cc(&self.cc[i]);
     }
 
     /// Plan the next transmission for one flow; see

@@ -15,7 +15,9 @@ use congestion::master::MasterConfig;
 use congestion::CcKind;
 use cpu_model::{CostModel, CpuConfig, DeviceProfile};
 use netsim::crosstraffic::CrossTrafficConfig;
+use netsim::link::LinkConfig;
 use netsim::media::{MediaProfile, PathConfig};
+use netsim::Qdisc;
 use sim_core::error::{Error, Result};
 use sim_core::time::SimDuration;
 
@@ -69,6 +71,17 @@ impl SimConfigBuilder {
     /// Replace the network path wholesale (custom links/impairments).
     pub fn path(mut self, path: PathConfig) -> Self {
         self.cfg.path = path;
+        self
+    }
+
+    /// Set the bottleneck (forward-link) queue discipline with its default
+    /// AQM parameters — the per-link qdisc axis. Applies to whatever path
+    /// the builder currently holds, so call it after
+    /// [`media`](Self::media)/[`path`](Self::path). For non-default AQM
+    /// parameters set [`LinkConfig::with_codel_config`] on the path
+    /// directly.
+    pub fn qdisc(mut self, qdisc: Qdisc) -> Self {
+        self.cfg.path.forward = self.cfg.path.forward.clone().with_qdisc(qdisc);
         self
     }
 
@@ -189,8 +202,11 @@ impl SimConfigBuilder {
     /// measurement window would be empty and goodput would read 0 Mbps);
     /// a zero pacing stride or socket-buffer cap; a non-positive or
     /// non-finite pacing fallback gain; zero-capacity or zero-queue path
-    /// links; a zero ACK cadence; a zero timeline interval; and a zero
-    /// telemetry interval.
+    /// links; degenerate CoDel parameters (zero target, or an interval
+    /// not exceeding the target) on any AQM link including the fleet's
+    /// shared bottleneck; FQ-CoDel on the ACK-only reverse path; a zero
+    /// ACK cadence; a zero timeline interval; and a zero telemetry
+    /// interval.
     pub fn build(self) -> Result<SimConfig> {
         let cfg = self.cfg;
         if cfg.connections == 0 {
@@ -251,6 +267,19 @@ impl SimConfigBuilder {
                     reason: "queue must hold at least one packet".into(),
                 });
             }
+            check_aqm(field, link)?;
+        }
+        // The reverse path carries only ACKs: one tiny sub-flow per
+        // connection, no bulk queue to schedule. FQ-CoDel's fair-share
+        // sojourn model is meaningless there (and `Codel` already covers
+        // AQM-on-ACKs), so the combination is rejected rather than
+        // silently mis-modelled.
+        if cfg.path.reverse.qdisc() == Qdisc::FqCodel {
+            return Err(Error::invalid_config(
+                "path.reverse",
+                "FQ-CoDel flow scheduling is not modelled on the ACK-only reverse path; \
+                 use Fifo or Codel",
+            ));
         }
         if cfg.ack_per_segs == Some(0) {
             return Err(Error::invalid_config(
@@ -307,6 +336,7 @@ impl SimConfigBuilder {
                         "shared queue must hold at least one packet",
                     ));
                 }
+                check_aqm("fleet.shared", shared)?;
             }
             if cfg.pacing.auto_stride {
                 return Err(Error::invalid_config(
@@ -318,6 +348,31 @@ impl SimConfigBuilder {
         }
         Ok(cfg)
     }
+}
+
+/// Validate a link's AQM parameters (when it has any): CoDel's control
+/// law divides by `interval` and compares sojourn against `target`, so a
+/// zero target or an interval not exceeding the target would drop every
+/// packet (or panic in `Codel::new`) instead of managing the queue.
+fn check_aqm(field: &'static str, link: &LinkConfig) -> Result<()> {
+    if let Some(codel) = &link.codel {
+        if codel.target.is_zero() {
+            return Err(Error::InvalidConfig {
+                field,
+                reason: "CoDel target must be positive".into(),
+            });
+        }
+        if codel.interval <= codel.target {
+            return Err(Error::InvalidConfig {
+                field,
+                reason: format!(
+                    "CoDel interval {:?} must exceed target {:?}",
+                    codel.interval, codel.target
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -503,6 +558,83 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(field_of(err), "pacing.auto_stride");
+    }
+
+    #[test]
+    fn qdisc_setter_applies_to_the_forward_link() {
+        for q in [Qdisc::Fifo, Qdisc::Codel, Qdisc::FqCodel] {
+            let cfg = base().qdisc(q).build().expect("valid qdisc config");
+            assert_eq!(cfg.path.forward.qdisc(), q);
+            assert_eq!(cfg.path.reverse.qdisc(), Qdisc::Fifo, "reverse untouched");
+        }
+        // The setter composes with a media swap (order matters: last path
+        // replacement wins, qdisc applies to what the builder holds).
+        let cfg = base()
+            .media(MediaProfile::Lte)
+            .qdisc(Qdisc::FqCodel)
+            .build()
+            .expect("media + qdisc");
+        assert_eq!(cfg.path.forward.qdisc(), Qdisc::FqCodel);
+    }
+
+    #[test]
+    fn rejects_fq_codel_on_the_reverse_path() {
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.reverse = path.reverse.with_qdisc(Qdisc::FqCodel);
+        assert_eq!(
+            field_of(base().path(path).build().unwrap_err()),
+            "path.reverse"
+        );
+        // Plain CoDel on the reverse path stays allowed.
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.reverse = path.reverse.with_qdisc(Qdisc::Codel);
+        assert!(base().path(path).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_codel_parameters() {
+        use netsim::codel::CodelConfig;
+
+        let zero_target = CodelConfig {
+            target: SimDuration::from_millis(0),
+            interval: SimDuration::from_millis(100),
+        };
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.forward = path.forward.with_codel_config(zero_target);
+        assert_eq!(
+            field_of(base().path(path).build().unwrap_err()),
+            "path.forward"
+        );
+
+        let inverted = CodelConfig {
+            target: SimDuration::from_millis(100),
+            interval: SimDuration::from_millis(5),
+        };
+        let mut path = MediaProfile::Ethernet.path_config();
+        path.reverse = path.reverse.with_codel_config(inverted);
+        assert_eq!(
+            field_of(base().path(path).build().unwrap_err()),
+            "path.reverse"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_codel_on_the_fleet_shared_link() {
+        use crate::fleet::{DeviceSpec, FleetConfig};
+        use netsim::codel::CodelConfig;
+
+        let spec = DeviceSpec::new(CpuConfig::MidEnd, CcKind::Bbr, MediaProfile::Wifi);
+        let shared =
+            FleetConfig::pop_uplink(sim_core::units::Bandwidth::from_mbps(100), Qdisc::FqCodel)
+                .with_codel_config(CodelConfig {
+                    target: SimDuration::from_millis(10),
+                    interval: SimDuration::from_millis(10),
+                });
+        let err = base()
+            .fleet(FleetConfig::uniform(2, spec).with_shared(shared))
+            .build()
+            .unwrap_err();
+        assert_eq!(field_of(err), "fleet.shared");
     }
 
     #[test]

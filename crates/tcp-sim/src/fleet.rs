@@ -50,6 +50,17 @@ pub struct DeviceSpec {
     pub media: MediaProfile,
     /// Parallel upload connections (≥ 1).
     pub connections: usize,
+    /// Extra one-way propagation added to this device's forward access
+    /// link — the RTT-unfairness axis of the FAIRNESS experiment.
+    /// Serialized only when non-zero so pre-existing fleet cache keys keep
+    /// their exact bytes.
+    #[serde(skip_serializing_if = "duration_is_zero")]
+    pub extra_rtt: SimDuration,
+}
+
+/// Serde skip predicate (`is_zero` takes `self` by value).
+fn duration_is_zero(d: &SimDuration) -> bool {
+    d.is_zero()
 }
 
 impl DeviceSpec {
@@ -60,12 +71,20 @@ impl DeviceSpec {
             cc,
             media,
             connections: 1,
+            extra_rtt: SimDuration::ZERO,
         }
     }
 
     /// Set the connection count.
     pub fn with_connections(mut self, connections: usize) -> Self {
         self.connections = connections;
+        self
+    }
+
+    /// Add one-way propagation to this device's forward access link (the
+    /// RTT-unfairness knob).
+    pub fn with_extra_rtt(mut self, extra: SimDuration) -> Self {
+        self.extra_rtt = extra;
         self
     }
 }
@@ -164,6 +183,11 @@ pub struct FleetResult {
     /// ran ≥ 90 % busy — the population-level answer to the paper's
     /// question.
     pub pacing_penalty_fraction: f64,
+    /// Device 0's fraction of the fleet's aggregate goodput (0 when the
+    /// fleet delivered nothing). In the two-device FAIRNESS duels device 0
+    /// is the BBR-variant contender, so this is the per-flow share the
+    /// scorecard checks directly.
+    pub dev0_share: f64,
     /// Packets admitted by the shared bottleneck (0 with `shared: None`).
     pub shared_pkts: u64,
     /// Packets dropped at the shared bottleneck's queue.
@@ -283,6 +307,12 @@ impl FleetResult {
             jain_devices *= n / (n - 1.0);
         }
 
+        let dev0_share = if aggregate_goodput_mbps > 0.0 {
+            device_rates.first().copied().unwrap_or(0.0) / aggregate_goodput_mbps
+        } else {
+            0.0
+        };
+
         FleetResult {
             devices: fleet.devices.len() as u64,
             aggregate_goodput_mbps,
@@ -290,6 +320,7 @@ impl FleetResult {
             cc_groups,
             tiers,
             pacing_penalty_fraction: penalised as f64 / fleet.devices.len().max(1) as f64,
+            dev0_share,
             shared_pkts,
             shared_drops,
             delivered_bytes,
@@ -361,6 +392,29 @@ mod tests {
         assert_eq!(fr.tiers[0].devices, 2);
         assert_eq!(fr.shared_drops, 5);
         assert_eq!(fr.delivered_bytes, 1_000_000);
+        assert!((fr.dev0_share - 0.25).abs() < 1e-12, "10 of 40 Mbps");
+    }
+
+    #[test]
+    fn dev0_share_handles_an_idle_fleet() {
+        let fleet = FleetConfig::uniform(
+            2,
+            DeviceSpec::new(CpuConfig::LowEnd, CcKind::Bbr, MediaProfile::Wifi),
+        );
+        let fr = FleetResult::compute(&fleet, &[outcome(0.0), outcome(0.0)], 0, 0, 0);
+        assert_eq!(fr.dev0_share, 0.0);
+    }
+
+    #[test]
+    fn extra_rtt_is_skipped_from_serialization_when_zero() {
+        use serde::Serialize;
+        let spec = DeviceSpec::new(CpuConfig::LowEnd, CcKind::Bbr, MediaProfile::Wifi);
+        assert!(
+            spec.to_value().get("extra_rtt").is_none(),
+            "zero extra_rtt must keep legacy fleet cache keys byte-stable"
+        );
+        let shifted = spec.with_extra_rtt(SimDuration::from_millis(40));
+        assert!(shifted.to_value().get("extra_rtt").is_some());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! | `DropPacingArm` | `StackSim::try_send` | lost timer arm wedges a flow | `conn-progress` |
 //! | `FleetSharedBypass` | `StackSim::try_send` | shared bottleneck not enforced | `fleet-conservation` |
 //! | `FleetJainMiscount` | `FleetResult::compute` | fairness divisor off-by-one | `fleet-jain-bounds` |
+//! | `AqmDropMiscount` | drop tallies in `StackSim` | per-qdisc drop attribution drift | `aqm-accounting` |
+//! | `Bbr3PacingDisarm` | `StackSim` CC cache refresh | new CC variant loses pacing | `paced-cc-arms-timers` |
 
 #[cfg(feature = "simcheck-mutants")]
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -55,16 +57,28 @@ pub enum Mutant {
     /// `n` — a fairness-accounting off-by-one. Equal shares then score
     /// `n/(n−1) > 1`, violating the index's `[1/n, 1]` bounds.
     FleetJainMiscount = 6,
+    /// The stack-side AQM drop tally skips CoDel/FQ-CoDel drops, so the
+    /// `aqm_drops` counter diverges from the links' own
+    /// `LinkStats::aqm_drops` ground truth — the attribution-drift bug
+    /// class the per-qdisc drop accounting was added to rule out.
+    AqmDropMiscount = 7,
+    /// The CC cache refresh reports `wants_pacing == false` for BBRv3
+    /// flows — a "new variant missed a dispatch site" bug. A paced-CC run
+    /// then never arms pacing timers, which `paced-cc-arms-timers`
+    /// detects.
+    Bbr3PacingDisarm = 8,
 }
 
 /// Every built-in mutant, in id order (the `--mutant-check` iteration).
-pub const ALL: [Mutant; 6] = [
+pub const ALL: [Mutant; 8] = [
     Mutant::SkipTimerFireCharge,
     Mutant::SackClaimExtra,
     Mutant::SkipRetxCount,
     Mutant::DropPacingArm,
     Mutant::FleetSharedBypass,
     Mutant::FleetJainMiscount,
+    Mutant::AqmDropMiscount,
+    Mutant::Bbr3PacingDisarm,
 ];
 
 impl Mutant {
@@ -77,6 +91,8 @@ impl Mutant {
             Mutant::DropPacingArm => "drop-pacing-arm",
             Mutant::FleetSharedBypass => "fleet-shared-bypass",
             Mutant::FleetJainMiscount => "fleet-jain-miscount",
+            Mutant::AqmDropMiscount => "aqm-drop-miscount",
+            Mutant::Bbr3PacingDisarm => "bbr3-pacing-disarm",
         }
     }
 

@@ -308,6 +308,7 @@ struct HotCounters {
     stride_reverts: u64,
     shared_pkts: u64,
     shared_drops: u64,
+    aqm_drops: u64,
 }
 
 impl HotCounters {
@@ -337,6 +338,7 @@ impl HotCounters {
         put("stride_reverts", self.stride_reverts);
         put("shared_pkts", self.shared_pkts);
         put("shared_drops", self.shared_drops);
+        put("aqm_drops", self.aqm_drops);
         // `rto_marked_lost` was `add`ed once per RTO fire, possibly with
         // zero — so its key exists exactly when any RTO fired.
         if self.rto_fires > 0 {
@@ -484,7 +486,11 @@ impl StackSim {
             let (cpu_config, path, conns) = match &cfg.fleet {
                 Some(fleet) => {
                     let spec = &fleet.devices[d];
-                    (spec.cpu, spec.media.path_config(), spec.connections)
+                    let mut path = spec.media.path_config();
+                    // RTT-unfairness axis: extra propagation on the
+                    // device's private forward link.
+                    path.forward.propagation += spec.extra_rtt;
+                    (spec.cpu, path, spec.connections)
                 }
                 None => (cfg.cpu_config, cfg.path.clone(), cfg.connections),
             };
@@ -531,6 +537,7 @@ impl StackSim {
             let inner: Box<dyn CongestionControl> = match kind {
                 CcKind::Bbr => Box::new(congestion::bbr::Bbr::new(MSS).with_cycle_offset(i)),
                 CcKind::Bbr2 => Box::new(congestion::bbr2::Bbr2::new(MSS).with_probe_offset(i)),
+                CcKind::Bbr3 => Box::new(congestion::bbr3::Bbr3::new(MSS).with_probe_offset(i)),
                 other => other.build(MSS),
             };
             Master::new(inner, cfg.master)
@@ -872,10 +879,19 @@ impl StackSim {
                     Some(shared) => shared,
                     None => &mut self.fwd_links[0],
                 };
-                if link.send(now, bytes).is_dropped() {
-                    self.tallies.cross_drops += 1;
-                } else {
-                    self.tallies.cross_pkts += 1;
+                // Cross traffic is one aggregate flow; u64::MAX keeps its
+                // FQ-CoDel bucket clear of any connection's (conn ids are
+                // dense from 0).
+                match link.send_flow(now, bytes, u64::MAX) {
+                    SendOutcome::Dropped { aqm } => {
+                        self.tallies.cross_drops += 1;
+                        if aqm && !mutants::is(Mutant::AqmDropMiscount) {
+                            self.tallies.aqm_drops += 1;
+                        }
+                    }
+                    SendOutcome::Accepted { .. } => {
+                        self.tallies.cross_pkts += 1;
+                    }
                 }
                 let next = self.cross.as_ref().expect("still present").next_arrival();
                 self.queue.schedule_at(next.max(now), Event::CrossArrival);
@@ -1109,9 +1125,16 @@ impl StackSim {
                     }
                     NetemVerdict::Pass { release } => release,
                 };
-                match self.fwd_links[dev].send(release, wire) {
-                    SendOutcome::Dropped => {
+                match self.fwd_links[dev].send_flow(release, wire, c as u64) {
+                    SendOutcome::Dropped { aqm } => {
                         self.tallies.queue_drops += 1;
+                        // Mutant M7: the stack-side AQM tally "forgets"
+                        // CoDel/FQ-CoDel drops; the aqm-accounting oracle
+                        // compares against LinkStats::aqm_drops ground
+                        // truth and must notice.
+                        if aqm && !mutants::is(Mutant::AqmDropMiscount) {
+                            self.tallies.aqm_drops += 1;
+                        }
                     }
                     SendOutcome::Accepted { arrival, .. } => {
                         // Fleet mode: the access-link egress feeds the
@@ -1131,9 +1154,12 @@ impl StackSim {
                                 {
                                     arrival
                                 } else {
-                                    match shared.send(arrival, wire) {
-                                        SendOutcome::Dropped => {
+                                    match shared.send_flow(arrival, wire, c as u64) {
+                                        SendOutcome::Dropped { aqm } => {
                                             self.tallies.shared_drops += 1;
+                                            if aqm && !mutants::is(Mutant::AqmDropMiscount) {
+                                                self.tallies.aqm_drops += 1;
+                                            }
                                             continue;
                                         }
                                         SendOutcome::Accepted { arrival, .. } => {
@@ -1332,9 +1358,12 @@ impl StackSim {
             }
             NetemVerdict::Pass { release } => release,
         };
-        match self.rev_links[dev].send(release, wire) {
-            SendOutcome::Dropped => {
+        match self.rev_links[dev].send_flow(release, wire, c as u64) {
+            SendOutcome::Dropped { aqm } => {
                 self.tallies.ack_drops += 1;
+                if aqm && !mutants::is(Mutant::AqmDropMiscount) {
+                    self.tallies.aqm_drops += 1;
+                }
                 self.sack_pool.put(ack.sacks);
             }
             SendOutcome::Accepted { arrival, .. } => {
@@ -1874,6 +1903,21 @@ impl StackSim {
         };
         let mut counters = Counters::new();
         self.tallies.flush(&mut counters);
+
+        // Link-side AQM ground truth: every CoDel/FQ-CoDel drop the links
+        // themselves recorded. The stack-side `aqm_drops` tally above must
+        // agree exactly (the aqm-accounting oracle); keeping both sides
+        // independently counted is what makes the check non-vacuous.
+        let link_aqm_drops: u64 = self
+            .fwd_links
+            .iter()
+            .chain(self.rev_links.iter())
+            .chain(self.shared_link.iter())
+            .map(|l| l.stats().aqm_drops)
+            .sum();
+        if link_aqm_drops > 0 {
+            counters.add("link_aqm_drops", link_aqm_drops);
+        }
 
         // Pool health: in steady state misses stay at the cold-start count
         // (bounded by events in flight), making regressions visible in

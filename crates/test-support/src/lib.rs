@@ -29,8 +29,9 @@ use tcp_sim::FleetConfig;
 /// tests and fuzzers draw tiers from the same table the simulator ships.
 pub use tcp_sim::fleet::TIER_MIX;
 
-/// Every congestion controller the simulator supports.
-pub const ALL_CC: [CcKind; 4] = [CcKind::Cubic, CcKind::Bbr, CcKind::Bbr2, CcKind::Reno];
+/// Every congestion controller the simulator supports — a re-export of
+/// [`CcKind::ALL`], the single source of truth for the CC axis.
+pub const ALL_CC: [CcKind; 5] = CcKind::ALL;
 
 /// Every Table 1 CPU configuration.
 pub const ALL_CPU: [CpuConfig; 4] = [
@@ -51,10 +52,11 @@ pub const ALL_MEDIA: [MediaProfile; 4] = [
 /// Uniform choice over [`ALL_CC`].
 pub fn arb_cc() -> impl Strategy<Value = CcKind> {
     prop_oneof![
+        Just(CcKind::Reno),
         Just(CcKind::Cubic),
         Just(CcKind::Bbr),
         Just(CcKind::Bbr2),
-        Just(CcKind::Reno),
+        Just(CcKind::Bbr3),
     ]
 }
 
@@ -86,8 +88,8 @@ pub fn arb_device_spec() -> impl Strategy<Value = DeviceSpec> {
 }
 
 /// A random fleet: 1–8 independently drawn devices, optionally contending
-/// through a shared PoP uplink (FIFO or CoDel) provisioned at a random
-/// per-device rate. Every value this emits passes
+/// through a shared PoP uplink (FIFO, CoDel, or FQ-CoDel) provisioned at
+/// a random per-device rate. Every value this emits passes
 /// `SimConfigBuilder::fleet` validation by construction.
 pub fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
     let devices = proptest::collection::vec(arb_device_spec(), 1..=8);
@@ -95,7 +97,7 @@ pub fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
         Just(None).boxed(),
         (
             5u64..=50,
-            prop_oneof![Just(Qdisc::Fifo), Just(Qdisc::Codel)]
+            prop_oneof![Just(Qdisc::Fifo), Just(Qdisc::Codel), Just(Qdisc::FqCodel)]
         )
             .prop_map(Some)
             .boxed(),

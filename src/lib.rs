@@ -14,10 +14,11 @@
 //! * [`sim_core`] — event queue, simulated time, deterministic RNG, metrics;
 //! * [`cpu_model`] — cycle-accounting mobile CPU with BIG.LITTLE clusters
 //!   and frequency governors (Table 1's device configurations);
-//! * [`netsim`] — links, droptail buffers, netem-style impairments, and the
+//! * [`netsim`] — links, droptail/CoDel/FQ-CoDel buffers (the per-link
+//!   [`Qdisc`](netsim::Qdisc) axis), netem-style impairments, and the
 //!   Ethernet/WiFi/LTE media profiles of §3.2 and Appendix A.1;
 //! * [`congestion`] — the congestion-control framework with Cubic (+HyStart),
-//!   Reno, BBRv1, BBRv2, and the paper's "master module" knobs (§5);
+//!   Reno, BBRv1, BBRv2, BBRv3, and the paper's "master module" knobs (§5);
 //! * [`tcp_sim`] — the TCP sender/receiver state machine, TCP-internal
 //!   pacing (Eq. 1), and the pacing stride (Eq. 2);
 //! * [`iperf`] — the iPerf3-like bulk-upload workload and reports;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use cpu_model::{CpuConfig, DeviceProfile};
     pub use experiments::{ExperimentId, Params};
     pub use netsim::media::MediaProfile;
+    pub use netsim::Qdisc;
     pub use sim_core::error::{Error, Result};
     pub use sim_core::sweep::{run_sweep_streaming, CancelToken, SweepOptions};
     pub use sim_core::time::SimDuration;

@@ -1,0 +1,124 @@
+//! Differential properties pinning the new CC-variant and qdisc axes to
+//! their predecessors:
+//!
+//! * BBRv3 is a retuning of BBRv2, not a different algorithm — on a
+//!   lossless deep-buffer path its goodput must land inside a band around
+//!   BBRv2's, for any CPU tier and connection count.
+//! * A single flow cannot tell FQ-CoDel from plain CoDel: with one bucket
+//!   occupied, flow-queueing is pass-through and the two runs must
+//!   serialize byte-identically.
+//! * AQM earns its keep: on a deep-buffer path that Cubic fills, CoDel
+//!   and FQ-CoDel both keep mean RTT visibly under the FIFO run's.
+
+use mobile_bbr::congestion::CcKind;
+use mobile_bbr::cpu_model::{CpuConfig, DeviceProfile};
+use mobile_bbr::netsim::media::MediaProfile;
+use mobile_bbr::netsim::Qdisc;
+use mobile_bbr::sim_core::time::SimDuration;
+use mobile_bbr::sim_core::units::Bandwidth;
+use mobile_bbr::tcp_sim::{SimConfig, SimResult, StackSim};
+use proptest::prelude::*;
+use test_support::arb_cpu;
+
+/// A run on an Ethernet path with the forward queue deepened to `queue`
+/// packets, the forward rate set to `rate_mbps` (1000 = the profile's
+/// native line rate), and the forward qdisc set explicitly. Fixed-rate
+/// media only: on variable-rate links the virtual DRR clock inside
+/// FQ-CoDel integrates the instantaneous rate while the analytic FIFO
+/// tracks the channel exactly, so the two AQMs' sojourn estimates
+/// diverge on the channel's coherence scale by design.
+fn run_one(
+    cc: CcKind,
+    cpu: CpuConfig,
+    qdisc: Qdisc,
+    conns: usize,
+    queue: usize,
+    rate_mbps: u64,
+    seed: u64,
+) -> SimResult {
+    let dur_ms = if rate_mbps < 1_000 { 6_000 } else { 1_500 };
+    let mut path = MediaProfile::Ethernet
+        .path_config()
+        .with_queue_packets(queue);
+    path.forward.rate = Bandwidth::from_mbps(rate_mbps);
+    let cfg = SimConfig::builder(DeviceProfile::pixel4(), cpu, cc, conns)
+        .path(path)
+        .qdisc(qdisc)
+        .duration(SimDuration::from_millis(dur_ms))
+        .warmup(SimDuration::from_millis(dur_ms / 3))
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    StackSim::new(cfg).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// BBRv3 goodput stays inside BBRv2's envelope on a lossless
+    /// deep-buffer Ethernet path. The two share the model, the probe
+    /// state machine, and the inflight bounds; v3's retuned gains and
+    /// loss response have nothing to bite on without loss, so a large
+    /// divergence here means a broken port, not a design difference.
+    #[test]
+    fn bbr3_tracks_bbr2_on_lossless_deep_buffers(
+        cpu in arb_cpu(),
+        conns in 1usize..6,
+        seed in 1u64..500,
+    ) {
+        let v2 = run_one(CcKind::Bbr2, cpu, Qdisc::Fifo, conns, 512, 1_000, seed);
+        let v3 = run_one(CcKind::Bbr3, cpu, Qdisc::Fifo, conns, 512, 1_000, seed);
+        prop_assert!(v2.goodput_mbps() > 0.0, "BBRv2 makes progress");
+        prop_assert!(v3.goodput_mbps() > 0.0, "BBRv3 makes progress");
+        let ratio = v3.goodput_mbps() / v2.goodput_mbps();
+        prop_assert!(
+            (0.4..=2.5).contains(&ratio),
+            "BBRv3/BBRv2 goodput ratio {ratio:.3} outside envelope \
+             ({:.1} vs {:.1} Mbps, cpu {cpu:?}, {conns} conns, seed {seed})",
+            v3.goodput_mbps(),
+            v2.goodput_mbps()
+        );
+    }
+
+    /// One flow occupies one FQ-CoDel bucket, whose CoDel state sees the
+    /// exact drop-candidate sequence plain CoDel would: the two runs must
+    /// be byte-identical, at every CPU tier and queue depth (fixed-rate
+    /// path — see [`run_one`] on why variable-rate media are excluded).
+    #[test]
+    fn single_flow_cannot_tell_fq_codel_from_codel(
+        cpu in arb_cpu(),
+        queue in prop_oneof![Just(32usize), Just(64), Just(256)],
+        seed in 1u64..500,
+    ) {
+        let codel = run_one(CcKind::Cubic, cpu, Qdisc::Codel, 1, queue, 50, seed);
+        let fq = run_one(CcKind::Cubic, cpu, Qdisc::FqCodel, 1, queue, 50, seed);
+        let codel_json = serde_json::to_string(&codel).expect("serializes");
+        let fq_json = serde_json::to_string(&fq).expect("serializes");
+        prop_assert_eq!(codel_json, fq_json);
+    }
+}
+
+/// Cubic fills a deep buffer; CoDel and FQ-CoDel both drain the standing
+/// queue that FIFO tolerates, so their mean RTTs must sit clearly below
+/// the FIFO run's. The forward rate is capped at 50 Mbps so the 512-packet
+/// queue is worth ~120 ms — two orders above the CoDel target — and the
+/// standing queue actually forms within the run.
+#[test]
+fn aqm_bounds_the_standing_queue_fifo_tolerates() {
+    let run = |qdisc| run_one(CcKind::Cubic, CpuConfig::HighEnd, qdisc, 6, 512, 50, 7);
+    let fifo = run(Qdisc::Fifo);
+    let codel = run(Qdisc::Codel);
+    let fq = run(Qdisc::FqCodel);
+    assert!(
+        codel.mean_rtt_ms < fifo.mean_rtt_ms * 0.8,
+        "CoDel RTT {:.2} ms not clearly under FIFO {:.2} ms",
+        codel.mean_rtt_ms,
+        fifo.mean_rtt_ms
+    );
+    assert!(
+        fq.mean_rtt_ms < fifo.mean_rtt_ms * 0.8,
+        "FQ-CoDel RTT {:.2} ms not clearly under FIFO {:.2} ms",
+        fq.mean_rtt_ms,
+        fifo.mean_rtt_ms
+    );
+}
